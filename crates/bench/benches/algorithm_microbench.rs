@@ -1,0 +1,41 @@
+//! Microbenchmarks of the pricing algorithms on synthetic hypergraphs of
+//! increasing size (independent of any dataset), used to track algorithmic
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_pricing::algorithms::{layering, uniform_bundle_price, uniform_item_price};
+use qp_pricing::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_hypergraph(items: usize, edges: usize, max_size: usize, seed: u64) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = Hypergraph::new(items);
+    for _ in 0..edges {
+        let size = rng.gen_range(1..=max_size);
+        let members: Vec<usize> = (0..size).map(|_| rng.gen_range(0..items)).collect();
+        h.add_edge(members, rng.gen_range(1.0..100.0));
+    }
+    h
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_scaling");
+    group.sample_size(10);
+    for &m in &[100usize, 400, 1600] {
+        let h = random_hypergraph(m, m, 12, 99);
+        group.bench_with_input(BenchmarkId::new("UBP", m), &h, |b, h| {
+            b.iter(|| uniform_bundle_price(h))
+        });
+        group.bench_with_input(BenchmarkId::new("UIP", m), &h, |b, h| {
+            b.iter(|| uniform_item_price(h))
+        });
+        group.bench_with_input(BenchmarkId::new("Layering", m), &h, |b, h| {
+            b.iter(|| layering(h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks of conflict-set computation: the naive engine vs the
+//! delta-aware engine on a slice of the skewed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_market::{build_hypergraph, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet};
+use qp_workloads::queries::skewed;
+use qp_workloads::world::{self, WorldConfig};
+use qp_workloads::Scale;
+
+fn bench_conflict_engines(c: &mut Criterion) {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let workload = skewed::workload(&db, cfg.countries);
+    let queries = &workload.queries[..60];
+    let support = SupportSet::generate(&db, &SupportConfig::with_size(80));
+
+    let mut group = c.benchmark_group("conflict_set_construction");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        let engine = NaiveConflictEngine::new(&db, &support);
+        b.iter(|| build_hypergraph(&engine, queries))
+    });
+    group.bench_function("delta_aware", |b| {
+        let engine = DeltaConflictEngine::new(&db, &support);
+        b.iter(|| build_hypergraph(&engine, queries))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_engines);
+criterion_main!(benches);

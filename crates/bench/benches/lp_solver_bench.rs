@@ -1,0 +1,44 @@
+//! Benchmarks of the simplex solver on LPs shaped like the pricing LPs
+//! (packing constraints with a handful of non-zeros per row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_lp::{ConstraintOp, LpProblem, Sense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pricing_like_lp(vars: usize, rows: usize, seed: u64) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new(Sense::Maximize, vars);
+    for j in 0..vars {
+        lp.set_objective(j, rng.gen_range(0.5..2.0));
+    }
+    for _ in 0..rows {
+        let nnz = rng.gen_range(2..8);
+        let coeffs: Vec<(usize, f64)> =
+            (0..nnz).map(|_| (rng.gen_range(0..vars), 1.0)).collect();
+        lp.add_constraint(coeffs, ConstraintOp::Le, rng.gen_range(5.0..50.0));
+    }
+    // Per-variable caps keep the LP bounded even when a variable appears in
+    // no packing row (mirrors the valuation caps of the pricing LPs).
+    for j in 0..vars {
+        lp.add_constraint(vec![(j, 1.0)], ConstraintOp::Le, 100.0);
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(10);
+    for &(vars, rows) in &[(50usize, 40usize), (200, 150), (400, 300)] {
+        let lp = pricing_like_lp(vars, rows, 5);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{vars}v_{rows}c")),
+            &lp,
+            |b, lp| b.iter(|| lp.solve().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion counterpart of Table 4: per-algorithm running time on a small
+//! skewed-workload hypergraph (Uniform[1,100] valuations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_bench::{build_instance_with_support, AlgoConfig, WorkloadKind};
+use qp_pricing::algorithms::{
+    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
+};
+use qp_workloads::valuations::{assign_valuations, ValuationModel};
+use qp_workloads::Scale;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let inst = build_instance_with_support(WorkloadKind::Skewed, Scale::Test, 120);
+    let mut h = inst.hypergraph.clone();
+    assign_valuations(&mut h, &ValuationModel::SampledUniform { k: 100.0 }, 7);
+    let cfg = AlgoConfig::at_scale(Scale::Test);
+
+    let mut group = c.benchmark_group("table4_skewed_workload");
+    group.sample_size(10);
+    group.bench_function("UBP", |b| b.iter(|| uniform_bundle_price(&h)));
+    group.bench_function("UIP", |b| b.iter(|| uniform_item_price(&h)));
+    group.bench_function("Layering", |b| b.iter(|| layering(&h)));
+    group.bench_function("LPIP", |b| b.iter(|| lp_item_price(&h, &cfg.lpip)));
+    group.bench_function("CIP", |b| b.iter(|| capacity_item_price(&h, &cfg.cip)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

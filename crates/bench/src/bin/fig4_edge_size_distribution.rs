@@ -1,0 +1,26 @@
+//! Figure 4: the hyperedge-size distribution of each workload, printed as a
+//! bucketed histogram (size bucket → number of hyperedges).
+
+use qp_bench::{build_instance, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 4: Hyperedge size distribution (scale: {scale:?})");
+    for kind in WorkloadKind::all() {
+        let inst = build_instance(kind, scale);
+        let stats = inst.hypergraph.stats();
+        println!(
+            "\n-- {} workload: {} queries, support {} (avg edge size {:.2}) --",
+            kind.name(),
+            stats.num_edges,
+            inst.support.len(),
+            stats.avg_edge_size
+        );
+        println!("{:>12} {:>12}", "edge size >=", "#hyperedges");
+        for (bucket_start, count) in inst.hypergraph.edge_size_histogram(20) {
+            if count > 0 {
+                println!("{bucket_start:>12} {count:>12}");
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 5a: normalized revenue under *sampled* bundle valuations
+//! (Uniform[1,k] and Zipf(a)) on the skewed and uniform workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 5a: sampled bundle valuations, skewed + uniform workloads (scale: {scale:?})");
+    figures::sampled_valuations(&[WorkloadKind::Skewed, WorkloadKind::Uniform], scale);
+}

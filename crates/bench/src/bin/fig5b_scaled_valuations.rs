@@ -1,0 +1,11 @@
+//! Figure 5b: normalized revenue under *scaled* bundle valuations
+//! (Exponential(|e|^k), Normal(|e|^k, 10)) on the skewed and uniform
+//! workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 5b: scaled bundle valuations, skewed + uniform workloads (scale: {scale:?})");
+    figures::scaled_valuations(&[WorkloadKind::Skewed, WorkloadKind::Uniform], scale);
+}

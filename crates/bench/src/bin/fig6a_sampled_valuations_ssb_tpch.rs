@@ -1,0 +1,10 @@
+//! Figure 6a: normalized revenue under *sampled* bundle valuations
+//! (Uniform[1,k] and Zipf(a)) on the SSB and TPC-H workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 6a: sampled bundle valuations, SSB + TPC-H workloads (scale: {scale:?})");
+    figures::sampled_valuations(&[WorkloadKind::Ssb, WorkloadKind::Tpch], scale);
+}

@@ -1,0 +1,10 @@
+//! Figure 6b: normalized revenue under *scaled* bundle valuations
+//! (Exponential(|e|^k), Normal(|e|^k, 10)) on the SSB and TPC-H workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 6b: scaled bundle valuations, SSB + TPC-H workloads (scale: {scale:?})");
+    figures::scaled_valuations(&[WorkloadKind::Ssb, WorkloadKind::Tpch], scale);
+}

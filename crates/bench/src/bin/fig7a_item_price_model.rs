@@ -1,0 +1,11 @@
+//! Figure 7a: normalized revenue under the additive item-price valuation
+//! model (D̃ ∈ {Uniform[1,k], Binomial(k, ½)}) on the skewed and uniform
+//! workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 7a: additive item-price valuations, skewed + uniform workloads (scale: {scale:?})");
+    figures::item_price_model(&[WorkloadKind::Skewed, WorkloadKind::Uniform], scale);
+}

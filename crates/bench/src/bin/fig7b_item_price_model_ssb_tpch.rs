@@ -1,0 +1,11 @@
+//! Figure 7b: normalized revenue under the additive item-price valuation
+//! model (D̃ ∈ {Uniform[1,k], Binomial(k, ½)}) on the SSB and TPC-H
+//! workloads.
+
+use qp_bench::{figures, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 7b: additive item-price valuations, SSB + TPC-H workloads (scale: {scale:?})");
+    figures::item_price_model(&[WorkloadKind::Ssb, WorkloadKind::Tpch], scale);
+}

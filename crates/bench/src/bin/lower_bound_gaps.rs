@@ -1,0 +1,59 @@
+//! Figure 3 / Lemmas 1–4: the revenue gaps between pricing-function classes
+//! on the paper's worst-case constructions.
+//!
+//! * Lemma 2 (harmonic singletons): item pricing wins by Θ(log m) over any
+//!   uniform bundle price.
+//! * Lemma 3 (partition classes): uniform bundle pricing wins by Θ(log n)
+//!   over item pricing.
+//! * Lemma 4 (laminar family): both succinct classes lose Ω(log m) against
+//!   the optimal subadditive pricing.
+
+use qp_pricing::algorithms::{lp_item_price, uniform_bundle_price, uniform_item_price, LpipConfig};
+use qp_pricing::{bounds, instances};
+
+fn main() {
+    println!("Lower-bound constructions (Lemmas 2-4, Figure 3)\n");
+
+    // Lemma 2.
+    for m in [64usize, 256, 1024] {
+        let h = instances::harmonic_singletons(m);
+        let sum = bounds::sum_of_valuations(&h);
+        let ubp = uniform_bundle_price(&h);
+        let lpip = lp_item_price(&h, &LpipConfig::default());
+        println!(
+            "Lemma 2, m = {m:>5}: sum = {sum:.2}  item pricing = {:.2}  best uniform bundle = {:.2}  (gap {:.2}x)",
+            lpip.revenue,
+            ubp.revenue,
+            lpip.revenue / ubp.revenue.max(1e-9)
+        );
+    }
+    println!();
+
+    // Lemma 3.
+    for n in [32usize, 64, 128] {
+        let h = instances::partition_classes(n);
+        let sum = bounds::sum_of_valuations(&h);
+        let ubp = uniform_bundle_price(&h);
+        let uip = uniform_item_price(&h);
+        println!(
+            "Lemma 3, n = {n:>4}: sum = {sum:.0}  uniform bundle = {:.0}  uniform item pricing = {:.2}  (gap {:.2}x)",
+            ubp.revenue,
+            uip.revenue,
+            ubp.revenue / uip.revenue.max(1e-9)
+        );
+    }
+    println!();
+
+    // Lemma 4.
+    for t in [2u32, 3, 4] {
+        let h = instances::laminar_family(t);
+        let opt = instances::laminar_optimal_revenue(t);
+        let ubp = uniform_bundle_price(&h);
+        let uip = uniform_item_price(&h);
+        let lpip = lp_item_price(&h, &LpipConfig { max_lps: Some(8), max_lp_iterations: 200_000 });
+        println!(
+            "Lemma 4, t = {t}: OPT = {opt:.0}  uniform bundle = {:.1}  uniform item = {:.1}  LPIP = {:.1}",
+            ubp.revenue, uip.revenue, lpip.revenue
+        );
+    }
+}

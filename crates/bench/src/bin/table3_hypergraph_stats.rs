@@ -1,0 +1,27 @@
+//! Table 3: hypergraph characteristics of the four query workloads
+//! (number of queries m, maximum degree B, average edge size), plus the
+//! empty-edge and unique-item counts discussed in §6.2.
+
+use qp_bench::{build_instance, scale_from_args, WorkloadKind};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 3: Hypergraph Characteristics (scale: {scale:?})");
+    println!(
+        "{:<10} {:>12} {:>14} {:>16} {:>14} {:>20}",
+        "Workload", "# Queries(m)", "Max degree(B)", "Avg edge size", "Empty edges", "Edges w/ unique item"
+    );
+    for kind in WorkloadKind::all() {
+        let inst = build_instance(kind, scale);
+        let stats = inst.hypergraph.stats();
+        println!(
+            "{:<10} {:>12} {:>14} {:>16.2} {:>14} {:>20}",
+            kind.name(),
+            stats.num_edges,
+            stats.max_degree,
+            stats.avg_edge_size,
+            stats.empty_edges,
+            stats.edges_with_unique_item
+        );
+    }
+}

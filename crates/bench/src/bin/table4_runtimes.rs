@@ -1,0 +1,42 @@
+//! Table 4: wall-clock running time (seconds) of every pricing algorithm on
+//! the four workloads, with the hypergraph-construction (conflict-set) time
+//! reported separately — the paper folds it into the item-pricing columns.
+
+use qp_bench::{build_instance, run_with_model, scale_from_args, secs, AlgoConfig, WorkloadKind};
+use qp_workloads::valuations::ValuationModel;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 4: algorithm running times in seconds (scale: {scale:?})");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "Workload", "construction", "LPIP", "UBP", "UIP", "CIP", "Layering", "XOS-LPIP+CIP"
+    );
+    let cfg = AlgoConfig::at_scale(scale);
+    for kind in WorkloadKind::all() {
+        let inst = build_instance(kind, scale);
+        let (runs, _, _) = run_with_model(
+            &inst.hypergraph,
+            &ValuationModel::SampledUniform { k: 100.0 },
+            41,
+            &cfg,
+        );
+        let time_of = |name: &str| {
+            runs.iter()
+                .find(|r| r.name == name)
+                .map(|r| secs(r.time))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            kind.name(),
+            secs(inst.construction_time),
+            time_of("LPIP"),
+            time_of("UBP"),
+            time_of("UIP"),
+            time_of("CIP"),
+            time_of("layering"),
+            time_of("XOS-LPIP+CIP"),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 5: running times (seconds) on the skewed workload as a function of
+//! the support-set size, *including* hypergraph-construction time, as in the
+//! paper.
+
+use qp_bench::{
+    build_instance, hypergraph_for_support, run_with_model, scale_from_args, secs, AlgoConfig,
+    WorkloadKind,
+};
+use qp_workloads::valuations::ValuationModel;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 5: skewed workload running times vs support size, construction included (scale: {scale:?})");
+    let cfg = AlgoConfig::at_scale(scale);
+    let inst = build_instance(WorkloadKind::Skewed, scale);
+    let full = inst.support.len();
+    let sweep: Vec<usize> = [0.01, 0.05, 0.1, 0.5, 1.0]
+        .iter()
+        .map(|f| ((full as f64 * f) as usize).max(5))
+        .collect();
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "|S|", "construction", "LPIP", "UBP", "UIP", "CIP", "Layering"
+    );
+    for &s in &sweep {
+        let (h, construction) = hypergraph_for_support(&inst, s);
+        let (runs, _, _) = run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 43, &cfg);
+        let with_construction = |name: &str| {
+            runs.iter()
+                .find(|r| r.name == name)
+                .map(|r| secs(r.time + construction))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            s,
+            secs(construction),
+            with_construction("LPIP"),
+            // UBP does not need the conflict sets at all (paper §6.4).
+            runs.iter().find(|r| r.name == "UBP").map(|r| secs(r.time)).unwrap_or_default(),
+            with_construction("UIP"),
+            with_construction("CIP"),
+            with_construction("layering"),
+        );
+    }
+}

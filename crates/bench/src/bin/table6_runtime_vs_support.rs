@@ -1,0 +1,45 @@
+//! Table 6: running times (seconds) on the SSB workload as a function of the
+//! support-set size, *excluding* hypergraph-construction time, as in the
+//! paper.
+
+use qp_bench::{
+    build_instance, hypergraph_for_support, run_with_model, scale_from_args, secs, AlgoConfig,
+    WorkloadKind,
+};
+use qp_workloads::valuations::ValuationModel;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 6: SSB workload running times vs support size, construction excluded (scale: {scale:?})");
+    let cfg = AlgoConfig::at_scale(scale);
+    let inst = build_instance(WorkloadKind::Ssb, scale);
+    let full = inst.support.len();
+    let sweep: Vec<usize> = [0.01, 0.05, 0.1, 0.5, 1.0]
+        .iter()
+        .map(|f| ((full as f64 * f) as usize).max(5))
+        .collect();
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "|S|", "LPIP", "UBP", "UIP", "CIP", "Layering"
+    );
+    for &s in &sweep {
+        let (h, _construction) = hypergraph_for_support(&inst, s);
+        let (runs, _, _) = run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 47, &cfg);
+        let time_of = |name: &str| {
+            runs.iter()
+                .find(|r| r.name == name)
+                .map(|r| secs(r.time))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            s,
+            time_of("LPIP"),
+            time_of("UBP"),
+            time_of("UIP"),
+            time_of("CIP"),
+            time_of("layering"),
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! §6.3 UBP refinement: the LP post-processing step that lifts the best
+//! uniform bundle price into a non-uniform item pricing constrained to keep
+//! every UBP-sold bundle sold (the paper reports 0.78 → 0.99 on TPC-H with
+//! the additive model, k = 1).
+
+use qp_bench::{build_instance, scale_from_args, ubp_and_refinement, WorkloadKind};
+use qp_workloads::valuations::{assign_valuations, ValuationModel};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("UBP refinement (paper §6.3), additive model D~ = Uniform[1,1] (scale: {scale:?})");
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "Workload", "UBP (normalized)", "UBP-refined (normalized)"
+    );
+    for kind in WorkloadKind::all() {
+        let inst = build_instance(kind, scale);
+        let mut h = inst.hypergraph.clone();
+        assign_valuations(&mut h, &ValuationModel::AdditiveUniform { k: 1 }, 53);
+        let (ubp, refined, _sum) = ubp_and_refinement(&h);
+        println!("{:<10} {:>18.3} {:>22.3}", kind.name(), ubp, refined);
+    }
+}

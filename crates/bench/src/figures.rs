@@ -1,0 +1,118 @@
+//! Shared drivers for the revenue figures (Figures 5–7 of the paper).
+//!
+//! Each driver builds the requested workload instances once, then sweeps the
+//! valuation-model parameters, reusing the conflict-set hypergraph across
+//! parameter values (only the valuations change — exactly as in the paper's
+//! setup).
+
+use qp_workloads::valuations::ValuationModel;
+use qp_workloads::Scale;
+
+use crate::{build_instance, print_panel, run_with_model, AlgoConfig, WorkloadKind};
+
+/// Figure 5a / 6a: *sampled* bundle valuations — Uniform[1, k] for
+/// k ∈ {100, …, 500} and Zipf(a) for a ∈ {1.5, …, 2.5}.
+pub fn sampled_valuations(kinds: &[WorkloadKind], scale: Scale) {
+    let cfg = AlgoConfig::at_scale(scale);
+    for &kind in kinds {
+        let inst = build_instance(kind, scale);
+        println!(
+            "\n#### {} workload: {} queries, support {} ####",
+            kind.name(),
+            inst.workload.len(),
+            inst.support.len()
+        );
+        for k in [100.0, 200.0, 300.0, 400.0, 500.0] {
+            let model = ValuationModel::SampledUniform { k };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 11, &cfg);
+            print_panel(
+                &format!("{} queries, {} workload; uniform dist. k = {k}", inst.workload.len(), kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+        for a in [1.5, 1.75, 2.0, 2.25, 2.5] {
+            let model = ValuationModel::SampledZipf { a, max_rank: 10_000 };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 13, &cfg);
+            print_panel(
+                &format!("{} queries, {} workload; zipfian dist. a = {a}", inst.workload.len(), kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+    }
+}
+
+/// Figure 5b / 6b: *scaled* bundle valuations — Exponential(|e|^k) and
+/// Normal(|e|^k, 10) for k ∈ {2, 3/2, 1, 1/2, 1/4}.
+pub fn scaled_valuations(kinds: &[WorkloadKind], scale: Scale) {
+    let cfg = AlgoConfig::at_scale(scale);
+    let ks = [2.0, 1.5, 1.0, 0.5, 0.25];
+    for &kind in kinds {
+        let inst = build_instance(kind, scale);
+        println!(
+            "\n#### {} workload: {} queries, support {} ####",
+            kind.name(),
+            inst.workload.len(),
+            inst.support.len()
+        );
+        for &k in &ks {
+            let model = ValuationModel::ScaledExponential { k };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 17, &cfg);
+            print_panel(
+                &format!("{} workload; exponential dist. beta = |e|^{k}", kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+        for &k in &ks {
+            let model = ValuationModel::ScaledNormal { k, variance: 10.0 };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 19, &cfg);
+            print_panel(
+                &format!("{} workload; normal dist. mu = |e|^{k}, sigma^2 = 10", kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+    }
+}
+
+/// Figure 7a / 7b: the additive item-price model with
+/// D̃ ∈ {Uniform[1, k], Binomial(k, ½)} and k ∈ {1, 10, 10², 10³, 5·10³, 10⁴}.
+pub fn item_price_model(kinds: &[WorkloadKind], scale: Scale) {
+    let cfg = AlgoConfig::at_scale(scale);
+    let ks = [1usize, 10, 100, 1000, 5000, 10_000];
+    for &kind in kinds {
+        let inst = build_instance(kind, scale);
+        println!(
+            "\n#### {} workload: {} queries, support {} ####",
+            kind.name(),
+            inst.workload.len(),
+            inst.support.len()
+        );
+        for &k in &ks {
+            let model = ValuationModel::AdditiveUniform { k };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 23, &cfg);
+            print_panel(
+                &format!("{} workload; D~ = Uniform[1,{k}]", kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+        for &k in &ks {
+            let model = ValuationModel::AdditiveBinomial { k };
+            let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 29, &cfg);
+            print_panel(
+                &format!("{} workload; D~ = Binomial({k}, 0.5)", kind.name()),
+                &runs,
+                sum,
+                sub,
+            );
+        }
+    }
+}

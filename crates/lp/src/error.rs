@@ -1,0 +1,72 @@
+//! Error type for LP construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable index referenced in the objective or a constraint is out of
+    /// range for the declared number of variables.
+    VariableOutOfRange {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables declared for the problem.
+        num_vars: usize,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NonFiniteCoefficient,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The solver exceeded its pivot-iteration budget without converging.
+    IterationLimit {
+        /// The number of pivots performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { index, num_vars } => write!(
+                f,
+                "variable index {index} out of range for problem with {num_vars} variables"
+            ),
+            LpError::NonFiniteCoefficient => {
+                write!(f, "objective/constraint coefficients must be finite")
+            }
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex did not converge within {iterations} pivots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LpError::VariableOutOfRange { index: 7, num_vars: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::IterationLimit { iterations: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(LpError::NonFiniteCoefficient.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LpError>();
+    }
+}

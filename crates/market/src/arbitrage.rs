@@ -1,0 +1,148 @@
+//! Empirical arbitrage-freeness checks (paper §3.1, Theorem 1).
+//!
+//! Theorem 1 guarantees that pricing conflict sets with a monotone,
+//! subadditive set function is arbitrage-free. These helpers verify the two
+//! arbitrage conditions *empirically* on a concrete workload — they are used
+//! by the integration tests and by the examples to demonstrate that every
+//! pricing produced by the algorithms is safe to deploy.
+//!
+//! * **Information arbitrage**: if query `Q₂` determines `Q₁` (relative to
+//!   the support, `C_S(Q₁) ⊆ C_S(Q₂)`), then `p(Q₁) ≤ p(Q₂)`.
+//! * **Combination arbitrage**: for the concatenation `Q₁‖Q₂` (whose conflict
+//!   set is `C_S(Q₁) ∪ C_S(Q₂)`), `p(Q₁‖Q₂) ≤ p(Q₁) + p(Q₂)`.
+
+use qp_pricing::BundlePricing;
+
+/// A violation report from the arbitrage checkers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbitrageReport {
+    /// Pairs `(i, j)` of query indices violating information arbitrage:
+    /// `C(i) ⊆ C(j)` but `p(i) > p(j)`.
+    pub information_violations: Vec<(usize, usize)>,
+    /// Pairs `(i, j)` violating combination arbitrage:
+    /// `p(C(i) ∪ C(j)) > p(C(i)) + p(C(j))`.
+    pub combination_violations: Vec<(usize, usize)>,
+}
+
+impl ArbitrageReport {
+    /// True when no violations were found.
+    pub fn is_arbitrage_free(&self) -> bool {
+        self.information_violations.is_empty() && self.combination_violations.is_empty()
+    }
+}
+
+/// Checks information arbitrage over every ordered pair of conflict sets.
+pub fn check_information_arbitrage(
+    conflict_sets: &[Vec<usize>],
+    pricing: &dyn BundlePricing,
+) -> Vec<(usize, usize)> {
+    let mut violations = Vec::new();
+    for (i, ci) in conflict_sets.iter().enumerate() {
+        for (j, cj) in conflict_sets.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let subset = ci.iter().all(|x| cj.contains(x));
+            if subset && pricing.price(ci) > pricing.price(cj) + 1e-9 {
+                violations.push((i, j));
+            }
+        }
+    }
+    violations
+}
+
+/// Checks combination arbitrage over every unordered pair of conflict sets.
+pub fn check_combination_arbitrage(
+    conflict_sets: &[Vec<usize>],
+    pricing: &dyn BundlePricing,
+) -> Vec<(usize, usize)> {
+    let mut violations = Vec::new();
+    for i in 0..conflict_sets.len() {
+        for j in i..conflict_sets.len() {
+            let mut union = conflict_sets[i].clone();
+            union.extend_from_slice(&conflict_sets[j]);
+            union.sort_unstable();
+            union.dedup();
+            let combined = pricing.price(&union);
+            let separate =
+                pricing.price(&conflict_sets[i]) + pricing.price(&conflict_sets[j]);
+            if combined > separate + 1e-9 {
+                violations.push((i, j));
+            }
+        }
+    }
+    violations
+}
+
+/// Runs both checks and aggregates the results.
+pub fn check_all(
+    conflict_sets: &[Vec<usize>],
+    pricing: &dyn BundlePricing,
+) -> ArbitrageReport {
+    ArbitrageReport {
+        information_violations: check_information_arbitrage(conflict_sets, pricing),
+        combination_violations: check_combination_arbitrage(conflict_sets, pricing),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_pricing::Pricing;
+
+    struct BadPricing;
+    impl BundlePricing for BadPricing {
+        fn price(&self, items: &[usize]) -> f64 {
+            // Deliberately non-monotone: smaller bundles cost more.
+            if items.is_empty() {
+                100.0
+            } else {
+                10.0 / items.len() as f64
+            }
+        }
+    }
+
+    fn sets() -> Vec<Vec<usize>> {
+        vec![vec![0], vec![0, 1], vec![2], vec![0, 1, 2]]
+    }
+
+    #[test]
+    fn item_pricing_passes_both_checks() {
+        let p = Pricing::Item { weights: vec![1.0, 2.0, 4.0] };
+        let report = check_all(&sets(), &p);
+        assert!(report.is_arbitrage_free(), "{report:?}");
+    }
+
+    #[test]
+    fn uniform_bundle_pricing_passes_both_checks() {
+        let p = Pricing::UniformBundle { price: 3.0 };
+        let report = check_all(&sets(), &p);
+        assert!(report.is_arbitrage_free());
+    }
+
+    #[test]
+    fn xos_pricing_passes_both_checks() {
+        let p = Pricing::Xos { components: vec![vec![1.0, 0.0, 2.0], vec![0.5, 1.5, 0.0]] };
+        let report = check_all(&sets(), &p);
+        assert!(report.is_arbitrage_free());
+    }
+
+    #[test]
+    fn non_monotone_pricing_is_caught() {
+        let report = check_all(&sets(), &BadPricing);
+        assert!(!report.information_violations.is_empty());
+        assert!(!report.is_arbitrage_free());
+    }
+
+    #[test]
+    fn superadditive_pricing_is_caught() {
+        struct Superadditive;
+        impl BundlePricing for Superadditive {
+            fn price(&self, items: &[usize]) -> f64 {
+                (items.len() * items.len()) as f64
+            }
+        }
+        let violations = check_combination_arbitrage(&sets(), &Superadditive);
+        assert!(!violations.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The broker: an end-to-end query-pricing API.
+//!
+//! A [`Broker`] owns the seller's database, a sampled support set, and a
+//! pricing function, and exposes the operations a data marketplace needs:
+//! quote a price for an incoming query, execute a purchase (returning the
+//! answer when the buyer can afford it), and track realized revenue. The
+//! pricing function is typically produced by one of the algorithms in
+//! `qp-pricing` from a hypergraph of anticipated buyer queries.
+
+use parking_lot::Mutex;
+
+use qp_pricing::{BundlePricing, Pricing};
+use qp_qdb::{Database, QdbError, Query, Relation};
+
+use crate::conflict::{ConflictEngine, DeltaConflictEngine};
+use crate::support::{SupportConfig, SupportSet};
+
+/// A priced query quote.
+#[derive(Debug, Clone)]
+pub struct QuotedQuery {
+    /// The conflict set of the query (the bundle being priced).
+    pub conflict_set: Vec<usize>,
+    /// The quoted price.
+    pub price: f64,
+}
+
+/// The result of a purchase attempt.
+#[derive(Debug, Clone)]
+pub enum PurchaseOutcome {
+    /// The buyer's budget covered the price; the answer is released.
+    Sold {
+        /// The price charged.
+        price: f64,
+        /// The query answer.
+        answer: Relation,
+    },
+    /// The quoted price exceeded the buyer's budget; nothing is released.
+    Declined {
+        /// The price that was quoted.
+        price: f64,
+    },
+}
+
+/// A data-market broker for a single dataset.
+pub struct Broker {
+    db: Database,
+    support: SupportSet,
+    pricing: Pricing,
+    /// Total revenue realized through [`Broker::purchase`].
+    realized: Mutex<f64>,
+}
+
+impl Broker {
+    /// Creates a broker over `db`, sampling a fresh support set.
+    pub fn new(db: Database, support_config: &SupportConfig) -> Broker {
+        let support = SupportSet::generate(&db, support_config);
+        let n = support.len();
+        Broker {
+            db,
+            support,
+            pricing: Pricing::zero_items(n),
+            realized: Mutex::new(0.0),
+        }
+    }
+
+    /// Creates a broker with a pre-generated support set.
+    pub fn with_support(db: Database, support: SupportSet) -> Broker {
+        let n = support.len();
+        Broker { db, support, pricing: Pricing::zero_items(n), realized: Mutex::new(0.0) }
+    }
+
+    /// The seller's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The support set backing the prices.
+    pub fn support(&self) -> &SupportSet {
+        &self.support
+    }
+
+    /// Installs the pricing function to quote against (usually the output of
+    /// a `qp-pricing` algorithm).
+    pub fn set_pricing(&mut self, pricing: Pricing) {
+        self.pricing = pricing;
+    }
+
+    /// The currently installed pricing function.
+    pub fn pricing(&self) -> &Pricing {
+        &self.pricing
+    }
+
+    /// Computes the conflict set of `query` against the support.
+    pub fn conflict_set(&self, query: &Query) -> Vec<usize> {
+        DeltaConflictEngine::new(&self.db, &self.support).conflict_set(query)
+    }
+
+    /// Quotes a price for `query` without selling it.
+    pub fn quote(&self, query: &Query) -> QuotedQuery {
+        let conflict_set = self.conflict_set(query);
+        let price = self.pricing.price(&conflict_set);
+        QuotedQuery { conflict_set, price }
+    }
+
+    /// Attempts to sell `query` to a buyer with the given `budget`.
+    ///
+    /// On success the query is evaluated on the real database and the answer
+    /// returned; the price is added to the broker's realized revenue.
+    pub fn purchase(&self, query: &Query, budget: f64) -> Result<PurchaseOutcome, QdbError> {
+        let quote = self.quote(query);
+        if quote.price <= budget + 1e-9 {
+            let answer = query.evaluate(&self.db)?;
+            *self.realized.lock() += quote.price;
+            Ok(PurchaseOutcome::Sold { price: quote.price, answer })
+        } else {
+            Ok(PurchaseOutcome::Declined { price: quote.price })
+        }
+    }
+
+    /// Total revenue realized so far through [`Broker::purchase`].
+    pub fn realized_revenue(&self) -> f64 {
+        *self.realized.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_pricing::{algorithms, Hypergraph};
+    use qp_qdb::{AggFunc, ColumnType, Expr, Relation, Schema, Value};
+
+    fn db() -> Database {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("gender", ColumnType::Str),
+            ("age", ColumnType::Int),
+        ]));
+        let names = ["Abe", "Alice", "Bob", "Cathy", "Dan", "Eve"];
+        for (i, n) in names.iter().enumerate() {
+            rel.push(vec![
+                (*n).into(),
+                if i % 2 == 0 { "m".into() } else { "f".into() },
+                Value::Int(18 + i as i64 * 3),
+            ])
+            .unwrap();
+        }
+        let mut d = Database::new();
+        d.add_table("User", rel);
+        d
+    }
+
+    fn buyer_queries() -> Vec<Query> {
+        vec![
+            Query::scan("User")
+                .filter(Expr::col("gender").eq(Expr::lit("f")))
+                .aggregate(vec![], vec![(AggFunc::Count, None, "c")]),
+            Query::scan("User").project_cols(&["name"]),
+            Query::scan("User").aggregate(vec![], vec![(AggFunc::Avg, Some("age"), "a")]),
+        ]
+    }
+
+    fn priced_broker() -> Broker {
+        let mut broker = Broker::new(db(), &SupportConfig::with_size(80));
+        // Build a hypergraph from the anticipated queries, give them
+        // valuations, run LPIP, and install the result.
+        let queries = buyer_queries();
+        let mut h = Hypergraph::new(broker.support().len());
+        for q in &queries {
+            h.add_edge(broker.conflict_set(q), 10.0);
+        }
+        let out = algorithms::lp_item_price(&h, &Default::default());
+        broker.set_pricing(out.pricing);
+        broker
+    }
+
+    #[test]
+    fn quote_is_consistent_with_installed_pricing() {
+        let broker = priced_broker();
+        for q in buyer_queries() {
+            let quote = broker.quote(&q);
+            assert!(quote.price >= 0.0);
+            assert_eq!(
+                quote.price,
+                broker.pricing().price(&quote.conflict_set)
+            );
+        }
+    }
+
+    #[test]
+    fn purchase_respects_budget_and_accumulates_revenue() {
+        let broker = priced_broker();
+        let q = &buyer_queries()[0];
+        let quote = broker.quote(q);
+
+        match broker.purchase(q, quote.price + 1.0).unwrap() {
+            PurchaseOutcome::Sold { price, answer } => {
+                assert!((price - quote.price).abs() < 1e-9);
+                assert_eq!(answer.rows()[0][0], Value::Int(3));
+            }
+            PurchaseOutcome::Declined { .. } => panic!("budget covers the quote"),
+        }
+        assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+
+        // A zero budget cannot buy a positively priced query.
+        if quote.price > 0.0 {
+            match broker.purchase(q, 0.0).unwrap() {
+                PurchaseOutcome::Declined { price } => assert!(price > 0.0),
+                PurchaseOutcome::Sold { .. } => panic!("should have been declined"),
+            }
+            assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_informative_queries_never_cost_less() {
+        // Information arbitrage at the broker level: the full scan determines
+        // every other query, so it must be at least as expensive.
+        let broker = priced_broker();
+        let full = broker.quote(&Query::scan("User"));
+        for q in buyer_queries() {
+            let quote = broker.quote(&q);
+            assert!(quote.price <= full.price + 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_pricing_is_free() {
+        let broker = Broker::new(db(), &SupportConfig::with_size(30));
+        let quote = broker.quote(&Query::scan("User"));
+        assert_eq!(quote.price, 0.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! Conflict-set computation.
+//!
+//! For a buyer query `Q`, the conflict set `C_S(Q, D) = {D' ∈ S | Q(D) ≠ Q(D')}`
+//! is the bundle of support databases the buyer can rule out after seeing the
+//! answer. Conflict sets are the hyperedges handed to the pricing algorithms.
+//!
+//! Two engines are provided:
+//!
+//! * [`NaiveConflictEngine`] re-evaluates the query on every support database
+//!   (lazily overlaid, never copied). Always correct; cost `O(|S| · eval)`.
+//! * [`DeltaConflictEngine`] exploits the fact that every support database
+//!   differs from `D` in a *single tuple*. For the single-table query shapes
+//!   that dominate the paper's workloads (selection/projection chains, with
+//!   or without `DISTINCT`, and grouping/aggregation on top of such chains)
+//!   it decides membership by evaluating the chain on just the old and new
+//!   versions of the perturbed tuple, falling back to the naive engine for
+//!   joins, `LIMIT`, and other shapes. The two engines are proven equivalent
+//!   by the property tests in `tests/proptest_conflict.rs`.
+
+use std::collections::HashMap;
+
+use qp_pricing::Hypergraph;
+use qp_qdb::{Database, DeltaInstance, Query, Relation, Schema, Tuple, Value};
+
+use crate::support::SupportSet;
+
+/// A conflict-set engine bound to a database and a support set.
+pub trait ConflictEngine {
+    /// The indices (into the support set) of the databases in conflict with
+    /// `query`'s answer on the base database.
+    fn conflict_set(&self, query: &Query) -> Vec<usize>;
+
+    /// Number of support databases.
+    fn support_size(&self) -> usize;
+}
+
+/// Builds the pricing hypergraph for a batch of buyer queries: one hyperedge
+/// per query, with a placeholder valuation of 0 (valuations are assigned by
+/// the caller, typically from one of the paper's generative models).
+pub fn build_hypergraph<E: ConflictEngine + ?Sized>(engine: &E, queries: &[Query]) -> Hypergraph {
+    let mut h = Hypergraph::new(engine.support_size());
+    for q in queries {
+        let edge = engine.conflict_set(q);
+        h.add_edge(edge, 0.0);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Naive engine
+// ---------------------------------------------------------------------------
+
+/// The baseline engine: evaluate `Q` on every (lazily overlaid) support
+/// database and compare answers under bag semantics.
+pub struct NaiveConflictEngine<'a> {
+    db: &'a Database,
+    support: &'a SupportSet,
+}
+
+impl<'a> NaiveConflictEngine<'a> {
+    /// Creates an engine over `db` and `support`.
+    pub fn new(db: &'a Database, support: &'a SupportSet) -> Self {
+        NaiveConflictEngine { db, support }
+    }
+}
+
+impl ConflictEngine for NaiveConflictEngine<'_> {
+    fn conflict_set(&self, query: &Query) -> Vec<usize> {
+        let base = match query.evaluate(self.db) {
+            Ok(r) => r,
+            Err(_) => return Vec::new(),
+        };
+        let tables = query.tables_referenced();
+        let mut conflict = Vec::new();
+        for (i, delta) in self.support.deltas().iter().enumerate() {
+            if !tables.iter().any(|t| *t == delta.table) {
+                continue; // the perturbation cannot influence the answer
+            }
+            let overlay = DeltaInstance::new(self.db, delta);
+            match query.evaluate(&overlay) {
+                Ok(ans) if ans.same_answer(&base) => {}
+                _ => conflict.push(i),
+            }
+        }
+        conflict
+    }
+
+    fn support_size(&self) -> usize {
+        self.support.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware engine
+// ---------------------------------------------------------------------------
+
+/// Structural classification of a query for the incremental fast paths.
+enum Shape {
+    /// `[Filter|Project]*` over a single `Scan`, no aggregate/distinct/limit:
+    /// membership depends only on the per-row contribution of the perturbed
+    /// tuple.
+    Chain { table: String },
+    /// `Distinct` on top of such a chain: additionally needs the multiplicity
+    /// of each output row over the base database.
+    DistinctChain { table: String, inner: Query },
+    /// `Aggregate` (group-by + aggregates) on top of such a chain.
+    AggregateChain {
+        table: String,
+        /// The chain below the aggregate (produces the aggregation input).
+        input: Query,
+        /// Names of the grouping columns in the chain output.
+        group_by: Vec<String>,
+    },
+    /// Anything else (joins, LIMIT, nested aggregates, …).
+    Other,
+}
+
+fn classify(q: &Query) -> Shape {
+    fn chain_table(q: &Query) -> Option<String> {
+        match q {
+            Query::Scan { table } => Some(table.clone()),
+            Query::Filter { input, .. } | Query::Project { input, .. } => chain_table(input),
+            _ => None,
+        }
+    }
+    match q {
+        Query::Distinct { input } => match chain_table(input) {
+            Some(table) => Shape::DistinctChain { table, inner: (**input).clone() },
+            None => Shape::Other,
+        },
+        Query::Aggregate { input, group_by, .. } => match chain_table(input) {
+            Some(table) => Shape::AggregateChain {
+                table,
+                input: (**input).clone(),
+                group_by: group_by.clone(),
+            },
+            None => Shape::Other,
+        },
+        other => match chain_table(other) {
+            Some(table) => Shape::Chain { table },
+            None => Shape::Other,
+        },
+    }
+}
+
+/// The delta-aware engine.
+pub struct DeltaConflictEngine<'a> {
+    db: &'a Database,
+    support: &'a SupportSet,
+    naive: NaiveConflictEngine<'a>,
+}
+
+impl<'a> DeltaConflictEngine<'a> {
+    /// Creates an engine over `db` and `support`.
+    pub fn new(db: &'a Database, support: &'a SupportSet) -> Self {
+        DeltaConflictEngine {
+            db,
+            support,
+            naive: NaiveConflictEngine::new(db, support),
+        }
+    }
+
+    /// Builds a one-row database holding `row` as the only tuple of `table`
+    /// (all other tables are dropped — valid because the chain reads only
+    /// `table`).
+    fn single_row_db(&self, table: &str, schema: &Schema, row: Tuple) -> Database {
+        let mut rel = Relation::new(schema.clone());
+        rel.push(row).expect("schema arity mismatch in single_row_db");
+        let mut db = Database::new();
+        db.add_table(table, rel);
+        db
+    }
+
+    /// The contribution of a single base-table row to a chain's output.
+    fn contribution(&self, chain: &Query, table: &str, schema: &Schema, row: Tuple) -> Relation {
+        let tiny = self.single_row_db(table, schema, row);
+        chain
+            .evaluate(&tiny)
+            .expect("chain evaluation on a single-row database cannot fail")
+    }
+}
+
+impl ConflictEngine for DeltaConflictEngine<'_> {
+    fn conflict_set(&self, query: &Query) -> Vec<usize> {
+        match classify(query) {
+            Shape::Chain { table } => self.chain_conflicts(query, &table),
+            Shape::DistinctChain { table, inner } => {
+                self.distinct_conflicts(query, &inner, &table)
+            }
+            Shape::AggregateChain { table, input, group_by } => {
+                self.aggregate_conflicts(query, &input, &group_by, &table)
+            }
+            Shape::Other => self.naive.conflict_set(query),
+        }
+    }
+
+    fn support_size(&self) -> usize {
+        self.support.len()
+    }
+}
+
+impl DeltaConflictEngine<'_> {
+    /// Fast path for plain filter/project chains: the answer changes iff the
+    /// perturbed tuple's contribution changes.
+    fn chain_conflicts(&self, chain: &Query, table: &str) -> Vec<usize> {
+        let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
+            return Vec::new();
+        };
+        let mut conflict = Vec::new();
+        for (i, delta) in self.support.deltas().iter().enumerate() {
+            if delta.table != table {
+                continue;
+            }
+            let (Ok(old), Ok(new)) = (delta.old_tuple(self.db), delta.new_tuple(self.db)) else {
+                continue;
+            };
+            let c_old = self.contribution(chain, table, &schema, old.clone());
+            let c_new = self.contribution(chain, table, &schema, new);
+            if !c_old.same_answer(&c_new) {
+                conflict.push(i);
+            }
+        }
+        conflict
+    }
+
+    /// Fast path for `DISTINCT` over a chain: the distinct set changes iff
+    /// removing the old contribution or adding the new one changes membership.
+    fn distinct_conflicts(&self, _query: &Query, inner: &Query, table: &str) -> Vec<usize> {
+        let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
+            return Vec::new();
+        };
+        // Multiplicity of every output row of the chain over the base data.
+        let Ok(full) = inner.evaluate(self.db) else {
+            return Vec::new();
+        };
+        let mut counts: HashMap<Tuple, usize> = HashMap::with_capacity(full.len());
+        for r in full.rows() {
+            *counts.entry(r.clone()).or_insert(0) += 1;
+        }
+
+        let mut conflict = Vec::new();
+        for (i, delta) in self.support.deltas().iter().enumerate() {
+            if delta.table != table {
+                continue;
+            }
+            let (Ok(old), Ok(new)) = (delta.old_tuple(self.db), delta.new_tuple(self.db)) else {
+                continue;
+            };
+            let c_old = self.contribution(inner, table, &schema, old.clone());
+            let c_new = self.contribution(inner, table, &schema, new);
+            if c_old.same_answer(&c_new) {
+                continue;
+            }
+            let removed_changes = c_old
+                .rows()
+                .iter()
+                .any(|r| counts.get(r).copied().unwrap_or(0) == 1 && !c_new.rows().contains(r));
+            let added_changes = c_new
+                .rows()
+                .iter()
+                .any(|r| counts.get(r).copied().unwrap_or(0) == 0);
+            if removed_changes || added_changes {
+                conflict.push(i);
+            }
+        }
+        conflict
+    }
+
+    /// Fast path for aggregation over a chain: only the groups touched by the
+    /// perturbed tuple can change; recompute exactly those groups.
+    fn aggregate_conflicts(
+        &self,
+        query: &Query,
+        input: &Query,
+        group_by: &[String],
+        table: &str,
+    ) -> Vec<usize> {
+        let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
+            return Vec::new();
+        };
+        let Ok(agg_input) = input.evaluate(self.db) else {
+            return Vec::new();
+        };
+        let Ok(base_output) = query.evaluate(self.db) else {
+            return Vec::new();
+        };
+        let input_schema = agg_input.schema().clone();
+        let key_idx: Vec<usize> = match group_by
+            .iter()
+            .map(|c| input_schema.index_of(c))
+            .collect::<Result<Vec<_>, _>>()
+        {
+            Ok(v) => v,
+            Err(_) => return self.naive.conflict_set(query),
+        };
+        let group_key = |row: &Tuple| -> Vec<Value> {
+            key_idx.iter().map(|&i| row[i].clone()).collect()
+        };
+
+        // Aggregation-input rows grouped by key.
+        let mut groups: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        for r in agg_input.rows() {
+            groups.entry(group_key(r)).or_default().push(r.clone());
+        }
+        // Base output rows indexed by key (key columns are the first
+        // `group_by.len()` output columns, see the evaluator).
+        let k = group_by.len();
+        let mut base_by_key: HashMap<Vec<Value>, Tuple> = HashMap::new();
+        for r in base_output.rows() {
+            base_by_key.insert(r[..k].to_vec(), r.clone());
+        }
+
+        // Rebuilds the aggregate output restricted to the rows of `rows`, by
+        // evaluating the same Aggregate node over a temporary table that holds
+        // exactly those aggregation-input rows.
+        let recompute = |rows: Vec<Tuple>| -> Relation {
+            let mut rel = Relation::new(input_schema.clone());
+            for r in rows {
+                rel.push(r).expect("aggregation input arity mismatch");
+            }
+            let mut tmp = Database::new();
+            tmp.add_table("__agg_input", rel);
+            let Query::Aggregate { group_by, aggs, .. } = query else {
+                unreachable!("aggregate_conflicts is only called on Aggregate plans")
+            };
+            Query::Aggregate {
+                input: Box::new(Query::scan("__agg_input")),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            }
+            .evaluate(&tmp)
+            .expect("recomputing an aggregate over a temporary table cannot fail")
+        };
+
+        let mut conflict = Vec::new();
+        for (i, delta) in self.support.deltas().iter().enumerate() {
+            if delta.table != table {
+                continue;
+            }
+            let (Ok(old), Ok(new)) = (delta.old_tuple(self.db), delta.new_tuple(self.db)) else {
+                continue;
+            };
+            let c_old = self.contribution(input, table, &schema, old.clone());
+            let c_new = self.contribution(input, table, &schema, new);
+            if c_old.same_answer(&c_new) {
+                continue;
+            }
+
+            // Affected group keys. A global aggregate (no group-by) has the
+            // single key [].
+            let mut keys: Vec<Vec<Value>> = Vec::new();
+            if group_by.is_empty() {
+                keys.push(Vec::new());
+            } else {
+                for r in c_old.rows().iter().chain(c_new.rows()) {
+                    let key = group_key(r);
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+            }
+
+            let mut changed = false;
+            for key in &keys {
+                // The group's rows with the old contribution swapped for the new.
+                let mut rows: Vec<Tuple> = groups.get(key).cloned().unwrap_or_default();
+                for o in c_old.rows() {
+                    if group_by.is_empty() || &group_key(o) == key {
+                        if let Some(pos) = rows.iter().position(|r| r == o) {
+                            rows.remove(pos);
+                        }
+                    }
+                }
+                for nrow in c_new.rows() {
+                    if group_by.is_empty() || &group_key(nrow) == key {
+                        rows.push(nrow.clone());
+                    }
+                }
+                let recomputed = recompute(rows);
+                let base_row = base_by_key.get(key);
+                match (recomputed.rows().first(), base_row) {
+                    (Some(a), Some(b)) => {
+                        if a != b {
+                            changed = true;
+                        }
+                    }
+                    (None, None) => {}
+                    // A group appeared or disappeared.
+                    _ => changed = true,
+                }
+                if changed {
+                    break;
+                }
+            }
+            if changed {
+                conflict.push(i);
+            }
+        }
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::SupportConfig;
+    use qp_qdb::{AggFunc, ColumnType, Expr};
+
+    fn world_like_db() -> Database {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("continent", ColumnType::Str),
+            ("population", ColumnType::Int),
+        ]));
+        let continents = ["Asia", "Europe", "Africa"];
+        for i in 0..60 {
+            rel.push(vec![
+                format!("country{i}").into(),
+                continents[i % 3].into(),
+                Value::Int(1000 + (i as i64) * 37),
+            ])
+            .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("Country", rel);
+        db
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            // Selection + projection chain.
+            Query::scan("Country")
+                .filter(Expr::col("continent").eq(Expr::lit("Asia")))
+                .project_cols(&["name"]),
+            // Distinct chain.
+            Query::scan("Country").project_cols(&["continent"]).distinct(),
+            // Global aggregate.
+            Query::scan("Country")
+                .filter(Expr::col("population").gt(Expr::lit(1500)))
+                .aggregate(vec![], vec![(AggFunc::Count, None, "c")]),
+            // Group-by aggregate.
+            Query::scan("Country").aggregate(
+                vec!["continent"],
+                vec![(AggFunc::Max, Some("population"), "mx")],
+            ),
+            // Full scan.
+            Query::scan("Country"),
+        ]
+    }
+
+    #[test]
+    fn delta_engine_matches_naive_engine() {
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(120));
+        let naive = NaiveConflictEngine::new(&db, &support);
+        let fast = DeltaConflictEngine::new(&db, &support);
+        for q in queries() {
+            let a = naive.conflict_set(&q);
+            let b = fast.conflict_set(&q);
+            assert_eq!(a, b, "engines disagree on {:?}", qp_qdb::pretty::render_plan(&q));
+        }
+    }
+
+    #[test]
+    fn join_queries_fall_back_to_naive() {
+        let mut db = world_like_db();
+        let mut city = Relation::new(Schema::new(vec![
+            ("cname", ColumnType::Str),
+            ("country", ColumnType::Str),
+        ]));
+        for i in 0..30 {
+            city.push(vec![format!("city{i}").into(), format!("country{}", i * 2).into()])
+                .unwrap();
+        }
+        db.add_table("City", city);
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(80));
+        let q = Query::scan("Country")
+            .join(Query::scan("City"), vec![("name", "country")])
+            .aggregate(vec![], vec![(AggFunc::Count, None, "c")]);
+        let naive = NaiveConflictEngine::new(&db, &support);
+        let fast = DeltaConflictEngine::new(&db, &support);
+        assert_eq!(naive.conflict_set(&q), fast.conflict_set(&q));
+    }
+
+    #[test]
+    fn deltas_on_unrelated_tables_never_conflict() {
+        let mut db = world_like_db();
+        let mut other = Relation::new(Schema::new(vec![("x", ColumnType::Int)]));
+        for i in 0..20 {
+            other.push(vec![Value::Int(i)]).unwrap();
+        }
+        db.add_table("Other", other);
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(100));
+        let q = Query::scan("Other").aggregate(vec![], vec![(AggFunc::Sum, Some("x"), "s")]);
+        let naive = NaiveConflictEngine::new(&db, &support);
+        for &i in &naive.conflict_set(&q) {
+            assert_eq!(support.deltas()[i].table, "Other");
+        }
+    }
+
+    #[test]
+    fn build_hypergraph_has_one_edge_per_query() {
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(60));
+        let engine = DeltaConflictEngine::new(&db, &support);
+        let qs = queries();
+        let h = build_hypergraph(&engine, &qs);
+        assert_eq!(h.num_edges(), qs.len());
+        assert_eq!(h.num_items(), 60);
+        // The full-table scan conflicts with every delta on Country.
+        let full_scan_edge = h.edge(4);
+        let country_deltas = support
+            .deltas()
+            .iter()
+            .filter(|d| d.table == "Country")
+            .count();
+        assert_eq!(full_scan_edge.size(), country_deltas);
+    }
+
+    #[test]
+    fn selective_queries_have_smaller_conflict_sets() {
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(150));
+        let engine = DeltaConflictEngine::new(&db, &support);
+        let narrow = Query::scan("Country")
+            .filter(Expr::col("name").eq(Expr::lit("country3")))
+            .project_cols(&["population"]);
+        let broad = Query::scan("Country");
+        let narrow_set = engine.conflict_set(&narrow);
+        let broad_set = engine.conflict_set(&broad);
+        assert!(narrow_set.len() < broad_set.len());
+        // Everything that conflicts with the narrow query also conflicts with
+        // the full scan (information monotonicity at the conflict-set level).
+        for i in narrow_set {
+            assert!(broad_set.contains(&i));
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Support-set generation.
+//!
+//! Qirana samples the support `S` from the "neighbourhood" of the seller's
+//! database `D`: each support database differs from `D` in a few cells of a
+//! single tuple. This keeps storage proportional to `|S|` (only the
+//! differences are stored) and makes conflict-set computation tractable.
+//!
+//! The generator below reproduces that strategy: it repeatedly picks a random
+//! table, a random row, and a random non-key column, and replaces the cell
+//! with a different value drawn from the column's *active domain* (for
+//! strings) or a perturbed value (for numbers). Every support database is
+//! represented by a [`Delta`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qp_qdb::{ColumnType, Database, Delta, Value};
+
+/// Configuration of the support-set sampler.
+#[derive(Debug, Clone)]
+pub struct SupportConfig {
+    /// Number of support databases `n = |S|` to generate.
+    pub size: usize,
+    /// RNG seed (support sets are fully deterministic given the seed).
+    pub seed: u64,
+    /// Column indices to never perturb, per table (typically primary keys —
+    /// perturbing a key would change the instance's identity rather than its
+    /// content). Pairs of `(table name, column index)`.
+    pub frozen_columns: Vec<(String, usize)>,
+    /// Relative magnitude of numeric perturbations (a value `v` is replaced
+    /// by a draw from `v ± max(1, |v| · jitter)`).
+    pub numeric_jitter: f64,
+}
+
+impl Default for SupportConfig {
+    fn default() -> Self {
+        SupportConfig {
+            size: 1000,
+            seed: 0x5eed,
+            frozen_columns: Vec::new(),
+            numeric_jitter: 0.5,
+        }
+    }
+}
+
+impl SupportConfig {
+    /// Convenience constructor for a support of `size` databases.
+    pub fn with_size(size: usize) -> Self {
+        SupportConfig { size, ..Default::default() }
+    }
+
+    /// Marks `(table, column)` as frozen (never perturbed).
+    pub fn freeze(mut self, table: impl Into<String>, column: usize) -> Self {
+        self.frozen_columns.push((table.into(), column));
+        self
+    }
+}
+
+/// A generated support set: the deltas defining each neighbouring database.
+#[derive(Debug, Clone)]
+pub struct SupportSet {
+    deltas: Vec<Delta>,
+}
+
+impl SupportSet {
+    /// Samples a support set for `db` according to `config`.
+    ///
+    /// Returns an empty support if the database has no rows.
+    pub fn generate(db: &Database, config: &SupportConfig) -> SupportSet {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tables: Vec<&str> = db.table_names().collect();
+        let weights: Vec<usize> = tables
+            .iter()
+            .map(|t| db.table(t).map(|r| r.len()).unwrap_or(0))
+            .collect();
+        let total_rows: usize = weights.iter().sum();
+        let mut deltas = Vec::with_capacity(config.size);
+        if total_rows == 0 {
+            return SupportSet { deltas };
+        }
+
+        // Pre-compute the active domain of every string column so replacement
+        // values are realistic (an existing value of the same column).
+        let mut domains: Vec<Vec<Vec<Value>>> = Vec::with_capacity(tables.len());
+        for t in &tables {
+            let rel = db.table(t).expect("table listed but missing");
+            let mut cols = vec![Vec::new(); rel.schema().arity()];
+            for (c, col_domain) in cols.iter_mut().enumerate() {
+                if rel.schema().column_type(c) == ColumnType::Str {
+                    let mut vals: Vec<Value> =
+                        rel.rows().iter().map(|r| r[c].clone()).collect();
+                    vals.sort();
+                    vals.dedup();
+                    *col_domain = vals;
+                }
+            }
+            domains.push(cols);
+        }
+
+        let mut attempts = 0usize;
+        while deltas.len() < config.size && attempts < config.size * 20 {
+            attempts += 1;
+            // Pick a table proportionally to its cardinality, then a row and
+            // a column uniformly.
+            let mut pick = rng.gen_range(0..total_rows);
+            let mut ti = 0usize;
+            for (i, &w) in weights.iter().enumerate() {
+                if pick < w {
+                    ti = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let table = tables[ti];
+            let rel = db.table(table).expect("table listed but missing");
+            if rel.is_empty() {
+                continue;
+            }
+            let row = rng.gen_range(0..rel.len());
+            let arity = rel.schema().arity();
+            let column = rng.gen_range(0..arity);
+            if config
+                .frozen_columns
+                .iter()
+                .any(|(t, c)| t == table && *c == column)
+            {
+                continue;
+            }
+
+            let old = &rel.rows()[row][column];
+            let new = perturb(old, &domains[ti][column], config.numeric_jitter, &mut rng);
+            if new == *old {
+                continue;
+            }
+            deltas.push(Delta::cell(table, row, column, new));
+        }
+        SupportSet { deltas }
+    }
+
+    /// The deltas, one per support database, indexed by item id.
+    pub fn deltas(&self) -> &[Delta] {
+        &self.deltas
+    }
+
+    /// Number of support databases `n = |S|`.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True if the support is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Restricts the support to its first `k` databases (used for the
+    /// support-size sweeps of Figure 8 / Tables 5–6).
+    pub fn truncate(&self, k: usize) -> SupportSet {
+        SupportSet { deltas: self.deltas.iter().take(k).cloned().collect() }
+    }
+}
+
+/// Produces a replacement value for `old`.
+fn perturb(old: &Value, domain: &[Value], jitter: f64, rng: &mut StdRng) -> Value {
+    match old {
+        Value::Int(i) => {
+            let span = ((i.abs() as f64) * jitter).max(1.0) as i64;
+            let mut delta = rng.gen_range(-span..=span);
+            if delta == 0 {
+                delta = 1;
+            }
+            Value::Int(i + delta)
+        }
+        Value::Float(f) => {
+            let span = (f.abs() * jitter).max(1.0);
+            let delta: f64 = rng.gen_range(-span..=span);
+            Value::Float(f + if delta == 0.0 { span } else { delta })
+        }
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Str(s) => {
+            if domain.len() > 1 {
+                // Pick a different existing value of the same column.
+                loop {
+                    let cand = &domain[rng.gen_range(0..domain.len())];
+                    if cand.as_str() != Some(s.as_str()) {
+                        return cand.clone();
+                    }
+                }
+            }
+            Value::Str(format!("{s}~"))
+        }
+        Value::Null => Value::Int(rng.gen_range(0..100)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_qdb::{Relation, Schema};
+
+    fn db() -> Database {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("age", ColumnType::Int),
+        ]));
+        for i in 0..50 {
+            rel.push(vec![
+                Value::Int(i),
+                format!("name{}", i % 7).into(),
+                Value::Int(18 + (i % 40)),
+            ])
+            .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("User", rel);
+        db
+    }
+
+    #[test]
+    fn generates_requested_number_of_deltas() {
+        let db = db();
+        let s = SupportSet::generate(&db, &SupportConfig::with_size(200));
+        assert_eq!(s.len(), 200);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn deltas_actually_change_the_database() {
+        let db = db();
+        let s = SupportSet::generate(&db, &SupportConfig::with_size(100));
+        for d in s.deltas() {
+            assert!(!d.is_noop(&db).unwrap(), "support delta must change a cell");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let db = db();
+        let a = SupportSet::generate(&db, &SupportConfig { seed: 7, ..SupportConfig::with_size(50) });
+        let b = SupportSet::generate(&db, &SupportConfig { seed: 7, ..SupportConfig::with_size(50) });
+        let c = SupportSet::generate(&db, &SupportConfig { seed: 8, ..SupportConfig::with_size(50) });
+        assert_eq!(a.deltas(), b.deltas());
+        assert_ne!(a.deltas(), c.deltas());
+    }
+
+    #[test]
+    fn frozen_columns_are_never_perturbed() {
+        let db = db();
+        let cfg = SupportConfig::with_size(150).freeze("User", 0);
+        let s = SupportSet::generate(&db, &cfg);
+        for d in s.deltas() {
+            assert!(d.changes.iter().all(|c| c.column != 0));
+        }
+    }
+
+    #[test]
+    fn string_replacements_come_from_the_active_domain() {
+        let db = db();
+        let s = SupportSet::generate(&db, &SupportConfig::with_size(300));
+        for d in s.deltas() {
+            for ch in &d.changes {
+                if ch.column == 1 {
+                    let v = ch.new_value.as_str().unwrap();
+                    assert!(v.starts_with("name"), "unexpected replacement {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_keeps_a_prefix() {
+        let db = db();
+        let s = SupportSet::generate(&db, &SupportConfig::with_size(40));
+        let t = s.truncate(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.deltas(), &s.deltas()[..10]);
+        assert_eq!(s.truncate(1000).len(), 40);
+    }
+
+    #[test]
+    fn empty_database_produces_empty_support() {
+        let db = Database::new();
+        let s = SupportSet::generate(&db, &SupportConfig::with_size(10));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! The Layering algorithm (Algorithm 1 of the paper).
+//!
+//! Repeatedly peel a *minimal set cover* of the remaining items; each such
+//! layer has the property that every edge in it contains an item unique to it
+//! within the layer. The layer with the largest total valuation is selected
+//! and, inside it, every edge's unique item is priced at the edge valuation
+//! (all other items at zero), extracting the layer's full value. The
+//! algorithm runs in `O(Bm)` time and is a `B`-approximation; the paper finds
+//! it is often far better in practice when high-value edges have unique
+//! items.
+
+use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
+
+/// Runs the layering algorithm and returns the resulting item pricing.
+pub fn layering(h: &Hypergraph) -> PricingOutcome {
+    let n = h.num_items();
+    // Only non-empty edges participate: empty edges can never cover anything.
+    let mut remaining: Vec<usize> = (0..h.num_edges())
+        .filter(|&i| h.edge(i).size() > 0)
+        .collect();
+
+    let mut best_layer: Vec<usize> = Vec::new();
+    let mut best_value = 0.0;
+
+    while !remaining.is_empty() {
+        let layer = minimal_set_cover(h, &remaining);
+        let value: f64 = layer.iter().map(|&i| h.edge(i).valuation).sum();
+        if value > best_value {
+            best_value = value;
+            best_layer = layer.clone();
+        }
+        // Remove the layer's edges and continue with the rest.
+        remaining.retain(|i| !layer.contains(i));
+    }
+
+    // Price the unique item of every edge in the chosen layer at the edge's
+    // valuation.
+    let mut weights = vec![0.0; n];
+    for &ei in &best_layer {
+        if let Some(unique) = unique_item(h, ei, &best_layer) {
+            weights[unique] = h.edge(ei).valuation;
+        }
+    }
+
+    let pricing = Pricing::Item { weights };
+    let rev = revenue::revenue(h, &pricing);
+    PricingOutcome { algorithm: "Layering", revenue: rev, pricing }
+}
+
+/// Greedy set cover of the items covered by `edges`, post-processed to be
+/// minimal (no edge can be dropped without uncovering an item).
+fn minimal_set_cover(h: &Hypergraph, edges: &[usize]) -> Vec<usize> {
+    let n = h.num_items();
+    let mut needed = vec![false; n];
+    for &ei in edges {
+        for &j in &h.edge(ei).items {
+            needed[j] = true;
+        }
+    }
+    let mut uncovered: usize = needed.iter().filter(|&&b| b).count();
+
+    // Greedy phase: repeatedly take the edge covering the most uncovered items.
+    let mut covered = vec![false; n];
+    let mut cover: Vec<usize> = Vec::new();
+    let mut in_cover = vec![false; h.num_edges()];
+    while uncovered > 0 {
+        let mut best_edge = None;
+        let mut best_gain = 0usize;
+        for &ei in edges {
+            if in_cover[ei] {
+                continue;
+            }
+            let gain = h
+                .edge(ei)
+                .items
+                .iter()
+                .filter(|&&j| needed[j] && !covered[j])
+                .count();
+            if gain > best_gain {
+                best_gain = gain;
+                best_edge = Some(ei);
+            }
+        }
+        let Some(ei) = best_edge else { break };
+        in_cover[ei] = true;
+        cover.push(ei);
+        for &j in &h.edge(ei).items {
+            if needed[j] && !covered[j] {
+                covered[j] = true;
+                uncovered -= 1;
+            }
+        }
+    }
+
+    // Minimality phase: drop edges whose items are covered by the rest.
+    // Iterate in increasing valuation order so that low-value redundant edges
+    // are preferentially discarded.
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by(|&a, &b| {
+        h.edge(cover[a])
+            .valuation
+            .partial_cmp(&h.edge(cover[b]).valuation)
+            .unwrap()
+    });
+    let mut keep: Vec<bool> = vec![true; cover.len()];
+    for &ci in &order {
+        // Count, for each item of this edge, whether another kept edge covers it.
+        let ei = cover[ci];
+        let removable = h.edge(ei).items.iter().all(|&j| {
+            !needed[j]
+                || cover.iter().enumerate().any(|(ck, &ek)| {
+                    ck != ci && keep[ck] && h.edge(ek).items.contains(&j)
+                })
+        });
+        if removable {
+            keep[ci] = false;
+        }
+    }
+    cover
+        .into_iter()
+        .enumerate()
+        .filter(|(ci, _)| keep[*ci])
+        .map(|(_, ei)| ei)
+        .collect()
+}
+
+/// An item of edge `ei` that belongs to no other edge of `layer`, if any.
+fn unique_item(h: &Hypergraph, ei: usize, layer: &[usize]) -> Option<usize> {
+    h.edge(ei).items.iter().copied().find(|&j| {
+        !layer
+            .iter()
+            .any(|&other| other != ei && h.edge(other).items.contains(&j))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support;
+
+    #[test]
+    fn unique_item_instance_extracts_everything() {
+        let h = test_support::unique_items();
+        let out = layering(&h);
+        assert_eq!(out.algorithm, "Layering");
+        assert!((out.revenue - h.total_valuation()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_the_b_approximation_bound_on_disjoint_edges() {
+        // Disjoint edges: B = 1, so layering must extract the full value.
+        let mut h = Hypergraph::new(6);
+        h.add_edge(vec![0, 1], 4.0);
+        h.add_edge(vec![2, 3], 7.0);
+        h.add_edge(vec![4, 5], 1.0);
+        let out = layering(&h);
+        assert!((out.revenue - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_value_lower_bound_holds() {
+        // Revenue is at least total/B (Theorem 2).
+        let h = test_support::star(&[5.0, 3.0, 9.0, 2.0]);
+        let b = h.max_degree() as f64;
+        let out = layering(&h);
+        assert!(out.revenue + 1e-9 >= h.total_valuation() / b);
+    }
+
+    #[test]
+    fn empty_edges_are_ignored() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(Vec::<usize>::new(), 100.0);
+        h.add_edge(vec![0], 5.0);
+        h.add_edge(vec![1], 7.0);
+        let out = layering(&h);
+        // The empty edge contributes nothing but is "sold" at price 0.
+        assert!((out.revenue - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimal_cover_has_unique_items_for_every_edge() {
+        let h = test_support::small();
+        let all: Vec<usize> = (0..h.num_edges()).filter(|&i| h.edge(i).size() > 0).collect();
+        let cover = minimal_set_cover(&h, &all);
+        for &ei in &cover {
+            assert!(
+                unique_item(&h, ei, &cover).is_some(),
+                "edge {ei} in a minimal cover must have a unique item"
+            );
+        }
+        // The cover covers every item that appears in some edge.
+        let mut covered = vec![false; h.num_items()];
+        for &ei in &cover {
+            for &j in &h.edge(ei).items {
+                covered[j] = true;
+            }
+        }
+        for j in h.active_items() {
+            assert!(covered[j]);
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(3);
+        assert_eq!(layering(&h).revenue, 0.0);
+    }
+}

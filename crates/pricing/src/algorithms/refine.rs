@@ -1,0 +1,152 @@
+//! UBP refinement (paper §6.3).
+//!
+//! The paper observes that the revenue of the best uniform bundle price can
+//! often be boosted by a cheap post-processing step: solve an item-pricing LP
+//! whose constraints force every bundle sold by the best uniform price to
+//! remain sold, and whose objective maximizes the revenue collected from
+//! those bundles. On TPC-H this lifted normalized revenue from 0.78 to 0.99
+//! in about a second.
+
+use qp_lp::{ConstraintOp, LpProblem, Sense};
+
+use crate::algorithms::uniform_bundle_price;
+use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
+
+/// Refines the optimal uniform bundle price into a non-uniform item pricing
+/// that still sells every bundle the uniform price sold.
+pub fn refine_uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
+    let ubp = uniform_bundle_price(h);
+    let Pricing::UniformBundle { price } = ubp.pricing else {
+        unreachable!("uniform_bundle_price always returns a uniform bundle pricing")
+    };
+
+    // Bundles sold by the uniform price (they can afford P).
+    let sold: Vec<usize> = h
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| price <= e.valuation + revenue::SALE_EPS)
+        .map(|(i, _)| i)
+        .collect();
+
+    if sold.is_empty() {
+        return PricingOutcome {
+            algorithm: "UBP-refined",
+            revenue: 0.0,
+            pricing: Pricing::zero_items(h.num_items()),
+        };
+    }
+
+    // Item-pricing LP over the items of the sold bundles.
+    let mut item_of_var = Vec::new();
+    let mut var_of_item = vec![None; h.num_items()];
+    for &ei in &sold {
+        for &j in &h.edge(ei).items {
+            if var_of_item[j].is_none() {
+                var_of_item[j] = Some(item_of_var.len());
+                item_of_var.push(j);
+            }
+        }
+    }
+
+    let mut lp = LpProblem::new(Sense::Maximize, item_of_var.len());
+    for &ei in &sold {
+        for &j in &h.edge(ei).items {
+            lp.add_objective(var_of_item[j].unwrap(), 1.0);
+        }
+    }
+    for &ei in &sold {
+        let e = h.edge(ei);
+        if e.items.is_empty() {
+            continue;
+        }
+        let coeffs: Vec<(usize, f64)> = e
+            .items
+            .iter()
+            .map(|&j| (var_of_item[j].unwrap(), 1.0))
+            .collect();
+        lp.add_constraint(coeffs, ConstraintOp::Le, e.valuation);
+    }
+
+    let weights = match lp.solve() {
+        Ok(sol) => {
+            let mut w = vec![0.0; h.num_items()];
+            for (var, &item) in item_of_var.iter().enumerate() {
+                w[item] = sol.primal[var].max(0.0);
+            }
+            w
+        }
+        Err(_) => vec![0.0; h.num_items()],
+    };
+
+    let pricing = Pricing::Item { weights };
+    let rev = revenue::revenue(h, &pricing);
+
+    // Never return something worse than plain UBP: the refinement is only a
+    // different representation, so fall back when the item pricing loses
+    // revenue (possible when many sold bundles are empty).
+    if rev + 1e-9 < ubp.revenue {
+        PricingOutcome { algorithm: "UBP-refined", revenue: ubp.revenue, pricing: ubp.pricing }
+    } else {
+        PricingOutcome { algorithm: "UBP-refined", revenue: rev, pricing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support;
+
+    #[test]
+    fn refinement_never_loses_revenue() {
+        for h in [
+            test_support::small(),
+            test_support::unique_items(),
+            test_support::star(&[1.0, 4.0, 9.0, 16.0]),
+        ] {
+            let ubp = uniform_bundle_price(&h);
+            let refined = refine_uniform_bundle_price(&h);
+            assert!(
+                refined.revenue + 1e-9 >= ubp.revenue,
+                "refined {} < UBP {}",
+                refined.revenue,
+                ubp.revenue
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_can_strictly_improve() {
+        // Two disjoint single-item bundles with very different valuations:
+        // the best uniform price earns max(2*1, 10) = 10, while item pricing
+        // earns 11.
+        let mut h = Hypergraph::new(2);
+        h.add_edge(vec![0], 10.0);
+        h.add_edge(vec![1], 1.0);
+        let ubp = uniform_bundle_price(&h);
+        let refined = refine_uniform_bundle_price(&h);
+        assert!((ubp.revenue - 10.0).abs() < 1e-9);
+        // The refinement only keeps the bundles UBP sold (just the 10 one at
+        // price 10), so it matches UBP here; with a lower uniform price it
+        // would sell both. Verify it at least matches.
+        assert!(refined.revenue + 1e-9 >= 10.0);
+
+        // A case where the refinement strictly improves: equal-size bundles
+        // with close valuations sold by UBP, but item weights can be skewed.
+        let mut h2 = Hypergraph::new(3);
+        h2.add_edge(vec![0], 4.0);
+        h2.add_edge(vec![1], 5.0);
+        h2.add_edge(vec![2], 6.0);
+        let ubp2 = uniform_bundle_price(&h2);
+        let refined2 = refine_uniform_bundle_price(&h2);
+        assert!((ubp2.revenue - 12.0).abs() < 1e-9);
+        assert!((refined2.revenue - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(2);
+        let out = refine_uniform_bundle_price(&h);
+        assert_eq!(out.revenue, 0.0);
+    }
+}

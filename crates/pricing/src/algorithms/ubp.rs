@@ -1,0 +1,88 @@
+//! UBP — optimal uniform bundle pricing (paper §5.1).
+//!
+//! Sort the valuations in decreasing order; selling at price `P = v_e` sells
+//! exactly the prefix of buyers whose valuation is at least `v_e`, so the
+//! optimal uniform price is found with one linear pass. Runs in `O(m log m)`
+//! and is an `O(log m)`-approximation of Σ valuations (Lemma 1).
+
+use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
+
+/// Computes the revenue-optimal uniform bundle price.
+pub fn uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
+    let mut vals: Vec<f64> = h.edges().iter().map(|e| e.valuation).collect();
+    // Decreasing order; setting the price to the j-th largest valuation sells
+    // exactly j+1 bundles.
+    vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+
+    let mut best_price = 0.0;
+    let mut best_rev = 0.0;
+    for (j, &v) in vals.iter().enumerate() {
+        let rev = v * (j + 1) as f64;
+        if rev > best_rev {
+            best_rev = rev;
+            best_price = v;
+        }
+    }
+
+    let pricing = Pricing::UniformBundle { price: best_price };
+    let rev = revenue::revenue(h, &pricing);
+    PricingOutcome { algorithm: "UBP", revenue: rev, pricing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support;
+    use crate::revenue::uniform_bundle_revenue;
+
+    #[test]
+    fn finds_optimal_price_on_small_instance() {
+        // Valuations 8, 2, 9, 4: candidate prices give revenues
+        // 9*1=9, 8*2=16, 4*3=12, 2*4=8 → optimum is price 8, revenue 16.
+        let h = test_support::small();
+        let out = uniform_bundle_price(&h);
+        assert_eq!(out.algorithm, "UBP");
+        assert!((out.revenue - 16.0).abs() < 1e-9);
+        match out.pricing {
+            Pricing::UniformBundle { price } => assert!((price - 8.0).abs() < 1e-9),
+            _ => panic!("UBP must return a uniform bundle pricing"),
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_every_candidate_valuation_price() {
+        let h = test_support::star(&[1.0, 3.0, 3.0, 7.0, 10.0]);
+        let out = uniform_bundle_price(&h);
+        for e in h.edges() {
+            assert!(out.revenue + 1e-9 >= uniform_bundle_revenue(&h, e.valuation));
+        }
+    }
+
+    #[test]
+    fn equal_valuations_extract_everything() {
+        let h = test_support::star(&[5.0; 6]);
+        let out = uniform_bundle_price(&h);
+        assert!((out.revenue - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hypergraph_yields_zero() {
+        let h = Hypergraph::new(3);
+        let out = uniform_bundle_price(&h);
+        assert_eq!(out.revenue, 0.0);
+    }
+
+    #[test]
+    fn harmonic_instance_exhibits_log_gap() {
+        // Lemma 2-style valuations 1, 1/2, ..., 1/m: UBP can only get O(1)
+        // while the sum of valuations is H_m = Θ(log m).
+        let m = 256;
+        let mut h = Hypergraph::new(m);
+        for i in 0..m {
+            h.add_edge(vec![i], 1.0 / (i as f64 + 1.0));
+        }
+        let out = uniform_bundle_price(&h);
+        assert!(out.revenue <= 1.0 + 1e-9);
+        assert!(h.total_valuation() > 5.0); // H_256 ≈ 6.1
+    }
+}

@@ -1,0 +1,103 @@
+//! UIP — uniform item pricing (Guruswami et al., paper §5.2).
+//!
+//! Every item gets the same weight `w`. The candidate weights are the rates
+//! `q_e = v_e / |e|`; setting `w = q_e` sells exactly the bundles whose rate
+//! is at least `q_e`, so sorting by rate and keeping prefix sums of bundle
+//! sizes finds the optimum in `O(m log m)`. The guarantee is
+//! `O(log n + log m)` with respect to Σ valuations.
+
+use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
+
+/// Computes the revenue-optimal *uniform* item pricing.
+pub fn uniform_item_price(h: &Hypergraph) -> PricingOutcome {
+    // Candidate rates from non-empty bundles.
+    let mut rated: Vec<(f64, usize)> = h
+        .edges()
+        .iter()
+        .filter(|e| e.size() > 0)
+        .map(|e| (e.valuation / e.size() as f64, e.size()))
+        .collect();
+    rated.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut best_w = 0.0;
+    let mut best_rev = 0.0;
+    let mut prefix_items = 0usize;
+    for &(rate, size) in &rated {
+        prefix_items += size;
+        // Selling at per-item rate `rate` sells every bundle whose own rate is
+        // >= rate; each pays rate * |e|.
+        let rev = rate * prefix_items as f64;
+        if rev > best_rev {
+            best_rev = rev;
+            best_w = rate;
+        }
+    }
+
+    let weights = vec![best_w; h.num_items()];
+    let pricing = Pricing::Item { weights };
+    let rev = revenue::revenue(h, &pricing);
+    PricingOutcome { algorithm: "UIP", revenue: rev, pricing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support;
+    use crate::revenue::item_pricing_revenue;
+
+    #[test]
+    fn small_instance_is_optimal_among_uniform_rates() {
+        let h = test_support::small();
+        let out = uniform_item_price(&h);
+        assert_eq!(out.algorithm, "UIP");
+        // Brute-force over the candidate rates.
+        let mut best = 0.0f64;
+        for e in h.edges() {
+            if e.size() == 0 {
+                continue;
+            }
+            let w = e.valuation / e.size() as f64;
+            let weights = vec![w; h.num_items()];
+            best = best.max(item_pricing_revenue(&h, &weights));
+        }
+        assert!((out.revenue - best).abs() < 1e-9);
+        assert!(out.revenue > 0.0);
+    }
+
+    #[test]
+    fn uniform_valuation_star_extracts_everything() {
+        // All bundles have size 2 and valuation 6: rate 3 sells all.
+        let h = test_support::star(&[6.0; 5]);
+        let out = uniform_item_price(&h);
+        assert!((out.revenue - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_size_edges_are_handled() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(Vec::<usize>::new(), 5.0);
+        h.add_edge(vec![0], 3.0);
+        let out = uniform_item_price(&h);
+        // Weight 3 on the single item sells both (empty bundle at price 0).
+        assert!((out.revenue - 3.0).abs() < 1e-9);
+
+        let empty = Hypergraph::new(0);
+        assert_eq!(uniform_item_price(&empty).revenue, 0.0);
+    }
+
+    #[test]
+    fn returns_a_uniform_weight_vector() {
+        let h = test_support::unique_items();
+        let out = uniform_item_price(&h);
+        let w = out.pricing.item_weights().unwrap();
+        assert!(w.windows(2).all(|p| (p[0] - p[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn never_beats_lp_item_pricing_upper_bound() {
+        // Sanity: UIP revenue is at most the sum of valuations.
+        let h = test_support::star(&[1.0, 2.0, 4.0, 8.0, 16.0]);
+        let out = uniform_item_price(&h);
+        assert!(out.revenue <= h.total_valuation() + 1e-9);
+    }
+}

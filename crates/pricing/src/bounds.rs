@@ -1,0 +1,237 @@
+//! Revenue upper bounds (paper §6.1).
+//!
+//! Two bounds are used to normalize revenue in the paper's figures:
+//!
+//! 1. **Sum of valuations** `Σ_e v_e` — the coarse bound every approximation
+//!    guarantee in the literature is stated against. This is a true upper
+//!    bound on the revenue of *any* pricing.
+//! 2. **Subadditive bound** — the paper's heuristic LP bound on what a
+//!    monotone subadditive bundle pricing could extract. Each bundle gets a
+//!    price variable `p_e ∈ [0, v_e]`; for bundles with large valuations the
+//!    LP greedily finds covers by *other* (typically low-valuation) bundles
+//!    and adds the subadditivity constraint `p_e ≤ Σ_{e'∈cover} p_{e'}`. The
+//!    objective `max Σ_e p_e` is then reported as the bound.
+//!
+//! As in the paper, the subadditive bound is a *pricing-side* relaxation: it
+//! constrains prices, not realized revenues, so on adversarially constructed
+//! instances it can dip below the revenue actually achievable by an
+//! arbitrage-free pricing (the paper itself observes the bound "not being as
+//! good as it should be" in some configurations). On the query workloads it
+//! is consistently between the best algorithm and Σ valuations, which is what
+//! makes it a useful normalizer.
+
+use qp_lp::{ConstraintOp, LpProblem, Sense};
+
+use crate::Hypergraph;
+
+/// The coarse revenue upper bound `Σ_e v_e`.
+pub fn sum_of_valuations(h: &Hypergraph) -> f64 {
+    h.total_valuation()
+}
+
+/// Configuration of the subadditive-bound LP.
+#[derive(Debug, Clone)]
+pub struct SubadditiveBoundConfig {
+    /// Maximum number of cover constraints generated per bundle.
+    pub covers_per_edge: usize,
+    /// Pivot budget for the LP solve.
+    pub max_lp_iterations: usize,
+}
+
+impl Default for SubadditiveBoundConfig {
+    fn default() -> Self {
+        SubadditiveBoundConfig { covers_per_edge: 1, max_lp_iterations: 400_000 }
+    }
+}
+
+/// Computes the paper's subadditive revenue bound.
+pub fn subadditive_bound(h: &Hypergraph, config: &SubadditiveBoundConfig) -> f64 {
+    let m = h.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+
+    let mut lp = LpProblem::new(Sense::Maximize, m);
+    lp.set_max_iterations(config.max_lp_iterations);
+    for e in 0..m {
+        lp.set_objective(e, 1.0);
+        lp.add_constraint(vec![(e, 1.0)], ConstraintOp::Le, h.edge(e).valuation);
+    }
+
+    // Cover candidates in *increasing* valuation order: the paper covers the
+    // expensive bundles with cheap ones, which is what makes the bound
+    // tighter than Σ v_e.
+    let mut ascending: Vec<usize> = (0..m).collect();
+    ascending.sort_by(|&a, &b| {
+        h.edge(a)
+            .valuation
+            .partial_cmp(&h.edge(b).valuation)
+            .unwrap()
+    });
+    // Constraints are generated for the most valuable bundles first.
+    let descending: Vec<usize> = ascending.iter().rev().copied().collect();
+
+    for &target in &descending {
+        let te = h.edge(target);
+        if te.items.is_empty() {
+            // An empty bundle is covered by the empty set of bundles: any
+            // monotone subadditive pricing must price it at 0.
+            lp.add_constraint(vec![(target, 1.0)], ConstraintOp::Le, 0.0);
+            continue;
+        }
+        let mut added = 0usize;
+        let mut skip_before = 0usize;
+        while added < config.covers_per_edge {
+            if let Some(cover) = greedy_cover(h, target, &ascending, skip_before) {
+                let mut coeffs = vec![(target, 1.0)];
+                for &c in &cover {
+                    coeffs.push((c, -1.0));
+                }
+                lp.add_constraint(coeffs, ConstraintOp::Le, 0.0);
+                added += 1;
+                skip_before += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    match lp.solve() {
+        Ok(sol) => sol.objective.min(sum_of_valuations(h)),
+        Err(_) => sum_of_valuations(h),
+    }
+}
+
+/// Greedily covers the items of `target` using other edges, scanning the
+/// candidate edges in `order` but ignoring the first `skip` usable candidates
+/// (used to generate a few *different* covers per edge). Returns `None` when
+/// no full cover by other edges exists.
+fn greedy_cover(
+    h: &Hypergraph,
+    target: usize,
+    order: &[usize],
+    skip: usize,
+) -> Option<Vec<usize>> {
+    let te = h.edge(target);
+    let mut uncovered: Vec<usize> = te.items.clone();
+    let mut cover = Vec::new();
+    let mut skipped = 0usize;
+
+    for &cand in order {
+        if uncovered.is_empty() {
+            break;
+        }
+        if cand == target {
+            continue;
+        }
+        let ce = h.edge(cand);
+        let covers_any = uncovered.iter().any(|j| ce.items.contains(j));
+        if !covers_any {
+            continue;
+        }
+        if skipped < skip {
+            skipped += 1;
+            continue;
+        }
+        cover.push(cand);
+        uncovered.retain(|j| !ce.items.contains(j));
+    }
+
+    if uncovered.is_empty() && !cover.is_empty() {
+        Some(cover)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_instance() -> Hypergraph {
+        // A big bundle covered by two small ones with low valuations: the
+        // subadditive bound caps the big bundle's price at their sum.
+        let mut h = Hypergraph::new(4);
+        h.add_edge(vec![0, 1], 1.0);
+        h.add_edge(vec![2, 3], 1.0);
+        h.add_edge(vec![0, 1, 2, 3], 100.0);
+        h
+    }
+
+    #[test]
+    fn bound_never_exceeds_sum_of_valuations() {
+        for h in [nested_instance(), {
+            let mut h = Hypergraph::new(3);
+            h.add_edge(vec![0, 1], 6.0);
+            h.add_edge(vec![1, 2], 4.0);
+            h.add_edge(vec![0, 2], 5.0);
+            h
+        }] {
+            let bound = subadditive_bound(&h, &SubadditiveBoundConfig::default());
+            assert!(bound <= sum_of_valuations(&h) + 1e-9);
+            assert!(bound > 0.0);
+        }
+    }
+
+    #[test]
+    fn cover_constraints_tighten_the_bound() {
+        let h = nested_instance();
+        let bound = subadditive_bound(&h, &SubadditiveBoundConfig::default());
+        // Without cover constraints the bound would be 102; with the cover
+        // {0,1},{2,3} of the big edge it is at most 1 + 1 + (1+1) = 4.
+        assert!(bound <= 4.0 + 1e-6, "bound {bound} not tightened");
+        assert!(bound >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn disjoint_edges_keep_full_sum() {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(vec![0], 3.0);
+        h.add_edge(vec![1], 5.0);
+        h.add_edge(vec![2, 3], 7.0);
+        let bound = subadditive_bound(&h, &SubadditiveBoundConfig::default());
+        assert!((bound - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_bundles_are_priced_at_zero_by_the_bound() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(Vec::<usize>::new(), 50.0);
+        h.add_edge(vec![0], 3.0);
+        let bound = subadditive_bound(&h, &SubadditiveBoundConfig::default());
+        assert!((bound - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_hypergraph_bound_is_zero() {
+        let h = Hypergraph::new(3);
+        assert_eq!(subadditive_bound(&h, &SubadditiveBoundConfig::default()), 0.0);
+        assert_eq!(sum_of_valuations(&h), 0.0);
+    }
+
+    #[test]
+    fn more_covers_never_loosen_the_bound() {
+        let h = nested_instance();
+        let one = subadditive_bound(
+            &h,
+            &SubadditiveBoundConfig { covers_per_edge: 1, max_lp_iterations: 100_000 },
+        );
+        let three = subadditive_bound(
+            &h,
+            &SubadditiveBoundConfig { covers_per_edge: 3, max_lp_iterations: 100_000 },
+        );
+        assert!(three <= one + 1e-6);
+    }
+
+    #[test]
+    fn identical_overlapping_edges_bound_matches_sum() {
+        // Two identical bundles with equal valuations: each covers the other,
+        // so the constraints p_a <= p_b and p_b <= p_a are harmless and the
+        // bound equals the sum.
+        let mut h = Hypergraph::new(2);
+        h.add_edge(vec![0, 1], 5.0);
+        h.add_edge(vec![0, 1], 5.0);
+        let bound = subadditive_bound(&h, &SubadditiveBoundConfig::default());
+        assert!((bound - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+//! The bundle hypergraph.
+
+/// A hyperedge: a bundle of items (support-database indices) together with
+/// the buyer's valuation for the corresponding query vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Sorted, de-duplicated item indices of the bundle (the conflict set).
+    pub items: Vec<usize>,
+    /// The buyer's valuation `v_e ≥ 0`.
+    pub valuation: f64,
+}
+
+impl Edge {
+    /// Bundle size `|e|`.
+    pub fn size(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The hypergraph `H = (V, E)` of the paper: vertices are the `n` support
+/// databases, hyperedges are buyer bundles (conflict sets) with valuations.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    num_items: usize,
+    edges: Vec<Edge>,
+}
+
+/// Summary statistics of a hypergraph (Table 3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypergraphStats {
+    /// Number of items `n = |S|`.
+    pub num_items: usize,
+    /// Number of hyperedges (queries) `m`.
+    pub num_edges: usize,
+    /// Maximum item degree `B`.
+    pub max_degree: usize,
+    /// Average hyperedge size.
+    pub avg_edge_size: f64,
+    /// Number of empty hyperedges.
+    pub empty_edges: usize,
+    /// Number of hyperedges that contain at least one item unique to them.
+    pub edges_with_unique_item: usize,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph over `num_items` items with no edges.
+    pub fn new(num_items: usize) -> Self {
+        Hypergraph { num_items, edges: Vec::new() }
+    }
+
+    /// Adds a hyperedge over `items` with valuation `valuation`; returns its
+    /// index. Item indices are sorted and de-duplicated; indices beyond the
+    /// current item count grow the vertex set.
+    pub fn add_edge<I: IntoIterator<Item = usize>>(&mut self, items: I, valuation: f64) -> usize {
+        let mut items: Vec<usize> = items.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        if let Some(&max) = items.last() {
+            self.num_items = self.num_items.max(max + 1);
+        }
+        assert!(valuation >= 0.0, "valuations must be non-negative");
+        self.edges.push(Edge { items, valuation });
+        self.edges.len() - 1
+    }
+
+    /// Number of items `n`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of hyperedges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// A single hyperedge.
+    pub fn edge(&self, idx: usize) -> &Edge {
+        &self.edges[idx]
+    }
+
+    /// Replaces every valuation using `f(edge index, edge) -> new valuation`.
+    pub fn set_valuations<F: FnMut(usize, &Edge) -> f64>(&mut self, mut f: F) {
+        for i in 0..self.edges.len() {
+            let v = f(i, &self.edges[i]);
+            assert!(v >= 0.0, "valuations must be non-negative");
+            self.edges[i].valuation = v;
+        }
+    }
+
+    /// Sum of all valuations — the coarse revenue upper bound used throughout
+    /// the paper.
+    pub fn total_valuation(&self) -> f64 {
+        self.edges.iter().map(|e| e.valuation).sum()
+    }
+
+    /// Per-item degrees (number of hyperedges containing each item).
+    pub fn item_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_items];
+        for e in &self.edges {
+            for &j in &e.items {
+                deg[j] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Maximum item degree `B`.
+    pub fn max_degree(&self) -> usize {
+        self.item_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Items that appear in at least one hyperedge, in increasing order.
+    pub fn active_items(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.num_items];
+        for e in &self.edges {
+            for &j in &e.items {
+                seen[j] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| if s { Some(i) } else { None })
+            .collect()
+    }
+
+    /// For every edge, whether it contains an item that belongs to no other
+    /// edge ("unique item" in the paper's layering analysis).
+    pub fn edges_with_unique_item(&self) -> Vec<bool> {
+        let deg = self.item_degrees();
+        self.edges
+            .iter()
+            .map(|e| e.items.iter().any(|&j| deg[j] == 1))
+            .collect()
+    }
+
+    /// Summary statistics (Table 3 / Figure 4 of the paper).
+    pub fn stats(&self) -> HypergraphStats {
+        let sizes: Vec<usize> = self.edges.iter().map(|e| e.size()).collect();
+        let avg = if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        };
+        HypergraphStats {
+            num_items: self.num_items,
+            num_edges: self.edges.len(),
+            max_degree: self.max_degree(),
+            avg_edge_size: avg,
+            empty_edges: sizes.iter().filter(|&&s| s == 0).count(),
+            edges_with_unique_item: self
+                .edges_with_unique_item()
+                .into_iter()
+                .filter(|&b| b)
+                .count(),
+        }
+    }
+
+    /// Histogram of edge sizes with `buckets` equal-width bins over
+    /// `[0, max_size]` — the data behind Figure 4.
+    pub fn edge_size_histogram(&self, buckets: usize) -> Vec<(usize, usize)> {
+        assert!(buckets > 0);
+        let max_size = self.edges.iter().map(|e| e.size()).max().unwrap_or(0);
+        let width = (max_size / buckets).max(1);
+        let mut hist = vec![0usize; buckets + 1];
+        for e in &self.edges {
+            let b = (e.size() / width).min(buckets);
+            hist[b] += 1;
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(b, count)| (b * width, count))
+            .collect()
+    }
+
+    /// Restricts the hypergraph to the first `k` items: every edge keeps only
+    /// items `< k`. Models shrinking the support set (Figure 8).
+    pub fn restrict_items(&self, k: usize) -> Hypergraph {
+        let mut h = Hypergraph::new(k.min(self.num_items));
+        for e in &self.edges {
+            let items: Vec<usize> = e.items.iter().copied().filter(|&j| j < k).collect();
+            h.edges.push(Edge { items, valuation: e.valuation });
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        let mut h = Hypergraph::new(5);
+        h.add_edge(vec![0, 1], 10.0);
+        h.add_edge(vec![1, 2, 3], 6.0);
+        h.add_edge(vec![4], 3.0);
+        h.add_edge(Vec::<usize>::new(), 1.0);
+        h
+    }
+
+    #[test]
+    fn add_edge_sorts_dedups_and_grows() {
+        let mut h = Hypergraph::new(2);
+        let idx = h.add_edge(vec![3, 1, 3], 2.0);
+        assert_eq!(idx, 0);
+        assert_eq!(h.edge(0).items, vec![1, 3]);
+        assert_eq!(h.num_items(), 4);
+        assert_eq!(h.edge(0).size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_valuations_rejected() {
+        let mut h = Hypergraph::new(1);
+        h.add_edge(vec![0], -1.0);
+    }
+
+    #[test]
+    fn degrees_and_stats() {
+        let h = sample();
+        assert_eq!(h.num_edges(), 4);
+        assert_eq!(h.item_degrees(), vec![1, 2, 1, 1, 1]);
+        assert_eq!(h.max_degree(), 2);
+        assert_eq!(h.total_valuation(), 20.0);
+        assert_eq!(h.active_items(), vec![0, 1, 2, 3, 4]);
+        let stats = h.stats();
+        assert_eq!(stats.num_edges, 4);
+        assert_eq!(stats.max_degree, 2);
+        assert_eq!(stats.empty_edges, 1);
+        assert!((stats.avg_edge_size - 1.5).abs() < 1e-12);
+        // Edges 0,1,2 all contain a unique item; the empty edge does not.
+        assert_eq!(stats.edges_with_unique_item, 3);
+    }
+
+    #[test]
+    fn unique_item_detection() {
+        let h = sample();
+        assert_eq!(h.edges_with_unique_item(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn histogram_covers_all_edges() {
+        let h = sample();
+        let hist = h.edge_size_histogram(3);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, h.num_edges());
+    }
+
+    #[test]
+    fn restrict_items_drops_high_indices() {
+        let h = sample();
+        let r = h.restrict_items(2);
+        assert_eq!(r.num_items(), 2);
+        assert_eq!(r.edge(0).items, vec![0, 1]);
+        assert_eq!(r.edge(1).items, vec![1]);
+        assert_eq!(r.edge(2).items, Vec::<usize>::new());
+        // Valuations are preserved.
+        assert_eq!(r.edge(1).valuation, 6.0);
+    }
+
+    #[test]
+    fn set_valuations_rewrites_in_place() {
+        let mut h = sample();
+        h.set_valuations(|_, e| e.size() as f64 * 2.0);
+        assert_eq!(h.edge(0).valuation, 4.0);
+        assert_eq!(h.edge(3).valuation, 0.0);
+    }
+}

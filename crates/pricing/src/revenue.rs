@@ -1,0 +1,129 @@
+//! Revenue accounting.
+//!
+//! In the unlimited-supply, single-minded setting the revenue of a pricing
+//! function `p` on hypergraph `H` is `R(p) = Σ_{e : p(e) ≤ v_e} p(e)`
+//! (paper §3.3): buyer `e` purchases iff the price of their bundle does not
+//! exceed their valuation, and pays exactly the price.
+
+use crate::{BundlePricing, Hypergraph};
+
+/// Tolerance used when comparing a price against a valuation. LP-produced
+/// prices frequently land exactly on a valuation; without a tolerance,
+/// rounding would randomly drop those sales.
+pub const SALE_EPS: f64 = 1e-7;
+
+/// Revenue of `pricing` on `h`.
+pub fn revenue(h: &Hypergraph, pricing: &dyn BundlePricing) -> f64 {
+    h.edges()
+        .iter()
+        .map(|e| {
+            let p = pricing.price(&e.items);
+            if p <= e.valuation + SALE_EPS {
+                p.min(e.valuation)
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Indices of the edges sold by `pricing` on `h`.
+pub fn sold_edges(h: &Hypergraph, pricing: &dyn BundlePricing) -> Vec<usize> {
+    h.edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| pricing.price(&e.items) <= e.valuation + SALE_EPS)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Revenue of an item pricing given directly as a weight vector (avoids
+/// constructing a `Pricing` value in inner loops).
+pub fn item_pricing_revenue(h: &Hypergraph, weights: &[f64]) -> f64 {
+    h.edges()
+        .iter()
+        .map(|e| {
+            let p: f64 = e.items.iter().map(|&j| weights.get(j).copied().unwrap_or(0.0)).sum();
+            if p <= e.valuation + SALE_EPS {
+                p.min(e.valuation)
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Revenue achieved by selling every edge at the fixed bundle price `p`.
+pub fn uniform_bundle_revenue(h: &Hypergraph, p: f64) -> f64 {
+    h.edges()
+        .iter()
+        .filter(|e| p <= e.valuation + SALE_EPS)
+        .map(|e| p.min(e.valuation))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pricing;
+
+    fn h() -> Hypergraph {
+        let mut h = Hypergraph::new(3);
+        h.add_edge(vec![0], 10.0);
+        h.add_edge(vec![0, 1], 4.0);
+        h.add_edge(vec![2], 6.0);
+        h
+    }
+
+    #[test]
+    fn uniform_bundle_revenue_counts_only_affordable_buyers() {
+        let h = h();
+        assert_eq!(uniform_bundle_revenue(&h, 5.0), 10.0); // edges 0 and 2
+        assert_eq!(uniform_bundle_revenue(&h, 4.0), 12.0); // all three
+        assert_eq!(uniform_bundle_revenue(&h, 11.0), 0.0);
+        let p = Pricing::UniformBundle { price: 5.0 };
+        assert_eq!(revenue(&h, &p), 10.0);
+        assert_eq!(sold_edges(&h, &p), vec![0, 2]);
+    }
+
+    #[test]
+    fn item_pricing_revenue_matches_trait_path() {
+        let h = h();
+        let w = vec![3.0, 2.0, 6.0];
+        let fast = item_pricing_revenue(&h, &w);
+        let slow = revenue(&h, &Pricing::Item { weights: w.clone() });
+        assert!((fast - slow).abs() < 1e-12);
+        // Edge 0 pays 3, edge 1 pays 5 > 4 (not sold), edge 2 pays 6.
+        assert_eq!(fast, 9.0);
+    }
+
+    #[test]
+    fn prices_exactly_at_valuation_still_sell() {
+        let mut h = Hypergraph::new(1);
+        h.add_edge(vec![0], 5.0);
+        let w = vec![5.0];
+        assert_eq!(item_pricing_revenue(&h, &w), 5.0);
+    }
+
+    #[test]
+    fn revenue_never_exceeds_sum_of_valuations() {
+        let h = h();
+        for price in [0.5, 1.0, 3.0, 7.0, 20.0] {
+            assert!(uniform_bundle_revenue(&h, price) <= h.total_valuation() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_bundles_price_at_zero_under_item_pricing() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(Vec::<usize>::new(), 3.0);
+        h.add_edge(vec![1], 2.0);
+        let w = vec![9.0, 2.0];
+        // The empty bundle is "sold" for 0 revenue; the other pays 2.
+        assert_eq!(item_pricing_revenue(&h, &w), 2.0);
+        assert_eq!(
+            sold_edges(&h, &Pricing::Item { weights: w }),
+            vec![0, 1]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Database instances: named collections of relations.
+
+use std::collections::BTreeMap;
+
+use crate::{QdbError, Relation};
+
+/// A database instance `D`: a mapping from table names to relations.
+///
+/// `BTreeMap` keeps iteration deterministic, which matters for reproducible
+/// support-set sampling and fingerprinting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { tables: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, name: impl Into<String>, relation: Relation) {
+        self.tables.insert(name.into(), relation);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Relation, QdbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup (used when applying deltas).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Relation, QdbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| QdbError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names in deterministic (sorted) order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Schema, Value};
+
+    fn users() -> Relation {
+        let mut r = Relation::new(Schema::new(vec![("id", ColumnType::Int)]));
+        r.push(vec![Value::Int(1)]).unwrap();
+        r.push(vec![Value::Int(2)]).unwrap();
+        r
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        db.add_table("User", users());
+        assert_eq!(db.num_tables(), 1);
+        assert_eq!(db.total_rows(), 2);
+        assert!(db.table("User").is_ok());
+        assert!(matches!(db.table("Missing"), Err(QdbError::UnknownTable(_))));
+        assert_eq!(db.table_names().collect::<Vec<_>>(), vec!["User"]);
+    }
+
+    #[test]
+    fn table_mut_allows_updates() {
+        let mut db = Database::new();
+        db.add_table("User", users());
+        db.table_mut("User")
+            .unwrap()
+            .push(vec![Value::Int(3)])
+            .unwrap();
+        assert_eq!(db.table("User").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn replace_table() {
+        let mut db = Database::new();
+        db.add_table("User", users());
+        db.add_table("User", Relation::new(Schema::new(vec![("id", ColumnType::Int)])));
+        assert_eq!(db.total_rows(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Errors raised while constructing relations or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QdbError {
+    /// A referenced table does not exist in the database instance.
+    UnknownTable(String),
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn(String),
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values in the offending tuple.
+        got: usize,
+    },
+    /// An aggregate was applied to a non-numeric column where a numeric one
+    /// is required (SUM / AVG).
+    NonNumericAggregate {
+        /// Name of the offending column.
+        column: String,
+    },
+    /// A type error during expression evaluation (e.g. `LIKE` on an integer).
+    TypeError(String),
+}
+
+impl fmt::Display for QdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QdbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QdbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QdbError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+            }
+            QdbError::NonNumericAggregate { column } => {
+                write!(f, "aggregate requires a numeric column, got: {column}")
+            }
+            QdbError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_contain_context() {
+        assert!(QdbError::UnknownTable("User".into()).to_string().contains("User"));
+        assert!(QdbError::UnknownColumn("age".into()).to_string().contains("age"));
+        let e = QdbError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(QdbError::NonNumericAggregate { column: "name".into() }
+            .to_string()
+            .contains("name"));
+        assert!(QdbError::TypeError("bad".into()).to_string().contains("bad"));
+    }
+}

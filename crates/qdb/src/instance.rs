@@ -1,0 +1,76 @@
+//! Database-instance abstraction.
+//!
+//! Query evaluation is written against the [`Instance`] trait so that the
+//! same evaluator runs over the base database `D` and over *support*
+//! databases `D' ∈ S`, which are represented as the base plus a small
+//! [`crate::Delta`] without ever copying the base tables.
+
+use std::borrow::Cow;
+
+use crate::relation::Tuple;
+use crate::{Database, QdbError, Schema};
+
+/// A read-only view of a database instance.
+pub trait Instance {
+    /// Schema of `table`.
+    fn table_schema(&self, table: &str) -> Result<&Schema, QdbError>;
+
+    /// Iterates the rows of `table`. Rows that are unchanged relative to an
+    /// underlying base instance are borrowed; perturbed rows are owned.
+    fn scan<'a>(
+        &'a self,
+        table: &str,
+    ) -> Result<Box<dyn Iterator<Item = Cow<'a, Tuple>> + 'a>, QdbError>;
+
+    /// Number of rows in `table`.
+    fn table_len(&self, table: &str) -> Result<usize, QdbError>;
+}
+
+impl Instance for Database {
+    fn table_schema(&self, table: &str) -> Result<&Schema, QdbError> {
+        Ok(self.table(table)?.schema())
+    }
+
+    fn scan<'a>(
+        &'a self,
+        table: &str,
+    ) -> Result<Box<dyn Iterator<Item = Cow<'a, Tuple>> + 'a>, QdbError> {
+        let rel = self.table(table)?;
+        Ok(Box::new(rel.rows().iter().map(Cow::Borrowed)))
+    }
+
+    fn table_len(&self, table: &str) -> Result<usize, QdbError> {
+        Ok(self.table(table)?.len())
+    }
+}
+
+/// The base instance is simply a borrowed [`Database`].
+pub type BaseInstance<'a> = &'a Database;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Relation, Value};
+
+    fn db() -> Database {
+        let mut rel = Relation::new(Schema::new(vec![("id", ColumnType::Int)]));
+        rel.push(vec![Value::Int(1)]).unwrap();
+        rel.push(vec![Value::Int(2)]).unwrap();
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        db
+    }
+
+    #[test]
+    fn database_implements_instance() {
+        let db = db();
+        let inst: &dyn Instance = &db;
+        assert_eq!(inst.table_len("T").unwrap(), 2);
+        assert_eq!(inst.table_schema("T").unwrap().arity(), 1);
+        let rows: Vec<_> = inst.scan("T").unwrap().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(1));
+        assert!(inst.scan("missing").is_err());
+        assert!(inst.table_len("missing").is_err());
+    }
+}

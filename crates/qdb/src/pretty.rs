@@ -1,0 +1,216 @@
+//! Human-readable rendering of plans and relations.
+//!
+//! Used by the examples and the experiment harness to show what is being
+//! priced; not used on any hot path.
+
+use std::fmt::Write as _;
+
+use crate::plan::{AggFunc, Aggregate};
+use crate::{BinOp, Expr, Query, Relation};
+
+/// Renders a relation as a bordered ASCII table (at most `max_rows` rows).
+pub fn render_relation(rel: &Relation, max_rows: usize) -> String {
+    let headers: Vec<String> = rel.schema().names().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = rel
+        .rows()
+        .iter()
+        .take(max_rows)
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:w$} |");
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:w$} |");
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    if rel.len() > max_rows {
+        let _ = writeln!(out, "... ({} rows total)", rel.len());
+    }
+    out
+}
+
+/// Renders an expression as SQL-ish text.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Col(c) => c.clone(),
+        Expr::Lit(v) => match v {
+            crate::Value::Str(s) => format!("'{s}'"),
+            other => other.to_string(),
+        },
+        Expr::Binary { op, left, right } => {
+            let o = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {} {})", render_expr(left), o, render_expr(right))
+        }
+        Expr::Not(x) => format!("NOT ({})", render_expr(x)),
+        Expr::Like { expr, pattern } => format!("{} LIKE '{}'", render_expr(expr), pattern),
+        Expr::Between { expr, low, high } => format!(
+            "{} BETWEEN {} AND {}",
+            render_expr(expr),
+            render_expr(low),
+            render_expr(high)
+        ),
+        Expr::InList { expr, list } => {
+            let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+            format!("{} IN ({})", render_expr(expr), items.join(", "))
+        }
+        Expr::IsNull(x) => format!("{} IS NULL", render_expr(x)),
+    }
+}
+
+fn render_agg(a: &Aggregate) -> String {
+    let f = match a.func {
+        AggFunc::Count => "count",
+        AggFunc::CountDistinct => "count_distinct",
+        AggFunc::Sum => "sum",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    match &a.column {
+        Some(c) => format!("{f}({c}) AS {}", a.alias),
+        None => format!("{f}(*) AS {}", a.alias),
+    }
+}
+
+/// Renders a query plan as indented text (one operator per line).
+pub fn render_plan(q: &Query) -> String {
+    let mut out = String::new();
+    render_plan_rec(q, 0, &mut out);
+    out
+}
+
+fn render_plan_rec(q: &Query, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match q {
+        Query::Scan { table } => {
+            let _ = writeln!(out, "{pad}Scan {table}");
+        }
+        Query::Filter { input, predicate } => {
+            let _ = writeln!(out, "{pad}Filter {}", render_expr(predicate));
+            render_plan_rec(input, depth + 1, out);
+        }
+        Query::Project { input, exprs } => {
+            let cols: Vec<String> = exprs
+                .iter()
+                .map(|(e, n)| format!("{} AS {}", render_expr(e), n))
+                .collect();
+            let _ = writeln!(out, "{pad}Project {}", cols.join(", "));
+            render_plan_rec(input, depth + 1, out);
+        }
+        Query::Join { left, right, on } => {
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            let _ = writeln!(out, "{pad}Join on {}", keys.join(" AND "));
+            render_plan_rec(left, depth + 1, out);
+            render_plan_rec(right, depth + 1, out);
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            let aggs_s: Vec<String> = aggs.iter().map(render_agg).collect();
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate [{}] group by [{}]",
+                aggs_s.join(", "),
+                group_by.join(", ")
+            );
+            render_plan_rec(input, depth + 1, out);
+        }
+        Query::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct");
+            render_plan_rec(input, depth + 1, out);
+        }
+        Query::Limit { input, n } => {
+            let _ = writeln!(out, "{pad}Limit {n}");
+            render_plan_rec(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggFunc, ColumnType, Expr, Query, Relation, Schema, Value};
+
+    #[test]
+    fn renders_relation_with_truncation() {
+        let mut r = Relation::new(Schema::new(vec![("id", ColumnType::Int), ("n", ColumnType::Str)]));
+        for i in 0..5 {
+            r.push(vec![Value::Int(i), format!("row{i}").into()]).unwrap();
+        }
+        let s = render_relation(&r, 3);
+        assert!(s.contains("id"));
+        assert!(s.contains("row0"));
+        assert!(!s.contains("row4"));
+        assert!(s.contains("5 rows total"));
+    }
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::col("age")
+            .between(Expr::lit(10), Expr::lit(20))
+            .and(Expr::col("name").like("A%"))
+            .or(Expr::col("x").in_list(vec![Value::Int(1), Value::Int(2)]).not());
+        let s = render_expr(&e);
+        assert!(s.contains("BETWEEN"));
+        assert!(s.contains("LIKE"));
+        assert!(s.contains("IN (1, 2)"));
+        assert!(s.contains("NOT"));
+        assert!(render_expr(&Expr::col("g").eq(Expr::lit("f"))).contains("'f'"));
+        assert!(render_expr(&Expr::col("x").is_null()).contains("IS NULL"));
+    }
+
+    #[test]
+    fn renders_plans() {
+        let q = Query::scan("User")
+            .join(Query::scan("Lang"), vec![("uid", "uid")])
+            .filter(Expr::col("lang").eq(Expr::lit("en")))
+            .aggregate(vec!["gender"], vec![(AggFunc::Count, None, "c")])
+            .distinct()
+            .limit(10);
+        let s = render_plan(&q);
+        assert!(s.contains("Scan User"));
+        assert!(s.contains("Join on uid=uid"));
+        assert!(s.contains("Aggregate"));
+        assert!(s.contains("Distinct"));
+        assert!(s.contains("Limit 10"));
+        let proj = Query::scan("T").project(vec![(Expr::col("a").add(Expr::lit(1)), "a1")]);
+        assert!(render_plan(&proj).contains("AS a1"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Relation schemas.
+
+use crate::QdbError;
+
+/// Column data type. Types are advisory: the engine is dynamically typed at
+/// the cell level, but schemas document intent and are used by the dataset
+/// generators and pretty printer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new<S: Into<String>>(columns: Vec<(S, ColumnType)>) -> Self {
+        Schema {
+            columns: columns.into_iter().map(|(n, t)| (n.into(), t)).collect(),
+        }
+    }
+
+    /// Empty schema (used for aggregate-only outputs before naming).
+    pub fn empty() -> Self {
+        Schema { columns: Vec::new() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Column `(name, type)` pairs.
+    pub fn columns(&self) -> &[(String, ColumnType)] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, QdbError> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| QdbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Type of column `idx`.
+    pub fn column_type(&self, idx: usize) -> ColumnType {
+        self.columns[idx].1
+    }
+
+    /// Name of column `idx`.
+    pub fn column_name(&self, idx: usize) -> &str {
+        &self.columns[idx].0
+    }
+
+    /// Appends a column and returns its index.
+    pub fn push(&mut self, name: impl Into<String>, ty: ColumnType) -> usize {
+        self.columns.push((name.into(), ty));
+        self.columns.len() - 1
+    }
+
+    /// Concatenates two schemas (used by joins). Right-hand columns that
+    /// collide with a left-hand name are prefixed with `prefix`.
+    pub fn join(&self, other: &Schema, prefix: &str) -> Schema {
+        let mut cols = self.columns.clone();
+        for (n, t) in &other.columns {
+            let name = if self.index_of(n).is_ok() {
+                format!("{prefix}.{n}")
+            } else {
+                n.clone()
+            };
+            cols.push((name, *t));
+        }
+        Schema { columns: cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_lookup() {
+        let s = Schema::new(vec![("a", ColumnType::Int), ("b", ColumnType::Str)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(matches!(s.index_of("z"), Err(QdbError::UnknownColumn(_))));
+        assert_eq!(s.column_type(0), ColumnType::Int);
+        assert_eq!(s.column_name(1), "b");
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn push_and_empty() {
+        let mut s = Schema::empty();
+        assert_eq!(s.arity(), 0);
+        let i = s.push("x", ColumnType::Float);
+        assert_eq!(i, 0);
+        assert_eq!(s.arity(), 1);
+    }
+
+    #[test]
+    fn join_prefixes_collisions() {
+        let left = Schema::new(vec![("id", ColumnType::Int), ("name", ColumnType::Str)]);
+        let right = Schema::new(vec![("id", ColumnType::Int), ("city", ColumnType::Str)]);
+        let joined = left.join(&right, "r");
+        assert_eq!(joined.arity(), 4);
+        assert_eq!(joined.column_name(2), "r.id");
+        assert_eq!(joined.column_name(3), "city");
+    }
+}

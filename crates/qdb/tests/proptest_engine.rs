@@ -1,0 +1,167 @@
+//! Property-based tests for the relational engine.
+//!
+//! The key invariant for query pricing is that evaluating a query over a
+//! lazily-overlaid [`DeltaInstance`] gives exactly the same answer (under bag
+//! semantics) as evaluating it over a materialized copy of the perturbed
+//! database — otherwise conflict sets, and therefore prices, would be wrong.
+
+use proptest::prelude::*;
+use qp_qdb::{
+    AggFunc, ColumnType, Database, Delta, DeltaInstance, Expr, Query, Relation, Schema, Value,
+};
+
+/// A small random single-table database over (category: str, amount: int).
+#[derive(Debug, Clone)]
+struct SmallDb {
+    rows: Vec<(u8, i64)>,
+}
+
+fn db_strategy() -> impl Strategy<Value = SmallDb> {
+    proptest::collection::vec((0u8..4, -20i64..20), 1..24).prop_map(|rows| SmallDb { rows })
+}
+
+fn build(db: &SmallDb) -> Database {
+    let schema = Schema::new(vec![
+        ("category", ColumnType::Str),
+        ("amount", ColumnType::Int),
+    ]);
+    let mut rel = Relation::new(schema);
+    for (c, a) in &db.rows {
+        rel.push(vec![format!("cat{c}").into(), Value::Int(*a)]).unwrap();
+    }
+    let mut out = Database::new();
+    out.add_table("T", rel);
+    out
+}
+
+/// A pool of representative query shapes exercised by the properties.
+fn queries() -> Vec<Query> {
+    vec![
+        Query::scan("T"),
+        Query::scan("T").filter(Expr::col("amount").ge(Expr::lit(0))),
+        Query::scan("T")
+            .filter(Expr::col("category").eq(Expr::lit("cat1")))
+            .project_cols(&["amount"]),
+        Query::scan("T").project_cols(&["category"]).distinct(),
+        Query::scan("T").aggregate(
+            vec![],
+            vec![
+                (AggFunc::Count, None, "c"),
+                (AggFunc::Sum, Some("amount"), "s"),
+                (AggFunc::Min, Some("amount"), "mn"),
+                (AggFunc::Max, Some("amount"), "mx"),
+            ],
+        ),
+        Query::scan("T").aggregate(
+            vec!["category"],
+            vec![(AggFunc::Count, None, "c"), (AggFunc::Avg, Some("amount"), "a")],
+        ),
+        Query::scan("T")
+            .join(Query::scan("T"), vec![("category", "category")])
+            .aggregate(vec![], vec![(AggFunc::Count, None, "c")]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overlay_equals_materialized(
+        db in db_strategy(),
+        row_sel in 0usize..24,
+        new_amount in -20i64..20,
+        query_idx in 0usize..7,
+    ) {
+        let base = build(&db);
+        let row = row_sel % db.rows.len();
+        let delta = Delta::cell("T", row, 1, new_amount);
+        let overlay = DeltaInstance::new(&base, &delta);
+        let materialized = delta.materialize(&base).unwrap();
+
+        let q = &queries()[query_idx];
+        let a = q.evaluate(&overlay).unwrap();
+        let b = q.evaluate(&materialized).unwrap();
+        prop_assert!(a.same_answer(&b), "overlay and materialized answers differ");
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn noop_delta_never_changes_any_answer(
+        db in db_strategy(),
+        row_sel in 0usize..24,
+        query_idx in 0usize..7,
+    ) {
+        let base = build(&db);
+        let row = row_sel % db.rows.len();
+        let existing = db.rows[row].1;
+        let delta = Delta::cell("T", row, 1, existing);
+        prop_assert!(delta.is_noop(&base).unwrap());
+        let overlay = DeltaInstance::new(&base, &delta);
+        let q = &queries()[query_idx];
+        let a = q.evaluate(&base).unwrap();
+        let b = q.evaluate(&overlay).unwrap();
+        prop_assert!(a.same_answer(&b));
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_bag_equality(
+        db1 in db_strategy(),
+        db2 in db_strategy(),
+        query_idx in 0usize..7,
+    ) {
+        let a = queries()[query_idx].evaluate(&build(&db1)).unwrap();
+        let b = queries()[query_idx].evaluate(&build(&db2)).unwrap();
+        if a.same_answer(&b) {
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        } else {
+            // Fingerprint collisions are possible in principle but must not
+            // occur on these tiny domains; treat one as a failure so we hear
+            // about it.
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn filter_output_is_subset_and_monotone(
+        db in db_strategy(),
+        threshold in -20i64..20,
+    ) {
+        let base = build(&db);
+        let all = Query::scan("T").evaluate(&base).unwrap();
+        let filtered = Query::scan("T")
+            .filter(Expr::col("amount").ge(Expr::lit(threshold)))
+            .evaluate(&base)
+            .unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        let stricter = Query::scan("T")
+            .filter(Expr::col("amount").ge(Expr::lit(threshold.saturating_add(5))))
+            .evaluate(&base)
+            .unwrap();
+        prop_assert!(stricter.len() <= filtered.len());
+    }
+
+    #[test]
+    fn group_counts_sum_to_table_size(db in db_strategy()) {
+        let base = build(&db);
+        let grouped = Query::scan("T")
+            .aggregate(vec!["category"], vec![(AggFunc::Count, None, "c")])
+            .evaluate(&base)
+            .unwrap();
+        let total: i64 = grouped.rows().iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, db.rows.len());
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_no_larger(db in db_strategy()) {
+        let base = build(&db);
+        let once = Query::scan("T").project_cols(&["category"]).distinct().evaluate(&base).unwrap();
+        let twice = Query::scan("T")
+            .project_cols(&["category"])
+            .distinct()
+            .distinct()
+            .evaluate(&base)
+            .unwrap();
+        prop_assert!(once.same_answer(&twice));
+        prop_assert!(once.len() <= db.rows.len());
+    }
+}

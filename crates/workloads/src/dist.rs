@@ -1,0 +1,154 @@
+//! Random-variate samplers used by the valuation models.
+//!
+//! Only `rand`'s uniform primitives are available offline, so the Zipf,
+//! Normal, Exponential and Binomial samplers needed by §6.3 of the paper are
+//! implemented here directly (inverse-CDF table for Zipf, Box–Muller for the
+//! normal, inverse CDF for the exponential, Bernoulli sum / normal
+//! approximation for the binomial).
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `a > 1`:
+/// `P(k) ∝ k^{-a}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF table for `n` ranks and exponent `a`.
+    pub fn new(n: usize, a: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(a > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-a);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 = 0 which would make ln(u1) = -inf.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, variance)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, variance: f64) -> f64 {
+    mean + variance.max(0.0).sqrt() * standard_normal(rng)
+}
+
+/// Samples an exponential with the given mean (`β` parameterization used by
+/// the paper: `v_e ~ exponential(β = |e|^k)`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Samples `Binomial(n, p)`. Uses a direct Bernoulli sum for small `n` and a
+/// (clamped, rounded) normal approximation for large `n`.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> usize {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if n <= 64 {
+        (0..n).filter(|_| rng.gen::<f64>() < p).count()
+    } else {
+        let mean = n as f64 * p;
+        let var = n as f64 * p * (1.0 - p);
+        let x = normal(rng, mean, var).round();
+        x.clamp(0.0, n as f64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zipf_favours_small_ranks() {
+        let z = Zipf::new(100, 2.0);
+        let mut rng = rng();
+        let mut counts = vec![0usize; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // Rank 1 should dominate (~60% of mass at a = 2).
+        assert!(counts[1] as f64 / 20_000.0 > 0.5);
+        // All samples in range.
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn zipf_smaller_exponent_spreads_mass() {
+        let z15 = Zipf::new(1000, 1.5);
+        let z25 = Zipf::new(1000, 2.5);
+        let mut rng = rng();
+        let mean15: f64 =
+            (0..5000).map(|_| z15.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
+        let mean25: f64 =
+            (0..5000).map(|_| z25.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
+        assert!(mean15 > mean25, "a=1.5 mean {mean15} vs a=2.5 mean {mean25}");
+    }
+
+    #[test]
+    fn normal_mean_and_variance_are_close() {
+        let mut rng = rng();
+        let samples: Vec<f64> = (0..30_000).map(|_| normal(&mut rng, 5.0, 9.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = rng();
+        let mean = (0..30_000).map(|_| exponential(&mut rng, 4.0)).sum::<f64>() / 30_000.0;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+        assert!(exponential(&mut rng, 4.0) >= 0.0);
+    }
+
+    #[test]
+    fn binomial_both_regimes_match_expectation() {
+        let mut rng = rng();
+        let small: f64 =
+            (0..20_000).map(|_| binomial(&mut rng, 20, 0.5) as f64).sum::<f64>() / 20_000.0;
+        assert!((small - 10.0).abs() < 0.2, "small-n mean {small}");
+        let large: f64 =
+            (0..20_000).map(|_| binomial(&mut rng, 1000, 0.5) as f64).sum::<f64>() / 20_000.0;
+        assert!((large - 500.0).abs() < 3.0, "large-n mean {large}");
+        assert!((0..100).all(|_| binomial(&mut rng, 10, 0.0) == 0));
+        assert!((0..100).all(|_| binomial(&mut rng, 10, 1.0) == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn binomial_rejects_bad_probability() {
+        let mut rng = rng();
+        binomial(&mut rng, 10, 1.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! # qp-workloads — datasets, query workloads, and buyer-valuation models
+//!
+//! Everything the paper's experimental section (§6) takes as input:
+//!
+//! * **Datasets** — deterministic synthetic generators for the `world`
+//!   database ([`world`]), the TPC-H benchmark subset used by Qirana
+//!   ([`tpch`]), and the Star Schema Benchmark ([`ssb`]). The paper runs on
+//!   MySQL copies of the original data; here the generators reproduce the
+//!   schemas and the value-domain structure (continents, regions, languages,
+//!   part types, years, …) that the query templates parameterize over, at a
+//!   laptop-friendly scale controlled by [`Scale`].
+//! * **Query workloads** — the four workloads of Table 3: the *skewed*
+//!   workload of 986 queries over `world` (Appendix B), the *uniform*
+//!   workload of ~1000 equal-selectivity selections, the *TPC-H* workload of
+//!   220 parameterized queries (Appendix C) and the *SSB* workload of 701
+//!   parameterized queries.
+//! * **Valuation models** ([`valuations`]) — sampled bundle valuations
+//!   (Uniform, Zipf), scaled bundle valuations (Exponential / Normal in
+//!   `|e|^k`) and the additive item-price model with `D̃ ∈ {Uniform,
+//!   Binomial}`.
+//! * **Distributions** ([`dist`]) — the Zipf / Normal / Exponential /
+//!   Binomial samplers the valuation models need, implemented on top of
+//!   `rand` so no extra dependency is required.
+
+pub mod dist;
+pub mod queries;
+pub mod ssb;
+pub mod tpch;
+pub mod valuations;
+pub mod world;
+
+/// Dataset / workload scale.
+///
+/// The paper runs the world dataset at 5 000 tuples with a support of 15 000,
+/// and TPC-H / SSB at scale factor 1 (≈10 M rows) with supports of 100 000.
+/// Those sizes need hours of conflict-set construction even in the original
+/// system; the scales below keep every experiment runnable in minutes while
+/// preserving the hypergraph *structure* (relative edge sizes, degrees,
+/// unique-item distribution) that drives the algorithms' behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny instances for unit/integration tests (seconds).
+    Test,
+    /// Default experiment scale (a few thousand tuples per dataset).
+    Quick,
+    /// Larger instances approaching the paper's setup (minutes per figure).
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to base table cardinalities.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Test => 1,
+            Scale::Quick => 4,
+            Scale::Full => 12,
+        }
+    }
+
+    /// Default support-set size used with this scale.
+    pub fn default_support(self) -> usize {
+        match self {
+            Scale::Test => 150,
+            Scale::Quick => 1500,
+            Scale::Full => 6000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_are_increasing() {
+        assert!(Scale::Test.factor() < Scale::Quick.factor());
+        assert!(Scale::Quick.factor() < Scale::Full.factor());
+        assert!(Scale::Test.default_support() < Scale::Full.default_support());
+    }
+}

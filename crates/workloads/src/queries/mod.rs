@@ -1,0 +1,47 @@
+//! The four query workloads of Table 3.
+//!
+//! * [`skewed`] — 34 hand-written templates over the `world` dataset
+//!   (Appendix B, Table 7), expanded per country / continent / language to
+//!   ≈986 queries. The resulting hyperedges are highly skewed in size.
+//! * [`uniform`] — equal-selectivity selection/projection queries whose
+//!   hyperedges all have roughly the same (large) size.
+//! * TPC-H and SSB workloads live next to their dataset generators in
+//!   [`crate::tpch`] and [`crate::ssb`].
+
+pub mod skewed;
+pub mod uniform;
+
+use qp_qdb::Query;
+
+/// A named workload: the queries plus the dataset identifier they run on.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable workload name (as used in the paper's tables).
+    pub name: &'static str,
+    /// The buyer queries.
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Number of queries `m`.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_reports_its_size() {
+        let w = Workload { name: "tiny", queries: vec![Query::scan("T")] };
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! The skewed workload (Appendix B, Table 7 of the paper).
+//!
+//! Thirty-four SQL templates over the `world` dataset — selections,
+//! projections, joins and aggregations — expanded by parameterizing the
+//! country-, continent- and language-valued predicates over their active
+//! domains (the paper's procedure for reaching 986 queries).
+
+use qp_qdb::{AggFunc, Database, Expr, Query};
+
+use crate::queries::Workload;
+use crate::world::{self, CONTINENTS};
+
+/// The 34 base templates (Table 7), instantiated with representative
+/// constants. `usa`, `grc`, `greek`, `english`, `spanish` name the constants
+/// used by the original queries; the synthetic dataset substitutes its own
+/// domain values for them.
+pub fn base_queries() -> Vec<Query> {
+    let usa = world::country_code(0);
+    let grc = world::country_code(1);
+    let greek = world::language_name(0);
+    let english = world::language_name(1);
+    let spanish = world::language_name(2);
+
+    vec![
+        // Q1: count of Asian countries.
+        q1_for_continent("Asia"),
+        // Q2: number of distinct continents.
+        Query::scan("Country")
+            .aggregate(vec![], vec![(AggFunc::CountDistinct, Some("Continent"), "c")]),
+        // Q3 – Q5: global aggregates.
+        Query::scan("Country").aggregate(vec![], vec![(AggFunc::Avg, Some("Population"), "a")]),
+        Query::scan("Country").aggregate(vec![], vec![(AggFunc::Max, Some("Population"), "m")]),
+        Query::scan("Country")
+            .aggregate(vec![], vec![(AggFunc::Min, Some("LifeExpectancy"), "m")]),
+        // Q6: count of countries whose name starts with 'A'.
+        Query::scan("Country")
+            .filter(Expr::col("Name").like("Country00%"))
+            .aggregate(vec![], vec![(AggFunc::Count, Some("Name"), "c")]),
+        // Q7 – Q9: group-bys.
+        Query::scan("Country")
+            .aggregate(vec!["Region"], vec![(AggFunc::Max, Some("SurfaceArea"), "m")]),
+        Query::scan("Country")
+            .aggregate(vec!["Continent"], vec![(AggFunc::Max, Some("Population"), "m")]),
+        Query::scan("Country")
+            .aggregate(vec!["Continent"], vec![(AggFunc::Count, Some("Code"), "c")]),
+        // Q10: the whole Country table.
+        Query::scan("Country"),
+        // Q11: names starting with 'A'.
+        Query::scan("Country")
+            .filter(Expr::col("Name").like("Country00%"))
+            .project_cols(&["Name"]),
+        // Q12: populous European countries.
+        q12_for_continent("Europe"),
+        // Q13 – Q15: region / population selections.
+        Query::scan("Country").filter(Expr::col("Region").eq(Expr::lit("Caribbean"))),
+        Query::scan("Country")
+            .filter(Expr::col("Region").eq(Expr::lit("Caribbean")))
+            .project_cols(&["Name"]),
+        Query::scan("Country")
+            .filter(
+                Expr::col("Population").between(Expr::lit(10_000_000), Expr::lit(20_000_000)),
+            )
+            .project_cols(&["Name"]),
+        // Q16: LIMIT query.
+        Query::scan("Country")
+            .filter(Expr::col("Continent").eq(Expr::lit("Europe")))
+            .limit(2),
+        // Q17: a single country's population.
+        q17_for_country(&usa),
+        // Q18 – Q19: government forms.
+        Query::scan("Country").project_cols(&["GovernmentForm"]),
+        Query::scan("Country").project_cols(&["GovernmentForm"]).distinct(),
+        // Q20: large US cities.
+        Query::scan("City").filter(
+            Expr::col("Population")
+                .ge(Expr::lit(1_000_000))
+                .and(Expr::col("CountryCode").eq(Expr::lit(usa.as_str()))),
+        ),
+        // Q21: distinct languages of the USA.
+        Query::scan("CountryLanguage")
+            .filter(Expr::col("CountryCode").eq(Expr::lit(usa.as_str())))
+            .project_cols(&["Language"])
+            .distinct(),
+        // Q22: official languages.
+        Query::scan("CountryLanguage").filter(Expr::col("IsOfficial").eq(Expr::lit("T"))),
+        // Q23: language histogram.
+        Query::scan("CountryLanguage")
+            .aggregate(vec!["Language"], vec![(AggFunc::Count, Some("CountryCode"), "c")]),
+        // Q24: number of languages spoken in the USA.
+        Query::scan("CountryLanguage")
+            .filter(Expr::col("CountryCode").eq(Expr::lit(usa.as_str())))
+            .aggregate(vec![], vec![(AggFunc::Count, Some("Language"), "c")]),
+        // Q25 – Q26: per-country city statistics.
+        Query::scan("City")
+            .aggregate(vec!["CountryCode"], vec![(AggFunc::Sum, Some("Population"), "s")]),
+        Query::scan("City")
+            .aggregate(vec!["CountryCode"], vec![(AggFunc::Count, Some("ID"), "c")]),
+        // Q27: cities of Greece.
+        q27_for_country(&grc),
+        // Q28: does the USA have a mega-city?
+        Query::scan("City")
+            .filter(
+                Expr::col("CountryCode")
+                    .eq(Expr::lit(usa.as_str()))
+                    .and(Expr::col("Population").gt(Expr::lit(10_000_000))),
+            )
+            .project(vec![(Expr::lit(1), "one")])
+            .distinct(),
+        // Q29 – Q30: join queries filtered by language.
+        q29_for_language(&greek),
+        q30_for_language(&english),
+        // Q31: district of the US capital.
+        q31_for_country(&usa),
+        // Q32: countries speaking Spanish (full join rows).
+        Query::scan("Country")
+            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+            .filter(Expr::col("Language").eq(Expr::lit(spanish.as_str()))),
+        // Q33 – Q34: country–language joins.
+        Query::scan("Country")
+            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+            .project_cols(&["Name", "Language"]),
+        Query::scan("Country")
+            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")]),
+    ]
+}
+
+/// Q1 parameterized by continent.
+fn q1_for_continent(continent: &str) -> Query {
+    Query::scan("Country")
+        .filter(Expr::col("Continent").eq(Expr::lit(continent)))
+        .aggregate(vec![], vec![(AggFunc::Count, Some("Name"), "c")])
+}
+
+/// Q12 parameterized by continent.
+fn q12_for_continent(continent: &str) -> Query {
+    Query::scan("Country").filter(
+        Expr::col("Continent")
+            .eq(Expr::lit(continent))
+            .and(Expr::col("Population").gt(Expr::lit(5_000_000))),
+    )
+}
+
+/// Q17 parameterized by country code.
+fn q17_for_country(code: &str) -> Query {
+    Query::scan("Country")
+        .filter(Expr::col("Code").eq(Expr::lit(code)))
+        .project_cols(&["Population"])
+}
+
+/// Q27 parameterized by country code.
+fn q27_for_country(code: &str) -> Query {
+    Query::scan("City").filter(Expr::col("CountryCode").eq(Expr::lit(code)))
+}
+
+/// Q31 parameterized by country code.
+fn q31_for_country(code: &str) -> Query {
+    Query::scan("Country")
+        .filter(Expr::col("Code").eq(Expr::lit(code)))
+        .join(Query::scan("City"), vec![("Capital", "ID")])
+        .project_cols(&["District"])
+}
+
+/// Q29 parameterized by language.
+fn q29_for_language(language: &str) -> Query {
+    Query::scan("Country")
+        .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+        .filter(Expr::col("Language").eq(Expr::lit(language)))
+        .project_cols(&["Name"])
+}
+
+/// Q30 parameterized by language.
+fn q30_for_language(language: &str) -> Query {
+    Query::scan("Country")
+        .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+        .filter(
+            Expr::col("Language")
+                .eq(Expr::lit(language))
+                .and(Expr::col("Percentage").ge(Expr::lit(50.0))),
+        )
+        .project_cols(&["Name"])
+}
+
+/// Builds the full skewed workload for a generated world database: the 34
+/// templates plus one instantiation of Q17/Q27/Q31 per country, Q1/Q12 per
+/// continent, and Q29/Q30 per language (the paper's expansion to 986).
+pub fn workload(db: &Database, num_countries: usize) -> Workload {
+    let mut queries = base_queries();
+    for i in 0..num_countries {
+        let code = world::country_code(i);
+        queries.push(q17_for_country(&code));
+        queries.push(q27_for_country(&code));
+        queries.push(q31_for_country(&code));
+    }
+    for continent in CONTINENTS {
+        queries.push(q1_for_continent(continent));
+        queries.push(q12_for_continent(continent));
+    }
+    for language in world::languages_in(db) {
+        queries.push(q29_for_language(&language));
+        queries.push(q30_for_language(&language));
+    }
+    Workload { name: "skewed", queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use crate::Scale;
+
+    #[test]
+    fn has_34_base_templates() {
+        assert_eq!(base_queries().len(), 34);
+    }
+
+    #[test]
+    fn all_base_templates_evaluate_on_the_dataset() {
+        let db = world::generate(&WorldConfig::at_scale(Scale::Test));
+        for (i, q) in base_queries().iter().enumerate() {
+            assert!(q.evaluate(&db).is_ok(), "template Q{} failed", i + 1);
+        }
+    }
+
+    #[test]
+    fn expansion_matches_paper_scale() {
+        let cfg = WorldConfig::at_scale(Scale::Quick);
+        let db = world::generate(&cfg);
+        let w = workload(&db, cfg.countries);
+        // 34 + 3·239 + 2·7 + 2·|languages| ≈ 986 with the paper's domains.
+        assert!(w.len() > 900, "workload has {} queries", w.len());
+        assert!(w.len() < 1100);
+    }
+
+    #[test]
+    fn expansion_queries_evaluate_on_small_scale() {
+        let cfg = WorldConfig::at_scale(Scale::Test);
+        let db = world::generate(&cfg);
+        let w = workload(&db, cfg.countries);
+        for q in &w.queries {
+            assert!(q.evaluate(&db).is_ok());
+        }
+        assert_eq!(w.name, "skewed");
+    }
+}

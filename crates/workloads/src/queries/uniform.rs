@@ -1,0 +1,86 @@
+//! The uniform workload.
+//!
+//! Selection + projection queries with (approximately) the same selectivity:
+//! sliding windows over the `City` table's key. Every query returns about the
+//! same number of rows, so every hyperedge contains roughly the same fraction
+//! of the support set and hyperedges overlap heavily — the structure shown in
+//! Figure 4b of the paper.
+
+use qp_qdb::{Database, Expr, Query};
+
+use crate::queries::Workload;
+
+/// Fraction of the table selected by every query (the paper's uniform
+/// workload selects ≈40% of the support per query).
+pub const WINDOW_FRACTION: f64 = 0.4;
+
+/// Builds the uniform workload of `num_queries` equal-selectivity queries
+/// over the `City` table of the world database.
+pub fn workload(db: &Database, num_queries: usize) -> Workload {
+    let cities = db.table("City").map(|r| r.len()).unwrap_or(0) as i64;
+    let width = ((cities as f64) * WINDOW_FRACTION).round() as i64;
+    let max_start = (cities - width).max(1);
+
+    let mut queries = Vec::with_capacity(num_queries);
+    for i in 0..num_queries {
+        let start = if num_queries > 1 {
+            (i as i64 * max_start) / (num_queries as i64 - 1)
+        } else {
+            0
+        };
+        queries.push(
+            Query::scan("City")
+                .filter(
+                    Expr::col("ID")
+                        .ge(Expr::lit(start))
+                        .and(Expr::col("ID").lt(Expr::lit(start + width))),
+                )
+                .project_cols(&["Name", "CountryCode", "Population"]),
+        );
+    }
+    Workload { name: "uniform", queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{self, WorldConfig};
+    use crate::Scale;
+
+    #[test]
+    fn produces_requested_number_of_queries() {
+        let db = world::generate(&WorldConfig::at_scale(Scale::Test));
+        let w = workload(&db, 103);
+        assert_eq!(w.len(), 103);
+        assert_eq!(w.name, "uniform");
+    }
+
+    #[test]
+    fn queries_have_similar_selectivity() {
+        let db = world::generate(&WorldConfig::at_scale(Scale::Test));
+        let w = workload(&db, 25);
+        let sizes: Vec<usize> = w
+            .queries
+            .iter()
+            .map(|q| q.evaluate(&db).unwrap().len())
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min > 0);
+        // All within a small factor of each other (boundary windows can be
+        // slightly clipped).
+        assert!(max <= min + 2, "selectivities differ too much: {min}..{max}");
+        // Roughly 40% of the table.
+        let cities = db.table("City").unwrap().len();
+        assert!((min as f64) > 0.3 * cities as f64);
+        assert!((max as f64) < 0.5 * cities as f64);
+    }
+
+    #[test]
+    fn single_query_workload_is_valid() {
+        let db = world::generate(&WorldConfig::at_scale(Scale::Test));
+        let w = workload(&db, 1);
+        assert_eq!(w.len(), 1);
+        assert!(w.queries[0].evaluate(&db).is_ok());
+    }
+}

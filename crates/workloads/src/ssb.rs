@@ -1,0 +1,368 @@
+//! The Star Schema Benchmark (dataset + the 701-query workload).
+//!
+//! The paper prices 701 queries generated from the thirteen SSB templates by
+//! parameterizing them over years (7), regions (5), nations (25), cities
+//! (250) and (region, nation) pairs. The generator reproduces the star
+//! schema (a `lineorder` fact table plus `date`, `customer`, `supplier`,
+//! `part` dimensions) with exactly those categorical domains at a reduced
+//! scale; the workload builder reproduces the 701 parameterized queries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qp_qdb::{AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value};
+
+use crate::queries::Workload;
+use crate::Scale;
+
+/// The five SSB regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Years covered by the `date` dimension.
+pub const YEARS: [i64; 7] = [1992, 1993, 1994, 1995, 1996, 1997, 1998];
+
+/// Number of nations (5 per region).
+pub const NUM_NATIONS: usize = 25;
+
+/// Number of customer cities (10 per nation).
+pub const NUM_CITIES: usize = 250;
+
+/// Name of nation `i`.
+pub fn nation_name(i: usize) -> String {
+    format!("NATION{i:02}")
+}
+
+/// Name of city `i`.
+pub fn city_name(i: usize) -> String {
+    format!("CITY{i:03}")
+}
+
+/// Region of nation `i`.
+pub fn region_of_nation(i: usize) -> &'static str {
+    REGIONS[i % REGIONS.len()]
+}
+
+/// Table cardinalities at a given scale.
+#[derive(Debug, Clone)]
+pub struct SsbConfig {
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of lineorder facts.
+    pub lineorders: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SsbConfig {
+    /// Configuration for a scale.
+    pub fn at_scale(scale: Scale) -> SsbConfig {
+        let f = scale.factor();
+        SsbConfig {
+            customers: 150 * f,
+            suppliers: 50 * f,
+            parts: 100 * f,
+            lineorders: 700 * f,
+            seed: 3,
+        }
+    }
+}
+
+/// Generates the scaled-down SSB database.
+pub fn generate(config: &SsbConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+
+    // date(d_datekey, d_year, d_month)
+    let mut date = Relation::new(Schema::new(vec![
+        ("d_datekey", ColumnType::Int),
+        ("d_year", ColumnType::Int),
+        ("d_month", ColumnType::Int),
+    ]));
+    let days_per_year = 48;
+    for (yi, &year) in YEARS.iter().enumerate() {
+        for d in 0..days_per_year {
+            date.push(vec![
+                Value::Int((yi * days_per_year + d) as i64),
+                Value::Int(year),
+                Value::Int((d % 12) as i64 + 1),
+            ])
+            .unwrap();
+        }
+    }
+    let num_dates = YEARS.len() * days_per_year;
+    db.add_table("date", date);
+
+    // customer(c_custkey, c_city, c_nation, c_region)
+    let mut customer = Relation::new(Schema::new(vec![
+        ("c_custkey", ColumnType::Int),
+        ("c_city", ColumnType::Str),
+        ("c_nation", ColumnType::Str),
+        ("c_region", ColumnType::Str),
+    ]));
+    for i in 0..config.customers {
+        let city = i % NUM_CITIES;
+        let nation = city / 10; // 10 cities per nation
+        customer
+            .push(vec![
+                Value::Int(i as i64),
+                city_name(city).into(),
+                nation_name(nation).into(),
+                region_of_nation(nation).into(),
+            ])
+            .unwrap();
+    }
+    db.add_table("customer", customer);
+
+    // supplier(s_suppkey, s_city, s_nation, s_region)
+    let mut supplier = Relation::new(Schema::new(vec![
+        ("s_suppkey", ColumnType::Int),
+        ("s_city", ColumnType::Str),
+        ("s_nation", ColumnType::Str),
+        ("s_region", ColumnType::Str),
+    ]));
+    for i in 0..config.suppliers {
+        let city = (i * 7) % NUM_CITIES;
+        let nation = city / 10;
+        supplier
+            .push(vec![
+                Value::Int(i as i64),
+                city_name(city).into(),
+                nation_name(nation).into(),
+                region_of_nation(nation).into(),
+            ])
+            .unwrap();
+    }
+    db.add_table("supplier", supplier);
+
+    // part(p_partkey, p_category, p_brand)
+    let mut part = Relation::new(Schema::new(vec![
+        ("p_partkey", ColumnType::Int),
+        ("p_category", ColumnType::Str),
+        ("p_brand", ColumnType::Str),
+    ]));
+    for i in 0..config.parts {
+        part.push(vec![
+            Value::Int(i as i64),
+            format!("MFGR#{}", i % 25).into(),
+            format!("BRAND#{}", i % 40).into(),
+        ])
+        .unwrap();
+    }
+    db.add_table("part", part);
+
+    // lineorder(lo_orderkey, lo_custkey, lo_suppkey, lo_partkey, lo_orderdate,
+    //           lo_quantity, lo_extendedprice, lo_discount, lo_revenue)
+    let mut lineorder = Relation::new(Schema::new(vec![
+        ("lo_orderkey", ColumnType::Int),
+        ("lo_custkey", ColumnType::Int),
+        ("lo_suppkey", ColumnType::Int),
+        ("lo_partkey", ColumnType::Int),
+        ("lo_orderdate", ColumnType::Int),
+        ("lo_quantity", ColumnType::Int),
+        ("lo_extendedprice", ColumnType::Float),
+        ("lo_discount", ColumnType::Float),
+        ("lo_revenue", ColumnType::Float),
+    ]));
+    for i in 0..config.lineorders {
+        let price: f64 = rng.gen_range(1_000.0..60_000.0);
+        let discount: f64 = rng.gen_range(0.0..0.1);
+        lineorder
+            .push(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..config.customers as i64)),
+                Value::Int(rng.gen_range(0..config.suppliers as i64)),
+                Value::Int(rng.gen_range(0..config.parts as i64)),
+                Value::Int(rng.gen_range(0..num_dates as i64)),
+                Value::Int(rng.gen_range(1..50)),
+                Value::Float(price),
+                Value::Float(discount),
+                Value::Float(price * (1.0 - discount)),
+            ])
+            .unwrap();
+    }
+    db.add_table("lineorder", lineorder);
+
+    db
+}
+
+/// Builds the 701-query SSB workload: 3 templates per year (21), 6 per region
+/// (30), 1 per nation (25), 2 per city (500), 1 per (region, nation) pair
+/// (125).
+pub fn workload() -> Workload {
+    let mut queries = Vec::with_capacity(701);
+
+    // --- per year: the three Q1.x flight variants (21 queries) -------------
+    for &year in &YEARS {
+        for (qty_cap, disc_lo, disc_hi) in [(25, 0.01, 0.03), (35, 0.04, 0.06), (45, 0.05, 0.07)] {
+            queries.push(
+                Query::scan("lineorder")
+                    .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
+                    .filter(
+                        Expr::col("d_year")
+                            .eq(Expr::lit(year))
+                            .and(Expr::col("lo_quantity").lt(Expr::lit(qty_cap)))
+                            .and(
+                                Expr::col("lo_discount")
+                                    .between(Expr::lit(disc_lo), Expr::lit(disc_hi)),
+                            ),
+                    )
+                    .project(vec![(
+                        Expr::col("lo_extendedprice").mul(Expr::col("lo_discount")),
+                        "revenue",
+                    )])
+                    .aggregate(vec![], vec![(AggFunc::Sum, Some("revenue"), "revenue")]),
+            );
+        }
+    }
+
+    // --- per region: six Q2.x / Q3.x / Q4.x style templates (30 queries) ---
+    for region in REGIONS {
+        // Q2-style: revenue by year for parts sold by suppliers of a region.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
+                .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
+                .filter(Expr::col("s_region").eq(Expr::lit(region)))
+                .aggregate(vec!["d_year"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+        );
+        // Q3-style: customer-nation revenue inside a customer region.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                .filter(Expr::col("c_region").eq(Expr::lit(region)))
+                .aggregate(vec!["c_nation"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+        );
+        // Q4-style: average quantity by supplier nation inside a region.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
+                .filter(Expr::col("s_region").eq(Expr::lit(region)))
+                .aggregate(vec!["s_nation"], vec![(AggFunc::Avg, Some("lo_quantity"), "q")]),
+        );
+        // Customer-region order counts.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                .filter(Expr::col("c_region").eq(Expr::lit(region)))
+                .aggregate(vec![], vec![(AggFunc::Count, None, "orders")]),
+        );
+        // Supplier-region discount statistics.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
+                .filter(Expr::col("s_region").eq(Expr::lit(region)))
+                .aggregate(
+                    vec![],
+                    vec![
+                        (AggFunc::Avg, Some("lo_discount"), "avg_disc"),
+                        (AggFunc::Max, Some("lo_revenue"), "max_rev"),
+                    ],
+                ),
+        );
+        // Customer-region revenue by year.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
+                .filter(Expr::col("c_region").eq(Expr::lit(region)))
+                .aggregate(vec!["d_year"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+        );
+    }
+
+    // --- per nation: revenue of a customer nation (25 queries) -------------
+    for n in 0..NUM_NATIONS {
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                .filter(Expr::col("c_nation").eq(Expr::lit(nation_name(n).as_str())))
+                .aggregate(vec![], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+        );
+    }
+
+    // --- per city: two templates (500 queries) ------------------------------
+    for c in 0..NUM_CITIES {
+        let city = city_name(c);
+        // Q9-style: revenue for a customer city.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                .filter(Expr::col("c_city").eq(Expr::lit(city.as_str())))
+                .aggregate(vec![], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+        );
+        // Q10-style: yearly order count for a supplier city.
+        queries.push(
+            Query::scan("lineorder")
+                .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
+                .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
+                .filter(Expr::col("s_city").eq(Expr::lit(city.as_str())))
+                .aggregate(vec!["d_year"], vec![(AggFunc::Count, None, "c")]),
+        );
+    }
+
+    // --- per (region, nation) pair (125 queries) ----------------------------
+    for region in REGIONS {
+        for n in 0..NUM_NATIONS {
+            queries.push(
+                Query::scan("lineorder")
+                    .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
+                    .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
+                    .filter(
+                        Expr::col("c_region")
+                            .eq(Expr::lit(region))
+                            .and(Expr::col("s_nation").eq(Expr::lit(nation_name(n).as_str()))),
+                    )
+                    .aggregate(vec![], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+            );
+        }
+    }
+
+    Workload { name: "ssb", queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_701_queries() {
+        assert_eq!(workload().len(), 701);
+    }
+
+    #[test]
+    fn database_has_five_tables_and_expected_sizes() {
+        let cfg = SsbConfig::at_scale(Scale::Test);
+        let db = generate(&cfg);
+        assert_eq!(db.num_tables(), 5);
+        assert_eq!(db.table("lineorder").unwrap().len(), cfg.lineorders);
+        assert_eq!(db.table("date").unwrap().len(), YEARS.len() * 48);
+        assert_eq!(generate(&cfg), db);
+    }
+
+    #[test]
+    fn a_sample_of_queries_evaluates() {
+        let db = generate(&SsbConfig::at_scale(Scale::Test));
+        let w = workload();
+        // Evaluating all 701 joins on the test database is slow in debug
+        // builds; a strided sample still covers every template family.
+        for (i, q) in w.queries.iter().enumerate().step_by(23) {
+            assert!(q.evaluate(&db).is_ok(), "SSB query {i} failed");
+        }
+    }
+
+    #[test]
+    fn city_domain_supports_empty_answers() {
+        // With 250 cities and a reduced customer table, some city-filtered
+        // queries return empty answers — exactly the source of the
+        // zero-size hyperedges the paper reports for SSB.
+        let db = generate(&SsbConfig::at_scale(Scale::Test));
+        let empty_city = Query::scan("customer")
+            .filter(Expr::col("c_city").eq(Expr::lit(city_name(NUM_CITIES - 1).as_str())))
+            .aggregate(vec![], vec![(AggFunc::Count, None, "c")]);
+        let out = empty_city.evaluate(&db).unwrap();
+        assert!(out.rows()[0][0].as_i64().unwrap() <= 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! The TPC-H benchmark subset (dataset + the 220-query workload).
+//!
+//! The paper prices 220 queries generated from seven TPC-H templates
+//! (Appendix C): Q1/Q4/Q6/Q12 parameterized by year (20 queries), Q2 by
+//! region (5) and by part type material (5), Q16 by the 150 `p_type` values,
+//! and Q17 by the 40 `p_container` values. The generator below produces a
+//! scaled-down database with exactly those categorical domains, and the
+//! workload builder reproduces the 220 parameterized queries with the same
+//! join/aggregation structure (simplified where the original predicate logic
+//! does not affect which tuples can change the answer).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qp_qdb::{AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value};
+
+use crate::queries::Workload;
+use crate::Scale;
+
+/// The five TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The five part-type materials used by the parameterized Q2.
+pub const TYPE_MATERIALS: [&str; 5] = ["BRASS", "TIN", "COPPER", "STEEL", "NICKEL"];
+
+const TYPE_CLASSES: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_FINISHES: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const CONTAINER_SIZES: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_KINDS: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+
+/// Years covered by date-valued attributes.
+pub const YEARS: [i64; 6] = [1993, 1994, 1995, 1996, 1997, 1998];
+
+/// The 150 distinct `p_type` values (class × finish × material).
+pub fn part_types() -> Vec<String> {
+    let mut out = Vec::with_capacity(150);
+    for class in TYPE_CLASSES {
+        for finish in TYPE_FINISHES {
+            for material in TYPE_MATERIALS {
+                out.push(format!("{class} {finish} {material}"));
+            }
+        }
+    }
+    out
+}
+
+/// The 40 distinct `p_container` values (size × kind).
+pub fn part_containers() -> Vec<String> {
+    let mut out = Vec::with_capacity(40);
+    for size in CONTAINER_SIZES {
+        for kind in CONTAINER_KINDS {
+            out.push(format!("{size} {kind}"));
+        }
+    }
+    out
+}
+
+/// Table cardinalities at a given scale.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of `partsupp` rows.
+    pub partsupps: usize,
+    /// Number of orders.
+    pub orders: usize,
+    /// Number of lineitems.
+    pub lineitems: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// Configuration for a scale.
+    pub fn at_scale(scale: Scale) -> TpchConfig {
+        let f = scale.factor();
+        TpchConfig {
+            parts: 160 * f,
+            suppliers: 15 * f,
+            partsupps: 320 * f,
+            orders: 220 * f,
+            lineitems: 600 * f,
+            seed: 2,
+        }
+    }
+}
+
+/// Generates the scaled-down TPC-H database.
+pub fn generate(config: &TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+    let types = part_types();
+    let containers = part_containers();
+
+    // region(r_regionkey, r_name)
+    let mut region = Relation::new(Schema::new(vec![
+        ("r_regionkey", ColumnType::Int),
+        ("r_name", ColumnType::Str),
+    ]));
+    for (i, name) in REGIONS.iter().enumerate() {
+        region.push(vec![Value::Int(i as i64), (*name).into()]).unwrap();
+    }
+    db.add_table("region", region);
+
+    // nation(n_nationkey, n_name, n_regionkey)
+    let mut nation = Relation::new(Schema::new(vec![
+        ("n_nationkey", ColumnType::Int),
+        ("n_name", ColumnType::Str),
+        ("n_regionkey", ColumnType::Int),
+    ]));
+    for i in 0..25 {
+        nation
+            .push(vec![
+                Value::Int(i as i64),
+                format!("NATION{i:02}").into(),
+                Value::Int((i % REGIONS.len()) as i64),
+            ])
+            .unwrap();
+    }
+    db.add_table("nation", nation);
+
+    // part(p_partkey, p_type, p_container, p_retailprice)
+    let mut part = Relation::new(Schema::new(vec![
+        ("p_partkey", ColumnType::Int),
+        ("p_type", ColumnType::Str),
+        ("p_container", ColumnType::Str),
+        ("p_retailprice", ColumnType::Float),
+    ]));
+    for i in 0..config.parts {
+        part.push(vec![
+            Value::Int(i as i64),
+            types[i % types.len()].clone().into(),
+            containers[(i * 7 + 3) % containers.len()].clone().into(),
+            Value::Float(rng.gen_range(900.0..2100.0)),
+        ])
+        .unwrap();
+    }
+    db.add_table("part", part);
+
+    // supplier(s_suppkey, s_nationkey, s_acctbal)
+    let mut supplier = Relation::new(Schema::new(vec![
+        ("s_suppkey", ColumnType::Int),
+        ("s_nationkey", ColumnType::Int),
+        ("s_acctbal", ColumnType::Float),
+    ]));
+    for i in 0..config.suppliers {
+        supplier
+            .push(vec![
+                Value::Int(i as i64),
+                Value::Int((i % 25) as i64),
+                Value::Float(rng.gen_range(-999.0..9999.0)),
+            ])
+            .unwrap();
+    }
+    db.add_table("supplier", supplier);
+
+    // partsupp(ps_partkey, ps_suppkey, ps_supplycost, ps_availqty)
+    let mut partsupp = Relation::new(Schema::new(vec![
+        ("ps_partkey", ColumnType::Int),
+        ("ps_suppkey", ColumnType::Int),
+        ("ps_supplycost", ColumnType::Float),
+        ("ps_availqty", ColumnType::Int),
+    ]));
+    for i in 0..config.partsupps {
+        partsupp
+            .push(vec![
+                Value::Int((i % config.parts) as i64),
+                Value::Int(((i * 31) % config.suppliers) as i64),
+                Value::Float(rng.gen_range(1.0..1000.0)),
+                Value::Int(rng.gen_range(1..10_000)),
+            ])
+            .unwrap();
+    }
+    db.add_table("partsupp", partsupp);
+
+    // orders(o_orderkey, o_custkey, o_orderyear, o_orderpriority, o_totalprice)
+    let mut orders = Relation::new(Schema::new(vec![
+        ("o_orderkey", ColumnType::Int),
+        ("o_custkey", ColumnType::Int),
+        ("o_orderyear", ColumnType::Int),
+        ("o_orderpriority", ColumnType::Str),
+        ("o_totalprice", ColumnType::Float),
+    ]));
+    for i in 0..config.orders {
+        orders
+            .push(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..1000)),
+                Value::Int(YEARS[rng.gen_range(0..YEARS.len())]),
+                ORDER_PRIORITIES[rng.gen_range(0..ORDER_PRIORITIES.len())].into(),
+                Value::Float(rng.gen_range(1_000.0..400_000.0)),
+            ])
+            .unwrap();
+    }
+    db.add_table("orders", orders);
+
+    // lineitem(l_orderkey, l_partkey, l_quantity, l_extendedprice, l_discount,
+    //          l_returnflag, l_shipmode, l_shipyear, l_receiptyear)
+    let mut lineitem = Relation::new(Schema::new(vec![
+        ("l_orderkey", ColumnType::Int),
+        ("l_partkey", ColumnType::Int),
+        ("l_quantity", ColumnType::Int),
+        ("l_extendedprice", ColumnType::Float),
+        ("l_discount", ColumnType::Float),
+        ("l_returnflag", ColumnType::Str),
+        ("l_shipmode", ColumnType::Str),
+        ("l_shipyear", ColumnType::Int),
+        ("l_receiptyear", ColumnType::Int),
+    ]));
+    for i in 0..config.lineitems {
+        let ship_year = YEARS[rng.gen_range(0..YEARS.len())];
+        lineitem
+            .push(vec![
+                Value::Int((i % config.orders) as i64),
+                Value::Int(rng.gen_range(0..config.parts as i64)),
+                Value::Int(rng.gen_range(1..50)),
+                Value::Float(rng.gen_range(1_000.0..100_000.0)),
+                Value::Float(rng.gen_range(0.0..0.1)),
+                RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())].into(),
+                SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].into(),
+                Value::Int(ship_year),
+                Value::Int((ship_year + i64::from(rng.gen_bool(0.5))).min(1998)),
+            ])
+            .unwrap();
+    }
+    db.add_table("lineitem", lineitem);
+
+    db
+}
+
+/// Builds the 220-query TPC-H workload.
+pub fn workload() -> Workload {
+    let mut queries = Vec::with_capacity(220);
+
+    // Q1, Q4, Q6, Q12 — one query per year in 1994..=1998 (4 × 5 = 20).
+    for &year in &YEARS[1..] {
+        // Q1: pricing summary report up to the given ship year.
+        queries.push(
+            Query::scan("lineitem")
+                .filter(Expr::col("l_shipyear").le(Expr::lit(year)))
+                .aggregate(
+                    vec!["l_returnflag"],
+                    vec![
+                        (AggFunc::Sum, Some("l_quantity"), "sum_qty"),
+                        (AggFunc::Sum, Some("l_extendedprice"), "sum_base_price"),
+                        (AggFunc::Avg, Some("l_discount"), "avg_disc"),
+                        (AggFunc::Count, None, "count_order"),
+                    ],
+                ),
+        );
+        // Q4: order priority checking for one year.
+        queries.push(
+            Query::scan("orders")
+                .filter(Expr::col("o_orderyear").eq(Expr::lit(year)))
+                .aggregate(vec!["o_orderpriority"], vec![(AggFunc::Count, None, "order_count")]),
+        );
+        // Q6: forecasting revenue change for one ship year.
+        queries.push(
+            Query::scan("lineitem")
+                .filter(
+                    Expr::col("l_shipyear")
+                        .eq(Expr::lit(year))
+                        .and(Expr::col("l_discount").between(Expr::lit(0.02), Expr::lit(0.08)))
+                        .and(Expr::col("l_quantity").lt(Expr::lit(24))),
+                )
+                .project(vec![(
+                    Expr::col("l_extendedprice").mul(Expr::col("l_discount")),
+                    "revenue",
+                )])
+                .aggregate(vec![], vec![(AggFunc::Sum, Some("revenue"), "revenue")]),
+        );
+        // Q12: shipping modes and order priority for one receipt year.
+        queries.push(
+            Query::scan("orders")
+                .join(Query::scan("lineitem"), vec![("o_orderkey", "l_orderkey")])
+                .filter(Expr::col("l_receiptyear").eq(Expr::lit(year)))
+                .aggregate(vec!["l_shipmode"], vec![(AggFunc::Count, None, "c")]),
+        );
+    }
+
+    // Q2 — minimum-cost supplier, one query per region (5).
+    for region in REGIONS {
+        queries.push(
+            Query::scan("partsupp")
+                .join(Query::scan("supplier"), vec![("ps_suppkey", "s_suppkey")])
+                .join(Query::scan("nation"), vec![("s_nationkey", "n_nationkey")])
+                .join(Query::scan("region"), vec![("n_regionkey", "r_regionkey")])
+                .filter(Expr::col("r_name").eq(Expr::lit(region)))
+                .aggregate(vec![], vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")]),
+        );
+    }
+
+    // Q2 — one query per part-type material (5).
+    for material in TYPE_MATERIALS {
+        queries.push(
+            Query::scan("part")
+                .filter(Expr::col("p_type").like(format!("%{material}")))
+                .join(Query::scan("partsupp"), vec![("p_partkey", "ps_partkey")])
+                .aggregate(vec![], vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")]),
+        );
+    }
+
+    // Q16 — supplier counts, one query per p_type (150).
+    for ptype in part_types() {
+        queries.push(
+            Query::scan("part")
+                .filter(Expr::col("p_type").eq(Expr::lit(ptype.as_str())))
+                .join(Query::scan("partsupp"), vec![("p_partkey", "ps_partkey")])
+                .aggregate(
+                    vec![],
+                    vec![(AggFunc::CountDistinct, Some("ps_suppkey"), "supplier_cnt")],
+                ),
+        );
+    }
+
+    // Q17 — small-quantity-order revenue, one query per p_container (40).
+    for container in part_containers() {
+        queries.push(
+            Query::scan("part")
+                .filter(Expr::col("p_container").eq(Expr::lit(container.as_str())))
+                .join(Query::scan("lineitem"), vec![("p_partkey", "l_partkey")])
+                .filter(Expr::col("l_quantity").lt(Expr::lit(10)))
+                .aggregate(vec![], vec![(AggFunc::Avg, Some("l_extendedprice"), "avg_yearly")]),
+        );
+    }
+
+    Workload { name: "tpch", queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_have_paper_cardinalities() {
+        assert_eq!(part_types().len(), 150);
+        assert_eq!(part_containers().len(), 40);
+        assert_eq!(REGIONS.len(), 5);
+    }
+
+    #[test]
+    fn workload_has_220_queries() {
+        assert_eq!(workload().len(), 220);
+    }
+
+    #[test]
+    fn database_has_seven_tables_and_is_deterministic() {
+        let cfg = TpchConfig::at_scale(Scale::Test);
+        let db = generate(&cfg);
+        assert_eq!(db.num_tables(), 7);
+        assert_eq!(db.table("lineitem").unwrap().len(), cfg.lineitems);
+        assert_eq!(db.table("nation").unwrap().len(), 25);
+        assert_eq!(generate(&cfg), db);
+    }
+
+    #[test]
+    fn every_query_evaluates() {
+        let db = generate(&TpchConfig::at_scale(Scale::Test));
+        for (i, q) in workload().queries.iter().enumerate() {
+            assert!(q.evaluate(&db).is_ok(), "TPC-H query {i} failed");
+        }
+    }
+
+    #[test]
+    fn year_filtered_queries_have_nonempty_answers() {
+        let db = generate(&TpchConfig::at_scale(Scale::Test));
+        let q = Query::scan("orders")
+            .filter(Expr::col("o_orderyear").eq(Expr::lit(1995)))
+            .aggregate(vec![], vec![(AggFunc::Count, None, "c")]);
+        let out = q.evaluate(&db).unwrap();
+        assert!(out.rows()[0][0].as_i64().unwrap() > 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Buyer-valuation models (paper §6.3).
+//!
+//! The paper studies three families of generative models for the valuation
+//! `v_e` of each hyperedge:
+//!
+//! * **Sampled bundle valuations** — independent of the bundle structure:
+//!   `Uniform[1, k]` and Zipf with exponent `a`.
+//! * **Scaled bundle valuations** — correlated with the bundle size:
+//!   `Exponential(β = |e|^k)` and `Normal(μ = |e|^k, σ² = 10)`.
+//! * **Additive item prices** — every item `j` is assigned a distribution
+//!   `D_{ℓ_j}` with `ℓ_j ~ D̃` (either `Uniform[1, k]` or `Binomial(k, ½)`),
+//!   draws `x_j ~ D_{ℓ_j} = Uniform[ℓ_j, ℓ_j + 1]`, and
+//!   `v_e = Σ_{j∈e} x_j`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qp_pricing::Hypergraph;
+
+use crate::dist;
+
+/// A generative model for bundle valuations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValuationModel {
+    /// `v_e ~ Uniform[1, k]`.
+    SampledUniform {
+        /// Upper end of the uniform range.
+        k: f64,
+    },
+    /// `v_e` drawn from a Zipf distribution with exponent `a` over ranks
+    /// `1..=max_rank` (the rank is the valuation).
+    SampledZipf {
+        /// Zipf exponent `a`.
+        a: f64,
+        /// Number of ranks in the Zipf support.
+        max_rank: usize,
+    },
+    /// `v_e ~ Exponential(β = |e|^k)`.
+    ScaledExponential {
+        /// Exponent applied to the bundle size.
+        k: f64,
+    },
+    /// `v_e ~ Normal(μ = |e|^k, σ²)` clamped at 0.
+    ScaledNormal {
+        /// Exponent applied to the bundle size.
+        k: f64,
+        /// Variance σ² (the paper uses 10).
+        variance: f64,
+    },
+    /// Additive item-price model with `ℓ_j ~ Uniform{1, …, k}`.
+    AdditiveUniform {
+        /// Number of per-item distributions.
+        k: usize,
+    },
+    /// Additive item-price model with `ℓ_j ~ Binomial(k, ½)` (clamped to ≥1).
+    AdditiveBinomial {
+        /// Binomial parameter `k`.
+        k: usize,
+    },
+}
+
+impl ValuationModel {
+    /// Short label used in experiment output (matches the paper's axes).
+    pub fn label(&self) -> String {
+        match self {
+            ValuationModel::SampledUniform { k } => format!("uniform[1,{k}]"),
+            ValuationModel::SampledZipf { a, .. } => format!("zipf(a={a})"),
+            ValuationModel::ScaledExponential { k } => format!("exp(|e|^{k})"),
+            ValuationModel::ScaledNormal { k, .. } => format!("normal(|e|^{k})"),
+            ValuationModel::AdditiveUniform { k } => format!("additive-unif[1,{k}]"),
+            ValuationModel::AdditiveBinomial { k } => format!("additive-bin({k},0.5)"),
+        }
+    }
+}
+
+/// Assigns valuations to every hyperedge of `h` according to `model`,
+/// deterministically in `seed`.
+pub fn assign_valuations(h: &mut Hypergraph, model: &ValuationModel, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match model {
+        ValuationModel::SampledUniform { k } => {
+            let hi = k.max(1.0);
+            h.set_valuations(|_, _| rng.gen_range(1.0..=hi));
+        }
+        ValuationModel::SampledZipf { a, max_rank } => {
+            let zipf = dist::Zipf::new((*max_rank).max(1), *a);
+            h.set_valuations(|_, _| zipf.sample(&mut rng) as f64);
+        }
+        ValuationModel::ScaledExponential { k } => {
+            h.set_valuations(|_, e| {
+                let beta = (e.size() as f64).powf(*k);
+                if beta <= 0.0 {
+                    0.0
+                } else {
+                    dist::exponential(&mut rng, beta)
+                }
+            });
+        }
+        ValuationModel::ScaledNormal { k, variance } => {
+            h.set_valuations(|_, e| {
+                let mu = (e.size() as f64).powf(*k);
+                dist::normal(&mut rng, mu, *variance).max(0.0)
+            });
+        }
+        ValuationModel::AdditiveUniform { k } => {
+            let item_prices = additive_item_prices(h.num_items(), &mut rng, |rng| {
+                rng.gen_range(1..=(*k).max(1)) as f64
+            });
+            h.set_valuations(|_, e| e.items.iter().map(|&j| item_prices[j]).sum());
+        }
+        ValuationModel::AdditiveBinomial { k } => {
+            let item_prices = additive_item_prices(h.num_items(), &mut rng, |rng| {
+                dist::binomial(rng, *k, 0.5).max(1) as f64
+            });
+            h.set_valuations(|_, e| e.items.iter().map(|&j| item_prices[j]).sum());
+        }
+    }
+}
+
+/// Draws the per-item prices `x_j ~ Uniform[ℓ_j, ℓ_j + 1]` of the additive
+/// model, where `ℓ_j` is produced by `level`.
+fn additive_item_prices<F: FnMut(&mut StdRng) -> f64>(
+    n: usize,
+    rng: &mut StdRng,
+    mut level: F,
+) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let l = level(rng);
+            rng.gen_range(l..l + 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypergraph() -> Hypergraph {
+        let mut h = Hypergraph::new(20);
+        for i in 0..15 {
+            let size = 1 + (i % 5);
+            h.add_edge((0..size).map(|s| (i + s) % 20), 0.0);
+        }
+        h.add_edge(Vec::<usize>::new(), 0.0);
+        h
+    }
+
+    #[test]
+    fn sampled_uniform_is_in_range_and_deterministic() {
+        let mut h1 = hypergraph();
+        let mut h2 = hypergraph();
+        let model = ValuationModel::SampledUniform { k: 100.0 };
+        assign_valuations(&mut h1, &model, 9);
+        assign_valuations(&mut h2, &model, 9);
+        for (a, b) in h1.edges().iter().zip(h2.edges()) {
+            assert_eq!(a.valuation, b.valuation);
+            assert!(a.valuation >= 1.0 && a.valuation <= 100.0);
+        }
+        let mut h3 = hypergraph();
+        assign_valuations(&mut h3, &model, 10);
+        assert_ne!(
+            h1.edges().iter().map(|e| e.valuation).collect::<Vec<_>>(),
+            h3.edges().iter().map(|e| e.valuation).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zipf_valuations_are_positive_integers() {
+        let mut h = hypergraph();
+        assign_valuations(&mut h, &ValuationModel::SampledZipf { a: 1.5, max_rank: 1000 }, 1);
+        for e in h.edges() {
+            assert!(e.valuation >= 1.0);
+            assert_eq!(e.valuation.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_models_correlate_with_edge_size() {
+        let mut h = Hypergraph::new(200);
+        h.add_edge(0..2usize, 0.0);
+        h.add_edge(0..150usize, 0.0);
+        // Average over many seeds: the big edge must receive a much larger
+        // valuation under both scaled models with k = 1.
+        for model in [
+            ValuationModel::ScaledExponential { k: 1.0 },
+            ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 },
+        ] {
+            let mut small_total = 0.0;
+            let mut big_total = 0.0;
+            for seed in 0..40 {
+                assign_valuations(&mut h, &model, seed);
+                small_total += h.edge(0).valuation;
+                big_total += h.edge(1).valuation;
+            }
+            assert!(
+                big_total > 5.0 * small_total,
+                "{model:?}: big {big_total} vs small {small_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_edges_get_zero_under_scaled_models() {
+        let mut h = hypergraph();
+        assign_valuations(&mut h, &ValuationModel::ScaledExponential { k: 2.0 }, 5);
+        let empty_idx = h.num_edges() - 1;
+        assert_eq!(h.edge(empty_idx).valuation, 0.0);
+        assert!(h.edges().iter().all(|e| e.valuation >= 0.0));
+    }
+
+    #[test]
+    fn additive_models_are_additive_over_items() {
+        // Two disjoint singletons and their union as a third edge: the
+        // union's valuation equals the sum of the singletons'.
+        let mut h = Hypergraph::new(2);
+        h.add_edge(vec![0], 0.0);
+        h.add_edge(vec![1], 0.0);
+        h.add_edge(vec![0, 1], 0.0);
+        for model in [
+            ValuationModel::AdditiveUniform { k: 10 },
+            ValuationModel::AdditiveBinomial { k: 10 },
+        ] {
+            assign_valuations(&mut h, &model, 77);
+            let v0 = h.edge(0).valuation;
+            let v1 = h.edge(1).valuation;
+            let v01 = h.edge(2).valuation;
+            assert!((v0 + v1 - v01).abs() < 1e-9, "{model:?} not additive");
+            assert!(v0 >= 1.0 && v1 >= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_mention_their_parameters() {
+        assert!(ValuationModel::SampledUniform { k: 300.0 }.label().contains("300"));
+        assert!(ValuationModel::SampledZipf { a: 2.0, max_rank: 10 }.label().contains('2'));
+        assert!(ValuationModel::ScaledExponential { k: 0.5 }.label().contains("0.5"));
+        assert!(ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 }.label().contains("normal"));
+        assert!(ValuationModel::AdditiveUniform { k: 4 }.label().contains("additive"));
+        assert!(ValuationModel::AdditiveBinomial { k: 4 }.label().contains("bin"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare all six pricing algorithms on one workload / valuation model.
+//!
+//! ```bash
+//! cargo run --release --example algorithm_comparison
+//! ```
+//!
+//! A miniature version of the paper's Figure 5: build the skewed workload's
+//! hypergraph, draw valuations from a few different models, and print the
+//! normalized revenue of every algorithm side by side.
+
+use query_pricing::market::{build_hypergraph, DeltaConflictEngine, SupportConfig, SupportSet};
+use query_pricing::pricing::algorithms::{
+    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
+    xos_pricing, CipConfig, LpipConfig,
+};
+use query_pricing::pricing::bounds;
+use query_pricing::workloads::queries::skewed;
+use query_pricing::workloads::valuations::{assign_valuations, ValuationModel};
+use query_pricing::workloads::world::{self, WorldConfig};
+use query_pricing::workloads::Scale;
+
+fn main() {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let workload = skewed::workload(&db, cfg.countries);
+    let support = SupportSet::generate(&db, &SupportConfig::with_size(250));
+    let engine = DeltaConflictEngine::new(&db, &support);
+    let base = build_hypergraph(&engine, &workload.queries);
+    println!(
+        "skewed workload: {} queries, support {}, max degree B = {}",
+        base.num_edges(),
+        support.len(),
+        base.max_degree()
+    );
+
+    let lpip_cfg = LpipConfig { max_lps: Some(16), ..Default::default() };
+    let cip_cfg = CipConfig { epsilon: 2.0, ..Default::default() };
+
+    let models = [
+        ValuationModel::SampledUniform { k: 100.0 },
+        ValuationModel::SampledZipf { a: 2.0, max_rank: 10_000 },
+        ValuationModel::ScaledExponential { k: 1.0 },
+        ValuationModel::AdditiveUniform { k: 100 },
+    ];
+
+    println!(
+        "\n{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "valuation model", "UBP", "UIP", "LPIP", "CIP", "Layer", "XOS"
+    );
+    for model in &models {
+        let mut h = base.clone();
+        assign_valuations(&mut h, model, 1234);
+        let sum = bounds::sum_of_valuations(&h);
+        let norm = |r: f64| r / sum;
+        let row = [
+            uniform_bundle_price(&h).revenue,
+            uniform_item_price(&h).revenue,
+            lp_item_price(&h, &lpip_cfg).revenue,
+            capacity_item_price(&h, &cip_cfg).revenue,
+            layering(&h).revenue,
+            xos_pricing(&h, &lpip_cfg, &cip_cfg).revenue,
+        ];
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            model.label(),
+            norm(row[0]),
+            norm(row[1]),
+            norm(row[2]),
+            norm(row[3]),
+            norm(row[4]),
+            norm(row[5]),
+        );
+    }
+    println!("\n(values are revenue normalized by the sum of valuations)");
+}

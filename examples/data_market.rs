@@ -1,0 +1,109 @@
+//! A small data marketplace over the `world` dataset.
+//!
+//! ```bash
+//! cargo run --release --example data_market
+//! ```
+//!
+//! Recreates the setting that motivates the paper's introduction: a seller
+//! lists the `world` database, buyers ask aggregate and lookup queries with
+//! different willingness to pay, and the broker picks an item pricing that
+//! maximizes revenue while staying arbitrage-free. The example also runs the
+//! empirical arbitrage checks on the resulting prices.
+
+use query_pricing::market::{check_all, Broker, PurchaseOutcome, SupportConfig};
+use query_pricing::pricing::{algorithms, bounds, Hypergraph};
+use query_pricing::qdb::pretty;
+use query_pricing::qdb::{AggFunc, Expr, Query};
+use query_pricing::workloads::world::{self, WorldConfig};
+use query_pricing::workloads::Scale;
+
+fn main() {
+    // The seller's dataset.
+    let db = world::generate(&WorldConfig::at_scale(Scale::Test));
+    println!(
+        "world dataset: {} tables, {} tuples",
+        db.num_tables(),
+        db.total_rows()
+    );
+
+    // Buyers: a data analyst, a journalist, a hedge fund, a student.
+    let buyers: Vec<(&str, Query, f64)> = vec![
+        (
+            "analyst: population by continent",
+            Query::scan("Country")
+                .aggregate(vec!["Continent"], vec![(AggFunc::Sum, Some("Population"), "pop")]),
+            40.0,
+        ),
+        (
+            "journalist: Caribbean countries",
+            Query::scan("Country")
+                .filter(Expr::col("Region").eq(Expr::lit("Caribbean")))
+                .project_cols(&["Name", "Population"]),
+            15.0,
+        ),
+        (
+            "hedge fund: the full Country table",
+            Query::scan("Country"),
+            120.0,
+        ),
+        (
+            "student: number of distinct government forms",
+            Query::scan("Country")
+                .aggregate(vec![], vec![(AggFunc::CountDistinct, Some("GovernmentForm"), "g")]),
+            5.0,
+        ),
+        (
+            "NGO: average life expectancy in Africa",
+            Query::scan("Country")
+                .filter(Expr::col("Continent").eq(Expr::lit("Africa")))
+                .aggregate(vec![], vec![(AggFunc::Avg, Some("LifeExpectancy"), "le")]),
+            12.0,
+        ),
+    ];
+
+    // Broker + conflict sets.
+    let mut broker = Broker::new(db, &SupportConfig::with_size(300));
+    let mut h = Hypergraph::new(broker.support().len());
+    let mut conflict_sets = Vec::new();
+    for (_, q, v) in &buyers {
+        let cs = broker.conflict_set(q);
+        h.add_edge(cs.clone(), *v);
+        conflict_sets.push(cs);
+    }
+
+    // Compare the pricing algorithms and install the best item pricing.
+    let sum = bounds::sum_of_valuations(&h);
+    let ubp = algorithms::uniform_bundle_price(&h);
+    let lpip = algorithms::lp_item_price(&h, &Default::default());
+    let layering = algorithms::layering(&h);
+    println!("\nrevenue (out of {sum:.1}):");
+    for out in [&ubp, &lpip, &layering] {
+        println!("  {:<9} {:>7.2}", out.algorithm, out.revenue);
+    }
+    let report = check_all(&conflict_sets, &lpip.pricing);
+    println!("arbitrage-free: {}", report.is_arbitrage_free());
+    broker.set_pricing(lpip.pricing.clone());
+
+    // Sell.
+    println!();
+    let mut sold = 0;
+    for (who, q, budget) in &buyers {
+        match broker.purchase(q, *budget).unwrap() {
+            PurchaseOutcome::Sold { price, answer } => {
+                sold += 1;
+                println!("SOLD  {who} for {price:.2}");
+                if answer.len() <= 4 {
+                    print!("{}", pretty::render_relation(&answer, 4));
+                }
+            }
+            PurchaseOutcome::Declined { price } => {
+                println!("PASS  {who}: quoted {price:.2} > budget {budget:.2}");
+            }
+        }
+    }
+    println!(
+        "\nrealized revenue: {:.2} from {sold}/{} buyers",
+        broker.realized_revenue(),
+        buyers.len()
+    );
+}

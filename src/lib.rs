@@ -1,0 +1,46 @@
+//! # query-pricing
+//!
+//! A reproduction of **"Revenue Maximization for Query Pricing"**
+//! (Chawla, Deep, Koutris, Teng — PVLDB 13(1), 2019) as a Rust library.
+//!
+//! The crate is a thin facade over the workspace members:
+//!
+//! * [`lp`] — a dense two-phase simplex LP solver (primal + dual).
+//! * [`qdb`] — a minimal in-memory relational engine with tuple deltas.
+//! * [`pricing`] — hypergraphs, pricing-function classes and the revenue
+//!   maximization algorithms (UBP, UIP, LPIP, CIP, Layering, XOS) plus
+//!   revenue upper bounds.
+//! * [`market`] — the Qirana-style query-pricing framework: support sets,
+//!   conflict sets, arbitrage-freeness and the [`market::Broker`] API.
+//! * [`workloads`] — dataset generators (world, TPC-H, SSB), the four query
+//!   workloads of the paper, and buyer-valuation models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use query_pricing::pricing::{Hypergraph, algorithms};
+//!
+//! // Three support databases (items 0,1,2) and two query bundles.
+//! let mut h = Hypergraph::new(3);
+//! h.add_edge([1usize], 10.0);      // conflict set {D2}, valuation 10
+//! h.add_edge([0usize, 1], 20.0);   // conflict set {D1,D2}, valuation 20
+//!
+//! let ubp = algorithms::uniform_bundle_price(&h);
+//! assert!(ubp.revenue >= 20.0);
+//! ```
+pub use qp_lp as lp;
+pub use qp_market as market;
+pub use qp_pricing as pricing;
+pub use qp_qdb as qdb;
+pub use qp_workloads as workloads;
+
+/// Version of the library (mirrors the crate version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_exist() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: dataset → queries → support → conflict
+//! sets → pricing → broker, exercised through the public facade.
+
+use query_pricing::market::{
+    build_hypergraph, check_all, Broker, ConflictEngine, DeltaConflictEngine, PurchaseOutcome,
+    SupportConfig, SupportSet,
+};
+use query_pricing::pricing::algorithms::{
+    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
+    CipConfig, LpipConfig,
+};
+use query_pricing::pricing::{bounds, is_monotone, is_subadditive, revenue, Hypergraph};
+use query_pricing::qdb::{AggFunc, Expr, Query};
+use query_pricing::workloads::queries::{skewed, uniform};
+use query_pricing::workloads::valuations::{assign_valuations, ValuationModel};
+use query_pricing::workloads::world::{self, WorldConfig};
+use query_pricing::workloads::Scale;
+
+fn world_instance() -> (query_pricing::qdb::Database, SupportSet) {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let support = SupportSet::generate(&db, &SupportConfig::with_size(120));
+    (db, support)
+}
+
+#[test]
+fn skewed_workload_end_to_end_pricing() {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let workload = skewed::workload(&db, cfg.countries);
+    let support = SupportSet::generate(&db, &SupportConfig::with_size(100));
+    let engine = DeltaConflictEngine::new(&db, &support);
+    // A slice of the workload keeps the test fast while covering every
+    // template family (the first 34 are the base templates).
+    let queries = &workload.queries[..80];
+    let mut h = build_hypergraph(&engine, queries);
+    assert_eq!(h.num_edges(), queries.len());
+
+    assign_valuations(&mut h, &ValuationModel::SampledUniform { k: 100.0 }, 3);
+    let sum = bounds::sum_of_valuations(&h);
+    assert!(sum > 0.0);
+
+    let lpip_cfg = LpipConfig { max_lps: Some(10), ..Default::default() };
+    let cip_cfg = CipConfig { epsilon: 3.0, ..Default::default() };
+    let outcomes = vec![
+        uniform_bundle_price(&h),
+        uniform_item_price(&h),
+        lp_item_price(&h, &lpip_cfg),
+        capacity_item_price(&h, &cip_cfg),
+        layering(&h),
+    ];
+    for out in &outcomes {
+        assert!(out.revenue >= 0.0 && out.revenue <= sum + 1e-6, "{}", out.algorithm);
+        let recomputed = revenue::revenue(&h, &out.pricing);
+        assert!((recomputed - out.revenue).abs() < 1e-6);
+    }
+    // The paper's headline finding at small scale: LPIP is at least as good
+    // as UIP and UBP is never above the sum.
+    let lpip = outcomes[2].revenue;
+    let uip = outcomes[1].revenue;
+    assert!(lpip + 1e-6 >= uip);
+}
+
+#[test]
+fn conflict_engines_agree_on_the_base_templates() {
+    let (db, support) = world_instance();
+    let naive = query_pricing::market::NaiveConflictEngine::new(&db, &support);
+    let fast = DeltaConflictEngine::new(&db, &support);
+    for q in skewed::base_queries() {
+        assert_eq!(naive.conflict_set(&q), fast.conflict_set(&q));
+    }
+}
+
+#[test]
+fn uniform_workload_has_uniform_edge_sizes() {
+    let (db, support) = world_instance();
+    let w = uniform::workload(&db, 40);
+    let engine = DeltaConflictEngine::new(&db, &support);
+    let h = build_hypergraph(&engine, &w.queries);
+    let stats = h.stats();
+    assert_eq!(stats.num_edges, 40);
+    // Every edge selects ~40% of the City rows, so sizes are tightly
+    // clustered: the spread should be well below the mean.
+    let sizes: Vec<usize> = h.edges().iter().map(|e| e.size()).collect();
+    let min = *sizes.iter().min().unwrap() as f64;
+    let max = *sizes.iter().max().unwrap() as f64;
+    assert!(min > 0.0);
+    assert!(max - min <= stats.avg_edge_size, "sizes {min}..{max} too spread");
+}
+
+#[test]
+fn broker_quotes_are_arbitrage_free_across_algorithms() {
+    let (db, support) = world_instance();
+    let mut broker = Broker::with_support(db, support);
+    let queries = vec![
+        Query::scan("Country")
+            .filter(Expr::col("Continent").eq(Expr::lit("Asia")))
+            .aggregate(vec![], vec![(AggFunc::Count, Some("Name"), "c")]),
+        Query::scan("Country").project_cols(&["Name", "Population"]),
+        Query::scan("Country"),
+        Query::scan("City").aggregate(vec!["CountryCode"], vec![(AggFunc::Count, None, "c")]),
+    ];
+    let conflict_sets: Vec<Vec<usize>> =
+        queries.iter().map(|q| broker.conflict_set(q)).collect();
+    let mut h = Hypergraph::new(broker.support().len());
+    for cs in &conflict_sets {
+        h.add_edge(cs.clone(), 20.0);
+    }
+
+    for outcome in [
+        uniform_bundle_price(&h),
+        lp_item_price(&h, &LpipConfig::default()),
+        layering(&h),
+    ] {
+        let report = check_all(&conflict_sets, &outcome.pricing);
+        assert!(report.is_arbitrage_free(), "{} produced arbitrage", outcome.algorithm);
+        assert!(is_monotone(&outcome.pricing, 8));
+        assert!(is_subadditive(&outcome.pricing, 8));
+        broker.set_pricing(outcome.pricing.clone());
+        // The full table determines every other query, so it is the most
+        // expensive quote.
+        let full_price = broker.quote(&queries[2]).price;
+        for q in &queries {
+            assert!(broker.quote(q).price <= full_price + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn broker_sells_within_budget_and_tracks_revenue() {
+    let (db, support) = world_instance();
+    let mut broker = Broker::with_support(db, support);
+    let q = Query::scan("Country")
+        .aggregate(vec![], vec![(AggFunc::Max, Some("Population"), "m")]);
+    let mut h = Hypergraph::new(broker.support().len());
+    h.add_edge(broker.conflict_set(&q), 9.0);
+    broker.set_pricing(lp_item_price(&h, &LpipConfig::default()).pricing);
+
+    let quote = broker.quote(&q);
+    assert!(quote.price > 0.0);
+    match broker.purchase(&q, quote.price).unwrap() {
+        PurchaseOutcome::Sold { answer, .. } => assert_eq!(answer.len(), 1),
+        PurchaseOutcome::Declined { .. } => panic!("exact budget must be accepted"),
+    }
+    match broker.purchase(&q, quote.price / 2.0).unwrap() {
+        PurchaseOutcome::Declined { .. } => {}
+        PurchaseOutcome::Sold { .. } => panic!("half budget must be declined"),
+    }
+    assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+}
+
+#[test]
+fn figure_pipeline_smoke_test() {
+    // A miniature Figure 5 panel: hypergraph + valuations + all algorithms,
+    // normalized revenue in [0, 1].
+    let (db, support) = world_instance();
+    let w = uniform::workload(&db, 25);
+    let engine = DeltaConflictEngine::new(&db, &support);
+    let base = build_hypergraph(&engine, &w.queries);
+    for model in [
+        ValuationModel::SampledUniform { k: 200.0 },
+        ValuationModel::SampledZipf { a: 2.0, max_rank: 1000 },
+        ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 },
+        ValuationModel::AdditiveBinomial { k: 100 },
+    ] {
+        let mut h = base.clone();
+        assign_valuations(&mut h, &model, 5);
+        let sum = bounds::sum_of_valuations(&h);
+        let sub = bounds::subadditive_bound(&h, &Default::default());
+        assert!(sub <= sum + 1e-6);
+        for out in [
+            uniform_bundle_price(&h),
+            uniform_item_price(&h),
+            layering(&h),
+        ] {
+            let norm = out.revenue / sum;
+            assert!((0.0..=1.0 + 1e-9).contains(&norm), "{} -> {}", out.algorithm, norm);
+        }
+    }
+}
