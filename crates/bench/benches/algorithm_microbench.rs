@@ -1,9 +1,17 @@
 //! Microbenchmarks of the pricing algorithms on synthetic hypergraphs of
 //! increasing size (independent of any dataset), used to track algorithmic
 //! regressions.
+//!
+//! The roster comes from the `qp_pricing::algorithms` registry, so a newly
+//! registered algorithm is benchmarked automatically. The LP-based
+//! algorithms (LPIP / CIP / XOS) are capped to a few LP solves per run and
+//! skipped on the largest instance (a dense-simplex solve at 1600 variables
+//! takes minutes — the combinatorial algorithms are what the big sizes are
+//! tracking); the cap is part of what is being timed, exactly as in the
+//! harness's quick scales.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qp_pricing::algorithms::{layering, uniform_bundle_price, uniform_item_price};
+use qp_pricing::algorithms::{self, CipConfig, LpipConfig};
 use qp_pricing::Hypergraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,19 +28,28 @@ fn random_hypergraph(items: usize, edges: usize, max_size: usize, seed: u64) -> 
 }
 
 fn bench_scaling(c: &mut Criterion) {
+    let lpip = LpipConfig {
+        max_lps: Some(4),
+        max_lp_iterations: 50_000,
+    };
+    let cip = CipConfig {
+        epsilon: 4.0,
+        max_lp_iterations: 50_000,
+    };
     let mut group = c.benchmark_group("algorithm_scaling");
     group.sample_size(10);
+    const LP_BASED: [&str; 3] = ["LPIP", "CIP", "XOS"];
+    const LP_SIZE_CAP: usize = 400;
     for &m in &[100usize, 400, 1600] {
         let h = random_hypergraph(m, m, 12, 99);
-        group.bench_with_input(BenchmarkId::new("UBP", m), &h, |b, h| {
-            b.iter(|| uniform_bundle_price(h))
-        });
-        group.bench_with_input(BenchmarkId::new("UIP", m), &h, |b, h| {
-            b.iter(|| uniform_item_price(h))
-        });
-        group.bench_with_input(BenchmarkId::new("Layering", m), &h, |b, h| {
-            b.iter(|| layering(h))
-        });
+        for algo in algorithms::all_with(&lpip, &cip) {
+            if m > LP_SIZE_CAP && LP_BASED.contains(&algo.name()) {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(algo.name(), m), &h, |b, h| {
+                b.iter(|| algo.run(h))
+            });
+        }
     }
     group.finish();
 }

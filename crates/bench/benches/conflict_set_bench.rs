@@ -2,7 +2,9 @@
 //! delta-aware engine on a slice of the skewed workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qp_market::{build_hypergraph, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet};
+use qp_market::{
+    build_hypergraph, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet,
+};
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
 use qp_workloads::Scale;

@@ -14,8 +14,7 @@ fn pricing_like_lp(vars: usize, rows: usize, seed: u64) -> LpProblem {
     }
     for _ in 0..rows {
         let nnz = rng.gen_range(2..8);
-        let coeffs: Vec<(usize, f64)> =
-            (0..nnz).map(|_| (rng.gen_range(0..vars), 1.0)).collect();
+        let coeffs: Vec<(usize, f64)> = (0..nnz).map(|_| (rng.gen_range(0..vars), 1.0)).collect();
         lp.add_constraint(coeffs, ConstraintOp::Le, rng.gen_range(5.0..50.0));
     }
     // Per-variable caps keep the LP bounded even when a variable appears in

@@ -1,11 +1,9 @@
 //! Criterion counterpart of Table 4: per-algorithm running time on a small
-//! skewed-workload hypergraph (Uniform[1,100] valuations).
+//! skewed-workload hypergraph (Uniform[1,100] valuations), with the roster
+//! drawn from the `qp_pricing::algorithms` registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qp_bench::{build_instance_with_support, AlgoConfig, WorkloadKind};
-use qp_pricing::algorithms::{
-    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
-};
 use qp_workloads::valuations::{assign_valuations, ValuationModel};
 use qp_workloads::Scale;
 
@@ -17,11 +15,9 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table4_skewed_workload");
     group.sample_size(10);
-    group.bench_function("UBP", |b| b.iter(|| uniform_bundle_price(&h)));
-    group.bench_function("UIP", |b| b.iter(|| uniform_item_price(&h)));
-    group.bench_function("Layering", |b| b.iter(|| layering(&h)));
-    group.bench_function("LPIP", |b| b.iter(|| lp_item_price(&h, &cfg.lpip)));
-    group.bench_function("CIP", |b| b.iter(|| capacity_item_price(&h, &cfg.cip)));
+    for algo in cfg.algorithms() {
+        group.bench_function(algo.name().to_string(), |b| b.iter(|| algo.run(&h)));
+    }
     group.finish();
 }
 

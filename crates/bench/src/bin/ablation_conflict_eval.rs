@@ -8,7 +8,9 @@
 use std::time::Instant;
 
 use qp_bench::{scale_from_args, WorkloadKind};
-use qp_market::{build_hypergraph, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet};
+use qp_market::{
+    build_hypergraph, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet,
+};
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
 

@@ -6,6 +6,8 @@ use qp_bench::{figures, scale_from_args, WorkloadKind};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Figure 7a: additive item-price valuations, skewed + uniform workloads (scale: {scale:?})");
+    println!(
+        "Figure 7a: additive item-price valuations, skewed + uniform workloads (scale: {scale:?})"
+    );
     figures::item_price_model(&[WorkloadKind::Skewed, WorkloadKind::Uniform], scale);
 }

@@ -6,7 +6,9 @@
 //! conflict set to the first `|S|` items (identical to recomputing, since the
 //! support databases are sampled independently).
 
-use qp_bench::{build_instance, print_panel, run_all_algorithms, scale_from_args, AlgoConfig, WorkloadKind};
+use qp_bench::{
+    build_instance, print_panel, run_all_algorithms, scale_from_args, AlgoConfig, WorkloadKind,
+};
 use qp_workloads::valuations::{assign_valuations, ValuationModel};
 
 fn main() {

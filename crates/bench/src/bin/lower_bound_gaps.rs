@@ -8,23 +8,27 @@
 //! * Lemma 4 (laminar family): both succinct classes lose Ω(log m) against
 //!   the optimal subadditive pricing.
 
-use qp_pricing::algorithms::{lp_item_price, uniform_bundle_price, uniform_item_price, LpipConfig};
+use qp_pricing::algorithms::{self, CipConfig, LpipConfig};
 use qp_pricing::{bounds, instances};
 
 fn main() {
     println!("Lower-bound constructions (Lemmas 2-4, Figure 3)\n");
 
+    let ubp = algorithms::by_name("UBP").expect("UBP is registered");
+    let uip = algorithms::by_name("UIP").expect("UIP is registered");
+    let lpip = algorithms::by_name("LPIP").expect("LPIP is registered");
+
     // Lemma 2.
     for m in [64usize, 256, 1024] {
         let h = instances::harmonic_singletons(m);
         let sum = bounds::sum_of_valuations(&h);
-        let ubp = uniform_bundle_price(&h);
-        let lpip = lp_item_price(&h, &LpipConfig::default());
+        let bundle = ubp.run(&h);
+        let item = lpip.run(&h);
         println!(
             "Lemma 2, m = {m:>5}: sum = {sum:.2}  item pricing = {:.2}  best uniform bundle = {:.2}  (gap {:.2}x)",
-            lpip.revenue,
-            ubp.revenue,
-            lpip.revenue / ubp.revenue.max(1e-9)
+            item.revenue,
+            bundle.revenue,
+            item.revenue / bundle.revenue.max(1e-9)
         );
     }
     println!();
@@ -33,27 +37,36 @@ fn main() {
     for n in [32usize, 64, 128] {
         let h = instances::partition_classes(n);
         let sum = bounds::sum_of_valuations(&h);
-        let ubp = uniform_bundle_price(&h);
-        let uip = uniform_item_price(&h);
+        let bundle = ubp.run(&h);
+        let item = uip.run(&h);
         println!(
             "Lemma 3, n = {n:>4}: sum = {sum:.0}  uniform bundle = {:.0}  uniform item pricing = {:.2}  (gap {:.2}x)",
-            ubp.revenue,
-            uip.revenue,
-            ubp.revenue / uip.revenue.max(1e-9)
+            bundle.revenue,
+            item.revenue,
+            bundle.revenue / item.revenue.max(1e-9)
         );
     }
     println!();
 
-    // Lemma 4.
+    // Lemma 4. The capped-LP LPIP keeps the sweep fast on the larger
+    // laminar instances.
+    let capped_lpip = algorithms::by_name_with(
+        "LPIP",
+        &LpipConfig {
+            max_lps: Some(8),
+            max_lp_iterations: 200_000,
+        },
+        &CipConfig::default(),
+    )
+    .expect("LPIP is registered");
     for t in [2u32, 3, 4] {
         let h = instances::laminar_family(t);
         let opt = instances::laminar_optimal_revenue(t);
-        let ubp = uniform_bundle_price(&h);
-        let uip = uniform_item_price(&h);
-        let lpip = lp_item_price(&h, &LpipConfig { max_lps: Some(8), max_lp_iterations: 200_000 });
         println!(
             "Lemma 4, t = {t}: OPT = {opt:.0}  uniform bundle = {:.1}  uniform item = {:.1}  LPIP = {:.1}",
-            ubp.revenue, uip.revenue, lpip.revenue
+            ubp.run(&h).revenue,
+            uip.run(&h).revenue,
+            capped_lpip.run(&h).revenue
         );
     }
 }

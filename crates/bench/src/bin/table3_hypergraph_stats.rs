@@ -9,7 +9,12 @@ fn main() {
     println!("Table 3: Hypergraph Characteristics (scale: {scale:?})");
     println!(
         "{:<10} {:>12} {:>14} {:>16} {:>14} {:>20}",
-        "Workload", "# Queries(m)", "Max degree(B)", "Avg edge size", "Empty edges", "Edges w/ unique item"
+        "Workload",
+        "# Queries(m)",
+        "Max degree(B)",
+        "Avg edge size",
+        "Empty edges",
+        "Edges w/ unique item"
     );
     for kind in WorkloadKind::all() {
         let inst = build_instance(kind, scale);

@@ -1,17 +1,23 @@
 //! Table 4: wall-clock running time (seconds) of every pricing algorithm on
 //! the four workloads, with the hypergraph-construction (conflict-set) time
 //! reported separately — the paper folds it into the item-pricing columns.
+//!
+//! The algorithm roster comes from the `qp_pricing::algorithms` registry, so
+//! adding an algorithm there adds a column here.
 
 use qp_bench::{build_instance, run_with_model, scale_from_args, secs, AlgoConfig, WorkloadKind};
+use qp_pricing::algorithms::PAPER_ALGORITHMS;
 use qp_workloads::valuations::ValuationModel;
 
 fn main() {
     let scale = scale_from_args();
     println!("Table 4: algorithm running times in seconds (scale: {scale:?})");
-    println!(
-        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
-        "Workload", "construction", "LPIP", "UBP", "UIP", "CIP", "Layering", "XOS-LPIP+CIP"
-    );
+    print!("{:<10} {:>12}", "Workload", "construction");
+    for name in PAPER_ALGORITHMS {
+        print!(" {name:>10}");
+    }
+    println!();
+
     let cfg = AlgoConfig::at_scale(scale);
     for kind in WorkloadKind::all() {
         let inst = build_instance(kind, scale);
@@ -21,22 +27,15 @@ fn main() {
             41,
             &cfg,
         );
-        let time_of = |name: &str| {
-            runs.iter()
+        print!("{:<10} {:>12}", kind.name(), secs(inst.construction_time));
+        for name in PAPER_ALGORITHMS {
+            let cell = runs
+                .iter()
                 .find(|r| r.name == name)
                 .map(|r| secs(r.time))
-                .unwrap_or_else(|| "-".into())
-        };
-        println!(
-            "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
-            kind.name(),
-            secs(inst.construction_time),
-            time_of("LPIP"),
-            time_of("UBP"),
-            time_of("UIP"),
-            time_of("CIP"),
-            time_of("layering"),
-            time_of("XOS-LPIP+CIP"),
-        );
+                .unwrap_or_else(|| "-".into());
+            print!(" {cell:>10}");
+        }
+        println!();
     }
 }

@@ -25,7 +25,8 @@ fn main() {
     );
     for &s in &sweep {
         let (h, construction) = hypergraph_for_support(&inst, s);
-        let (runs, _, _) = run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 43, &cfg);
+        let (runs, _, _) =
+            run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 43, &cfg);
         let with_construction = |name: &str| {
             runs.iter()
                 .find(|r| r.name == name)
@@ -38,10 +39,13 @@ fn main() {
             secs(construction),
             with_construction("LPIP"),
             // UBP does not need the conflict sets at all (paper §6.4).
-            runs.iter().find(|r| r.name == "UBP").map(|r| secs(r.time)).unwrap_or_default(),
+            runs.iter()
+                .find(|r| r.name == "UBP")
+                .map(|r| secs(r.time))
+                .unwrap_or_default(),
             with_construction("UIP"),
             with_construction("CIP"),
-            with_construction("layering"),
+            with_construction("Layering"),
         );
     }
 }

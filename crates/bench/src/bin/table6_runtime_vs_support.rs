@@ -25,7 +25,8 @@ fn main() {
     );
     for &s in &sweep {
         let (h, _construction) = hypergraph_for_support(&inst, s);
-        let (runs, _, _) = run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 47, &cfg);
+        let (runs, _, _) =
+            run_with_model(&h, &ValuationModel::SampledUniform { k: 100.0 }, 47, &cfg);
         let time_of = |name: &str| {
             runs.iter()
                 .find(|r| r.name == name)
@@ -39,7 +40,7 @@ fn main() {
             time_of("UBP"),
             time_of("UIP"),
             time_of("CIP"),
-            time_of("layering"),
+            time_of("Layering"),
         );
     }
 }

@@ -26,17 +26,28 @@ pub fn sampled_valuations(kinds: &[WorkloadKind], scale: Scale) {
             let model = ValuationModel::SampledUniform { k };
             let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 11, &cfg);
             print_panel(
-                &format!("{} queries, {} workload; uniform dist. k = {k}", inst.workload.len(), kind.name()),
+                &format!(
+                    "{} queries, {} workload; uniform dist. k = {k}",
+                    inst.workload.len(),
+                    kind.name()
+                ),
                 &runs,
                 sum,
                 sub,
             );
         }
         for a in [1.5, 1.75, 2.0, 2.25, 2.5] {
-            let model = ValuationModel::SampledZipf { a, max_rank: 10_000 };
+            let model = ValuationModel::SampledZipf {
+                a,
+                max_rank: 10_000,
+            };
             let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 13, &cfg);
             print_panel(
-                &format!("{} queries, {} workload; zipfian dist. a = {a}", inst.workload.len(), kind.name()),
+                &format!(
+                    "{} queries, {} workload; zipfian dist. a = {a}",
+                    inst.workload.len(),
+                    kind.name()
+                ),
                 &runs,
                 sum,
                 sub,
@@ -72,7 +83,10 @@ pub fn scaled_valuations(kinds: &[WorkloadKind], scale: Scale) {
             let model = ValuationModel::ScaledNormal { k, variance: 10.0 };
             let (runs, sum, sub) = run_with_model(&inst.hypergraph, &model, 19, &cfg);
             print_panel(
-                &format!("{} workload; normal dist. mu = |e|^{k}, sigma^2 = 10", kind.name()),
+                &format!(
+                    "{} workload; normal dist. mu = |e|^{k}, sigma^2 = 10",
+                    kind.name()
+                ),
                 &runs,
                 sum,
                 sub,

@@ -19,10 +19,10 @@ use std::time::{Duration, Instant};
 
 use qp_market::{build_hypergraph, DeltaConflictEngine, SupportConfig, SupportSet};
 use qp_pricing::algorithms::{
-    capacity_item_price, layering, lp_item_price, refine_uniform_bundle_price,
-    uniform_bundle_price, uniform_item_price, xos_pricing, CipConfig, LpipConfig,
+    self, refine_uniform_bundle_price, uniform_bundle_price, xos_pricing, CipConfig, LpipConfig,
+    PricingAlgorithm,
 };
-use qp_pricing::{bounds, revenue, Hypergraph, PricingOutcome};
+use qp_pricing::{bounds, revenue, Hypergraph};
 use qp_qdb::Database;
 use qp_workloads::queries::{skewed, uniform, Workload};
 use qp_workloads::valuations::{assign_valuations, ValuationModel};
@@ -45,7 +45,12 @@ pub enum WorkloadKind {
 impl WorkloadKind {
     /// All four workloads in the paper's presentation order.
     pub fn all() -> [WorkloadKind; 4] {
-        [WorkloadKind::Skewed, WorkloadKind::Uniform, WorkloadKind::Ssb, WorkloadKind::Tpch]
+        [
+            WorkloadKind::Skewed,
+            WorkloadKind::Uniform,
+            WorkloadKind::Ssb,
+            WorkloadKind::Tpch,
+        ]
     }
 
     /// Display name.
@@ -156,11 +161,21 @@ pub fn build_instance_with_support(
     let hypergraph = build_hypergraph(&engine, &workload.queries);
     let construction_time = start.elapsed();
 
-    WorkloadInstance { kind, db, support, workload, hypergraph, construction_time }
+    WorkloadInstance {
+        kind,
+        db,
+        support,
+        workload,
+        hypergraph,
+        construction_time,
+    }
 }
 
 /// Re-computes the hypergraph for a truncated support (Figure 8, Tables 5–6).
-pub fn hypergraph_for_support(inst: &WorkloadInstance, support_size: usize) -> (Hypergraph, Duration) {
+pub fn hypergraph_for_support(
+    inst: &WorkloadInstance,
+    support_size: usize,
+) -> (Hypergraph, Duration) {
     let support = inst.support.truncate(support_size);
     let start = Instant::now();
     let engine = DeltaConflictEngine::new(&inst.db, &support);
@@ -171,8 +186,9 @@ pub fn hypergraph_for_support(inst: &WorkloadInstance, support_size: usize) -> (
 /// The result of running one algorithm on one configured hypergraph.
 #[derive(Debug, Clone)]
 pub struct AlgorithmRun {
-    /// Algorithm name as used in the paper's legends.
-    pub name: &'static str,
+    /// Algorithm name as registered in [`qp_pricing::algorithms`] (the
+    /// paper's legend names).
+    pub name: String,
     /// Absolute revenue.
     pub revenue: f64,
     /// Revenue normalized by Σ valuations.
@@ -202,55 +218,59 @@ impl AlgoConfig {
             Scale::Full => (Some(120), 1.0),
         };
         AlgoConfig {
-            lpip: LpipConfig { max_lps, max_lp_iterations: 200_000 },
-            cip: CipConfig { epsilon, max_lp_iterations: 200_000 },
+            lpip: LpipConfig {
+                max_lps,
+                max_lp_iterations: 200_000,
+            },
+            cip: CipConfig {
+                epsilon,
+                max_lp_iterations: 200_000,
+            },
         }
+    }
+
+    /// The paper's six-algorithm roster from the registry, tuned with this
+    /// config (the roster every experiment binary iterates).
+    pub fn algorithms(&self) -> Vec<Box<dyn PricingAlgorithm>> {
+        algorithms::all_with(&self.lpip, &self.cip)
     }
 }
 
-/// Runs all six pricing algorithms of the paper (plus the sum-of-valuations
-/// and subadditive bounds) on a hypergraph whose valuations are already set.
+/// Runs the registry's six paper algorithms (plus the sum-of-valuations and
+/// subadditive bounds) on a hypergraph whose valuations are already set.
 ///
-/// The XOS pricing reuses the LPIP and CIP price vectors rather than solving
-/// them again.
+/// As in the paper's setup, XOS reuses the LPIP and CIP price vectors already
+/// computed in the same run instead of solving both LPs again, so its
+/// reported time is the cost of composing and evaluating the max — not a
+/// second LPIP + CIP solve.
 pub fn run_all_algorithms(h: &Hypergraph, cfg: &AlgoConfig) -> (Vec<AlgorithmRun>, f64, f64) {
     let sum = bounds::sum_of_valuations(h);
     let subadd = bounds::subadditive_bound(h, &Default::default());
 
+    let mut lpip_pricing: Option<qp_pricing::Pricing> = None;
+    let mut cip_pricing: Option<qp_pricing::Pricing> = None;
     let mut runs = Vec::new();
-    let mut timed = |name: &'static str, f: &mut dyn FnMut() -> PricingOutcome| {
+    for algo in cfg.algorithms() {
         let start = Instant::now();
-        let out = f();
+        let out = match (algo.name(), &lpip_pricing, &cip_pricing) {
+            ("XOS", Some(lpip), Some(cip)) => {
+                qp_pricing::algorithms::xos_from_components(h, &[lpip.clone(), cip.clone()])
+            }
+            _ => algo.run(h),
+        };
         let time = start.elapsed();
+        match algo.name() {
+            "LPIP" => lpip_pricing = Some(out.pricing.clone()),
+            "CIP" => cip_pricing = Some(out.pricing.clone()),
+            _ => {}
+        }
         runs.push(AlgorithmRun {
-            name,
+            name: algo.name().to_string(),
             revenue: out.revenue,
             normalized: if sum > 0.0 { out.revenue / sum } else { 0.0 },
             time,
         });
-        out
-    };
-
-    let lpip = timed("LPIP", &mut || lp_item_price(h, &cfg.lpip));
-    timed("UBP", &mut || uniform_bundle_price(h));
-    let cip = timed("CIP", &mut || capacity_item_price(h, &cfg.cip));
-    timed("UIP", &mut || uniform_item_price(h));
-    timed("layering", &mut || layering(h));
-    // XOS from the already computed LPIP + CIP components.
-    let start = Instant::now();
-    let xos = qp_pricing::algorithms::xos_from_components(
-        h,
-        vec![
-            lpip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-            cip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-        ],
-    );
-    runs.push(AlgorithmRun {
-        name: "XOS-LPIP+CIP",
-        revenue: xos.revenue,
-        normalized: if sum > 0.0 { xos.revenue / sum } else { 0.0 },
-        time: start.elapsed(),
-    });
+    }
 
     (runs, sum, subadd)
 }
@@ -289,19 +309,18 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
-/// Checks that `xos_pricing` and the reuse-based XOS agree (used by the
-/// ablation binary and tests).
+/// Checks that `xos_pricing` and composing registry-produced LPIP / CIP
+/// pricings through `xos_from_components` agree (used by the ablation binary
+/// and tests).
 pub fn xos_consistency(h: &Hypergraph, cfg: &AlgoConfig) -> (f64, f64) {
     let full = xos_pricing(h, &cfg.lpip, &cfg.cip);
-    let lpip = lp_item_price(h, &cfg.lpip);
-    let cip = capacity_item_price(h, &cfg.cip);
-    let reused = qp_pricing::algorithms::xos_from_components(
-        h,
-        vec![
-            lpip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-            cip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-        ],
-    );
+    let lpip = algorithms::by_name_with("LPIP", &cfg.lpip, &cfg.cip)
+        .expect("LPIP is registered")
+        .run(h);
+    let cip = algorithms::by_name_with("CIP", &cfg.lpip, &cfg.cip)
+        .expect("CIP is registered")
+        .run(h);
+    let reused = qp_pricing::algorithms::xos_from_components(h, &[lpip.pricing, cip.pricing]);
     (full.revenue, reused.revenue)
 }
 
@@ -314,7 +333,11 @@ pub fn ubp_and_refinement(h: &Hypergraph) -> (f64, f64, f64) {
     let _ = revenue::revenue(h, &refined.pricing);
     (
         if sum > 0.0 { ubp.revenue / sum } else { 0.0 },
-        if sum > 0.0 { refined.revenue / sum } else { 0.0 },
+        if sum > 0.0 {
+            refined.revenue / sum
+        } else {
+            0.0
+        },
         sum,
     )
 }
@@ -340,7 +363,11 @@ mod tests {
         assert!(sum > 0.0);
         assert!(subadd <= sum + 1e-6);
         for r in &runs {
-            assert!(r.normalized >= 0.0 && r.normalized <= 1.0 + 1e-9, "{}", r.name);
+            assert!(
+                r.normalized >= 0.0 && r.normalized <= 1.0 + 1e-9,
+                "{}",
+                r.name
+            );
         }
         // LPIP dominates UIP (paper's consistent observation).
         let lpip = runs.iter().find(|r| r.name == "LPIP").unwrap().revenue;

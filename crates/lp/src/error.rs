@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = LpError::VariableOutOfRange { index: 7, num_vars: 3 };
+        let e = LpError::VariableOutOfRange {
+            index: 7,
+            num_vars: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
         assert!(LpError::Infeasible.to_string().contains("infeasible"));

@@ -189,7 +189,10 @@ mod tests {
         lp.add_constraint(vec![(5, 1.0)], ConstraintOp::Le, 1.0);
         assert_eq!(
             lp.validate(),
-            Err(LpError::VariableOutOfRange { index: 5, num_vars: 2 })
+            Err(LpError::VariableOutOfRange {
+                index: 5,
+                num_vars: 2
+            })
         );
     }
 

@@ -83,15 +83,15 @@ impl Tableau {
                 self.a[start + pivot_col] = 0.0;
                 continue;
             }
-            for j in 0..w {
-                self.a[start + j] -= factor * pivot_row_copy[j];
+            for (j, &pv) in pivot_row_copy.iter().enumerate() {
+                self.a[start + j] -= factor * pv;
             }
             self.a[start + pivot_col] = 0.0;
         }
         let factor = self.obj[pivot_col];
         if factor.abs() > EPS {
-            for j in 0..w {
-                self.obj[j] -= factor * pivot_row_copy[j];
+            for (o, &pv) in self.obj.iter_mut().zip(&pivot_row_copy) {
+                *o -= factor * pv;
             }
         }
         self.obj[pivot_col] = 0.0;
@@ -247,7 +247,11 @@ fn build_tableau(p: &LpProblem) -> Tableau {
                 next_art += 1;
             }
         }
-        rows.push(RowInfo { logical_col, negated, active: true });
+        rows.push(RowInfo {
+            logical_col,
+            negated,
+            active: true,
+        });
     }
 
     Tableau {
@@ -384,12 +388,12 @@ pub fn solve(p: &LpProblem) -> Result<LpSolution, LpError> {
     // reduced cost of its logical column. Negated rows and minimization
     // problems flip the sign back to the user's convention.
     let mut dual = vec![0.0; t.m];
-    for r in 0..t.m {
-        if !t.rows[r].active {
+    for (r, row) in t.rows.iter().enumerate() {
+        if !row.active {
             continue;
         }
-        let mut y = t.obj[t.rows[r].logical_col];
-        if t.rows[r].negated {
+        let mut y = t.obj[row.logical_col];
+        if row.negated {
             y = -y;
         }
         y *= flip;
@@ -555,9 +559,9 @@ mod tests {
         let demand = [10.0, 25.0, 15.0];
         let var = |i: usize, j: usize| i * 3 + j;
         let mut lp = LpProblem::new(Sense::Minimize, 6);
-        for i in 0..2 {
-            for j in 0..3 {
-                lp.set_objective(var(i, j), costs[i][j]);
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                lp.set_objective(var(i, j), c);
             }
         }
         for (i, &s) in supply.iter().enumerate() {

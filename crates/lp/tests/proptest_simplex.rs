@@ -22,13 +22,8 @@ struct PackingLp {
 fn packing_lp_strategy() -> impl Strategy<Value = PackingLp> {
     (2usize..6, 2usize..7).prop_flat_map(|(n, m)| {
         let obj = proptest::collection::vec(0.1f64..10.0, n);
-        let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(0.0f64..5.0, n),
-                1.0f64..20.0,
-            ),
-            m,
-        );
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(0.0f64..5.0, n), 1.0f64..20.0), m);
         (obj, rows).prop_map(|(objective, rows)| PackingLp { objective, rows })
     })
 }

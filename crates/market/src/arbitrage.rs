@@ -64,8 +64,7 @@ pub fn check_combination_arbitrage(
             union.sort_unstable();
             union.dedup();
             let combined = pricing.price(&union);
-            let separate =
-                pricing.price(&conflict_sets[i]) + pricing.price(&conflict_sets[j]);
+            let separate = pricing.price(&conflict_sets[i]) + pricing.price(&conflict_sets[j]);
             if combined > separate + 1e-9 {
                 violations.push((i, j));
             }
@@ -75,10 +74,7 @@ pub fn check_combination_arbitrage(
 }
 
 /// Runs both checks and aggregates the results.
-pub fn check_all(
-    conflict_sets: &[Vec<usize>],
-    pricing: &dyn BundlePricing,
-) -> ArbitrageReport {
+pub fn check_all(conflict_sets: &[Vec<usize>], pricing: &dyn BundlePricing) -> ArbitrageReport {
     ArbitrageReport {
         information_violations: check_information_arbitrage(conflict_sets, pricing),
         combination_violations: check_combination_arbitrage(conflict_sets, pricing),
@@ -108,7 +104,9 @@ mod tests {
 
     #[test]
     fn item_pricing_passes_both_checks() {
-        let p = Pricing::Item { weights: vec![1.0, 2.0, 4.0] };
+        let p = Pricing::Item {
+            weights: vec![1.0, 2.0, 4.0],
+        };
         let report = check_all(&sets(), &p);
         assert!(report.is_arbitrage_free(), "{report:?}");
     }
@@ -122,7 +120,9 @@ mod tests {
 
     #[test]
     fn xos_pricing_passes_both_checks() {
-        let p = Pricing::Xos { components: vec![vec![1.0, 0.0, 2.0], vec![0.5, 1.5, 0.0]] };
+        let p = Pricing::Xos {
+            components: vec![vec![1.0, 0.0, 2.0], vec![0.5, 1.5, 0.0]],
+        };
         let report = check_all(&sets(), &p);
         assert!(report.is_arbitrage_free());
     }

@@ -1,15 +1,24 @@
-//! The broker: an end-to-end query-pricing API.
+//! The broker: a concurrent, end-to-end query-pricing engine.
 //!
 //! A [`Broker`] owns the seller's database, a sampled support set, and a
 //! pricing function, and exposes the operations a data marketplace needs:
-//! quote a price for an incoming query, execute a purchase (returning the
-//! answer when the buyer can afford it), and track realized revenue. The
-//! pricing function is typically produced by one of the algorithms in
-//! `qp-pricing` from a hypergraph of anticipated buyer queries.
+//! quote a price for an incoming query (singly or in batches), execute a
+//! purchase (returning the answer when the buyer can afford it), and keep a
+//! per-sale revenue ledger. The pricing function lives behind a
+//! [`parking_lot::RwLock`], so a live broker can be **re-priced under read
+//! traffic**: `set_pricing(&self, ...)` takes a shared reference and swaps
+//! the function atomically while other threads keep quoting.
+//!
+//! Brokers are assembled with [`BrokerBuilder`]: database → support set →
+//! pricing algorithm selected from the [`qp_pricing::algorithms`] registry
+//! by name → anticipated buyer queries with valuations. `build()` computes
+//! the conflict-set hypergraph of the anticipated queries, runs the selected
+//! algorithm on it, and installs the resulting pricing.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
-use qp_pricing::{BundlePricing, Pricing};
+use qp_pricing::algorithms::{self, CipConfig, LpipConfig};
+use qp_pricing::{BundlePricing, Hypergraph, Pricing};
 use qp_qdb::{Database, QdbError, Query, Relation};
 
 use crate::conflict::{ConflictEngine, DeltaConflictEngine};
@@ -41,32 +50,220 @@ pub enum PurchaseOutcome {
     },
 }
 
+/// One completed sale, as recorded by the broker's [`RevenueLedger`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sale {
+    /// Size of the sold query's conflict set (the bundle size `|e|`).
+    pub conflict_set_len: usize,
+    /// The price the buyer paid.
+    pub price: f64,
+}
+
+/// The broker's record of realized revenue: one [`Sale`] per purchase.
+///
+/// Keeping `(conflict_set_len, price)` per sale instead of a single running
+/// total lets operators ask distributional questions after the fact — e.g.
+/// how revenue splits between broad and narrow queries, or what the realized
+/// price-per-item was — without re-running the workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RevenueLedger {
+    sales: Vec<Sale>,
+}
+
+impl RevenueLedger {
+    /// Records a completed sale.
+    pub fn record(&mut self, conflict_set_len: usize, price: f64) {
+        self.sales.push(Sale {
+            conflict_set_len,
+            price,
+        });
+    }
+
+    /// Total revenue across all recorded sales.
+    pub fn total(&self) -> f64 {
+        self.sales.iter().map(|s| s.price).sum()
+    }
+
+    /// Number of recorded sales.
+    pub fn len(&self) -> usize {
+        self.sales.len()
+    }
+
+    /// True if nothing has been sold yet.
+    pub fn is_empty(&self) -> bool {
+        self.sales.is_empty()
+    }
+
+    /// The recorded sales, in purchase order.
+    pub fn sales(&self) -> &[Sale] {
+        &self.sales
+    }
+}
+
+/// Errors from [`BrokerBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerBuildError {
+    /// The requested pricing algorithm is not in the registry.
+    UnknownAlgorithm(String),
+}
+
+impl std::fmt::Display for BrokerBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerBuildError::UnknownAlgorithm(name) => {
+                write!(f, "unknown pricing algorithm {name:?}; see qp_pricing::algorithms::PAPER_ALGORITHMS")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerBuildError {}
+
+/// Step-by-step construction of a [`Broker`].
+///
+/// ```no_run
+/// # use qp_market::{Broker, SupportConfig};
+/// # use qp_qdb::{Database, Query};
+/// # let db = Database::new();
+/// let broker = Broker::builder(db)
+///     .support_config(SupportConfig::with_size(500))
+///     .algorithm("LPIP")
+///     .anticipate(Query::scan("User"), 25.0)
+///     .build()
+///     .expect("LPIP is a registered algorithm");
+/// ```
+pub struct BrokerBuilder {
+    db: Database,
+    support: Option<SupportSet>,
+    support_config: SupportConfig,
+    algorithm: Option<String>,
+    lpip: LpipConfig,
+    cip: CipConfig,
+    anticipated: Vec<(Query, f64)>,
+}
+
+impl BrokerBuilder {
+    /// Starts a builder over the seller's database.
+    pub fn new(db: Database) -> BrokerBuilder {
+        BrokerBuilder {
+            db,
+            support: None,
+            support_config: SupportConfig::default(),
+            algorithm: None,
+            lpip: LpipConfig::default(),
+            cip: CipConfig::default(),
+            anticipated: Vec::new(),
+        }
+    }
+
+    /// Samples the support set with `config` (ignored if [`Self::support`]
+    /// provides a pre-generated one).
+    pub fn support_config(mut self, config: SupportConfig) -> BrokerBuilder {
+        self.support_config = config;
+        self
+    }
+
+    /// Uses a pre-generated support set instead of sampling one.
+    pub fn support(mut self, support: SupportSet) -> BrokerBuilder {
+        self.support = Some(support);
+        self
+    }
+
+    /// Selects the pricing algorithm by its registry name (e.g. `"LPIP"`;
+    /// see [`algorithms::PAPER_ALGORITHMS`]). Without an algorithm the broker
+    /// starts with the all-zero pricing.
+    pub fn algorithm(mut self, name: impl Into<String>) -> BrokerBuilder {
+        self.algorithm = Some(name.into());
+        self
+    }
+
+    /// Tunes the LP-based algorithms (LPIP / CIP / XOS) selected by
+    /// [`Self::algorithm`].
+    pub fn lp_configs(mut self, lpip: LpipConfig, cip: CipConfig) -> BrokerBuilder {
+        self.lpip = lpip;
+        self.cip = cip;
+        self
+    }
+
+    /// Registers an anticipated buyer query and its expected valuation; the
+    /// selected algorithm prices against the hypergraph of these queries.
+    pub fn anticipate(mut self, query: Query, valuation: f64) -> BrokerBuilder {
+        self.anticipated.push((query, valuation));
+        self
+    }
+
+    /// Registers many anticipated `(query, valuation)` pairs at once.
+    pub fn anticipate_all(
+        mut self,
+        queries: impl IntoIterator<Item = (Query, f64)>,
+    ) -> BrokerBuilder {
+        self.anticipated.extend(queries);
+        self
+    }
+
+    /// Builds the broker: samples the support (unless given), computes the
+    /// conflict-set hypergraph of the anticipated queries, runs the selected
+    /// algorithm, and installs its pricing.
+    pub fn build(self) -> Result<Broker, BrokerBuildError> {
+        let algorithm = match &self.algorithm {
+            Some(name) => Some(
+                algorithms::by_name_with(name, &self.lpip, &self.cip)
+                    .ok_or_else(|| BrokerBuildError::UnknownAlgorithm(name.clone()))?,
+            ),
+            None => None,
+        };
+
+        let support = match self.support {
+            Some(s) => s,
+            None => SupportSet::generate(&self.db, &self.support_config),
+        };
+        let broker = Broker::with_support(self.db, support);
+
+        if let Some(algo) = algorithm {
+            let mut h = Hypergraph::new(broker.support().len());
+            let engine = DeltaConflictEngine::new(&broker.db, &broker.support);
+            for (q, v) in &self.anticipated {
+                h.add_edge(engine.conflict_set(q), *v);
+            }
+            broker.set_pricing(algo.run(&h).pricing);
+        }
+        Ok(broker)
+    }
+}
+
 /// A data-market broker for a single dataset.
+///
+/// All operations take `&self`; the broker is `Sync` and safe to share
+/// across threads (e.g. behind an `Arc`), with pricing swaps serialized
+/// against in-flight quotes by an internal reader–writer lock.
 pub struct Broker {
     db: Database,
     support: SupportSet,
-    pricing: Pricing,
-    /// Total revenue realized through [`Broker::purchase`].
-    realized: Mutex<f64>,
+    pricing: RwLock<Pricing>,
+    ledger: Mutex<RevenueLedger>,
 }
 
 impl Broker {
+    /// Starts a [`BrokerBuilder`] over `db`.
+    pub fn builder(db: Database) -> BrokerBuilder {
+        BrokerBuilder::new(db)
+    }
+
     /// Creates a broker over `db`, sampling a fresh support set.
     pub fn new(db: Database, support_config: &SupportConfig) -> Broker {
         let support = SupportSet::generate(&db, support_config);
-        let n = support.len();
-        Broker {
-            db,
-            support,
-            pricing: Pricing::zero_items(n),
-            realized: Mutex::new(0.0),
-        }
+        Broker::with_support(db, support)
     }
 
     /// Creates a broker with a pre-generated support set.
     pub fn with_support(db: Database, support: SupportSet) -> Broker {
         let n = support.len();
-        Broker { db, support, pricing: Pricing::zero_items(n), realized: Mutex::new(0.0) }
+        Broker {
+            db,
+            support,
+            pricing: RwLock::new(Pricing::zero_items(n)),
+            ledger: Mutex::new(RevenueLedger::default()),
+        }
     }
 
     /// The seller's database.
@@ -80,14 +277,22 @@ impl Broker {
     }
 
     /// Installs the pricing function to quote against (usually the output of
-    /// a `qp-pricing` algorithm).
-    pub fn set_pricing(&mut self, pricing: Pricing) {
-        self.pricing = pricing;
+    /// a registry algorithm).
+    ///
+    /// Takes `&self`: a broker shared across threads can be re-priced while
+    /// other threads quote. In-flight quotes that already read the old
+    /// pricing complete against it; quotes that start after the swap see the
+    /// new one.
+    pub fn set_pricing(&self, pricing: Pricing) {
+        *self.pricing.write() = pricing;
     }
 
-    /// The currently installed pricing function.
-    pub fn pricing(&self) -> &Pricing {
-        &self.pricing
+    /// Read access to the currently installed pricing function.
+    ///
+    /// The returned guard blocks [`Broker::set_pricing`] until dropped; hold
+    /// it only briefly.
+    pub fn pricing(&self) -> RwLockReadGuard<'_, Pricing> {
+        self.pricing.read()
     }
 
     /// Computes the conflict set of `query` against the support.
@@ -98,20 +303,54 @@ impl Broker {
     /// Quotes a price for `query` without selling it.
     pub fn quote(&self, query: &Query) -> QuotedQuery {
         let conflict_set = self.conflict_set(query);
-        let price = self.pricing.price(&conflict_set);
-        QuotedQuery { conflict_set, price }
+        let price = self.pricing.read().price(&conflict_set);
+        QuotedQuery {
+            conflict_set,
+            price,
+        }
+    }
+
+    /// Quotes a batch of queries, reusing one conflict engine across the
+    /// batch and reading the pricing function once.
+    ///
+    /// Equivalent to calling [`Broker::quote`] per query (and the test suite
+    /// holds it to that), but amortizes per-quote setup; the batch is priced
+    /// against a single consistent pricing snapshot even if another thread
+    /// swaps the pricing mid-batch. Conflict sets — the dominant cost — are
+    /// computed *before* the pricing lock is taken, so a long batch never
+    /// stalls [`Broker::set_pricing`] (or quoters queued behind a writer).
+    pub fn quote_batch(&self, queries: &[Query]) -> Vec<QuotedQuery> {
+        let engine = DeltaConflictEngine::new(&self.db, &self.support);
+        let conflict_sets: Vec<Vec<usize>> =
+            queries.iter().map(|q| engine.conflict_set(q)).collect();
+        let pricing = self.pricing.read();
+        conflict_sets
+            .into_iter()
+            .map(|conflict_set| {
+                let price = pricing.price(&conflict_set);
+                QuotedQuery {
+                    conflict_set,
+                    price,
+                }
+            })
+            .collect()
     }
 
     /// Attempts to sell `query` to a buyer with the given `budget`.
     ///
     /// On success the query is evaluated on the real database and the answer
-    /// returned; the price is added to the broker's realized revenue.
+    /// returned; the sale is recorded in the revenue ledger.
     pub fn purchase(&self, query: &Query, budget: f64) -> Result<PurchaseOutcome, QdbError> {
         let quote = self.quote(query);
         if quote.price <= budget + 1e-9 {
             let answer = query.evaluate(&self.db)?;
-            *self.realized.lock() += quote.price;
-            Ok(PurchaseOutcome::Sold { price: quote.price, answer })
+            self.ledger
+                .lock()
+                .record(quote.conflict_set.len(), quote.price);
+            Ok(PurchaseOutcome::Sold {
+                price: quote.price,
+                answer,
+            })
         } else {
             Ok(PurchaseOutcome::Declined { price: quote.price })
         }
@@ -119,15 +358,20 @@ impl Broker {
 
     /// Total revenue realized so far through [`Broker::purchase`].
     pub fn realized_revenue(&self) -> f64 {
-        *self.realized.lock()
+        self.ledger.lock().total()
+    }
+
+    /// A snapshot of the per-sale revenue ledger.
+    pub fn ledger(&self) -> RevenueLedger {
+        self.ledger.lock().clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qp_pricing::{algorithms, Hypergraph};
     use qp_qdb::{AggFunc, ColumnType, Expr, Relation, Schema, Value};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     fn db() -> Database {
         let mut rel = Relation::new(Schema::new(vec![
@@ -160,17 +404,26 @@ mod tests {
     }
 
     fn priced_broker() -> Broker {
-        let mut broker = Broker::new(db(), &SupportConfig::with_size(80));
-        // Build a hypergraph from the anticipated queries, give them
-        // valuations, run LPIP, and install the result.
-        let queries = buyer_queries();
-        let mut h = Hypergraph::new(broker.support().len());
-        for q in &queries {
-            h.add_edge(broker.conflict_set(q), 10.0);
-        }
-        let out = algorithms::lp_item_price(&h, &Default::default());
-        broker.set_pricing(out.pricing);
-        broker
+        Broker::builder(db())
+            .support_config(SupportConfig::with_size(80))
+            .algorithm("LPIP")
+            .anticipate_all(buyer_queries().into_iter().map(|q| (q, 10.0)))
+            .build()
+            .expect("LPIP is registered")
+    }
+
+    #[test]
+    fn builder_selects_algorithms_from_the_registry() {
+        let broker = priced_broker();
+        // The anticipated queries are priced: at least one quote is positive.
+        let quotes = broker.quote_batch(&buyer_queries());
+        assert!(quotes.iter().any(|q| q.price > 0.0));
+
+        let Err(err) = Broker::builder(db()).algorithm("nope").build() else {
+            panic!("unknown algorithm must fail the build");
+        };
+        assert_eq!(err, BrokerBuildError::UnknownAlgorithm("nope".into()));
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]
@@ -179,15 +432,25 @@ mod tests {
         for q in buyer_queries() {
             let quote = broker.quote(&q);
             assert!(quote.price >= 0.0);
-            assert_eq!(
-                quote.price,
-                broker.pricing().price(&quote.conflict_set)
-            );
+            assert_eq!(quote.price, broker.pricing().price(&quote.conflict_set));
         }
     }
 
     #[test]
-    fn purchase_respects_budget_and_accumulates_revenue() {
+    fn quote_batch_matches_per_query_quotes() {
+        let broker = priced_broker();
+        let queries = buyer_queries();
+        let batch = broker.quote_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = broker.quote(q);
+            assert_eq!(single.conflict_set, b.conflict_set);
+            assert_eq!(single.price, b.price);
+        }
+    }
+
+    #[test]
+    fn purchase_respects_budget_and_records_sales() {
         let broker = priced_broker();
         let q = &buyer_queries()[0];
         let quote = broker.quote(q);
@@ -200,15 +463,86 @@ mod tests {
             PurchaseOutcome::Declined { .. } => panic!("budget covers the quote"),
         }
         assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+        let ledger = broker.ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.sales()[0].conflict_set_len, quote.conflict_set.len());
+        assert!((ledger.sales()[0].price - quote.price).abs() < 1e-9);
 
-        // A zero budget cannot buy a positively priced query.
+        // A zero budget cannot buy a positively priced query, and declines
+        // leave no ledger entry.
         if quote.price > 0.0 {
             match broker.purchase(q, 0.0).unwrap() {
                 PurchaseOutcome::Declined { price } => assert!(price > 0.0),
                 PurchaseOutcome::Sold { .. } => panic!("should have been declined"),
             }
-            assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+            assert_eq!(broker.ledger().len(), 1);
         }
+    }
+
+    #[test]
+    fn repricing_a_shared_broker_while_another_thread_quotes() {
+        let broker = priced_broker();
+        let q = buyer_queries().remove(1);
+        let n = broker.support().len();
+
+        // Two pricings the writer alternates between; every quote must see
+        // exactly one of them, never a mix or a poisoned lock.
+        let low = Pricing::Item {
+            weights: vec![1.0; n],
+        };
+        let high = Pricing::Item {
+            weights: vec![2.0; n],
+        };
+        broker.set_pricing(low.clone());
+        let edge = broker.conflict_set(&q).len() as f64;
+        let stop = AtomicBool::new(false);
+        let quotes_done = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                let mut seen_low = 0usize;
+                let mut seen_high = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let price = broker.quote(&q).price;
+                    if (price - edge).abs() < 1e-9 {
+                        seen_low += 1;
+                    } else if (price - 2.0 * edge).abs() < 1e-9 {
+                        seen_high += 1;
+                    } else {
+                        panic!("quote {price} matches neither installed pricing");
+                    }
+                    quotes_done.fetch_add(1, Ordering::Relaxed);
+                }
+                (seen_low, seen_high)
+            });
+
+            // Keep swapping until the reader has quoted against the broker a
+            // few times (at least one swap happens concurrently with a quote;
+            // the writer must not outrun thread-spawn latency and stop before
+            // the reader's first quote).
+            let mut i = 0usize;
+            while (quotes_done.load(Ordering::Relaxed) < 3 || i < 200) && !reader.is_finished() {
+                // set_pricing through &self — this is the interior-mutability
+                // swap under read traffic that the engine API promises.
+                broker.set_pricing(if i.is_multiple_of(2) {
+                    high.clone()
+                } else {
+                    low.clone()
+                });
+                i += 1;
+            }
+            stop.store(true, Ordering::Relaxed);
+            let (seen_low, seen_high) = reader.join().expect("reader must not panic");
+            assert!(seen_low + seen_high > 0, "reader never completed a quote");
+        });
+
+        // The writer's last swap installed one of the two pricings; the final
+        // quote must match it exactly.
+        let final_price = broker.quote(&q).price;
+        assert!(
+            (final_price - edge).abs() < 1e-9 || (final_price - 2.0 * edge).abs() < 1e-9,
+            "final quote {final_price} matches neither installed pricing"
+        );
     }
 
     #[test]
@@ -228,5 +562,22 @@ mod tests {
         let broker = Broker::new(db(), &SupportConfig::with_size(30));
         let quote = broker.quote(&Query::scan("User"));
         assert_eq!(quote.price, 0.0);
+    }
+
+    #[test]
+    fn ledger_totals_accumulate_over_sales() {
+        let mut ledger = RevenueLedger::default();
+        assert!(ledger.is_empty());
+        ledger.record(3, 2.5);
+        ledger.record(1, 4.0);
+        assert_eq!(ledger.len(), 2);
+        assert!((ledger.total() - 6.5).abs() < 1e-12);
+        assert_eq!(
+            ledger.sales()[1],
+            Sale {
+                conflict_set_len: 1,
+                price: 4.0
+            }
+        );
     }
 }

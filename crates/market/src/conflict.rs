@@ -73,7 +73,7 @@ impl ConflictEngine for NaiveConflictEngine<'_> {
         let tables = query.tables_referenced();
         let mut conflict = Vec::new();
         for (i, delta) in self.support.deltas().iter().enumerate() {
-            if !tables.iter().any(|t| *t == delta.table) {
+            if !tables.contains(&delta.table) {
                 continue; // the perturbation cannot influence the answer
             }
             let overlay = DeltaInstance::new(self.db, delta);
@@ -125,10 +125,15 @@ fn classify(q: &Query) -> Shape {
     }
     match q {
         Query::Distinct { input } => match chain_table(input) {
-            Some(table) => Shape::DistinctChain { table, inner: (**input).clone() },
+            Some(table) => Shape::DistinctChain {
+                table,
+                inner: (**input).clone(),
+            },
             None => Shape::Other,
         },
-        Query::Aggregate { input, group_by, .. } => match chain_table(input) {
+        Query::Aggregate {
+            input, group_by, ..
+        } => match chain_table(input) {
             Some(table) => Shape::AggregateChain {
                 table,
                 input: (**input).clone(),
@@ -165,7 +170,8 @@ impl<'a> DeltaConflictEngine<'a> {
     /// `table`).
     fn single_row_db(&self, table: &str, schema: &Schema, row: Tuple) -> Database {
         let mut rel = Relation::new(schema.clone());
-        rel.push(row).expect("schema arity mismatch in single_row_db");
+        rel.push(row)
+            .expect("schema arity mismatch in single_row_db");
         let mut db = Database::new();
         db.add_table(table, rel);
         db
@@ -184,12 +190,12 @@ impl ConflictEngine for DeltaConflictEngine<'_> {
     fn conflict_set(&self, query: &Query) -> Vec<usize> {
         match classify(query) {
             Shape::Chain { table } => self.chain_conflicts(query, &table),
-            Shape::DistinctChain { table, inner } => {
-                self.distinct_conflicts(query, &inner, &table)
-            }
-            Shape::AggregateChain { table, input, group_by } => {
-                self.aggregate_conflicts(query, &input, &group_by, &table)
-            }
+            Shape::DistinctChain { table, inner } => self.distinct_conflicts(query, &inner, &table),
+            Shape::AggregateChain {
+                table,
+                input,
+                group_by,
+            } => self.aggregate_conflicts(query, &input, &group_by, &table),
             Shape::Other => self.naive.conflict_set(query),
         }
     }
@@ -293,9 +299,8 @@ impl DeltaConflictEngine<'_> {
             Ok(v) => v,
             Err(_) => return self.naive.conflict_set(query),
         };
-        let group_key = |row: &Tuple| -> Vec<Value> {
-            key_idx.iter().map(|&i| row[i].clone()).collect()
-        };
+        let group_key =
+            |row: &Tuple| -> Vec<Value> { key_idx.iter().map(|&i| row[i].clone()).collect() };
 
         // Aggregation-input rows grouped by key.
         let mut groups: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
@@ -433,7 +438,9 @@ mod tests {
                 .filter(Expr::col("continent").eq(Expr::lit("Asia")))
                 .project_cols(&["name"]),
             // Distinct chain.
-            Query::scan("Country").project_cols(&["continent"]).distinct(),
+            Query::scan("Country")
+                .project_cols(&["continent"])
+                .distinct(),
             // Global aggregate.
             Query::scan("Country")
                 .filter(Expr::col("population").gt(Expr::lit(1500)))
@@ -457,7 +464,12 @@ mod tests {
         for q in queries() {
             let a = naive.conflict_set(&q);
             let b = fast.conflict_set(&q);
-            assert_eq!(a, b, "engines disagree on {:?}", qp_qdb::pretty::render_plan(&q));
+            assert_eq!(
+                a,
+                b,
+                "engines disagree on {:?}",
+                qp_qdb::pretty::render_plan(&q)
+            );
         }
     }
 
@@ -469,8 +481,11 @@ mod tests {
             ("country", ColumnType::Str),
         ]));
         for i in 0..30 {
-            city.push(vec![format!("city{i}").into(), format!("country{}", i * 2).into()])
-                .unwrap();
+            city.push(vec![
+                format!("city{i}").into(),
+                format!("country{}", i * 2).into(),
+            ])
+            .unwrap();
         }
         db.add_table("City", city);
         let support = SupportSet::generate(&db, &SupportConfig::with_size(80));

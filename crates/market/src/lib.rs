@@ -17,9 +17,11 @@
 //! 3. **Arbitrage-freeness** ([`arbitrage`]): empirical verification of the
 //!    information- and combination-arbitrage conditions for a pricing
 //!    function applied through conflict sets (Theorem 1).
-//! 4. **Broker** ([`broker`]): an end-to-end API a data marketplace would
-//!    embed — register buyers, run a pricing algorithm, quote and sell
-//!    queries, track realized revenue.
+//! 4. **Broker** ([`broker`]): a concurrent end-to-end engine a data
+//!    marketplace would embed — assemble with [`broker::BrokerBuilder`]
+//!    (database → support → pricing algorithm by registry name), quote
+//!    queries singly or in batches, swap the pricing function under live
+//!    read traffic, sell queries, and inspect the per-sale revenue ledger.
 
 pub mod arbitrage;
 pub mod broker;
@@ -29,8 +31,8 @@ pub mod support;
 pub use arbitrage::{
     check_all, check_combination_arbitrage, check_information_arbitrage, ArbitrageReport,
 };
-pub use broker::{Broker, PurchaseOutcome, QuotedQuery};
-pub use conflict::{
-    build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine,
+pub use broker::{
+    Broker, BrokerBuildError, BrokerBuilder, PurchaseOutcome, QuotedQuery, RevenueLedger, Sale,
 };
+pub use conflict::{build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine};
 pub use support::{SupportConfig, SupportSet};

@@ -46,7 +46,10 @@ impl Default for SupportConfig {
 impl SupportConfig {
     /// Convenience constructor for a support of `size` databases.
     pub fn with_size(size: usize) -> Self {
-        SupportConfig { size, ..Default::default() }
+        SupportConfig {
+            size,
+            ..Default::default()
+        }
     }
 
     /// Marks `(table, column)` as frozen (never perturbed).
@@ -87,8 +90,7 @@ impl SupportSet {
             let mut cols = vec![Vec::new(); rel.schema().arity()];
             for (c, col_domain) in cols.iter_mut().enumerate() {
                 if rel.schema().column_type(c) == ColumnType::Str {
-                    let mut vals: Vec<Value> =
-                        rel.rows().iter().map(|r| r[c].clone()).collect();
+                    let mut vals: Vec<Value> = rel.rows().iter().map(|r| r[c].clone()).collect();
                     vals.sort();
                     vals.dedup();
                     *col_domain = vals;
@@ -155,7 +157,9 @@ impl SupportSet {
     /// Restricts the support to its first `k` databases (used for the
     /// support-size sweeps of Figure 8 / Tables 5–6).
     pub fn truncate(&self, k: usize) -> SupportSet {
-        SupportSet { deltas: self.deltas.iter().take(k).cloned().collect() }
+        SupportSet {
+            deltas: self.deltas.iter().take(k).cloned().collect(),
+        }
     }
 }
 
@@ -236,9 +240,27 @@ mod tests {
     #[test]
     fn generation_is_deterministic_in_the_seed() {
         let db = db();
-        let a = SupportSet::generate(&db, &SupportConfig { seed: 7, ..SupportConfig::with_size(50) });
-        let b = SupportSet::generate(&db, &SupportConfig { seed: 7, ..SupportConfig::with_size(50) });
-        let c = SupportSet::generate(&db, &SupportConfig { seed: 8, ..SupportConfig::with_size(50) });
+        let a = SupportSet::generate(
+            &db,
+            &SupportConfig {
+                seed: 7,
+                ..SupportConfig::with_size(50)
+            },
+        );
+        let b = SupportSet::generate(
+            &db,
+            &SupportConfig {
+                seed: 7,
+                ..SupportConfig::with_size(50)
+            },
+        );
+        let c = SupportSet::generate(
+            &db,
+            &SupportConfig {
+                seed: 8,
+                ..SupportConfig::with_size(50)
+            },
+        );
         assert_eq!(a.deltas(), b.deltas());
         assert_ne!(a.deltas(), c.deltas());
     }

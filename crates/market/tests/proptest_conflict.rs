@@ -7,7 +7,9 @@
 //! every fast path and the fallback.
 
 use proptest::prelude::*;
-use qp_market::{ConflictEngine, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet};
+use qp_market::{
+    ConflictEngine, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet,
+};
 use qp_qdb::{AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value};
 
 #[derive(Debug, Clone)]
@@ -23,7 +25,11 @@ fn db_strategy() -> impl Strategy<Value = RandomDb> {
         0u64..1000,
         5usize..40,
     )
-        .prop_map(|(rows, seed, support)| RandomDb { rows, seed, support })
+        .prop_map(|(rows, seed, support)| RandomDb {
+            rows,
+            seed,
+            support,
+        })
 }
 
 fn build(rdb: &RandomDb) -> Database {
@@ -71,11 +77,17 @@ fn query_pool() -> Vec<Query> {
         ),
         Query::scan("Sales").aggregate(
             vec!["category"],
-            vec![(AggFunc::Avg, Some("amount"), "a"), (AggFunc::Count, None, "c")],
+            vec![
+                (AggFunc::Avg, Some("amount"), "a"),
+                (AggFunc::Count, None, "c"),
+            ],
         ),
         Query::scan("Sales")
             .filter(Expr::col("region").ne(Expr::lit("region0")))
-            .aggregate(vec!["region"], vec![(AggFunc::CountDistinct, Some("category"), "d")]),
+            .aggregate(
+                vec!["region"],
+                vec![(AggFunc::CountDistinct, Some("category"), "d")],
+            ),
         // Join shape exercises the naive fallback inside the delta engine.
         Query::scan("Sales")
             .join(Query::scan("Sales"), vec![("category", "category")])

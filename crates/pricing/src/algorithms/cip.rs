@@ -41,7 +41,10 @@ pub struct CipConfig {
 
 impl Default for CipConfig {
     fn default() -> Self {
-        CipConfig { epsilon: 0.5, max_lp_iterations: 200_000 }
+        CipConfig {
+            epsilon: 0.5,
+            max_lp_iterations: 200_000,
+        }
     }
 }
 
@@ -74,9 +77,15 @@ pub fn capacity_item_price(h: &Hypergraph, config: &CipConfig) -> PricingOutcome
         }
     }
 
-    let pricing = Pricing::Item { weights: best_weights };
+    let pricing = Pricing::Item {
+        weights: best_weights,
+    };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "CIP", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "CIP",
+        revenue: rev,
+        pricing,
+    }
 }
 
 /// Solves the dual of the capacity-`k` welfare LP and returns the item-price
@@ -147,7 +156,11 @@ mod tests {
         let out = capacity_item_price(&h, &CipConfig::default());
         // With capacity >= 1 every bundle is packed and the duals support the
         // full valuations.
-        assert!((out.revenue - h.total_valuation()).abs() < 1e-5, "got {}", out.revenue);
+        assert!(
+            (out.revenue - h.total_valuation()).abs() < 1e-5,
+            "got {}",
+            out.revenue
+        );
     }
 
     #[test]
@@ -167,7 +180,10 @@ mod tests {
         for eps in [0.2, 1.0, 4.0] {
             let out = capacity_item_price(
                 &h,
-                &CipConfig { epsilon: eps, max_lp_iterations: 100_000 },
+                &CipConfig {
+                    epsilon: eps,
+                    max_lp_iterations: 100_000,
+                },
             );
             assert!(out.revenue >= 0.0);
             assert!(out.revenue <= h.total_valuation() + 1e-6);
@@ -185,6 +201,12 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn zero_epsilon_is_rejected() {
         let h = test_support::small();
-        capacity_item_price(&h, &CipConfig { epsilon: 0.0, max_lp_iterations: 10 });
+        capacity_item_price(
+            &h,
+            &CipConfig {
+                epsilon: 0.0,
+                max_lp_iterations: 10,
+            },
+        );
     }
 }

@@ -44,7 +44,11 @@ pub fn layering(h: &Hypergraph) -> PricingOutcome {
 
     let pricing = Pricing::Item { weights };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "Layering", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "Layering",
+        revenue: rev,
+        pricing,
+    }
 }
 
 /// Greedy set cover of the items covered by `edges`, post-processed to be
@@ -108,9 +112,10 @@ fn minimal_set_cover(h: &Hypergraph, edges: &[usize]) -> Vec<usize> {
         let ei = cover[ci];
         let removable = h.edge(ei).items.iter().all(|&j| {
             !needed[j]
-                || cover.iter().enumerate().any(|(ck, &ek)| {
-                    ck != ci && keep[ck] && h.edge(ek).items.contains(&j)
-                })
+                || cover
+                    .iter()
+                    .enumerate()
+                    .any(|(ck, &ek)| ck != ci && keep[ck] && h.edge(ek).items.contains(&j))
         });
         if removable {
             keep[ci] = false;
@@ -180,7 +185,9 @@ mod tests {
     #[test]
     fn minimal_cover_has_unique_items_for_every_edge() {
         let h = test_support::small();
-        let all: Vec<usize> = (0..h.num_edges()).filter(|&i| h.edge(i).size() > 0).collect();
+        let all: Vec<usize> = (0..h.num_edges())
+            .filter(|&i| h.edge(i).size() > 0)
+            .collect();
         let cover = minimal_set_cover(&h, &all);
         for &ei in &cover {
             assert!(

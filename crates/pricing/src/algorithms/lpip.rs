@@ -33,7 +33,10 @@ pub struct LpipConfig {
 
 impl Default for LpipConfig {
     fn default() -> Self {
-        LpipConfig { max_lps: None, max_lp_iterations: 200_000 }
+        LpipConfig {
+            max_lps: None,
+            max_lp_iterations: 200_000,
+        }
     }
 }
 
@@ -53,7 +56,9 @@ pub fn lp_item_price(h: &Hypergraph, config: &LpipConfig) -> PricingOutcome {
     let thresholds: Vec<f64> = match config.max_lps {
         Some(k) if k > 0 && thresholds.len() > k => {
             let step = thresholds.len() as f64 / k as f64;
-            (0..k).map(|i| thresholds[(i as f64 * step) as usize]).collect()
+            (0..k)
+                .map(|i| thresholds[(i as f64 * step) as usize])
+                .collect()
         }
         _ => thresholds,
     };
@@ -68,9 +73,15 @@ pub fn lp_item_price(h: &Hypergraph, config: &LpipConfig) -> PricingOutcome {
         }
     }
 
-    let pricing = Pricing::Item { weights: best_weights };
+    let pricing = Pricing::Item {
+        weights: best_weights,
+    };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "LPIP", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "LPIP",
+        revenue: rev,
+        pricing,
+    }
 }
 
 /// Solves `LP(e)` for the threshold valuation `threshold` and returns the
@@ -191,7 +202,10 @@ mod tests {
         let full = lp_item_price(&h, &LpipConfig::default());
         let sampled = lp_item_price(
             &h,
-            &LpipConfig { max_lps: Some(3), max_lp_iterations: 100_000 },
+            &LpipConfig {
+                max_lps: Some(3),
+                max_lp_iterations: 100_000,
+            },
         );
         assert!(sampled.revenue <= full.revenue + 1e-6);
         assert!(sampled.revenue > 0.0);

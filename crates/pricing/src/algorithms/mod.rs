@@ -5,11 +5,18 @@
 //! revenue that function achieves on the input. Revenue is always re-computed
 //! through [`crate::revenue`], so the reported number is exactly what the
 //! returned pricing function earns — not an internal LP objective.
+//!
+//! Prefer driving algorithms through the [`PricingAlgorithm`] registry
+//! ([`all`], [`by_name`]) rather than calling the per-algorithm free
+//! functions: the registry gives every algorithm the same `run(&Hypergraph)`
+//! shape, so harnesses and brokers can iterate, select, and swap algorithms
+//! uniformly. The free functions remain as the underlying implementations.
 
 mod cip;
 mod layering;
 mod lpip;
 mod refine;
+mod registry;
 mod ubp;
 mod uip;
 mod xos;
@@ -18,6 +25,10 @@ pub use cip::{capacity_item_price, CipConfig};
 pub use layering::layering;
 pub use lpip::{lp_item_price, LpipConfig};
 pub use refine::refine_uniform_bundle_price;
+pub use registry::{
+    all, all_with, by_name, by_name_with, Cip, Layering, Lpip, PricingAlgorithm, Ubp, UbpRefined,
+    Uip, Xos, PAPER_ALGORITHMS,
+};
 pub use ubp::uniform_bundle_price;
 pub use uip::uniform_item_price;
 pub use xos::{xos_from_components, xos_pricing};

@@ -86,9 +86,17 @@ pub fn refine_uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
     // different representation, so fall back when the item pricing loses
     // revenue (possible when many sold bundles are empty).
     if rev + 1e-9 < ubp.revenue {
-        PricingOutcome { algorithm: "UBP-refined", revenue: ubp.revenue, pricing: ubp.pricing }
+        PricingOutcome {
+            algorithm: "UBP-refined",
+            revenue: ubp.revenue,
+            pricing: ubp.pricing,
+        }
     } else {
-        PricingOutcome { algorithm: "UBP-refined", revenue: rev, pricing }
+        PricingOutcome {
+            algorithm: "UBP-refined",
+            revenue: rev,
+            pricing,
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub fn uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
 
     let pricing = Pricing::UniformBundle { price: best_price };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "UBP", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "UBP",
+        revenue: rev,
+        pricing,
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,11 @@ pub fn uniform_item_price(h: &Hypergraph) -> PricingOutcome {
     let weights = vec![best_w; h.num_items()];
     let pricing = Pricing::Item { weights };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "UIP", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "UIP",
+        revenue: rev,
+        pricing,
+    }
 }
 
 #[cfg(test)]

@@ -10,23 +10,44 @@ use crate::algorithms::{capacity_item_price, lp_item_price, CipConfig, LpipConfi
 use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
 
 /// Builds the XOS pricing from the LPIP and CIP item-price vectors.
-pub fn xos_pricing(h: &Hypergraph, lpip_config: &LpipConfig, cip_config: &CipConfig) -> PricingOutcome {
+pub fn xos_pricing(
+    h: &Hypergraph,
+    lpip_config: &LpipConfig,
+    cip_config: &CipConfig,
+) -> PricingOutcome {
     let lpip = lp_item_price(h, lpip_config);
     let cip = capacity_item_price(h, cip_config);
-    xos_from_components(
-        h,
-        vec![
-            lpip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-            cip.pricing.item_weights().unwrap_or(&[]).to_vec(),
-        ],
-    )
+    xos_from_components(h, &[lpip.pricing, cip.pricing])
 }
 
-/// Builds an XOS pricing from explicit additive components and evaluates it.
-pub fn xos_from_components(h: &Hypergraph, components: Vec<Vec<f64>>) -> PricingOutcome {
+/// Builds an XOS pricing from the additive components of `pricings` and
+/// evaluates it on `h`.
+///
+/// Accepting [`Pricing`] values (rather than raw weight vectors) lets XOS
+/// compose directly with registry-produced outcomes: an [`Pricing::Item`]
+/// contributes its weight vector, and a [`Pricing::Xos`] contributes every
+/// one of its components (so XOS composition is associative). A
+/// [`Pricing::UniformBundle`] has no additive representation and cannot
+/// participate in an XOS envelope; passing one panics, as that is always a
+/// caller bug rather than a recoverable condition.
+pub fn xos_from_components(h: &Hypergraph, pricings: &[Pricing]) -> PricingOutcome {
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(pricings.len());
+    for p in pricings {
+        match p {
+            Pricing::Item { weights } => components.push(weights.clone()),
+            Pricing::Xos { components: inner } => components.extend(inner.iter().cloned()),
+            Pricing::UniformBundle { .. } => {
+                panic!("uniform bundle pricing is not additive and cannot be an XOS component")
+            }
+        }
+    }
     let pricing = Pricing::Xos { components };
     let rev = revenue::revenue(h, &pricing);
-    PricingOutcome { algorithm: "XOS-LPIP+CIP", revenue: rev, pricing }
+    PricingOutcome {
+        algorithm: "XOS",
+        revenue: rev,
+        pricing,
+    }
 }
 
 #[cfg(test)]
@@ -46,7 +67,11 @@ mod tests {
         for e in h.edges() {
             let p = out.pricing.price(&e.items);
             for c in components {
-                let add: f64 = e.items.iter().map(|&j| c.get(j).copied().unwrap_or(0.0)).sum();
+                let add: f64 = e
+                    .items
+                    .iter()
+                    .map(|&j| c.get(j).copied().unwrap_or(0.0))
+                    .sum();
                 assert!(p + 1e-9 >= add);
             }
         }
@@ -70,6 +95,30 @@ mod tests {
     }
 
     #[test]
+    fn composes_with_nested_xos_components() {
+        let h = test_support::unique_items();
+        let a = Pricing::Item {
+            weights: vec![5.0, 0.0, 0.0, 0.0],
+        };
+        let b = Pricing::Xos {
+            components: vec![vec![0.0, 7.0, 0.0, 0.0], vec![0.0, 0.0, 5.5, 5.5]],
+        };
+        let out = xos_from_components(&h, &[a, b]);
+        let Pricing::Xos { components } = &out.pricing else {
+            panic!("expected XOS pricing");
+        };
+        assert_eq!(components.len(), 3, "nested XOS components are flattened");
+        assert!((out.revenue - h.total_valuation()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not additive")]
+    fn uniform_bundle_components_are_rejected() {
+        let h = test_support::small();
+        xos_from_components(&h, &[Pricing::UniformBundle { price: 3.0 }]);
+    }
+
+    #[test]
     fn overshooting_max_can_lose_revenue() {
         // Two buyers: {0} at 10 and {0,1} at 11. Component A sells both for
         // 21; component B overprices the second bundle. Their XOS combination
@@ -85,7 +134,10 @@ mod tests {
         let rev_b = revenue::item_pricing_revenue(&h, &b);
         assert_eq!(rev_a, 21.0);
         assert_eq!(rev_b, 5.0);
-        let xos = xos_from_components(&h, vec![a, b]);
+        let xos = xos_from_components(
+            &h,
+            &[Pricing::Item { weights: a }, Pricing::Item { weights: b }],
+        );
         assert_eq!(xos.revenue, 10.0);
         assert!(xos.revenue < rev_a.max(rev_b));
     }

@@ -40,7 +40,10 @@ pub struct SubadditiveBoundConfig {
 
 impl Default for SubadditiveBoundConfig {
     fn default() -> Self {
-        SubadditiveBoundConfig { covers_per_edge: 1, max_lp_iterations: 400_000 }
+        SubadditiveBoundConfig {
+            covers_per_edge: 1,
+            max_lp_iterations: 400_000,
+        }
     }
 }
 
@@ -106,12 +109,7 @@ pub fn subadditive_bound(h: &Hypergraph, config: &SubadditiveBoundConfig) -> f64
 /// candidate edges in `order` but ignoring the first `skip` usable candidates
 /// (used to generate a few *different* covers per edge). Returns `None` when
 /// no full cover by other edges exists.
-fn greedy_cover(
-    h: &Hypergraph,
-    target: usize,
-    order: &[usize],
-    skip: usize,
-) -> Option<Vec<usize>> {
+fn greedy_cover(h: &Hypergraph, target: usize, order: &[usize], skip: usize) -> Option<Vec<usize>> {
     let te = h.edge(target);
     let mut uncovered: Vec<usize> = te.items.clone();
     let mut cover = Vec::new();
@@ -205,7 +203,10 @@ mod tests {
     #[test]
     fn empty_hypergraph_bound_is_zero() {
         let h = Hypergraph::new(3);
-        assert_eq!(subadditive_bound(&h, &SubadditiveBoundConfig::default()), 0.0);
+        assert_eq!(
+            subadditive_bound(&h, &SubadditiveBoundConfig::default()),
+            0.0
+        );
         assert_eq!(sum_of_valuations(&h), 0.0);
     }
 
@@ -214,11 +215,17 @@ mod tests {
         let h = nested_instance();
         let one = subadditive_bound(
             &h,
-            &SubadditiveBoundConfig { covers_per_edge: 1, max_lp_iterations: 100_000 },
+            &SubadditiveBoundConfig {
+                covers_per_edge: 1,
+                max_lp_iterations: 100_000,
+            },
         );
         let three = subadditive_bound(
             &h,
-            &SubadditiveBoundConfig { covers_per_edge: 3, max_lp_iterations: 100_000 },
+            &SubadditiveBoundConfig {
+                covers_per_edge: 3,
+                max_lp_iterations: 100_000,
+            },
         );
         assert!(three <= one + 1e-6);
     }

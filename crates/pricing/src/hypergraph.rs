@@ -45,7 +45,10 @@ pub struct HypergraphStats {
 impl Hypergraph {
     /// Creates a hypergraph over `num_items` items with no edges.
     pub fn new(num_items: usize) -> Self {
-        Hypergraph { num_items, edges: Vec::new() }
+        Hypergraph {
+            num_items,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a hyperedge over `items` with valuation `valuation`; returns its
@@ -183,7 +186,10 @@ impl Hypergraph {
         let mut h = Hypergraph::new(k.min(self.num_items));
         for e in &self.edges {
             let items: Vec<usize> = e.items.iter().copied().filter(|&j| j < k).collect();
-            h.edges.push(Edge { items, valuation: e.valuation });
+            h.edges.push(Edge {
+                items,
+                valuation: e.valuation,
+            });
         }
         h
     }

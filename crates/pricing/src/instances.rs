@@ -124,7 +124,10 @@ mod tests {
             uip.revenue,
             n
         );
-        assert!(uip.revenue < 0.7 * sum, "item pricing must lose a log factor");
+        assert!(
+            uip.revenue < 0.7 * sum,
+            "item pricing must lose a log factor"
+        );
     }
 
     #[test]
@@ -141,15 +144,30 @@ mod tests {
         // Both succinct classes lose a constant fraction at t=3 already; the
         // asymptotic statement is Ω(t). With t=3, OPT = 4·27 = 108 while
         // bundle/item pricing stay near 3^t·Θ(1).
-        assert!(ubp.revenue < 0.8 * opt, "UBP {} vs OPT {}", ubp.revenue, opt);
-        assert!(uip.revenue < 0.8 * opt, "UIP {} vs OPT {}", uip.revenue, opt);
-        assert!(lpip.revenue < 0.95 * opt, "LPIP {} vs OPT {}", lpip.revenue, opt);
+        assert!(
+            ubp.revenue < 0.8 * opt,
+            "UBP {} vs OPT {}",
+            ubp.revenue,
+            opt
+        );
+        assert!(
+            uip.revenue < 0.8 * opt,
+            "UIP {} vs OPT {}",
+            uip.revenue,
+            opt
+        );
+        assert!(
+            lpip.revenue < 0.95 * opt,
+            "LPIP {} vs OPT {}",
+            lpip.revenue,
+            opt
+        );
     }
 
     #[test]
     fn construction_sizes_match_the_paper() {
         let h = laminar_family(2); // n = 4 items
-        // Depth 0: 1 set × 9 copies; depth 1: 2 × 6; depth 2: 4 × 4 = 16.
+                                   // Depth 0: 1 set × 9 copies; depth 1: 2 × 6; depth 2: 4 × 4 = 16.
         assert_eq!(h.num_items(), 4);
         assert_eq!(h.num_edges(), 9 + 12 + 16);
 

@@ -15,14 +15,19 @@
 //!
 //! ## Algorithms (paper §5)
 //!
-//! | Algorithm | Guarantee | Function |
-//! |-----------|-----------|----------|
-//! | `UBP` uniform bundle pricing | O(log m) | [`algorithms::uniform_bundle_price`] |
-//! | `UIP` uniform item pricing (Guruswami et al.) | O(log n + log m) | [`algorithms::uniform_item_price`] |
-//! | `LPIP` LP-based item pricing | O(log m) | [`algorithms::lp_item_price`] |
-//! | `CIP` capacity-constrained item pricing (Cheung–Swamy) | O((1+ε) log B) | [`algorithms::capacity_item_price`] |
-//! | Layering (Algorithm 1) | O(B) | [`algorithms::layering`] |
-//! | `XOS` max of LPIP and CIP | — | [`algorithms::xos_pricing`] |
+//! Every algorithm is registered in the [`algorithms`] registry under its
+//! paper name; [`algorithms::all`] returns the full roster as
+//! [`algorithms::PricingAlgorithm`] trait objects and
+//! [`algorithms::by_name`] resolves a single one:
+//!
+//! | Registry name | Guarantee | Config struct | Free function |
+//! |---------------|-----------|---------------|---------------|
+//! | `UBP` uniform bundle pricing | O(log m) | [`algorithms::Ubp`] | [`algorithms::uniform_bundle_price`] |
+//! | `UIP` uniform item pricing (Guruswami et al.) | O(log n + log m) | [`algorithms::Uip`] | [`algorithms::uniform_item_price`] |
+//! | `LPIP` LP-based item pricing | O(log m) | [`algorithms::Lpip`] | [`algorithms::lp_item_price`] |
+//! | `CIP` capacity-constrained item pricing (Cheung–Swamy) | O((1+ε) log B) | [`algorithms::Cip`] | [`algorithms::capacity_item_price`] |
+//! | `Layering` (Algorithm 1) | O(B) | [`algorithms::Layering`] | [`algorithms::layering`] |
+//! | `XOS` max of LPIP and CIP | — | [`algorithms::Xos`] | [`algorithms::xos_pricing`] |
 //!
 //! Revenue upper bounds (Σ valuations and the subadditive LP bound of §6.1)
 //! live in [`bounds`]; the Ω(log m) lower-bound constructions of Lemmas 2–4
@@ -38,11 +43,17 @@
 //! h.add_edge(vec![0, 1], 12.0);
 //! h.add_edge(vec![2, 3], 5.0);
 //!
-//! let out = algorithms::lp_item_price(&h, &Default::default());
+//! let lpip = algorithms::by_name("LPIP").expect("registered");
+//! let out = lpip.run(&h);
 //! assert!(out.revenue <= 25.0 + 1e-9);
 //! assert!(out.revenue >= 24.9); // LPIP extracts (almost) everything here
 //! let check = revenue::revenue(&h, &out.pricing);
 //! assert!((check - out.revenue).abs() < 1e-6);
+//!
+//! // The whole roster, uniformly:
+//! for algo in algorithms::all() {
+//!     assert!(algo.run(&h).revenue <= 25.0 + 1e-9, "{}", algo.name());
+//! }
 //! ```
 
 pub mod algorithms;

@@ -37,7 +37,9 @@ pub enum Pricing {
 impl Pricing {
     /// A zero item pricing over `n` items.
     pub fn zero_items(n: usize) -> Pricing {
-        Pricing::Item { weights: vec![0.0; n] }
+        Pricing::Item {
+            weights: vec![0.0; n],
+        }
     }
 
     /// Item weights if this is an item pricing.
@@ -68,7 +70,7 @@ impl Pricing {
     }
 }
 
-fn additive_price(weights: &[f64], items: &[usize], seen: &mut Vec<bool>) -> f64 {
+fn additive_price(weights: &[f64], items: &[usize], seen: &mut [bool]) -> f64 {
     // Ignore duplicate indices so that the function is a true set function.
     let mut total = 0.0;
     for &j in items {
@@ -110,9 +112,7 @@ impl BundlePricing for Pricing {
 pub fn is_monotone(p: &dyn BundlePricing, n: usize) -> bool {
     assert!(n <= 16, "exhaustive check only supports small ground sets");
     let subsets = 1usize << n;
-    let bundle = |mask: usize| -> Vec<usize> {
-        (0..n).filter(|i| mask & (1 << i) != 0).collect()
-    };
+    let bundle = |mask: usize| -> Vec<usize> { (0..n).filter(|i| mask & (1 << i) != 0).collect() };
     for a in 0..subsets {
         for b in 0..subsets {
             if a & b == a {
@@ -131,9 +131,7 @@ pub fn is_monotone(p: &dyn BundlePricing, n: usize) -> bool {
 pub fn is_subadditive(p: &dyn BundlePricing, n: usize) -> bool {
     assert!(n <= 16, "exhaustive check only supports small ground sets");
     let subsets = 1usize << n;
-    let bundle = |mask: usize| -> Vec<usize> {
-        (0..n).filter(|i| mask & (1 << i) != 0).collect()
-    };
+    let bundle = |mask: usize| -> Vec<usize> { (0..n).filter(|i| mask & (1 << i) != 0).collect() };
     for a in 0..subsets {
         for b in 0..subsets {
             let union = a | b;
@@ -160,7 +158,9 @@ mod tests {
 
     #[test]
     fn item_pricing_is_additive_and_ignores_duplicates() {
-        let p = Pricing::Item { weights: vec![1.0, 2.0, 4.0] };
+        let p = Pricing::Item {
+            weights: vec![1.0, 2.0, 4.0],
+        };
         assert_eq!(p.price(&[]), 0.0);
         assert_eq!(p.price(&[0, 2]), 5.0);
         assert_eq!(p.price(&[0, 0, 2, 2]), 5.0);
@@ -191,7 +191,9 @@ mod tests {
 
     #[test]
     fn item_and_xos_pricings_are_monotone_and_subadditive() {
-        let item = Pricing::Item { weights: vec![0.5, 2.0, 0.0, 1.5] };
+        let item = Pricing::Item {
+            weights: vec![0.5, 2.0, 0.0, 1.5],
+        };
         assert!(is_monotone(&item, 4));
         assert!(is_subadditive(&item, 4));
 

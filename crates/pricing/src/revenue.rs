@@ -43,7 +43,11 @@ pub fn item_pricing_revenue(h: &Hypergraph, weights: &[f64]) -> f64 {
     h.edges()
         .iter()
         .map(|e| {
-            let p: f64 = e.items.iter().map(|&j| weights.get(j).copied().unwrap_or(0.0)).sum();
+            let p: f64 = e
+                .items
+                .iter()
+                .map(|&j| weights.get(j).copied().unwrap_or(0.0))
+                .sum();
             if p <= e.valuation + SALE_EPS {
                 p.min(e.valuation)
             } else {
@@ -121,9 +125,6 @@ mod tests {
         let w = vec![9.0, 2.0];
         // The empty bundle is "sold" for 0 revenue; the other pays 2.
         assert_eq!(item_pricing_revenue(&h, &w), 2.0);
-        assert_eq!(
-            sold_edges(&h, &Pricing::Item { weights: w }),
-            vec![0, 1]
-        );
+        assert_eq!(sold_edges(&h, &Pricing::Item { weights: w }), vec![0, 1]);
     }
 }

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use qp_pricing::algorithms::{
-    capacity_item_price, layering, lp_item_price, refine_uniform_bundle_price,
+    self, capacity_item_price, layering, lp_item_price, refine_uniform_bundle_price,
     uniform_bundle_price, uniform_item_price, xos_pricing, CipConfig, LpipConfig,
 };
 use qp_pricing::{bounds, is_monotone, is_subadditive, revenue, Hypergraph};
@@ -30,8 +30,10 @@ fn instance_strategy() -> impl Strategy<Value = RandomInstance> {
             proptest::collection::vec(0usize..n, 0..=n.min(5)),
             0.01f64..20.0,
         );
-        proptest::collection::vec(edge, 1..10)
-            .prop_map(move |edges| RandomInstance { num_items: n, edges })
+        proptest::collection::vec(edge, 1..10).prop_map(move |edges| RandomInstance {
+            num_items: n,
+            edges,
+        })
     })
 }
 
@@ -48,12 +50,21 @@ fn all_outcomes(h: &Hypergraph) -> Vec<qp_pricing::PricingOutcome> {
         uniform_bundle_price(h),
         uniform_item_price(h),
         lp_item_price(h, &LpipConfig::default()),
-        capacity_item_price(h, &CipConfig { epsilon: 1.0, max_lp_iterations: 100_000 }),
+        capacity_item_price(
+            h,
+            &CipConfig {
+                epsilon: 1.0,
+                max_lp_iterations: 100_000,
+            },
+        ),
         layering(h),
         xos_pricing(
             h,
             &LpipConfig::default(),
-            &CipConfig { epsilon: 1.0, max_lp_iterations: 100_000 },
+            &CipConfig {
+                epsilon: 1.0,
+                max_lp_iterations: 100_000,
+            },
         ),
         refine_uniform_bundle_price(h),
     ]
@@ -155,5 +166,48 @@ proptest! {
         let bound = bounds::subadditive_bound(&h, &Default::default());
         prop_assert!(bound <= bounds::sum_of_valuations(&h) + 1e-6);
         prop_assert!(bound >= -1e-9);
+    }
+
+    #[test]
+    fn registry_algorithms_are_arbitrage_free_and_report_true_revenue(
+        inst in instance_strategy()
+    ) {
+        // The registry invariant of the redesigned API: every algorithm in
+        // `algorithms::all()` returns a pricing that is monotone and
+        // subadditive (arbitrage-free per Theorem 1 — every registered class
+        // guarantees both), with a `revenue` field that matches what the
+        // returned pricing actually earns on the input.
+        let h = build(&inst);
+        let n = h.num_items().min(8);
+        for algo in algorithms::all() {
+            let out = algo.run(&h);
+            prop_assert!(
+                (revenue::revenue(&h, &out.pricing) - out.revenue).abs() < 1e-6,
+                "{} mis-reported its own revenue", algo.name()
+            );
+            prop_assert!(
+                is_monotone(&out.pricing, n),
+                "{} returned a non-monotone pricing", algo.name()
+            );
+            prop_assert!(
+                is_subadditive(&out.pricing, n),
+                "{} returned a non-subadditive pricing", algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_to_the_same_outcome_as_the_roster(inst in instance_strategy()) {
+        let h = build(&inst);
+        for algo in algorithms::all() {
+            let resolved = algorithms::by_name(algo.name()).expect("roster name resolves");
+            prop_assert_eq!(resolved.name(), algo.name());
+            let a = algo.run(&h);
+            let b = resolved.run(&h);
+            prop_assert!(
+                (a.revenue - b.revenue).abs() < 1e-9,
+                "{}: roster and by_name outcomes diverge", algo.name()
+            );
+        }
     }
 }

@@ -16,7 +16,9 @@ pub struct Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database { tables: BTreeMap::new() }
+        Database {
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) a table.
@@ -73,7 +75,10 @@ mod tests {
         assert_eq!(db.num_tables(), 1);
         assert_eq!(db.total_rows(), 2);
         assert!(db.table("User").is_ok());
-        assert!(matches!(db.table("Missing"), Err(QdbError::UnknownTable(_))));
+        assert!(matches!(
+            db.table("Missing"),
+            Err(QdbError::UnknownTable(_))
+        ));
         assert_eq!(db.table_names().collect::<Vec<_>>(), vec!["User"]);
     }
 
@@ -92,7 +97,10 @@ mod tests {
     fn replace_table() {
         let mut db = Database::new();
         db.add_table("User", users());
-        db.add_table("User", Relation::new(Schema::new(vec![("id", ColumnType::Int)])));
+        db.add_table(
+            "User",
+            Relation::new(Schema::new(vec![("id", ColumnType::Int)])),
+        );
         assert_eq!(db.total_rows(), 0);
     }
 }

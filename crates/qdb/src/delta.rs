@@ -34,7 +34,11 @@ pub struct Delta {
 impl Delta {
     /// Creates a delta replacing cells of `table[row]`.
     pub fn new(table: impl Into<String>, row: usize, changes: Vec<CellChange>) -> Self {
-        Delta { table: table.into(), row, changes: changes.into_iter().collect() }
+        Delta {
+            table: table.into(),
+            row,
+            changes: changes.into_iter().collect(),
+        }
     }
 
     /// Convenience constructor for a single-cell change.
@@ -47,7 +51,10 @@ impl Delta {
         Delta::new(
             table,
             row,
-            vec![CellChange { column, new_value: new_value.into() }],
+            vec![CellChange {
+                column,
+                new_value: new_value.into(),
+            }],
         )
     }
 
@@ -78,10 +85,11 @@ impl Delta {
     /// old ones).
     pub fn is_noop(&self, base: &Database) -> Result<bool, QdbError> {
         let old = self.old_tuple(base)?;
-        Ok(self
-            .changes
-            .iter()
-            .all(|c| old.get(c.column).map(|v| *v == c.new_value).unwrap_or(false)))
+        Ok(self.changes.iter().all(|c| {
+            old.get(c.column)
+                .map(|v| *v == c.new_value)
+                .unwrap_or(false)
+        }))
     }
 
     /// Materializes the delta into a full copy of the base database. Used by
@@ -105,7 +113,10 @@ pub struct DeltaInstance<'a> {
 impl<'a> DeltaInstance<'a> {
     /// Creates an instance overlaying a single delta.
     pub fn new(base: &'a Database, delta: &'a Delta) -> Self {
-        DeltaInstance { base, deltas: vec![delta] }
+        DeltaInstance {
+            base,
+            deltas: vec![delta],
+        }
     }
 
     /// Creates an instance overlaying several deltas (later deltas win on the
@@ -181,9 +192,12 @@ mod tests {
             ("gender", ColumnType::Str),
             ("age", ColumnType::Int),
         ]));
-        rel.push(vec!["Abe".into(), "m".into(), Value::Int(18)]).unwrap();
-        rel.push(vec!["Alice".into(), "f".into(), Value::Int(20)]).unwrap();
-        rel.push(vec!["Bob".into(), "m".into(), Value::Int(25)]).unwrap();
+        rel.push(vec!["Abe".into(), "m".into(), Value::Int(18)])
+            .unwrap();
+        rel.push(vec!["Alice".into(), "f".into(), Value::Int(20)])
+            .unwrap();
+        rel.push(vec!["Bob".into(), "m".into(), Value::Int(25)])
+            .unwrap();
         let mut db = Database::new();
         db.add_table("User", rel);
         db
@@ -252,7 +266,14 @@ mod tests {
         assert!(d.old_tuple(&base).is_err());
         let d = Delta::cell("Missing", 0, 0, "x");
         assert!(d.old_tuple(&base).is_err());
-        let d = Delta::new("User", 0, vec![CellChange { column: 99, new_value: Value::Int(1) }]);
+        let d = Delta::new(
+            "User",
+            0,
+            vec![CellChange {
+                column: 99,
+                new_value: Value::Int(1),
+            }],
+        );
         assert!(d.new_tuple(&base).is_err());
     }
 }

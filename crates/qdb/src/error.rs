@@ -32,7 +32,10 @@ impl fmt::Display for QdbError {
             QdbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             QdbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             QdbError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, tuple has {got}"
+                )
             }
             QdbError::NonNumericAggregate { column } => {
                 write!(f, "aggregate requires a numeric column, got: {column}")
@@ -50,13 +53,24 @@ mod tests {
 
     #[test]
     fn messages_contain_context() {
-        assert!(QdbError::UnknownTable("User".into()).to_string().contains("User"));
-        assert!(QdbError::UnknownColumn("age".into()).to_string().contains("age"));
-        let e = QdbError::ArityMismatch { expected: 3, got: 2 };
-        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
-        assert!(QdbError::NonNumericAggregate { column: "name".into() }
+        assert!(QdbError::UnknownTable("User".into())
             .to_string()
-            .contains("name"));
-        assert!(QdbError::TypeError("bad".into()).to_string().contains("bad"));
+            .contains("User"));
+        assert!(QdbError::UnknownColumn("age".into())
+            .to_string()
+            .contains("age"));
+        let e = QdbError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(QdbError::NonNumericAggregate {
+            column: "name".into()
+        }
+        .to_string()
+        .contains("name"));
+        assert!(QdbError::TypeError("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

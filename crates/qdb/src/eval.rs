@@ -50,7 +50,11 @@ pub fn evaluate<I: Instance + ?Sized>(q: &Query, db: &I) -> Result<Relation, Qdb
             let r = evaluate(right, db)?;
             hash_join(&l, &r, on)
         }
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let rel = evaluate(input, db)?;
             aggregate(&rel, group_by, aggs)
         }
@@ -90,7 +94,10 @@ fn projected_type(e: &Expr, schema: &Schema) -> ColumnType {
             }
             _ => ColumnType::Bool,
         },
-        Expr::Not(_) | Expr::Like { .. } | Expr::Between { .. } | Expr::InList { .. }
+        Expr::Not(_)
+        | Expr::Like { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
         | Expr::IsNull(_) => ColumnType::Bool,
     }
 }
@@ -137,8 +144,15 @@ fn hash_join(l: &Relation, r: &Relation, on: &[(String, String)]) -> Result<Rela
 enum AggState {
     Count(i64),
     CountDistinct(HashSet<Value>),
-    Sum { total: f64, all_int: bool, seen: bool },
-    Avg { total: f64, count: i64 },
+    Sum {
+        total: f64,
+        all_int: bool,
+        seen: bool,
+    },
+    Avg {
+        total: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -148,8 +162,15 @@ impl AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
-            AggFunc::Sum => AggState::Sum { total: 0.0, all_int: true, seen: false },
-            AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            AggFunc::Avg => AggState::Avg {
+                total: 0.0,
+                count: 0,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
@@ -173,7 +194,11 @@ impl AggState {
                     }
                 }
             }
-            AggState::Sum { total, all_int, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
                 if let Some(v) = value {
                     if let Some(x) = v.as_f64() {
                         *total += x;
@@ -213,7 +238,11 @@ impl AggState {
         match self {
             AggState::Count(c) => Value::Int(c),
             AggState::CountDistinct(set) => Value::Int(set.len() as i64),
-            AggState::Sum { total, all_int, seen } => {
+            AggState::Sum {
+                total,
+                all_int,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if all_int && total.fract() == 0.0 && total.abs() < i64::MAX as f64 {
@@ -270,7 +299,10 @@ pub(crate) fn aggregate(
         out_schema.push(name.clone(), schema.column_type(i));
     }
     for (a, idx) in aggs.iter().zip(&agg_idx) {
-        out_schema.push(a.alias.clone(), agg_output_type(a.func, idx.map(|i| schema.column_type(i))));
+        out_schema.push(
+            a.alias.clone(),
+            agg_output_type(a.func, idx.map(|i| schema.column_type(i))),
+        );
     }
 
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
@@ -319,10 +351,34 @@ mod tests {
             ("gender", ColumnType::Str),
             ("age", ColumnType::Int),
         ]));
-        rel.push(vec![Value::Int(1), "Abe".into(), "m".into(), Value::Int(18)]).unwrap();
-        rel.push(vec![Value::Int(2), "Alice".into(), "f".into(), Value::Int(20)]).unwrap();
-        rel.push(vec![Value::Int(3), "Bob".into(), "m".into(), Value::Int(25)]).unwrap();
-        rel.push(vec![Value::Int(4), "Cathy".into(), "f".into(), Value::Int(22)]).unwrap();
+        rel.push(vec![
+            Value::Int(1),
+            "Abe".into(),
+            "m".into(),
+            Value::Int(18),
+        ])
+        .unwrap();
+        rel.push(vec![
+            Value::Int(2),
+            "Alice".into(),
+            "f".into(),
+            Value::Int(20),
+        ])
+        .unwrap();
+        rel.push(vec![
+            Value::Int(3),
+            "Bob".into(),
+            "m".into(),
+            Value::Int(25),
+        ])
+        .unwrap();
+        rel.push(vec![
+            Value::Int(4),
+            "Cathy".into(),
+            "f".into(),
+            Value::Int(22),
+        ])
+        .unwrap();
         let mut db = Database::new();
         db.add_table("User", rel);
         db
@@ -375,7 +431,15 @@ mod tests {
             ],
         );
         let out = q.evaluate(&db).unwrap();
-        assert_eq!(out.rows()[0], vec![Value::Int(85), Value::Int(18), Value::Int(25), Value::Int(2)]);
+        assert_eq!(
+            out.rows()[0],
+            vec![
+                Value::Int(85),
+                Value::Int(18),
+                Value::Int(25),
+                Value::Int(2)
+            ]
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl Expr {
     }
 
     fn binary(self, op: BinOp, rhs: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
     }
 
     /// `self = rhs`
@@ -127,37 +131,56 @@ impl Expr {
     pub fn or(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Or, rhs)
     }
-    /// Arithmetic `+`.
+    /// Arithmetic `+` (a query-DSL builder, deliberately not `std::ops`
+    /// — operands are plan fragments, not values).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Add, rhs)
     }
-    /// Arithmetic `-`.
+    /// Arithmetic `-` (a query-DSL builder, deliberately not `std::ops`
+    /// — operands are plan fragments, not values).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Sub, rhs)
     }
-    /// Arithmetic `*`.
+    /// Arithmetic `*` (a query-DSL builder, deliberately not `std::ops`
+    /// — operands are plan fragments, not values).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Mul, rhs)
     }
-    /// Arithmetic `/`.
+    /// Arithmetic `/` (a query-DSL builder, deliberately not `std::ops`
+    /// — operands are plan fragments, not values).
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         self.binary(BinOp::Div, rhs)
     }
-    /// Logical negation.
+    /// Logical negation (a query-DSL builder, deliberately not `std::ops`).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
     /// SQL `LIKE`.
     pub fn like(self, pattern: impl Into<String>) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: pattern.into() }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+        }
     }
     /// SQL `BETWEEN ... AND ...` (inclusive).
     pub fn between(self, low: Expr, high: Expr) -> Expr {
-        Expr::Between { expr: Box::new(self), low: Box::new(low), high: Box::new(high) }
+        Expr::Between {
+            expr: Box::new(self),
+            low: Box::new(low),
+            high: Box::new(high),
+        }
     }
     /// SQL `IN (...)`.
     pub fn in_list(self, list: Vec<Value>) -> Expr {
-        Expr::InList { expr: Box::new(self), list }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+        }
     }
     /// SQL `IS NULL`.
     pub fn is_null(self) -> Expr {
@@ -295,7 +318,7 @@ impl BoundExpr {
             }
             BoundExpr::InList { expr, list } => {
                 let v = expr.eval(row);
-                Value::Bool(list.iter().any(|x| *x == v))
+                Value::Bool(list.contains(&v))
             }
             BoundExpr::IsNull(e) => Value::Bool(e.eval(row).is_null()),
         }
@@ -481,7 +504,10 @@ mod tests {
             .bind(&s)
             .unwrap();
         assert!(e.eval_bool(&row()));
-        let e = Expr::col("name").in_list(vec!["Bob".into()]).bind(&s).unwrap();
+        let e = Expr::col("name")
+            .in_list(vec!["Bob".into()])
+            .bind(&s)
+            .unwrap();
         assert!(!e.eval_bool(&row()));
     }
 

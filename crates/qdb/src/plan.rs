@@ -93,12 +93,17 @@ pub enum Query {
 impl Query {
     /// Starts a plan with a table scan.
     pub fn scan(table: impl Into<String>) -> Query {
-        Query::Scan { table: table.into() }
+        Query::Scan {
+            table: table.into(),
+        }
     }
 
     /// Adds a filter on top of this plan.
     pub fn filter(self, predicate: Expr) -> Query {
-        Query::Filter { input: Box::new(self), predicate }
+        Query::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Adds a projection with explicit output names.
@@ -134,11 +139,7 @@ impl Query {
 
     /// Adds grouping and aggregation. Each aggregate is given as
     /// `(function, input column, output alias)`.
-    pub fn aggregate(
-        self,
-        group_by: Vec<&str>,
-        aggs: Vec<(AggFunc, Option<&str>, &str)>,
-    ) -> Query {
+    pub fn aggregate(self, group_by: Vec<&str>, aggs: Vec<(AggFunc, Option<&str>, &str)>) -> Query {
         Query::Aggregate {
             input: Box::new(self),
             group_by: group_by.into_iter().map(|s| s.to_string()).collect(),
@@ -155,12 +156,17 @@ impl Query {
 
     /// Adds duplicate elimination.
     pub fn distinct(self) -> Query {
-        Query::Distinct { input: Box::new(self) }
+        Query::Distinct {
+            input: Box::new(self),
+        }
     }
 
     /// Adds a row limit.
     pub fn limit(self, n: usize) -> Query {
-        Query::Limit { input: Box::new(self), n }
+        Query::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Evaluates the plan against a database instance.

@@ -142,7 +142,11 @@ fn render_plan_rec(q: &Query, depth: usize, out: &mut String) {
             render_plan_rec(left, depth + 1, out);
             render_plan_rec(right, depth + 1, out);
         }
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let aggs_s: Vec<String> = aggs.iter().map(render_agg).collect();
             let _ = writeln!(
                 out,
@@ -170,9 +174,13 @@ mod tests {
 
     #[test]
     fn renders_relation_with_truncation() {
-        let mut r = Relation::new(Schema::new(vec![("id", ColumnType::Int), ("n", ColumnType::Str)]));
+        let mut r = Relation::new(Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("n", ColumnType::Str),
+        ]));
         for i in 0..5 {
-            r.push(vec![Value::Int(i), format!("row{i}").into()]).unwrap();
+            r.push(vec![Value::Int(i), format!("row{i}").into()])
+                .unwrap();
         }
         let s = render_relation(&r, 3);
         assert!(s.contains("id"));
@@ -186,7 +194,9 @@ mod tests {
         let e = Expr::col("age")
             .between(Expr::lit(10), Expr::lit(20))
             .and(Expr::col("name").like("A%"))
-            .or(Expr::col("x").in_list(vec![Value::Int(1), Value::Int(2)]).not());
+            .or(Expr::col("x")
+                .in_list(vec![Value::Int(1), Value::Int(2)])
+                .not());
         let s = render_expr(&e);
         assert!(s.contains("BETWEEN"));
         assert!(s.contains("LIKE"));

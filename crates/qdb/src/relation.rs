@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a relation from a schema and pre-built rows.
@@ -125,7 +128,10 @@ mod tests {
         assert!(r.push(vec![Value::Int(1), "x".into()]).is_ok());
         assert!(matches!(
             r.push(vec![Value::Int(1)]),
-            Err(QdbError::ArityMismatch { expected: 2, got: 1 })
+            Err(QdbError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert_eq!(r.len(), 1);
         assert!(!r.is_empty());

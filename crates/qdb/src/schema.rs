@@ -33,7 +33,9 @@ impl Schema {
 
     /// Empty schema (used for aggregate-only outputs before naming).
     pub fn empty() -> Self {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     /// Number of columns.

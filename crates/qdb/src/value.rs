@@ -106,9 +106,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a) == Value::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             // Cross-type numeric equality (Int vs Float) mirrors SQL.
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
                 (*a as f64) == *b
@@ -160,9 +158,9 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Float(_), Value::Float(_))
             | (Value::Int(_), Value::Float(_))
-            | (Value::Float(_), Value::Int(_)) => self
-                .numeric_cmp(other)
-                .unwrap_or_else(|| Ordering::Equal),
+            | (Value::Float(_), Value::Int(_)) => {
+                self.numeric_cmp(other).unwrap_or(Ordering::Equal)
+            }
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }
@@ -247,7 +245,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sorts_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::from("zebra"),
             Value::Int(5),
             Value::Null,

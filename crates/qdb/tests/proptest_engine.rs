@@ -27,7 +27,8 @@ fn build(db: &SmallDb) -> Database {
     ]);
     let mut rel = Relation::new(schema);
     for (c, a) in &db.rows {
-        rel.push(vec![format!("cat{c}").into(), Value::Int(*a)]).unwrap();
+        rel.push(vec![format!("cat{c}").into(), Value::Int(*a)])
+            .unwrap();
     }
     let mut out = Database::new();
     out.add_table("T", rel);
@@ -54,7 +55,10 @@ fn queries() -> Vec<Query> {
         ),
         Query::scan("T").aggregate(
             vec!["category"],
-            vec![(AggFunc::Count, None, "c"), (AggFunc::Avg, Some("amount"), "a")],
+            vec![
+                (AggFunc::Count, None, "c"),
+                (AggFunc::Avg, Some("amount"), "a"),
+            ],
         ),
         Query::scan("T")
             .join(Query::scan("T"), vec![("category", "category")])

@@ -106,11 +106,12 @@ mod tests {
         let z15 = Zipf::new(1000, 1.5);
         let z25 = Zipf::new(1000, 2.5);
         let mut rng = rng();
-        let mean15: f64 =
-            (0..5000).map(|_| z15.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
-        let mean25: f64 =
-            (0..5000).map(|_| z25.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
-        assert!(mean15 > mean25, "a=1.5 mean {mean15} vs a=2.5 mean {mean25}");
+        let mean15: f64 = (0..5000).map(|_| z15.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
+        let mean25: f64 = (0..5000).map(|_| z25.sample(&mut rng) as f64).sum::<f64>() / 5000.0;
+        assert!(
+            mean15 > mean25,
+            "a=1.5 mean {mean15} vs a=2.5 mean {mean25}"
+        );
     }
 
     #[test]
@@ -135,11 +136,15 @@ mod tests {
     #[test]
     fn binomial_both_regimes_match_expectation() {
         let mut rng = rng();
-        let small: f64 =
-            (0..20_000).map(|_| binomial(&mut rng, 20, 0.5) as f64).sum::<f64>() / 20_000.0;
+        let small: f64 = (0..20_000)
+            .map(|_| binomial(&mut rng, 20, 0.5) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((small - 10.0).abs() < 0.2, "small-n mean {small}");
-        let large: f64 =
-            (0..20_000).map(|_| binomial(&mut rng, 1000, 0.5) as f64).sum::<f64>() / 20_000.0;
+        let large: f64 = (0..20_000)
+            .map(|_| binomial(&mut rng, 1000, 0.5) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((large - 500.0).abs() < 3.0, "large-n mean {large}");
         assert!((0..100).all(|_| binomial(&mut rng, 10, 0.0) == 0));
         assert!((0..100).all(|_| binomial(&mut rng, 10, 1.0) == 10));

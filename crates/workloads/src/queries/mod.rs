@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn workload_reports_its_size() {
-        let w = Workload { name: "tiny", queries: vec![Query::scan("T")] };
+        let w = Workload {
+            name: "tiny",
+            queries: vec![Query::scan("T")],
+        };
         assert_eq!(w.len(), 1);
         assert!(!w.is_empty());
     }

@@ -25,22 +25,27 @@ pub fn base_queries() -> Vec<Query> {
         // Q1: count of Asian countries.
         q1_for_continent("Asia"),
         // Q2: number of distinct continents.
-        Query::scan("Country")
-            .aggregate(vec![], vec![(AggFunc::CountDistinct, Some("Continent"), "c")]),
+        Query::scan("Country").aggregate(
+            vec![],
+            vec![(AggFunc::CountDistinct, Some("Continent"), "c")],
+        ),
         // Q3 – Q5: global aggregates.
         Query::scan("Country").aggregate(vec![], vec![(AggFunc::Avg, Some("Population"), "a")]),
         Query::scan("Country").aggregate(vec![], vec![(AggFunc::Max, Some("Population"), "m")]),
-        Query::scan("Country")
-            .aggregate(vec![], vec![(AggFunc::Min, Some("LifeExpectancy"), "m")]),
+        Query::scan("Country").aggregate(vec![], vec![(AggFunc::Min, Some("LifeExpectancy"), "m")]),
         // Q6: count of countries whose name starts with 'A'.
         Query::scan("Country")
             .filter(Expr::col("Name").like("Country00%"))
             .aggregate(vec![], vec![(AggFunc::Count, Some("Name"), "c")]),
         // Q7 – Q9: group-bys.
-        Query::scan("Country")
-            .aggregate(vec!["Region"], vec![(AggFunc::Max, Some("SurfaceArea"), "m")]),
-        Query::scan("Country")
-            .aggregate(vec!["Continent"], vec![(AggFunc::Max, Some("Population"), "m")]),
+        Query::scan("Country").aggregate(
+            vec!["Region"],
+            vec![(AggFunc::Max, Some("SurfaceArea"), "m")],
+        ),
+        Query::scan("Country").aggregate(
+            vec!["Continent"],
+            vec![(AggFunc::Max, Some("Population"), "m")],
+        ),
         Query::scan("Country")
             .aggregate(vec!["Continent"], vec![(AggFunc::Count, Some("Code"), "c")]),
         // Q10: the whole Country table.
@@ -57,9 +62,7 @@ pub fn base_queries() -> Vec<Query> {
             .filter(Expr::col("Region").eq(Expr::lit("Caribbean")))
             .project_cols(&["Name"]),
         Query::scan("Country")
-            .filter(
-                Expr::col("Population").between(Expr::lit(10_000_000), Expr::lit(20_000_000)),
-            )
+            .filter(Expr::col("Population").between(Expr::lit(10_000_000), Expr::lit(20_000_000)))
             .project_cols(&["Name"]),
         // Q16: LIMIT query.
         Query::scan("Country")
@@ -69,7 +72,9 @@ pub fn base_queries() -> Vec<Query> {
         q17_for_country(&usa),
         // Q18 – Q19: government forms.
         Query::scan("Country").project_cols(&["GovernmentForm"]),
-        Query::scan("Country").project_cols(&["GovernmentForm"]).distinct(),
+        Query::scan("Country")
+            .project_cols(&["GovernmentForm"])
+            .distinct(),
         // Q20: large US cities.
         Query::scan("City").filter(
             Expr::col("Population")
@@ -84,17 +89,20 @@ pub fn base_queries() -> Vec<Query> {
         // Q22: official languages.
         Query::scan("CountryLanguage").filter(Expr::col("IsOfficial").eq(Expr::lit("T"))),
         // Q23: language histogram.
-        Query::scan("CountryLanguage")
-            .aggregate(vec!["Language"], vec![(AggFunc::Count, Some("CountryCode"), "c")]),
+        Query::scan("CountryLanguage").aggregate(
+            vec!["Language"],
+            vec![(AggFunc::Count, Some("CountryCode"), "c")],
+        ),
         // Q24: number of languages spoken in the USA.
         Query::scan("CountryLanguage")
             .filter(Expr::col("CountryCode").eq(Expr::lit(usa.as_str())))
             .aggregate(vec![], vec![(AggFunc::Count, Some("Language"), "c")]),
         // Q25 – Q26: per-country city statistics.
-        Query::scan("City")
-            .aggregate(vec!["CountryCode"], vec![(AggFunc::Sum, Some("Population"), "s")]),
-        Query::scan("City")
-            .aggregate(vec!["CountryCode"], vec![(AggFunc::Count, Some("ID"), "c")]),
+        Query::scan("City").aggregate(
+            vec!["CountryCode"],
+            vec![(AggFunc::Sum, Some("Population"), "s")],
+        ),
+        Query::scan("City").aggregate(vec!["CountryCode"], vec![(AggFunc::Count, Some("ID"), "c")]),
         // Q27: cities of Greece.
         q27_for_country(&grc),
         // Q28: does the USA have a mega-city?
@@ -113,14 +121,22 @@ pub fn base_queries() -> Vec<Query> {
         q31_for_country(&usa),
         // Q32: countries speaking Spanish (full join rows).
         Query::scan("Country")
-            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+            .join(
+                Query::scan("CountryLanguage"),
+                vec![("Code", "CountryCode")],
+            )
             .filter(Expr::col("Language").eq(Expr::lit(spanish.as_str()))),
         // Q33 – Q34: country–language joins.
         Query::scan("Country")
-            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+            .join(
+                Query::scan("CountryLanguage"),
+                vec![("Code", "CountryCode")],
+            )
             .project_cols(&["Name", "Language"]),
-        Query::scan("Country")
-            .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")]),
+        Query::scan("Country").join(
+            Query::scan("CountryLanguage"),
+            vec![("Code", "CountryCode")],
+        ),
     ]
 }
 
@@ -163,7 +179,10 @@ fn q31_for_country(code: &str) -> Query {
 /// Q29 parameterized by language.
 fn q29_for_language(language: &str) -> Query {
     Query::scan("Country")
-        .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+        .join(
+            Query::scan("CountryLanguage"),
+            vec![("Code", "CountryCode")],
+        )
         .filter(Expr::col("Language").eq(Expr::lit(language)))
         .project_cols(&["Name"])
 }
@@ -171,7 +190,10 @@ fn q29_for_language(language: &str) -> Query {
 /// Q30 parameterized by language.
 fn q30_for_language(language: &str) -> Query {
     Query::scan("Country")
-        .join(Query::scan("CountryLanguage"), vec![("Code", "CountryCode")])
+        .join(
+            Query::scan("CountryLanguage"),
+            vec![("Code", "CountryCode")],
+        )
         .filter(
             Expr::col("Language")
                 .eq(Expr::lit(language))
@@ -199,7 +221,10 @@ pub fn workload(db: &Database, num_countries: usize) -> Workload {
         queries.push(q29_for_language(&language));
         queries.push(q30_for_language(&language));
     }
-    Workload { name: "skewed", queries }
+    Workload {
+        name: "skewed",
+        queries,
+    }
 }
 
 #[cfg(test)]

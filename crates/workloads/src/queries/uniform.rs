@@ -38,7 +38,10 @@ pub fn workload(db: &Database, num_queries: usize) -> Workload {
                 .project_cols(&["Name", "CountryCode", "Population"]),
         );
     }
-    Workload { name: "uniform", queries }
+    Workload {
+        name: "uniform",
+        queries,
+    }
 }
 
 #[cfg(test)]
@@ -69,7 +72,10 @@ mod tests {
         assert!(min > 0);
         // All within a small factor of each other (boundary windows can be
         // slightly clipped).
-        assert!(max <= min + 2, "selectivities differ too much: {min}..{max}");
+        assert!(
+            max <= min + 2,
+            "selectivities differ too much: {min}..{max}"
+        );
         // Roughly 40% of the table.
         let cities = db.table("City").unwrap().len();
         assert!((min as f64) > 0.3 * cities as f64);

@@ -227,21 +227,30 @@ pub fn workload() -> Workload {
                 .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
                 .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
                 .filter(Expr::col("s_region").eq(Expr::lit(region)))
-                .aggregate(vec!["d_year"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+                .aggregate(
+                    vec!["d_year"],
+                    vec![(AggFunc::Sum, Some("lo_revenue"), "rev")],
+                ),
         );
         // Q3-style: customer-nation revenue inside a customer region.
         queries.push(
             Query::scan("lineorder")
                 .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
                 .filter(Expr::col("c_region").eq(Expr::lit(region)))
-                .aggregate(vec!["c_nation"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+                .aggregate(
+                    vec!["c_nation"],
+                    vec![(AggFunc::Sum, Some("lo_revenue"), "rev")],
+                ),
         );
         // Q4-style: average quantity by supplier nation inside a region.
         queries.push(
             Query::scan("lineorder")
                 .join(Query::scan("supplier"), vec![("lo_suppkey", "s_suppkey")])
                 .filter(Expr::col("s_region").eq(Expr::lit(region)))
-                .aggregate(vec!["s_nation"], vec![(AggFunc::Avg, Some("lo_quantity"), "q")]),
+                .aggregate(
+                    vec!["s_nation"],
+                    vec![(AggFunc::Avg, Some("lo_quantity"), "q")],
+                ),
         );
         // Customer-region order counts.
         queries.push(
@@ -269,7 +278,10 @@ pub fn workload() -> Workload {
                 .join(Query::scan("customer"), vec![("lo_custkey", "c_custkey")])
                 .join(Query::scan("date"), vec![("lo_orderdate", "d_datekey")])
                 .filter(Expr::col("c_region").eq(Expr::lit(region)))
-                .aggregate(vec!["d_year"], vec![(AggFunc::Sum, Some("lo_revenue"), "rev")]),
+                .aggregate(
+                    vec!["d_year"],
+                    vec![(AggFunc::Sum, Some("lo_revenue"), "rev")],
+                ),
         );
     }
 
@@ -320,7 +332,10 @@ pub fn workload() -> Workload {
         }
     }
 
-    Workload { name: "ssb", queries }
+    Workload {
+        name: "ssb",
+        queries,
+    }
 }
 
 #[cfg(test)]

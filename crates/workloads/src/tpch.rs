@@ -26,8 +26,7 @@ pub const TYPE_MATERIALS: [&str; 5] = ["BRASS", "TIN", "COPPER", "STEEL", "NICKE
 const TYPE_CLASSES: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_FINISHES: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const CONTAINER_SIZES: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
-const CONTAINER_KINDS: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const CONTAINER_KINDS: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
@@ -104,7 +103,9 @@ pub fn generate(config: &TpchConfig) -> Database {
         ("r_name", ColumnType::Str),
     ]));
     for (i, name) in REGIONS.iter().enumerate() {
-        region.push(vec![Value::Int(i as i64), (*name).into()]).unwrap();
+        region
+            .push(vec![Value::Int(i as i64), (*name).into()])
+            .unwrap();
     }
     db.add_table("region", region);
 
@@ -258,7 +259,10 @@ pub fn workload() -> Workload {
         queries.push(
             Query::scan("orders")
                 .filter(Expr::col("o_orderyear").eq(Expr::lit(year)))
-                .aggregate(vec!["o_orderpriority"], vec![(AggFunc::Count, None, "order_count")]),
+                .aggregate(
+                    vec!["o_orderpriority"],
+                    vec![(AggFunc::Count, None, "order_count")],
+                ),
         );
         // Q6: forecasting revenue change for one ship year.
         queries.push(
@@ -292,7 +296,10 @@ pub fn workload() -> Workload {
                 .join(Query::scan("nation"), vec![("s_nationkey", "n_nationkey")])
                 .join(Query::scan("region"), vec![("n_regionkey", "r_regionkey")])
                 .filter(Expr::col("r_name").eq(Expr::lit(region)))
-                .aggregate(vec![], vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")]),
+                .aggregate(
+                    vec![],
+                    vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")],
+                ),
         );
     }
 
@@ -302,7 +309,10 @@ pub fn workload() -> Workload {
             Query::scan("part")
                 .filter(Expr::col("p_type").like(format!("%{material}")))
                 .join(Query::scan("partsupp"), vec![("p_partkey", "ps_partkey")])
-                .aggregate(vec![], vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")]),
+                .aggregate(
+                    vec![],
+                    vec![(AggFunc::Min, Some("ps_supplycost"), "min_cost")],
+                ),
         );
     }
 
@@ -326,11 +336,17 @@ pub fn workload() -> Workload {
                 .filter(Expr::col("p_container").eq(Expr::lit(container.as_str())))
                 .join(Query::scan("lineitem"), vec![("p_partkey", "l_partkey")])
                 .filter(Expr::col("l_quantity").lt(Expr::lit(10)))
-                .aggregate(vec![], vec![(AggFunc::Avg, Some("l_extendedprice"), "avg_yearly")]),
+                .aggregate(
+                    vec![],
+                    vec![(AggFunc::Avg, Some("l_extendedprice"), "avg_yearly")],
+                ),
         );
     }
 
-    Workload { name: "tpch", queries }
+    Workload {
+        name: "tpch",
+        queries,
+    }
 }
 
 #[cfg(test)]

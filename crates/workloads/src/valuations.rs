@@ -168,7 +168,14 @@ mod tests {
     #[test]
     fn zipf_valuations_are_positive_integers() {
         let mut h = hypergraph();
-        assign_valuations(&mut h, &ValuationModel::SampledZipf { a: 1.5, max_rank: 1000 }, 1);
+        assign_valuations(
+            &mut h,
+            &ValuationModel::SampledZipf {
+                a: 1.5,
+                max_rank: 1000,
+            },
+            1,
+        );
         for e in h.edges() {
             assert!(e.valuation >= 1.0);
             assert_eq!(e.valuation.fract(), 0.0);
@@ -184,7 +191,10 @@ mod tests {
         // valuation under both scaled models with k = 1.
         for model in [
             ValuationModel::ScaledExponential { k: 1.0 },
-            ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 },
+            ValuationModel::ScaledNormal {
+                k: 1.0,
+                variance: 10.0,
+            },
         ] {
             let mut small_total = 0.0;
             let mut big_total = 0.0;
@@ -232,11 +242,29 @@ mod tests {
 
     #[test]
     fn labels_mention_their_parameters() {
-        assert!(ValuationModel::SampledUniform { k: 300.0 }.label().contains("300"));
-        assert!(ValuationModel::SampledZipf { a: 2.0, max_rank: 10 }.label().contains('2'));
-        assert!(ValuationModel::ScaledExponential { k: 0.5 }.label().contains("0.5"));
-        assert!(ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 }.label().contains("normal"));
-        assert!(ValuationModel::AdditiveUniform { k: 4 }.label().contains("additive"));
-        assert!(ValuationModel::AdditiveBinomial { k: 4 }.label().contains("bin"));
+        assert!(ValuationModel::SampledUniform { k: 300.0 }
+            .label()
+            .contains("300"));
+        assert!(ValuationModel::SampledZipf {
+            a: 2.0,
+            max_rank: 10
+        }
+        .label()
+        .contains('2'));
+        assert!(ValuationModel::ScaledExponential { k: 0.5 }
+            .label()
+            .contains("0.5"));
+        assert!(ValuationModel::ScaledNormal {
+            k: 1.0,
+            variance: 10.0
+        }
+        .label()
+        .contains("normal"));
+        assert!(ValuationModel::AdditiveUniform { k: 4 }
+            .label()
+            .contains("additive"));
+        assert!(ValuationModel::AdditiveBinomial { k: 4 }
+            .label()
+            .contains("bin"));
     }
 }

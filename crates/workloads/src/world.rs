@@ -81,13 +81,24 @@ impl WorldConfig {
     /// The configuration used at a given experiment scale.
     pub fn at_scale(scale: Scale) -> WorldConfig {
         match scale {
-            Scale::Test => WorldConfig { countries: 60, cities: 120, country_languages: 90, seed: 1 },
-            Scale::Quick => {
-                WorldConfig { countries: 239, cities: 700, country_languages: 500, seed: 1 }
-            }
-            Scale::Full => {
-                WorldConfig { countries: 239, cities: 2500, country_languages: 984, seed: 1 }
-            }
+            Scale::Test => WorldConfig {
+                countries: 60,
+                cities: 120,
+                country_languages: 90,
+                seed: 1,
+            },
+            Scale::Quick => WorldConfig {
+                countries: 239,
+                cities: 700,
+                country_languages: 500,
+                seed: 1,
+            },
+            Scale::Full => WorldConfig {
+                countries: 239,
+                cities: 2500,
+                country_languages: 984,
+                seed: 1,
+            },
         }
     }
 }
@@ -184,7 +195,11 @@ pub fn generate(config: &WorldConfig) -> Database {
         lang.push(vec![
             country_code(owner).into(),
             language.into(),
-            if rng.gen_bool(0.3) { "T".into() } else { "F".into() },
+            if rng.gen_bool(0.3) {
+                "T".into()
+            } else {
+                "F".into()
+            },
             Value::Float(rng.gen_range(0.1..100.0)),
         ])
         .expect("language tuple arity");
@@ -216,7 +231,10 @@ mod tests {
         assert_eq!(db.num_tables(), 3);
         assert_eq!(db.table("Country").unwrap().len(), cfg.countries);
         assert_eq!(db.table("City").unwrap().len(), cfg.cities);
-        assert_eq!(db.table("CountryLanguage").unwrap().len(), cfg.country_languages);
+        assert_eq!(
+            db.table("CountryLanguage").unwrap().len(),
+            cfg.country_languages
+        );
         // 21 attributes in total, as in the original dataset.
         let total_cols: usize = ["Country", "City", "CountryLanguage"]
             .iter()

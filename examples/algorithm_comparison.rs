@@ -6,13 +6,12 @@
 //!
 //! A miniature version of the paper's Figure 5: build the skewed workload's
 //! hypergraph, draw valuations from a few different models, and print the
-//! normalized revenue of every algorithm side by side.
+//! normalized revenue of every registry algorithm side by side. The roster
+//! comes from `algorithms::all_with`, so new registry entries show up as new
+//! columns without touching this example.
 
 use query_pricing::market::{build_hypergraph, DeltaConflictEngine, SupportConfig, SupportSet};
-use query_pricing::pricing::algorithms::{
-    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
-    xos_pricing, CipConfig, LpipConfig,
-};
+use query_pricing::pricing::algorithms::{self, CipConfig, LpipConfig};
 use query_pricing::pricing::bounds;
 use query_pricing::workloads::queries::skewed;
 use query_pricing::workloads::valuations::{assign_valuations, ValuationModel};
@@ -33,43 +32,40 @@ fn main() {
         base.max_degree()
     );
 
-    let lpip_cfg = LpipConfig { max_lps: Some(16), ..Default::default() };
-    let cip_cfg = CipConfig { epsilon: 2.0, ..Default::default() };
+    let lpip_cfg = LpipConfig {
+        max_lps: Some(16),
+        ..Default::default()
+    };
+    let cip_cfg = CipConfig {
+        epsilon: 2.0,
+        ..Default::default()
+    };
+    let roster = algorithms::all_with(&lpip_cfg, &cip_cfg);
 
     let models = [
         ValuationModel::SampledUniform { k: 100.0 },
-        ValuationModel::SampledZipf { a: 2.0, max_rank: 10_000 },
+        ValuationModel::SampledZipf {
+            a: 2.0,
+            max_rank: 10_000,
+        },
         ValuationModel::ScaledExponential { k: 1.0 },
         ValuationModel::AdditiveUniform { k: 100 },
     ];
 
-    println!(
-        "\n{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "valuation model", "UBP", "UIP", "LPIP", "CIP", "Layer", "XOS"
-    );
+    print!("\n{:<22}", "valuation model");
+    for algo in &roster {
+        print!(" {:>8}", algo.name());
+    }
+    println!();
     for model in &models {
         let mut h = base.clone();
         assign_valuations(&mut h, model, 1234);
         let sum = bounds::sum_of_valuations(&h);
-        let norm = |r: f64| r / sum;
-        let row = [
-            uniform_bundle_price(&h).revenue,
-            uniform_item_price(&h).revenue,
-            lp_item_price(&h, &lpip_cfg).revenue,
-            capacity_item_price(&h, &cip_cfg).revenue,
-            layering(&h).revenue,
-            xos_pricing(&h, &lpip_cfg, &cip_cfg).revenue,
-        ];
-        println!(
-            "{:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            model.label(),
-            norm(row[0]),
-            norm(row[1]),
-            norm(row[2]),
-            norm(row[3]),
-            norm(row[4]),
-            norm(row[5]),
-        );
+        print!("{:<22}", model.label());
+        for algo in &roster {
+            print!(" {:>8.3}", algo.run(&h).revenue / sum);
+        }
+        println!();
     }
     println!("\n(values are revenue normalized by the sum of valuations)");
 }

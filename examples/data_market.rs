@@ -6,9 +6,10 @@
 //!
 //! Recreates the setting that motivates the paper's introduction: a seller
 //! lists the `world` database, buyers ask aggregate and lookup queries with
-//! different willingness to pay, and the broker picks an item pricing that
-//! maximizes revenue while staying arbitrage-free. The example also runs the
-//! empirical arbitrage checks on the resulting prices.
+//! different willingness to pay, and the broker A/B-tests registry pricing
+//! algorithms — swapping the live pricing through `set_pricing(&self, ...)`
+//! — before selling. The example also runs the empirical arbitrage checks
+//! and prints the per-sale revenue ledger.
 
 use query_pricing::market::{check_all, Broker, PurchaseOutcome, SupportConfig};
 use query_pricing::pricing::{algorithms, bounds, Hypergraph};
@@ -30,8 +31,10 @@ fn main() {
     let buyers: Vec<(&str, Query, f64)> = vec![
         (
             "analyst: population by continent",
-            Query::scan("Country")
-                .aggregate(vec!["Continent"], vec![(AggFunc::Sum, Some("Population"), "pop")]),
+            Query::scan("Country").aggregate(
+                vec!["Continent"],
+                vec![(AggFunc::Sum, Some("Population"), "pop")],
+            ),
             40.0,
         ),
         (
@@ -48,8 +51,10 @@ fn main() {
         ),
         (
             "student: number of distinct government forms",
-            Query::scan("Country")
-                .aggregate(vec![], vec![(AggFunc::CountDistinct, Some("GovernmentForm"), "g")]),
+            Query::scan("Country").aggregate(
+                vec![],
+                vec![(AggFunc::CountDistinct, Some("GovernmentForm"), "g")],
+            ),
             5.0,
         ),
         (
@@ -61,36 +66,46 @@ fn main() {
         ),
     ];
 
-    // Broker + conflict sets.
-    let mut broker = Broker::new(db, &SupportConfig::with_size(300));
+    // Broker + conflict sets (one engine pass via quote_batch).
+    let broker = Broker::new(db, &SupportConfig::with_size(300));
+    let queries: Vec<Query> = buyers.iter().map(|(_, q, _)| q.clone()).collect();
+    let conflict_sets: Vec<Vec<usize>> = broker
+        .quote_batch(&queries)
+        .into_iter()
+        .map(|quote| quote.conflict_set)
+        .collect();
     let mut h = Hypergraph::new(broker.support().len());
-    let mut conflict_sets = Vec::new();
-    for (_, q, v) in &buyers {
-        let cs = broker.conflict_set(q);
+    for (cs, (_, _, v)) in conflict_sets.iter().zip(&buyers) {
         h.add_edge(cs.clone(), *v);
-        conflict_sets.push(cs);
     }
 
-    // Compare the pricing algorithms and install the best item pricing.
+    // A/B the registry roster on the anticipated workload; install the best.
     let sum = bounds::sum_of_valuations(&h);
-    let ubp = algorithms::uniform_bundle_price(&h);
-    let lpip = algorithms::lp_item_price(&h, &Default::default());
-    let layering = algorithms::layering(&h);
     println!("\nrevenue (out of {sum:.1}):");
-    for out in [&ubp, &lpip, &layering] {
-        println!("  {:<9} {:>7.2}", out.algorithm, out.revenue);
+    let mut best: Option<(f64, String, query_pricing::pricing::Pricing)> = None;
+    for algo in algorithms::all() {
+        let out = algo.run(&h);
+        println!("  {:<9} {:>7.2}", algo.name(), out.revenue);
+        // The swap happens on a shared broker: set_pricing takes &self, so
+        // this could just as well be done while other threads quote.
+        broker.set_pricing(out.pricing.clone());
+        if best.as_ref().is_none_or(|(r, _, _)| out.revenue > *r) {
+            best = Some((out.revenue, algo.name().to_string(), out.pricing));
+        }
     }
-    let report = check_all(&conflict_sets, &lpip.pricing);
-    println!("arbitrage-free: {}", report.is_arbitrage_free());
-    broker.set_pricing(lpip.pricing.clone());
+    let (best_revenue, best_name, best_pricing) = best.expect("registry is not empty");
+    let report = check_all(&conflict_sets, &best_pricing);
+    println!(
+        "installing {best_name} (revenue {best_revenue:.2}); arbitrage-free: {}",
+        report.is_arbitrage_free()
+    );
+    broker.set_pricing(best_pricing);
 
     // Sell.
     println!();
-    let mut sold = 0;
     for (who, q, budget) in &buyers {
         match broker.purchase(q, *budget).unwrap() {
             PurchaseOutcome::Sold { price, answer } => {
-                sold += 1;
                 println!("SOLD  {who} for {price:.2}");
                 if answer.len() <= 4 {
                     print!("{}", pretty::render_relation(&answer, 4));
@@ -101,9 +116,17 @@ fn main() {
             }
         }
     }
+    let ledger = broker.ledger();
     println!(
-        "\nrealized revenue: {:.2} from {sold}/{} buyers",
-        broker.realized_revenue(),
+        "\nrealized revenue: {:.2} from {}/{} buyers",
+        ledger.total(),
+        ledger.len(),
         buyers.len()
     );
+    for sale in ledger.sales() {
+        println!(
+            "  sold a bundle of {:>3} support DBs at {:>6.2}",
+            sale.conflict_set_len, sale.price
+        );
+    }
 }

@@ -8,35 +8,61 @@
 //! be a constant-factor approximation on its own — and why the paper studies
 //! both (plus XOS combinations).
 
-use query_pricing::pricing::algorithms::{
-    lp_item_price, uniform_bundle_price, uniform_item_price, LpipConfig,
-};
+use query_pricing::pricing::algorithms::{self, CipConfig, LpipConfig};
 use query_pricing::pricing::{bounds, instances};
 
 fn main() {
+    let ubp = algorithms::by_name("UBP").expect("UBP is registered");
+    let uip = algorithms::by_name("UIP").expect("UIP is registered");
+    let lpip = algorithms::by_name("LPIP").expect("LPIP is registered");
+
     // Lemma 2: item pricing beats uniform bundle pricing by Θ(log m).
     let h = instances::harmonic_singletons(512);
     println!("Lemma 2 — harmonic singletons (m = 512)");
-    println!("  sum of valuations      : {:.2}", bounds::sum_of_valuations(&h));
-    println!("  best uniform bundle    : {:.2}", uniform_bundle_price(&h).revenue);
-    println!("  LPIP item pricing      : {:.2}", lp_item_price(&h, &LpipConfig::default()).revenue);
+    println!(
+        "  sum of valuations      : {:.2}",
+        bounds::sum_of_valuations(&h)
+    );
+    println!("  best uniform bundle    : {:.2}", ubp.run(&h).revenue);
+    println!("  LPIP item pricing      : {:.2}", lpip.run(&h).revenue);
 
     // Lemma 3: uniform bundle pricing beats item pricing by Θ(log n).
     let h = instances::partition_classes(64);
-    println!("\nLemma 3 — partition classes (n = 64, m = {})", h.num_edges());
-    println!("  sum of valuations      : {:.2}", bounds::sum_of_valuations(&h));
-    println!("  best uniform bundle    : {:.2}", uniform_bundle_price(&h).revenue);
-    println!("  best uniform item price: {:.2}", uniform_item_price(&h).revenue);
+    println!(
+        "\nLemma 3 — partition classes (n = 64, m = {})",
+        h.num_edges()
+    );
+    println!(
+        "  sum of valuations      : {:.2}",
+        bounds::sum_of_valuations(&h)
+    );
+    println!("  best uniform bundle    : {:.2}", ubp.run(&h).revenue);
+    println!("  best uniform item price: {:.2}", uip.run(&h).revenue);
 
     // Lemma 4: both classes lose against the optimal subadditive pricing.
     let t = 4;
     let h = instances::laminar_family(t);
-    println!("\nLemma 4 — laminar family (t = {t}, m = {})", h.num_edges());
-    println!("  optimal subadditive    : {:.2}", instances::laminar_optimal_revenue(t));
-    println!("  best uniform bundle    : {:.2}", uniform_bundle_price(&h).revenue);
-    println!("  best uniform item price: {:.2}", uniform_item_price(&h).revenue);
+    let capped_lpip = algorithms::by_name_with(
+        "LPIP",
+        &LpipConfig {
+            max_lps: Some(8),
+            ..Default::default()
+        },
+        &CipConfig::default(),
+    )
+    .expect("LPIP is registered");
+    println!(
+        "\nLemma 4 — laminar family (t = {t}, m = {})",
+        h.num_edges()
+    );
+    println!(
+        "  optimal subadditive    : {:.2}",
+        instances::laminar_optimal_revenue(t)
+    );
+    println!("  best uniform bundle    : {:.2}", ubp.run(&h).revenue);
+    println!("  best uniform item price: {:.2}", uip.run(&h).revenue);
     println!(
         "  LPIP item pricing      : {:.2}",
-        lp_item_price(&h, &LpipConfig { max_lps: Some(8), ..Default::default() }).revenue
+        capped_lpip.run(&h).revenue
     );
 }

@@ -4,15 +4,14 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! Walks through the full pipeline of the paper: build a database, sample a
-//! support set, compute conflict sets for the buyers' queries, run a pricing
-//! algorithm, and quote arbitrage-free prices through the broker.
+//! Walks through the full pipeline of the paper using the builder API: give
+//! the broker the seller's database, the anticipated buyer queries with
+//! their valuations, and the name of a registry algorithm; it samples the
+//! support set, computes conflict sets, runs the algorithm, and quotes
+//! arbitrage-free prices.
 
 use query_pricing::market::{Broker, SupportConfig};
-use query_pricing::pricing::{algorithms, bounds, Hypergraph};
-use query_pricing::qdb::{
-    AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value,
-};
+use query_pricing::qdb::{AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value};
 
 fn main() {
     // 1. The seller's dataset: the User relation from Figure 1 of the paper.
@@ -31,7 +30,12 @@ fn main() {
         (6, "Eve", "f", 27),
     ] {
         users
-            .push(vec![Value::Int(uid), name.into(), gender.into(), Value::Int(age)])
+            .push(vec![
+                Value::Int(uid),
+                name.into(),
+                gender.into(),
+                Value::Int(age),
+            ])
             .unwrap();
     }
     let mut db = Database::new();
@@ -53,32 +57,28 @@ fn main() {
         (Query::scan("User"), 60.0),
     ];
 
-    // 3. A broker with a sampled support set (neighbouring databases).
-    let mut broker = Broker::new(db, &SupportConfig::with_size(200));
+    // 3. Database -> support -> algorithm (by registry name) -> broker.
+    let broker = Broker::builder(db)
+        .support_config(SupportConfig::with_size(200))
+        .algorithm("LPIP")
+        .anticipate_all(buyers.iter().cloned())
+        .build()
+        .expect("LPIP is a registered algorithm");
 
-    // 4. Conflict sets -> hypergraph -> pricing algorithm.
-    let mut h = Hypergraph::new(broker.support().len());
-    for (q, v) in &buyers {
-        let conflict = broker.conflict_set(q);
-        h.add_edge(conflict, *v);
-    }
-    let outcome = algorithms::lp_item_price(&h, &Default::default());
-    println!(
-        "LPIP extracted {:.2} out of {:.2} possible revenue",
-        outcome.revenue,
-        bounds::sum_of_valuations(&h)
-    );
-    broker.set_pricing(outcome.pricing);
-
-    // 5. Quote prices — more informative queries always cost at least as much.
-    for (q, v) in &buyers {
-        let quote = broker.quote(q);
+    // 4. Quote the whole batch at once — more informative queries always
+    //    cost at least as much.
+    let queries: Vec<Query> = buyers.iter().map(|(q, _)| q.clone()).collect();
+    for (quote, (_, v)) in broker.quote_batch(&queries).iter().zip(&buyers) {
         println!(
             "bundle of {:>3} support DBs, valuation {:>5.1} -> price {:>6.2}  {}",
             quote.conflict_set.len(),
             v,
             quote.price,
-            if quote.price <= *v { "(buyer purchases)" } else { "(too expensive)" }
+            if quote.price <= *v {
+                "(buyer purchases)"
+            } else {
+                "(too expensive)"
+            }
         );
     }
 }

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use query_pricing::market::{build_hypergraph, DeltaConflictEngine, SupportConfig, SupportSet};
-use query_pricing::pricing::algorithms::{lp_item_price, uniform_bundle_price, LpipConfig};
+use query_pricing::pricing::algorithms::{self, CipConfig, LpipConfig};
 use query_pricing::pricing::bounds;
 use query_pricing::workloads::queries::skewed;
 use query_pricing::workloads::valuations::{assign_valuations, ValuationModel};
@@ -23,7 +23,13 @@ fn main() {
     let cfg = WorldConfig::at_scale(Scale::Test);
     let db = world::generate(&cfg);
     let workload = skewed::workload(&db, cfg.countries);
-    let lpip_cfg = LpipConfig { max_lps: Some(12), ..Default::default() };
+    let lpip_cfg = LpipConfig {
+        max_lps: Some(12),
+        ..Default::default()
+    };
+    let ubp = algorithms::by_name("UBP").expect("UBP is registered");
+    let lpip = algorithms::by_name_with("LPIP", &lpip_cfg, &CipConfig::default())
+        .expect("LPIP is registered");
 
     println!(
         "{:>6} {:>14} {:>16} {:>16}",
@@ -38,14 +44,12 @@ fn main() {
 
         assign_valuations(&mut h, &ValuationModel::SampledUniform { k: 100.0 }, 7);
         let sum = bounds::sum_of_valuations(&h);
-        let ubp = uniform_bundle_price(&h).revenue / sum;
-        let lpip = lp_item_price(&h, &lpip_cfg).revenue / sum;
         println!(
             "{:>6} {:>12.2?}s {:>16.3} {:>16.3}",
             support_size,
             construction.as_secs_f64(),
-            ubp,
-            lpip
+            ubp.run(&h).revenue / sum,
+            lpip.run(&h).revenue / sum
         );
     }
     println!("\nUBP is insensitive to the support size; item pricing keeps improving with it.");

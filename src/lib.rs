@@ -7,11 +7,15 @@
 //!
 //! * [`lp`] — a dense two-phase simplex LP solver (primal + dual).
 //! * [`qdb`] — a minimal in-memory relational engine with tuple deltas.
-//! * [`pricing`] — hypergraphs, pricing-function classes and the revenue
-//!   maximization algorithms (UBP, UIP, LPIP, CIP, Layering, XOS) plus
-//!   revenue upper bounds.
+//! * [`pricing`] — hypergraphs, pricing-function classes, and the
+//!   [`pricing::algorithms`] registry: every algorithm of the paper (UBP,
+//!   UIP, LPIP, CIP, Layering, XOS) as a [`PricingAlgorithm`] trait object,
+//!   discoverable with `algorithms::all()` / `algorithms::by_name("LPIP")`,
+//!   plus revenue upper bounds.
 //! * [`market`] — the Qirana-style query-pricing framework: support sets,
-//!   conflict sets, arbitrage-freeness and the [`market::Broker`] API.
+//!   conflict sets, arbitrage-freeness, and the concurrent [`market::Broker`]
+//!   engine (assembled with [`market::BrokerBuilder`], re-priceable under
+//!   live read traffic, batch quoting, per-sale revenue ledger).
 //! * [`workloads`] — dataset generators (world, TPC-H, SSB), the four query
 //!   workloads of the paper, and buyer-valuation models.
 //!
@@ -25,12 +29,33 @@
 //! h.add_edge([1usize], 10.0);      // conflict set {D2}, valuation 10
 //! h.add_edge([0usize, 1], 20.0);   // conflict set {D1,D2}, valuation 20
 //!
-//! let ubp = algorithms::uniform_bundle_price(&h);
+//! // Pick an algorithm from the registry — or iterate algorithms::all().
+//! let ubp = algorithms::by_name("UBP").expect("registered").run(&h);
 //! assert!(ubp.revenue >= 20.0);
+//! ```
+//!
+//! ## A broker in four lines
+//!
+//! ```no_run
+//! use query_pricing::market::{Broker, SupportConfig};
+//! use query_pricing::pricing::Pricing;
+//! use query_pricing::qdb::{Database, Query};
+//!
+//! # let db = Database::new();
+//! let broker = Broker::builder(db)
+//!     .support_config(SupportConfig::with_size(500))
+//!     .algorithm("LPIP")                       // any registry name
+//!     .anticipate(Query::scan("User"), 25.0)   // expected buyers
+//!     .build()
+//!     .unwrap();
+//! let quotes = broker.quote_batch(&[Query::scan("User")]);
+//! // Re-price through &self — safe while other threads keep quoting.
+//! broker.set_pricing(Pricing::UniformBundle { price: quotes[0].price });
 //! ```
 pub use qp_lp as lp;
 pub use qp_market as market;
 pub use qp_pricing as pricing;
+pub use qp_pricing::algorithms::PricingAlgorithm;
 pub use qp_qdb as qdb;
 pub use qp_workloads as workloads;
 

@@ -1,14 +1,16 @@
 //! Cross-crate integration tests: dataset → queries → support → conflict
 //! sets → pricing → broker, exercised through the public facade.
+//!
+//! Pricing algorithms are driven through the `algorithms` registry
+//! (`all` / `by_name`) and the broker through its builder + concurrent
+//! engine API, mirroring how an embedding marketplace would consume the
+//! library.
 
 use query_pricing::market::{
     build_hypergraph, check_all, Broker, ConflictEngine, DeltaConflictEngine, PurchaseOutcome,
     SupportConfig, SupportSet,
 };
-use query_pricing::pricing::algorithms::{
-    capacity_item_price, layering, lp_item_price, uniform_bundle_price, uniform_item_price,
-    CipConfig, LpipConfig,
-};
+use query_pricing::pricing::algorithms::{self, CipConfig, LpipConfig};
 use query_pricing::pricing::{bounds, is_monotone, is_subadditive, revenue, Hypergraph};
 use query_pricing::qdb::{AggFunc, Expr, Query};
 use query_pricing::workloads::queries::{skewed, uniform};
@@ -40,25 +42,35 @@ fn skewed_workload_end_to_end_pricing() {
     let sum = bounds::sum_of_valuations(&h);
     assert!(sum > 0.0);
 
-    let lpip_cfg = LpipConfig { max_lps: Some(10), ..Default::default() };
-    let cip_cfg = CipConfig { epsilon: 3.0, ..Default::default() };
-    let outcomes = vec![
-        uniform_bundle_price(&h),
-        uniform_item_price(&h),
-        lp_item_price(&h, &lpip_cfg),
-        capacity_item_price(&h, &cip_cfg),
-        layering(&h),
-    ];
-    for out in &outcomes {
-        assert!(out.revenue >= 0.0 && out.revenue <= sum + 1e-6, "{}", out.algorithm);
+    // The whole paper roster, through the registry.
+    let lpip_cfg = LpipConfig {
+        max_lps: Some(10),
+        ..Default::default()
+    };
+    let cip_cfg = CipConfig {
+        epsilon: 3.0,
+        ..Default::default()
+    };
+    let mut lpip_revenue = None;
+    let mut uip_revenue = None;
+    for algo in algorithms::all_with(&lpip_cfg, &cip_cfg) {
+        let out = algo.run(&h);
+        assert!(
+            out.revenue >= 0.0 && out.revenue <= sum + 1e-6,
+            "{}",
+            algo.name()
+        );
         let recomputed = revenue::revenue(&h, &out.pricing);
-        assert!((recomputed - out.revenue).abs() < 1e-6);
+        assert!((recomputed - out.revenue).abs() < 1e-6, "{}", algo.name());
+        match algo.name() {
+            "LPIP" => lpip_revenue = Some(out.revenue),
+            "UIP" => uip_revenue = Some(out.revenue),
+            _ => {}
+        }
     }
     // The paper's headline finding at small scale: LPIP is at least as good
-    // as UIP and UBP is never above the sum.
-    let lpip = outcomes[2].revenue;
-    let uip = outcomes[1].revenue;
-    assert!(lpip + 1e-6 >= uip);
+    // as UIP.
+    assert!(lpip_revenue.unwrap() + 1e-6 >= uip_revenue.unwrap());
 }
 
 #[test]
@@ -85,13 +97,16 @@ fn uniform_workload_has_uniform_edge_sizes() {
     let min = *sizes.iter().min().unwrap() as f64;
     let max = *sizes.iter().max().unwrap() as f64;
     assert!(min > 0.0);
-    assert!(max - min <= stats.avg_edge_size, "sizes {min}..{max} too spread");
+    assert!(
+        max - min <= stats.avg_edge_size,
+        "sizes {min}..{max} too spread"
+    );
 }
 
 #[test]
 fn broker_quotes_are_arbitrage_free_across_algorithms() {
     let (db, support) = world_instance();
-    let mut broker = Broker::with_support(db, support);
+    let broker = Broker::with_support(db, support);
     let queries = vec![
         Query::scan("Country")
             .filter(Expr::col("Continent").eq(Expr::lit("Asia")))
@@ -100,22 +115,19 @@ fn broker_quotes_are_arbitrage_free_across_algorithms() {
         Query::scan("Country"),
         Query::scan("City").aggregate(vec!["CountryCode"], vec![(AggFunc::Count, None, "c")]),
     ];
-    let conflict_sets: Vec<Vec<usize>> =
-        queries.iter().map(|q| broker.conflict_set(q)).collect();
+    let conflict_sets: Vec<Vec<usize>> = queries.iter().map(|q| broker.conflict_set(q)).collect();
     let mut h = Hypergraph::new(broker.support().len());
     for cs in &conflict_sets {
         h.add_edge(cs.clone(), 20.0);
     }
 
-    for outcome in [
-        uniform_bundle_price(&h),
-        lp_item_price(&h, &LpipConfig::default()),
-        layering(&h),
-    ] {
+    for name in ["UBP", "LPIP", "Layering"] {
+        let outcome = algorithms::by_name(name).expect("paper algorithm").run(&h);
         let report = check_all(&conflict_sets, &outcome.pricing);
-        assert!(report.is_arbitrage_free(), "{} produced arbitrage", outcome.algorithm);
+        assert!(report.is_arbitrage_free(), "{name} produced arbitrage");
         assert!(is_monotone(&outcome.pricing, 8));
         assert!(is_subadditive(&outcome.pricing, 8));
+        // Interior-mutable swap: the broker is never declared mut.
         broker.set_pricing(outcome.pricing.clone());
         // The full table determines every other query, so it is the most
         // expensive quote.
@@ -123,18 +135,27 @@ fn broker_quotes_are_arbitrage_free_across_algorithms() {
         for q in &queries {
             assert!(broker.quote(q).price <= full_price + 1e-9);
         }
+        // quote_batch must agree with per-query quotes under every pricing.
+        for (batch, q) in broker.quote_batch(&queries).iter().zip(&queries) {
+            let single = broker.quote(q);
+            assert_eq!(batch.conflict_set, single.conflict_set);
+            assert_eq!(batch.price, single.price);
+        }
     }
 }
 
 #[test]
-fn broker_sells_within_budget_and_tracks_revenue() {
+fn broker_builder_sells_within_budget_and_keeps_a_ledger() {
     let (db, support) = world_instance();
-    let mut broker = Broker::with_support(db, support);
-    let q = Query::scan("Country")
-        .aggregate(vec![], vec![(AggFunc::Max, Some("Population"), "m")]);
-    let mut h = Hypergraph::new(broker.support().len());
-    h.add_edge(broker.conflict_set(&q), 9.0);
-    broker.set_pricing(lp_item_price(&h, &LpipConfig::default()).pricing);
+    // Sum(Population) conflicts with every support database that perturbs a
+    // Country population, so this query is reliably priced.
+    let q = Query::scan("Country").aggregate(vec![], vec![(AggFunc::Sum, Some("Population"), "s")]);
+    let broker = Broker::builder(db)
+        .support(support)
+        .algorithm("LPIP")
+        .anticipate(q.clone(), 9.0)
+        .build()
+        .expect("LPIP is a registered algorithm");
 
     let quote = broker.quote(&q);
     assert!(quote.price > 0.0);
@@ -147,6 +168,18 @@ fn broker_sells_within_budget_and_tracks_revenue() {
         PurchaseOutcome::Sold { .. } => panic!("half budget must be declined"),
     }
     assert!((broker.realized_revenue() - quote.price).abs() < 1e-9);
+    let ledger = broker.ledger();
+    assert_eq!(ledger.len(), 1);
+    assert_eq!(ledger.sales()[0].conflict_set_len, quote.conflict_set.len());
+
+    // An unknown algorithm name fails the build instead of silently pricing
+    // everything at zero.
+    let (db2, support2) = world_instance();
+    assert!(Broker::builder(db2)
+        .support(support2)
+        .algorithm("FancyPants")
+        .build()
+        .is_err());
 }
 
 #[test]
@@ -159,8 +192,14 @@ fn figure_pipeline_smoke_test() {
     let base = build_hypergraph(&engine, &w.queries);
     for model in [
         ValuationModel::SampledUniform { k: 200.0 },
-        ValuationModel::SampledZipf { a: 2.0, max_rank: 1000 },
-        ValuationModel::ScaledNormal { k: 1.0, variance: 10.0 },
+        ValuationModel::SampledZipf {
+            a: 2.0,
+            max_rank: 1000,
+        },
+        ValuationModel::ScaledNormal {
+            k: 1.0,
+            variance: 10.0,
+        },
         ValuationModel::AdditiveBinomial { k: 100 },
     ] {
         let mut h = base.clone();
@@ -168,13 +207,10 @@ fn figure_pipeline_smoke_test() {
         let sum = bounds::sum_of_valuations(&h);
         let sub = bounds::subadditive_bound(&h, &Default::default());
         assert!(sub <= sum + 1e-6);
-        for out in [
-            uniform_bundle_price(&h),
-            uniform_item_price(&h),
-            layering(&h),
-        ] {
+        for name in ["UBP", "UIP", "Layering"] {
+            let out = algorithms::by_name(name).expect("paper algorithm").run(&h);
             let norm = out.revenue / sum;
-            assert!((0.0..=1.0 + 1e-9).contains(&norm), "{} -> {}", out.algorithm, norm);
+            assert!((0.0..=1.0 + 1e-9).contains(&norm), "{name} -> {norm}");
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a deliberately simple measurement loop: each benchmark body runs
+//! `iters_per_sample × samples` times and the per-iteration mean and minimum
+//! are printed. There is no statistical analysis, warm-up, or HTML report;
+//! the goal is that `cargo bench` runs, produces comparable numbers between
+//! two checkouts on the same machine, and that bench targets stay compiling.
+//!
+//! Set `CRITERION_STUB_SAMPLES=1` (used by CI smoke runs) to execute every
+//! benchmark body exactly once.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`, as in real criterion.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a bare function name.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it `samples` times.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last = Some((total / self.samples as u32, min));
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("CRITERION_STUB_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last: None,
+    };
+    f(&mut b);
+    match b.last {
+        Some((mean, min)) => {
+            println!("bench {label:<50} mean {mean:>12.2?}  min {min:>12.2?}  ({samples} samples)")
+        }
+        None => println!("bench {label:<50} (no measurement: iter was never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many times each benchmark body runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples(n.max(1));
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.samples,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: env_samples(10),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), env_samples(10), &mut f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` / `cargo bench` pass harness flags (e.g. --bench);
+            // this stub ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_the_bodies() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("plain", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+
+        let mut with_input = 0usize;
+        let mut g = c.benchmark_group("g2");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+            b.iter(|| with_input += x)
+        });
+        g.finish();
+        assert_eq!(with_input, 14);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}
