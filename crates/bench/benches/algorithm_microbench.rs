@@ -27,6 +27,30 @@ fn random_hypergraph(items: usize, edges: usize, max_size: usize, seed: u64) -> 
     h
 }
 
+/// The repeated aggregate-query pattern of the CIP capacity sweep and the
+/// harness statistics: `max_degree` / `edges_with_unique_item` / `stats` are
+/// asked many times per run on one structure. Before the cached `ItemIndex`
+/// every call rescanned all edges (O(n·m)); now only the first call builds
+/// the index and the rest are O(1) / O(m) lookups.
+fn bench_item_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypergraph_index");
+    group.sample_size(10);
+    for &m in &[400usize, 1600] {
+        let h = random_hypergraph(m, m, 12, 99);
+        group.bench_with_input(BenchmarkId::new("degree_queries_x32", m), &h, |b, h| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..32 {
+                    acc += h.max_degree();
+                    acc += h.edges_with_unique_item().iter().filter(|&&u| u).count();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_scaling(c: &mut Criterion) {
     let lpip = LpipConfig {
         max_lps: Some(4),
@@ -54,5 +78,5 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+criterion_group!(benches, bench_scaling, bench_item_index);
 criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Conflict-engine scaling: the serial `DeltaConflictEngine` against the
+//! `ParallelConflictEngine` on growing support sets of the skewed world
+//! workload. CI runs this with `CRITERION_STUB_SAMPLES=1` as a smoke check
+//! so the parallel path is exercised on every push; the committed
+//! `BENCH_conflict.json` trajectory is produced by the `bench_conflict`
+//! binary at larger support sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_market::{
+    ConflictEngine, DeltaConflictEngine, ParallelConflictEngine, SupportConfig, SupportSet,
+};
+use qp_workloads::queries::skewed;
+use qp_workloads::world::{self, WorldConfig};
+use qp_workloads::Scale;
+
+fn bench_conflict_engine_scaling(c: &mut Criterion) {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let workload = skewed::workload(&db, cfg.countries);
+    let queries = &workload.queries[..40];
+    let support = SupportSet::generate(&db, &SupportConfig::with_size(400));
+
+    let mut group = c.benchmark_group("conflict_engine_scaling");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let s = support.truncate(n);
+        group.bench_with_input(BenchmarkId::new("serial", n), &s, |b, s| {
+            let engine = DeltaConflictEngine::new(&db, s);
+            b.iter(|| engine.conflict_sets(queries))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &s, |b, s| {
+            let engine = ParallelConflictEngine::new(&db, s);
+            b.iter(|| engine.conflict_sets(queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflict_engine_scaling);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Figure 5a: normalized revenue under *sampled* bundle valuations
-//! (Uniform[1,k] and Zipf(a)) on the skewed and uniform workloads.
+//! (Uniform\[1,k\] and Zipf(a)) on the skewed and uniform workloads.
 
 use qp_bench::{figures, scale_from_args, WorkloadKind};
 

@@ -1,5 +1,5 @@
 //! Figure 6a: normalized revenue under *sampled* bundle valuations
-//! (Uniform[1,k] and Zipf(a)) on the SSB and TPC-H workloads.
+//! (Uniform\[1,k\] and Zipf(a)) on the SSB and TPC-H workloads.
 
 use qp_bench::{figures, scale_from_args, WorkloadKind};
 

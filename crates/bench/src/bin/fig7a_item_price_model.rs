@@ -1,5 +1,5 @@
 //! Figure 7a: normalized revenue under the additive item-price valuation
-//! model (D̃ ∈ {Uniform[1,k], Binomial(k, ½)}) on the skewed and uniform
+//! model (D̃ ∈ {Uniform\[1,k\], Binomial(k, ½)}) on the skewed and uniform
 //! workloads.
 
 use qp_bench::{figures, scale_from_args, WorkloadKind};

@@ -1,5 +1,5 @@
 //! Figure 7b: normalized revenue under the additive item-price valuation
-//! model (D̃ ∈ {Uniform[1,k], Binomial(k, ½)}) on the SSB and TPC-H
+//! model (D̃ ∈ {Uniform\[1,k\], Binomial(k, ½)}) on the SSB and TPC-H
 //! workloads.
 
 use qp_bench::{figures, scale_from_args, WorkloadKind};

@@ -1,5 +1,5 @@
 //! Figure 8: revenue extracted as the support-set size shrinks, on the skewed
-//! and SSB workloads with Uniform[1,100] valuations.
+//! and SSB workloads with Uniform\[1,100\] valuations.
 //!
 //! The hypergraph over the largest support is built once; smaller supports
 //! are prefixes of it, so their hyperedges are obtained by restricting each

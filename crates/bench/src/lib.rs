@@ -17,7 +17,7 @@ pub mod figures;
 
 use std::time::{Duration, Instant};
 
-use qp_market::{build_hypergraph, DeltaConflictEngine, SupportConfig, SupportSet};
+use qp_market::{build_hypergraph, ParallelConflictEngine, SupportConfig, SupportSet};
 use qp_pricing::algorithms::{
     self, refine_uniform_bundle_price, uniform_bundle_price, xos_pricing, CipConfig, LpipConfig,
     PricingAlgorithm,
@@ -157,7 +157,8 @@ pub fn build_instance_with_support(
 
     let support = SupportSet::generate(&db, &SupportConfig::with_size(support));
     let start = Instant::now();
-    let engine = DeltaConflictEngine::new(&db, &support);
+    // Conflict sets fan out across the parallel engine's workers.
+    let engine = ParallelConflictEngine::new(&db, &support);
     let hypergraph = build_hypergraph(&engine, &workload.queries);
     let construction_time = start.elapsed();
 
@@ -178,7 +179,7 @@ pub fn hypergraph_for_support(
 ) -> (Hypergraph, Duration) {
     let support = inst.support.truncate(support_size);
     let start = Instant::now();
-    let engine = DeltaConflictEngine::new(&inst.db, &support);
+    let engine = ParallelConflictEngine::new(&inst.db, &support);
     let h = build_hypergraph(&engine, &inst.workload.queries);
     (h, start.elapsed())
 }

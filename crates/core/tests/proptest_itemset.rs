@@ -1,0 +1,115 @@
+//! Property tests for [`qp_core::ItemSet`]: round-tripping with the legacy
+//! sorted-`Vec<usize>` representation and the set-algebra laws, checked
+//! against `BTreeSet` as the reference implementation.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use qp_core::ItemSet;
+
+/// Item universe deliberately spans several u64 blocks (0..400) so block
+/// boundaries and trailing-block normalization are exercised.
+fn items() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..400, 0..60)
+}
+
+fn reference(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrips_with_sorted_dedup_vec(v in items()) {
+        let set: ItemSet = v.iter().copied().collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(set.to_vec(), sorted.clone());
+        prop_assert_eq!(set.len(), sorted.len());
+        prop_assert_eq!(set.is_empty(), sorted.is_empty());
+        prop_assert_eq!(set.max_item(), sorted.last().copied());
+        // Rebuilding from to_vec() is the identity (Vec ⇄ ItemSet round-trip).
+        let rebuilt = ItemSet::from(set.to_vec().as_slice());
+        prop_assert_eq!(rebuilt, set);
+    }
+
+    #[test]
+    fn membership_matches_the_reference(v in items(), probe in 0usize..420) {
+        let set: ItemSet = v.iter().copied().collect();
+        prop_assert_eq!(set.contains(probe), reference(&v).contains(&probe));
+    }
+
+    #[test]
+    fn set_algebra_laws(a in items(), b in items()) {
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        let ra = reference(&a);
+        let rb = reference(&b);
+
+        let union: Vec<usize> = ra.union(&rb).copied().collect();
+        let inter: Vec<usize> = ra.intersection(&rb).copied().collect();
+        let diff: Vec<usize> = ra.difference(&rb).copied().collect();
+        prop_assert_eq!(sa.union(&sb).to_vec(), union);
+        prop_assert_eq!(sa.intersection(&sb).to_vec(), inter.clone());
+        prop_assert_eq!(sa.difference(&sb).to_vec(), diff);
+        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
+        prop_assert_eq!(sa.is_subset(&sb), ra.is_subset(&rb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ra.is_disjoint(&rb));
+
+        // Commutativity and the inclusion–exclusion size identity.
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        prop_assert_eq!(
+            sa.union(&sb).len() + sa.intersection(&sb).len(),
+            sa.len() + sb.len()
+        );
+    }
+
+    #[test]
+    fn in_place_ops_agree_with_pure_ops(a in items(), b in items()) {
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(u, sa.union(&sb));
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        prop_assert_eq!(i, sa.intersection(&sb));
+        let mut d = sa.clone();
+        d.difference_with(&sb);
+        prop_assert_eq!(d, sa.difference(&sb));
+    }
+
+    #[test]
+    fn restriction_matches_filtering(v in items(), k in 0usize..420) {
+        let set: ItemSet = v.iter().copied().collect();
+        let expected: Vec<usize> = reference(&v).into_iter().filter(|&j| j < k).collect();
+        prop_assert_eq!(set.restricted_below(k).to_vec(), expected);
+    }
+
+    #[test]
+    fn equality_is_extensional(a in items(), shuffle_seed in 0usize..8) {
+        // Insertion order (and duplicates) never affect equality or hashing,
+        // thanks to the no-trailing-zero-blocks invariant.
+        let forward: ItemSet = a.iter().copied().collect();
+        let mut rotated = a.clone();
+        rotated.rotate_left(shuffle_seed.min(a.len().saturating_sub(1)));
+        rotated.extend(a.iter().copied()); // duplicates
+        let backward: ItemSet = rotated.into_iter().rev().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn remove_inverts_insert(v in items(), victim in 0usize..400) {
+        let mut set: ItemSet = v.iter().copied().collect();
+        let was_present = set.contains(victim);
+        let expected: ItemSet = reference(&v)
+            .into_iter()
+            .filter(|&j| j != victim)
+            .collect();
+        prop_assert_eq!(set.remove(victim), was_present);
+        prop_assert_eq!(set, expected);
+    }
+}

@@ -11,6 +11,7 @@
 //! * **Combination arbitrage**: for the concatenation `Q₁‖Q₂` (whose conflict
 //!   set is `C_S(Q₁) ∪ C_S(Q₂)`), `p(Q₁‖Q₂) ≤ p(Q₁) + p(Q₂)`.
 
+use qp_core::ItemSet;
 use qp_pricing::BundlePricing;
 
 /// A violation report from the arbitrage checkers.
@@ -32,8 +33,9 @@ impl ArbitrageReport {
 }
 
 /// Checks information arbitrage over every ordered pair of conflict sets.
+/// Subset tests are block-wise over the bitsets.
 pub fn check_information_arbitrage(
-    conflict_sets: &[Vec<usize>],
+    conflict_sets: &[ItemSet],
     pricing: &dyn BundlePricing,
 ) -> Vec<(usize, usize)> {
     let mut violations = Vec::new();
@@ -42,8 +44,7 @@ pub fn check_information_arbitrage(
             if i == j {
                 continue;
             }
-            let subset = ci.iter().all(|x| cj.contains(x));
-            if subset && pricing.price(ci) > pricing.price(cj) + 1e-9 {
+            if ci.is_subset(cj) && pricing.price_set(ci) > pricing.price_set(cj) + 1e-9 {
                 violations.push((i, j));
             }
         }
@@ -53,18 +54,16 @@ pub fn check_information_arbitrage(
 
 /// Checks combination arbitrage over every unordered pair of conflict sets.
 pub fn check_combination_arbitrage(
-    conflict_sets: &[Vec<usize>],
+    conflict_sets: &[ItemSet],
     pricing: &dyn BundlePricing,
 ) -> Vec<(usize, usize)> {
     let mut violations = Vec::new();
     for i in 0..conflict_sets.len() {
         for j in i..conflict_sets.len() {
-            let mut union = conflict_sets[i].clone();
-            union.extend_from_slice(&conflict_sets[j]);
-            union.sort_unstable();
-            union.dedup();
-            let combined = pricing.price(&union);
-            let separate = pricing.price(&conflict_sets[i]) + pricing.price(&conflict_sets[j]);
+            let union = conflict_sets[i].union(&conflict_sets[j]);
+            let combined = pricing.price_set(&union);
+            let separate =
+                pricing.price_set(&conflict_sets[i]) + pricing.price_set(&conflict_sets[j]);
             if combined > separate + 1e-9 {
                 violations.push((i, j));
             }
@@ -74,7 +73,7 @@ pub fn check_combination_arbitrage(
 }
 
 /// Runs both checks and aggregates the results.
-pub fn check_all(conflict_sets: &[Vec<usize>], pricing: &dyn BundlePricing) -> ArbitrageReport {
+pub fn check_all(conflict_sets: &[ItemSet], pricing: &dyn BundlePricing) -> ArbitrageReport {
     ArbitrageReport {
         information_violations: check_information_arbitrage(conflict_sets, pricing),
         combination_violations: check_combination_arbitrage(conflict_sets, pricing),
@@ -98,8 +97,11 @@ mod tests {
         }
     }
 
-    fn sets() -> Vec<Vec<usize>> {
-        vec![vec![0], vec![0, 1], vec![2], vec![0, 1, 2]]
+    fn sets() -> Vec<ItemSet> {
+        [vec![0], vec![0, 1], vec![2], vec![0, 1, 2]]
+            .into_iter()
+            .map(|v| v.into_iter().collect())
+            .collect()
     }
 
     #[test]

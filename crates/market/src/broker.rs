@@ -12,23 +12,27 @@
 //! Brokers are assembled with [`BrokerBuilder`]: database → support set →
 //! pricing algorithm selected from the [`qp_pricing::algorithms`] registry
 //! by name → anticipated buyer queries with valuations. `build()` computes
-//! the conflict-set hypergraph of the anticipated queries, runs the selected
-//! algorithm on it, and installs the resulting pricing.
+//! the conflict-set hypergraph of the anticipated queries (fanned across the
+//! [`ParallelConflictEngine`]'s workers), runs the selected algorithm on it,
+//! and installs the resulting pricing. Quotes carry their conflict set as a
+//! [`qp_core::ItemSet`] bitset and are priced through
+//! [`BundlePricing::price_set`] without materializing index vectors.
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
+use qp_core::ItemSet;
 use qp_pricing::algorithms::{self, CipConfig, LpipConfig};
 use qp_pricing::{BundlePricing, Hypergraph, Pricing};
 use qp_qdb::{Database, QdbError, Query, Relation};
 
-use crate::conflict::{ConflictEngine, DeltaConflictEngine};
+use crate::conflict::{ConflictEngine, DeltaConflictEngine, ParallelConflictEngine};
 use crate::support::{SupportConfig, SupportSet};
 
 /// A priced query quote.
 #[derive(Debug, Clone)]
 pub struct QuotedQuery {
     /// The conflict set of the query (the bundle being priced).
-    pub conflict_set: Vec<usize>,
+    pub conflict_set: ItemSet,
     /// The quoted price.
     pub price: f64,
 }
@@ -220,10 +224,14 @@ impl BrokerBuilder {
         let broker = Broker::with_support(self.db, support);
 
         if let Some(algo) = algorithm {
+            // The anticipated workload is a batch, so the conflict sets fan
+            // out across the parallel engine's workers.
+            let engine = ParallelConflictEngine::new(&broker.db, &broker.support);
+            let queries: Vec<Query> = self.anticipated.iter().map(|(q, _)| q.clone()).collect();
+            let conflict_sets = engine.conflict_sets(&queries);
             let mut h = Hypergraph::new(broker.support().len());
-            let engine = DeltaConflictEngine::new(&broker.db, &broker.support);
-            for (q, v) in &self.anticipated {
-                h.add_edge(engine.conflict_set(q), *v);
+            for (set, (_, v)) in conflict_sets.into_iter().zip(&self.anticipated) {
+                h.add_edge_set(set, *v);
             }
             broker.set_pricing(algo.run(&h).pricing);
         }
@@ -296,38 +304,39 @@ impl Broker {
     }
 
     /// Computes the conflict set of `query` against the support.
-    pub fn conflict_set(&self, query: &Query) -> Vec<usize> {
+    pub fn conflict_set(&self, query: &Query) -> ItemSet {
         DeltaConflictEngine::new(&self.db, &self.support).conflict_set(query)
     }
 
     /// Quotes a price for `query` without selling it.
     pub fn quote(&self, query: &Query) -> QuotedQuery {
         let conflict_set = self.conflict_set(query);
-        let price = self.pricing.read().price(&conflict_set);
+        let price = self.pricing.read().price_set(&conflict_set);
         QuotedQuery {
             conflict_set,
             price,
         }
     }
 
-    /// Quotes a batch of queries, reusing one conflict engine across the
-    /// batch and reading the pricing function once.
+    /// Quotes a batch of queries, fanning conflict-set computation across
+    /// the [`ParallelConflictEngine`]'s workers and reading the pricing
+    /// function once.
     ///
     /// Equivalent to calling [`Broker::quote`] per query (and the test suite
-    /// holds it to that), but amortizes per-quote setup; the batch is priced
-    /// against a single consistent pricing snapshot even if another thread
-    /// swaps the pricing mid-batch. Conflict sets — the dominant cost — are
-    /// computed *before* the pricing lock is taken, so a long batch never
-    /// stalls [`Broker::set_pricing`] (or quoters queued behind a writer).
+    /// holds it to that), but parallelizes the per-query conflict sets; the
+    /// batch is priced against a single consistent pricing snapshot even if
+    /// another thread swaps the pricing mid-batch. Conflict sets — the
+    /// dominant cost — are computed *before* the pricing lock is taken, so a
+    /// long batch never stalls [`Broker::set_pricing`] (or quoters queued
+    /// behind a writer).
     pub fn quote_batch(&self, queries: &[Query]) -> Vec<QuotedQuery> {
-        let engine = DeltaConflictEngine::new(&self.db, &self.support);
-        let conflict_sets: Vec<Vec<usize>> =
-            queries.iter().map(|q| engine.conflict_set(q)).collect();
+        let engine = ParallelConflictEngine::new(&self.db, &self.support);
+        let conflict_sets = engine.conflict_sets(queries);
         let pricing = self.pricing.read();
         conflict_sets
             .into_iter()
             .map(|conflict_set| {
-                let price = pricing.price(&conflict_set);
+                let price = pricing.price_set(&conflict_set);
                 QuotedQuery {
                     conflict_set,
                     price,
@@ -432,7 +441,7 @@ mod tests {
         for q in buyer_queries() {
             let quote = broker.quote(&q);
             assert!(quote.price >= 0.0);
-            assert_eq!(quote.price, broker.pricing().price(&quote.conflict_set));
+            assert_eq!(quote.price, broker.pricing().price_set(&quote.conflict_set));
         }
     }
 

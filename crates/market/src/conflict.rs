@@ -2,12 +2,18 @@
 //!
 //! For a buyer query `Q`, the conflict set `C_S(Q, D) = {D' ∈ S | Q(D) ≠ Q(D')}`
 //! is the bundle of support databases the buyer can rule out after seeing the
-//! answer. Conflict sets are the hyperedges handed to the pricing algorithms.
+//! answer. Conflict sets are the hyperedges handed to the pricing algorithms,
+//! and they are represented as [`ItemSet`] bitsets (`qp-core`): one bit per
+//! support database, so membership tests are O(1) and the downstream pricing
+//! algebra (union, subset, popcount) is block-wise over u64 words.
 //!
-//! Two engines are provided:
+//! Three engines are provided:
 //!
 //! * [`NaiveConflictEngine`] re-evaluates the query on every support database
 //!   (lazily overlaid, never copied). Always correct; cost `O(|S| · eval)`.
+//!   An evaluation error counts as "answers differ" only when **exactly one**
+//!   of `Q(D)` / `Q(D')` fails; when both sides fail, the buyer learns
+//!   nothing that distinguishes them, so the delta is not a conflict.
 //! * [`DeltaConflictEngine`] exploits the fact that every support database
 //!   differs from `D` in a *single tuple*. For the single-table query shapes
 //!   that dominate the paper's workloads (selection/projection chains, with
@@ -16,11 +22,18 @@
 //!   versions of the perturbed tuple, falling back to the naive engine for
 //!   joins, `LIMIT`, and other shapes. The two engines are proven equivalent
 //!   by the property tests in `tests/proptest_conflict.rs`.
+//! * [`ParallelConflictEngine`] fans a query batch across scoped worker
+//!   threads, each running its own [`DeltaConflictEngine`]; workers claim
+//!   queries from a shared `parking_lot`-guarded ledger so expensive queries
+//!   do not serialize behind a static partition. Single-query calls and the
+//!   degenerate one-thread case take the serial path unchanged.
 
 use std::collections::HashMap;
 
+use parking_lot::Mutex;
+use qp_core::ItemSet;
 use qp_pricing::Hypergraph;
-use qp_qdb::{Database, DeltaInstance, Query, Relation, Schema, Tuple, Value};
+use qp_qdb::{Database, DeltaInstance, QdbError, Query, Relation, Schema, Tuple, Value};
 
 use crate::support::SupportSet;
 
@@ -28,20 +41,30 @@ use crate::support::SupportSet;
 pub trait ConflictEngine {
     /// The indices (into the support set) of the databases in conflict with
     /// `query`'s answer on the base database.
-    fn conflict_set(&self, query: &Query) -> Vec<usize>;
+    fn conflict_set(&self, query: &Query) -> ItemSet;
 
     /// Number of support databases.
     fn support_size(&self) -> usize;
+
+    /// Conflict sets for a batch of queries, in query order.
+    ///
+    /// The default maps [`ConflictEngine::conflict_set`] serially;
+    /// [`ParallelConflictEngine`] overrides it to fan the batch across
+    /// threads.
+    fn conflict_sets(&self, queries: &[Query]) -> Vec<ItemSet> {
+        queries.iter().map(|q| self.conflict_set(q)).collect()
+    }
 }
 
 /// Builds the pricing hypergraph for a batch of buyer queries: one hyperedge
 /// per query, with a placeholder valuation of 0 (valuations are assigned by
-/// the caller, typically from one of the paper's generative models).
+/// the caller, typically from one of the paper's generative models). Goes
+/// through [`ConflictEngine::conflict_sets`], so a parallel engine
+/// parallelizes hypergraph construction for free.
 pub fn build_hypergraph<E: ConflictEngine + ?Sized>(engine: &E, queries: &[Query]) -> Hypergraph {
     let mut h = Hypergraph::new(engine.support_size());
-    for q in queries {
-        let edge = engine.conflict_set(q);
-        h.add_edge(edge, 0.0);
+    for edge in engine.conflict_sets(queries) {
+        h.add_edge_set(edge, 0.0);
     }
     h
 }
@@ -65,21 +88,17 @@ impl<'a> NaiveConflictEngine<'a> {
 }
 
 impl ConflictEngine for NaiveConflictEngine<'_> {
-    fn conflict_set(&self, query: &Query) -> Vec<usize> {
-        let base = match query.evaluate(self.db) {
-            Ok(r) => r,
-            Err(_) => return Vec::new(),
-        };
+    fn conflict_set(&self, query: &Query) -> ItemSet {
+        let base = query.evaluate(self.db);
         let tables = query.tables_referenced();
-        let mut conflict = Vec::new();
+        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if !tables.contains(&delta.table) {
                 continue; // the perturbation cannot influence the answer
             }
             let overlay = DeltaInstance::new(self.db, delta);
-            match query.evaluate(&overlay) {
-                Ok(ans) if ans.same_answer(&base) => {}
-                _ => conflict.push(i),
+            if answers_differ(&base, &query.evaluate(&overlay)) {
+                conflict.insert(i);
             }
         }
         conflict
@@ -87,6 +106,22 @@ impl ConflictEngine for NaiveConflictEngine<'_> {
 
     fn support_size(&self) -> usize {
         self.support.len()
+    }
+}
+
+/// Decides `Q(D) ≠ Q(D')` from the two evaluation results, treating
+/// evaluation errors symmetrically: an error counts as "answers differ" only
+/// when exactly one side fails. When both sides fail, the buyer observes the
+/// same failure either way and cannot distinguish the instances.
+///
+/// (Before this was factored out, a failing base evaluation produced an empty
+/// conflict set while a failing overlay evaluation counted as a conflict —
+/// the asymmetry fixed by this helper.)
+fn answers_differ(base: &Result<Relation, QdbError>, overlay: &Result<Relation, QdbError>) -> bool {
+    match (base, overlay) {
+        (Ok(b), Ok(o)) => !o.same_answer(b),
+        (Err(_), Err(_)) => false,
+        _ => true,
     }
 }
 
@@ -187,7 +222,7 @@ impl<'a> DeltaConflictEngine<'a> {
 }
 
 impl ConflictEngine for DeltaConflictEngine<'_> {
-    fn conflict_set(&self, query: &Query) -> Vec<usize> {
+    fn conflict_set(&self, query: &Query) -> ItemSet {
         match classify(query) {
             Shape::Chain { table } => self.chain_conflicts(query, &table),
             Shape::DistinctChain { table, inner } => self.distinct_conflicts(query, &inner, &table),
@@ -208,11 +243,26 @@ impl ConflictEngine for DeltaConflictEngine<'_> {
 impl DeltaConflictEngine<'_> {
     /// Fast path for plain filter/project chains: the answer changes iff the
     /// perturbed tuple's contribution changes.
-    fn chain_conflicts(&self, chain: &Query, table: &str) -> Vec<usize> {
+    fn chain_conflicts(&self, chain: &Query, table: &str) -> ItemSet {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return Vec::new();
+            return ItemSet::new();
         };
-        let mut conflict = Vec::new();
+        // Evaluation errors are schema-driven, and overlays share the base
+        // schema: a chain that fails on the base database fails identically
+        // on every support database, so (per the symmetric error rule of
+        // `answers_differ`) nothing is in conflict. Probe with an *empty*
+        // relation carrying the real schema — binding runs before any row is
+        // touched, so this surfaces the same errors in O(1) without scanning
+        // the base table.
+        let schema_probe = {
+            let mut empty = Database::new();
+            empty.add_table(table, Relation::new(schema.clone()));
+            empty
+        };
+        if chain.evaluate(&schema_probe).is_err() {
+            return ItemSet::new();
+        }
+        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -223,7 +273,7 @@ impl DeltaConflictEngine<'_> {
             let c_old = self.contribution(chain, table, &schema, old.clone());
             let c_new = self.contribution(chain, table, &schema, new);
             if !c_old.same_answer(&c_new) {
-                conflict.push(i);
+                conflict.insert(i);
             }
         }
         conflict
@@ -231,20 +281,20 @@ impl DeltaConflictEngine<'_> {
 
     /// Fast path for `DISTINCT` over a chain: the distinct set changes iff
     /// removing the old contribution or adding the new one changes membership.
-    fn distinct_conflicts(&self, _query: &Query, inner: &Query, table: &str) -> Vec<usize> {
+    fn distinct_conflicts(&self, _query: &Query, inner: &Query, table: &str) -> ItemSet {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return Vec::new();
+            return ItemSet::new();
         };
         // Multiplicity of every output row of the chain over the base data.
         let Ok(full) = inner.evaluate(self.db) else {
-            return Vec::new();
+            return ItemSet::new();
         };
         let mut counts: HashMap<Tuple, usize> = HashMap::with_capacity(full.len());
         for r in full.rows() {
             *counts.entry(r.clone()).or_insert(0) += 1;
         }
 
-        let mut conflict = Vec::new();
+        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -266,7 +316,7 @@ impl DeltaConflictEngine<'_> {
                 .iter()
                 .any(|r| counts.get(r).copied().unwrap_or(0) == 0);
             if removed_changes || added_changes {
-                conflict.push(i);
+                conflict.insert(i);
             }
         }
         conflict
@@ -280,15 +330,15 @@ impl DeltaConflictEngine<'_> {
         input: &Query,
         group_by: &[String],
         table: &str,
-    ) -> Vec<usize> {
+    ) -> ItemSet {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return Vec::new();
+            return ItemSet::new();
         };
         let Ok(agg_input) = input.evaluate(self.db) else {
-            return Vec::new();
+            return ItemSet::new();
         };
         let Ok(base_output) = query.evaluate(self.db) else {
-            return Vec::new();
+            return ItemSet::new();
         };
         let input_schema = agg_input.schema().clone();
         let key_idx: Vec<usize> = match group_by
@@ -337,7 +387,7 @@ impl DeltaConflictEngine<'_> {
             .expect("recomputing an aggregate over a temporary table cannot fail")
         };
 
-        let mut conflict = Vec::new();
+        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -398,10 +448,119 @@ impl DeltaConflictEngine<'_> {
                 }
             }
             if changed {
-                conflict.push(i);
+                conflict.insert(i);
             }
         }
         conflict
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
+
+/// A batch-parallel conflict engine: [`ConflictEngine::conflict_sets`] fans
+/// the queries across `std::thread::scope` workers, each running its own
+/// [`DeltaConflictEngine`] over the shared (read-only) database and support.
+///
+/// Work distribution is dynamic: workers claim the next unprocessed query
+/// from a shared ledger guarded by a `parking_lot` mutex, so a few expensive
+/// queries (e.g. naive-fallback joins) do not leave the other threads idle.
+/// Results land in the ledger at the query's index, preserving order.
+///
+/// Batches whose total work (queries × support size) is below a small
+/// threshold take the serial path directly — thread spawn and ledger
+/// round-trips would cost more than they save.
+pub struct ParallelConflictEngine<'a> {
+    db: &'a Database,
+    support: &'a SupportSet,
+    threads: usize,
+}
+
+impl<'a> ParallelConflictEngine<'a> {
+    /// Creates an engine over `db` and `support` with one worker per
+    /// available hardware thread.
+    pub fn new(db: &'a Database, support: &'a SupportSet) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelConflictEngine::with_threads(db, support, threads)
+    }
+
+    /// Creates an engine with an explicit worker count (must be positive).
+    pub fn with_threads(db: &'a Database, support: &'a SupportSet, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        ParallelConflictEngine {
+            db,
+            support,
+            threads,
+        }
+    }
+
+    /// Number of worker threads a batch call will spawn (at most).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The shared batch state: a claim cursor plus one result slot per query.
+struct BatchLedger {
+    next: usize,
+    results: Vec<Option<ItemSet>>,
+}
+
+/// Minimum batch work (queries × support databases) before spawning worker
+/// threads pays for itself; smaller batches take the serial path.
+const PARALLEL_WORK_THRESHOLD: usize = 4096;
+
+impl ConflictEngine for ParallelConflictEngine<'_> {
+    /// Single-query calls take the serial delta-engine path; spawning threads
+    /// for one conflict set would only add overhead.
+    fn conflict_set(&self, query: &Query) -> ItemSet {
+        DeltaConflictEngine::new(self.db, self.support).conflict_set(query)
+    }
+
+    fn support_size(&self) -> usize {
+        self.support.len()
+    }
+
+    fn conflict_sets(&self, queries: &[Query]) -> Vec<ItemSet> {
+        let workers = self.threads.min(queries.len());
+        if workers <= 1 || queries.len() * self.support.len() < PARALLEL_WORK_THRESHOLD {
+            return DeltaConflictEngine::new(self.db, self.support).conflict_sets(queries);
+        }
+
+        let ledger = Mutex::new(BatchLedger {
+            next: 0,
+            results: vec![None; queries.len()],
+        });
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let engine = DeltaConflictEngine::new(self.db, self.support);
+                    loop {
+                        let i = {
+                            let mut led = ledger.lock();
+                            if led.next >= queries.len() {
+                                break;
+                            }
+                            led.next += 1;
+                            led.next - 1
+                        };
+                        // Conflict-set computation — the expensive part —
+                        // runs without holding the ledger lock.
+                        let set = engine.conflict_set(&queries[i]);
+                        ledger.lock().results[i] = Some(set);
+                    }
+                });
+            }
+        });
+        ledger
+            .into_inner()
+            .results
+            .into_iter()
+            .map(|r| r.expect("scoped workers drain the whole batch"))
+            .collect()
     }
 }
 
@@ -508,8 +667,78 @@ mod tests {
         let support = SupportSet::generate(&db, &SupportConfig::with_size(100));
         let q = Query::scan("Other").aggregate(vec![], vec![(AggFunc::Sum, Some("x"), "s")]);
         let naive = NaiveConflictEngine::new(&db, &support);
-        for &i in &naive.conflict_set(&q) {
+        for i in naive.conflict_set(&q).iter() {
             assert_eq!(support.deltas()[i].table, "Other");
+        }
+    }
+
+    #[test]
+    fn evaluation_errors_are_treated_symmetrically() {
+        // Regression: a failing base evaluation used to yield an empty
+        // conflict set while a failing overlay evaluation counted as a
+        // conflict. The decision is now symmetric — "answers differ" iff
+        // exactly one side fails.
+        let ok = |v: i64| -> Result<Relation, qp_qdb::QdbError> {
+            let mut rel = Relation::new(Schema::new(vec![("x", ColumnType::Int)]));
+            rel.push(vec![Value::Int(v)]).unwrap();
+            Ok(rel)
+        };
+        let err = || -> Result<Relation, qp_qdb::QdbError> {
+            Err(qp_qdb::QdbError::UnknownColumn("nope".into()))
+        };
+        assert!(!answers_differ(&ok(1), &ok(1)));
+        assert!(answers_differ(&ok(1), &ok(2)));
+        assert!(answers_differ(&ok(1), &err()), "only overlay fails");
+        assert!(answers_differ(&err(), &ok(1)), "only base fails");
+        assert!(!answers_differ(&err(), &err()), "both fail the same way");
+    }
+
+    #[test]
+    fn queries_that_always_fail_have_empty_conflict_sets_in_both_engines() {
+        // An unknown column fails on the base database and on every overlay
+        // (deltas never change the schema), so under the symmetric rule the
+        // conflict set is empty — and the delta engine agrees.
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(50));
+        let q = Query::scan("Country").filter(Expr::col("no_such_column").eq(Expr::lit(1)));
+        let naive = NaiveConflictEngine::new(&db, &support);
+        let fast = DeltaConflictEngine::new(&db, &support);
+        assert!(naive.conflict_set(&q).is_empty());
+        assert_eq!(naive.conflict_set(&q), fast.conflict_set(&q));
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_engines_query_by_query() {
+        let db = world_like_db();
+        // Large enough that queries × support clears the serial-fallback
+        // threshold: the threaded path itself is under test.
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(900));
+        let serial = DeltaConflictEngine::new(&db, &support);
+        for threads in [1, 2, 5] {
+            let parallel = ParallelConflictEngine::with_threads(&db, &support, threads);
+            assert_eq!(parallel.support_size(), support.len());
+            let qs = queries();
+            let batch = parallel.conflict_sets(&qs);
+            assert_eq!(batch.len(), qs.len());
+            for (q, set) in qs.iter().zip(&batch) {
+                assert_eq!(set, &serial.conflict_set(q), "threads={threads}");
+                assert_eq!(set, &parallel.conflict_set(q), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_hypergraph_matches_the_serial_hypergraph() {
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(850));
+        let qs = queries();
+        let serial = build_hypergraph(&DeltaConflictEngine::new(&db, &support), &qs);
+        let parallel =
+            build_hypergraph(&ParallelConflictEngine::with_threads(&db, &support, 4), &qs);
+        assert_eq!(serial.num_items(), parallel.num_items());
+        assert_eq!(serial.num_edges(), parallel.num_edges());
+        for i in 0..serial.num_edges() {
+            assert_eq!(serial.edge(i).items, parallel.edge(i).items);
         }
     }
 
@@ -546,8 +775,6 @@ mod tests {
         assert!(narrow_set.len() < broad_set.len());
         // Everything that conflicts with the narrow query also conflicts with
         // the full scan (information monotonicity at the conflict-set level).
-        for i in narrow_set {
-            assert!(broad_set.contains(&i));
-        }
+        assert!(narrow_set.is_subset(&broad_set));
     }
 }

@@ -10,10 +10,12 @@
 //!    [`qp_qdb::Delta`].
 //! 2. **Conflict sets** ([`conflict`]): for every buyer query vector `Q`,
 //!    compute `C_S(Q, D) = {D' ∈ S | Q(D) ≠ Q(D')}` — the hyperedge (bundle)
-//!    that the pricing algorithms operate on. Two engines are provided: a
-//!    naive engine that re-evaluates the query on every support database, and
-//!    a delta-aware engine with incremental fast paths for the common
-//!    single-table query shapes.
+//!    that the pricing algorithms operate on, represented as a
+//!    [`qp_core::ItemSet`] bitset. Three engines are provided: a naive
+//!    engine that re-evaluates the query on every support database, a
+//!    delta-aware engine with incremental fast paths for the common
+//!    single-table query shapes, and a parallel engine that fans query
+//!    batches across scoped worker threads.
 //! 3. **Arbitrage-freeness** ([`arbitrage`]): empirical verification of the
 //!    information- and combination-arbitrage conditions for a pricing
 //!    function applied through conflict sets (Theorem 1).
@@ -34,5 +36,8 @@ pub use arbitrage::{
 pub use broker::{
     Broker, BrokerBuildError, BrokerBuilder, PurchaseOutcome, QuotedQuery, RevenueLedger, Sale,
 };
-pub use conflict::{build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine};
+pub use conflict::{
+    build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine,
+    ParallelConflictEngine,
+};
 pub use support::{SupportConfig, SupportSet};

@@ -8,7 +8,8 @@
 
 use proptest::prelude::*;
 use qp_market::{
-    ConflictEngine, DeltaConflictEngine, NaiveConflictEngine, SupportConfig, SupportSet,
+    ConflictEngine, DeltaConflictEngine, NaiveConflictEngine, ParallelConflictEngine,
+    SupportConfig, SupportSet,
 };
 use qp_qdb::{AggFunc, ColumnType, Database, Expr, Query, Relation, Schema, Value};
 
@@ -113,7 +114,7 @@ proptest! {
     }
 
     #[test]
-    fn conflict_sets_are_sorted_unique_and_in_range(rdb in db_strategy(), qi in 0usize..10) {
+    fn conflict_sets_iterate_ascending_and_in_range(rdb in db_strategy(), qi in 0usize..10) {
         let db = build(&rdb);
         let support = SupportSet::generate(
             &db,
@@ -121,8 +122,11 @@ proptest! {
         );
         let fast = DeltaConflictEngine::new(&db, &support);
         let set = fast.conflict_set(&query_pool()[qi]);
-        prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(set.iter().all(|&i| i < support.len()));
+        let items = set.to_vec();
+        prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(items.iter().all(|&i| i < support.len()));
+        prop_assert_eq!(items.len(), set.len());
+        prop_assert!(items.iter().all(|&i| set.contains(i)));
     }
 
     #[test]
@@ -137,8 +141,19 @@ proptest! {
         let fast = DeltaConflictEngine::new(&db, &support);
         let full = fast.conflict_set(&Query::scan("Sales"));
         let other = fast.conflict_set(&query_pool()[qi]);
-        for i in other {
-            prop_assert!(full.contains(&i));
-        }
+        prop_assert!(other.is_subset(&full));
+    }
+
+    #[test]
+    fn parallel_engine_agrees_with_serial_engine(rdb in db_strategy(), threads in 1usize..6) {
+        let db = build(&rdb);
+        let support = SupportSet::generate(
+            &db,
+            &SupportConfig { size: rdb.support, seed: rdb.seed, ..Default::default() },
+        );
+        let serial = DeltaConflictEngine::new(&db, &support);
+        let parallel = ParallelConflictEngine::with_threads(&db, &support, threads);
+        let qs = query_pool();
+        prop_assert_eq!(parallel.conflict_sets(&qs), serial.conflict_sets(&qs));
     }
 }

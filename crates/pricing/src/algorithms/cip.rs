@@ -119,7 +119,7 @@ pub(crate) fn solve_capacity_dual(
         let mut coeffs: Vec<(usize, f64)> = e
             .items
             .iter()
-            .map(|&j| (var_of_item[j].unwrap(), 1.0))
+            .map(|j| (var_of_item[j].unwrap(), 1.0))
             .collect();
         coeffs.push((n_y + ei, 1.0));
         lp.add_constraint(coeffs, ConstraintOp::Ge, e.valuation);

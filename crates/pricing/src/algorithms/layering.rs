@@ -8,6 +8,12 @@
 //! algorithm runs in `O(Bm)` time and is a `B`-approximation; the paper finds
 //! it is often far better in practice when high-value edges have unique
 //! items.
+//!
+//! The inner loops run on the bitset representation: greedy-cover gains are
+//! popcounts of `edge ∩ remaining`, and the minimality pass keeps per-item
+//! multiplicities inside the cover instead of rescanning edge pairs.
+
+use qp_core::ItemSet;
 
 use crate::{revenue, Hypergraph, Pricing, PricingOutcome};
 
@@ -22,6 +28,7 @@ pub fn layering(h: &Hypergraph) -> PricingOutcome {
     let mut best_layer: Vec<usize> = Vec::new();
     let mut best_value = 0.0;
 
+    let mut in_layer = vec![false; h.num_edges()];
     while !remaining.is_empty() {
         let layer = minimal_set_cover(h, &remaining);
         let value: f64 = layer.iter().map(|&i| h.edge(i).valuation).sum();
@@ -30,14 +37,19 @@ pub fn layering(h: &Hypergraph) -> PricingOutcome {
             best_layer = layer.clone();
         }
         // Remove the layer's edges and continue with the rest.
-        remaining.retain(|i| !layer.contains(i));
+        for &i in &layer {
+            in_layer[i] = true;
+        }
+        remaining.retain(|&i| !in_layer[i]);
     }
 
     // Price the unique item of every edge in the chosen layer at the edge's
-    // valuation.
+    // valuation. One pass computes the within-layer degree of every item;
+    // an item is unique to an edge iff its layer degree is 1.
+    let layer_deg = layer_degrees(h, &best_layer);
     let mut weights = vec![0.0; n];
     for &ei in &best_layer {
-        if let Some(unique) = unique_item(h, ei, &best_layer) {
+        if let Some(unique) = unique_item(h, ei, &layer_deg) {
             weights[unique] = h.edge(ei).valuation;
         }
     }
@@ -51,54 +63,57 @@ pub fn layering(h: &Hypergraph) -> PricingOutcome {
     }
 }
 
+/// Number of `layer` edges containing each item.
+fn layer_degrees(h: &Hypergraph, layer: &[usize]) -> Vec<usize> {
+    let mut deg = vec![0usize; h.num_items()];
+    for &ei in layer {
+        for j in h.edge(ei).items.iter() {
+            deg[j] += 1;
+        }
+    }
+    deg
+}
+
 /// Greedy set cover of the items covered by `edges`, post-processed to be
 /// minimal (no edge can be dropped without uncovering an item).
 fn minimal_set_cover(h: &Hypergraph, edges: &[usize]) -> Vec<usize> {
-    let n = h.num_items();
-    let mut needed = vec![false; n];
+    let mut uncovered = ItemSet::new();
     for &ei in edges {
-        for &j in &h.edge(ei).items {
-            needed[j] = true;
-        }
+        uncovered.union_with(&h.edge(ei).items);
     }
-    let mut uncovered: usize = needed.iter().filter(|&&b| b).count();
 
-    // Greedy phase: repeatedly take the edge covering the most uncovered items.
-    let mut covered = vec![false; n];
+    // The greedy loop re-examines every candidate edge per round. Cache each
+    // edge's item list once: for the sparse edges typical of large supports,
+    // walking the short list with O(1) bitset membership beats a full
+    // block-wise intersection, and an edge whose *total* size cannot beat
+    // the current best gain is skipped without touching the bitset at all.
+    let lists: Vec<Vec<usize>> = edges.iter().map(|&ei| h.edge(ei).items.to_vec()).collect();
+
     let mut cover: Vec<usize> = Vec::new();
-    let mut in_cover = vec![false; h.num_edges()];
-    while uncovered > 0 {
-        let mut best_edge = None;
+    let mut picked = vec![false; edges.len()];
+    while !uncovered.is_empty() {
+        let mut best_candidate = None;
         let mut best_gain = 0usize;
-        for &ei in edges {
-            if in_cover[ei] {
-                continue;
+        for (k, list) in lists.iter().enumerate() {
+            if picked[k] || list.len() <= best_gain {
+                continue; // gain ≤ |e| can never exceed best_gain
             }
-            let gain = h
-                .edge(ei)
-                .items
-                .iter()
-                .filter(|&&j| needed[j] && !covered[j])
-                .count();
+            let gain = list.iter().filter(|&&j| uncovered.contains(j)).count();
             if gain > best_gain {
                 best_gain = gain;
-                best_edge = Some(ei);
+                best_candidate = Some(k);
             }
         }
-        let Some(ei) = best_edge else { break };
-        in_cover[ei] = true;
-        cover.push(ei);
-        for &j in &h.edge(ei).items {
-            if needed[j] && !covered[j] {
-                covered[j] = true;
-                uncovered -= 1;
-            }
-        }
+        let Some(k) = best_candidate else { break };
+        picked[k] = true;
+        cover.push(edges[k]);
+        uncovered.difference_with(&h.edge(edges[k]).items);
     }
 
-    // Minimality phase: drop edges whose items are covered by the rest.
-    // Iterate in increasing valuation order so that low-value redundant edges
-    // are preferentially discarded.
+    // Minimality phase: drop edges whose items are all covered at least
+    // twice within the (kept) cover. Iterate in increasing valuation order so
+    // that low-value redundant edges are preferentially discarded.
+    let mut cover_deg = layer_degrees(h, &cover);
     let mut order: Vec<usize> = (0..cover.len()).collect();
     order.sort_by(|&a, &b| {
         h.edge(cover[a])
@@ -108,17 +123,13 @@ fn minimal_set_cover(h: &Hypergraph, edges: &[usize]) -> Vec<usize> {
     });
     let mut keep: Vec<bool> = vec![true; cover.len()];
     for &ci in &order {
-        // Count, for each item of this edge, whether another kept edge covers it.
         let ei = cover[ci];
-        let removable = h.edge(ei).items.iter().all(|&j| {
-            !needed[j]
-                || cover
-                    .iter()
-                    .enumerate()
-                    .any(|(ck, &ek)| ck != ci && keep[ck] && h.edge(ek).items.contains(&j))
-        });
+        let removable = h.edge(ei).items.iter().all(|j| cover_deg[j] >= 2);
         if removable {
             keep[ci] = false;
+            for j in h.edge(ei).items.iter() {
+                cover_deg[j] -= 1;
+            }
         }
     }
     cover
@@ -129,13 +140,10 @@ fn minimal_set_cover(h: &Hypergraph, edges: &[usize]) -> Vec<usize> {
         .collect()
 }
 
-/// An item of edge `ei` that belongs to no other edge of `layer`, if any.
-fn unique_item(h: &Hypergraph, ei: usize, layer: &[usize]) -> Option<usize> {
-    h.edge(ei).items.iter().copied().find(|&j| {
-        !layer
-            .iter()
-            .any(|&other| other != ei && h.edge(other).items.contains(&j))
-    })
+/// An item of edge `ei` that belongs to no other edge of the layer with
+/// degrees `layer_deg`, if any.
+fn unique_item(h: &Hypergraph, ei: usize, layer_deg: &[usize]) -> Option<usize> {
+    h.edge(ei).items.iter().find(|&j| layer_deg[j] == 1)
 }
 
 #[cfg(test)]
@@ -189,21 +197,20 @@ mod tests {
             .filter(|&i| h.edge(i).size() > 0)
             .collect();
         let cover = minimal_set_cover(&h, &all);
+        let deg = layer_degrees(&h, &cover);
         for &ei in &cover {
             assert!(
-                unique_item(&h, ei, &cover).is_some(),
+                unique_item(&h, ei, &deg).is_some(),
                 "edge {ei} in a minimal cover must have a unique item"
             );
         }
         // The cover covers every item that appears in some edge.
-        let mut covered = vec![false; h.num_items()];
+        let mut covered = ItemSet::new();
         for &ei in &cover {
-            for &j in &h.edge(ei).items {
-                covered[j] = true;
-            }
+            covered.union_with(&h.edge(ei).items);
         }
-        for j in h.active_items() {
-            assert!(covered[j]);
+        for &j in h.active_items() {
+            assert!(covered.contains(j));
         }
     }
 

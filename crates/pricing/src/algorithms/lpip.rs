@@ -106,7 +106,7 @@ pub(crate) fn solve_threshold_lp(
     let mut item_of_var: Vec<usize> = Vec::new();
     let mut var_of_item: Vec<Option<usize>> = vec![None; h.num_items()];
     for &ei in &forced {
-        for &j in &h.edge(ei).items {
+        for j in h.edge(ei).items.iter() {
             if var_of_item[j].is_none() {
                 var_of_item[j] = Some(item_of_var.len());
                 item_of_var.push(j);
@@ -119,7 +119,7 @@ pub(crate) fn solve_threshold_lp(
     // Objective: each item weight is collected once per forced edge containing
     // the item.
     for &ei in &forced {
-        for &j in &h.edge(ei).items {
+        for j in h.edge(ei).items.iter() {
             lp.add_objective(var_of_item[j].unwrap(), 1.0);
         }
     }
@@ -132,7 +132,7 @@ pub(crate) fn solve_threshold_lp(
         let coeffs: Vec<(usize, f64)> = e
             .items
             .iter()
-            .map(|&j| (var_of_item[j].unwrap(), 1.0))
+            .map(|j| (var_of_item[j].unwrap(), 1.0))
             .collect();
         lp.add_constraint(coeffs, ConstraintOp::Le, e.valuation);
     }

@@ -41,7 +41,7 @@ pub fn refine_uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
     let mut item_of_var = Vec::new();
     let mut var_of_item = vec![None; h.num_items()];
     for &ei in &sold {
-        for &j in &h.edge(ei).items {
+        for j in h.edge(ei).items.iter() {
             if var_of_item[j].is_none() {
                 var_of_item[j] = Some(item_of_var.len());
                 item_of_var.push(j);
@@ -51,7 +51,7 @@ pub fn refine_uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
 
     let mut lp = LpProblem::new(Sense::Maximize, item_of_var.len());
     for &ei in &sold {
-        for &j in &h.edge(ei).items {
+        for j in h.edge(ei).items.iter() {
             lp.add_objective(var_of_item[j].unwrap(), 1.0);
         }
     }
@@ -63,7 +63,7 @@ pub fn refine_uniform_bundle_price(h: &Hypergraph) -> PricingOutcome {
         let coeffs: Vec<(usize, f64)> = e
             .items
             .iter()
-            .map(|&j| (var_of_item[j].unwrap(), 1.0))
+            .map(|j| (var_of_item[j].unwrap(), 1.0))
             .collect();
         lp.add_constraint(coeffs, ConstraintOp::Le, e.valuation);
     }

@@ -65,12 +65,12 @@ mod tests {
         };
         assert_eq!(components.len(), 2);
         for e in h.edges() {
-            let p = out.pricing.price(&e.items);
+            let p = out.pricing.price_set(&e.items);
             for c in components {
                 let add: f64 = e
                     .items
                     .iter()
-                    .map(|&j| c.get(j).copied().unwrap_or(0.0))
+                    .map(|j| c.get(j).copied().unwrap_or(0.0))
                     .sum();
                 assert!(p + 1e-9 >= add);
             }

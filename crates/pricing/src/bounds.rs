@@ -111,7 +111,7 @@ pub fn subadditive_bound(h: &Hypergraph, config: &SubadditiveBoundConfig) -> f64
 /// no full cover by other edges exists.
 fn greedy_cover(h: &Hypergraph, target: usize, order: &[usize], skip: usize) -> Option<Vec<usize>> {
     let te = h.edge(target);
-    let mut uncovered: Vec<usize> = te.items.clone();
+    let mut uncovered = te.items.clone();
     let mut cover = Vec::new();
     let mut skipped = 0usize;
 
@@ -123,8 +123,7 @@ fn greedy_cover(h: &Hypergraph, target: usize, order: &[usize], skip: usize) -> 
             continue;
         }
         let ce = h.edge(cand);
-        let covers_any = uncovered.iter().any(|j| ce.items.contains(j));
-        if !covers_any {
+        if ce.items.is_disjoint(&uncovered) {
             continue;
         }
         if skipped < skip {
@@ -132,7 +131,7 @@ fn greedy_cover(h: &Hypergraph, target: usize, order: &[usize], skip: usize) -> 
             continue;
         }
         cover.push(cand);
-        uncovered.retain(|j| !ce.items.contains(j));
+        uncovered.difference_with(&ce.items);
     }
 
     if uncovered.is_empty() && !cover.is_empty() {

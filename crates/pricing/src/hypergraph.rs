@@ -1,11 +1,44 @@
 //! The bundle hypergraph.
+//!
+//! ## Representation
+//!
+//! Hyperedges store their items as a [`qp_core::ItemSet`] bitset (u64
+//! blocks), so membership tests are O(1), set algebra is block-wise, and an
+//! edge over a support of 10,000 databases occupies ~1.2 KiB regardless of
+//! bundle size. Call sites that still need the legacy sorted-`Vec<usize>`
+//! shape go through [`Edge::items_vec`]; [`Hypergraph::add_edge`] keeps
+//! accepting any `IntoIterator<Item = usize>` so construction code did not
+//! have to change.
+//!
+//! ## The item index
+//!
+//! Aggregate item queries — per-item degrees, the maximum degree `B`,
+//! unique-item flags, item→edge adjacency — used to be recomputed in
+//! O(n · m) on every call, which Layering and CIP make many times per run.
+//! They are now answered by a lazily-built [`ItemIndex`] (CSR adjacency +
+//! cached degrees + unique-item flags) constructed on first use behind a
+//! [`OnceLock`].
+//!
+//! **Invalidation rules:** the index depends only on the *structure* of the
+//! hypergraph (which edges contain which items), so
+//!
+//! * [`Hypergraph::add_edge`] / [`Hypergraph::add_edge_set`] drop the cached
+//!   index (it is rebuilt on the next aggregate query);
+//! * [`Hypergraph::set_valuations`] does **not** invalidate — valuations are
+//!   not part of the index;
+//! * [`Hypergraph::restrict_items`] returns a fresh hypergraph with an empty
+//!   cache.
+
+use std::sync::OnceLock;
+
+use qp_core::ItemSet;
 
 /// A hyperedge: a bundle of items (support-database indices) together with
 /// the buyer's valuation for the corresponding query vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Edge {
-    /// Sorted, de-duplicated item indices of the bundle (the conflict set).
-    pub items: Vec<usize>,
+    /// The items of the bundle (the conflict set), as a bitset.
+    pub items: ItemSet,
     /// The buyer's valuation `v_e ≥ 0`.
     pub valuation: f64,
 }
@@ -15,6 +48,12 @@ impl Edge {
     pub fn size(&self) -> usize {
         self.items.len()
     }
+
+    /// The items as a sorted `Vec<usize>` — the compatibility surface for
+    /// call sites not yet migrated to the bitset representation.
+    pub fn items_vec(&self) -> Vec<usize> {
+        self.items.to_vec()
+    }
 }
 
 /// The hypergraph `H = (V, E)` of the paper: vertices are the `n` support
@@ -23,6 +62,95 @@ impl Edge {
 pub struct Hypergraph {
     num_items: usize,
     edges: Vec<Edge>,
+    /// Lazily-built aggregate index; see the module docs for the
+    /// invalidation rules.
+    index: OnceLock<ItemIndex>,
+}
+
+/// Cached aggregate item queries over a hypergraph: per-item degrees, the
+/// maximum degree, active items, a CSR item→edge adjacency, and per-edge
+/// unique-item flags. Built once per hypergraph structure (see the module
+/// docs for when it is invalidated).
+#[derive(Debug, Clone, Default)]
+pub struct ItemIndex {
+    degrees: Vec<usize>,
+    max_degree: usize,
+    active_items: Vec<usize>,
+    /// CSR offsets: the edges containing item `j` are
+    /// `edge_ids[edge_offsets[j]..edge_offsets[j + 1]]`.
+    edge_offsets: Vec<usize>,
+    edge_ids: Vec<usize>,
+    unique_item_flags: Vec<bool>,
+}
+
+impl ItemIndex {
+    fn build(num_items: usize, edges: &[Edge]) -> ItemIndex {
+        let mut degrees = vec![0usize; num_items];
+        for e in edges {
+            for j in e.items.iter() {
+                degrees[j] += 1;
+            }
+        }
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let active_items: Vec<usize> = degrees
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(j, _)| j)
+            .collect();
+
+        let mut edge_offsets = vec![0usize; num_items + 1];
+        for (j, &d) in degrees.iter().enumerate() {
+            edge_offsets[j + 1] = edge_offsets[j] + d;
+        }
+        let mut cursor = edge_offsets.clone();
+        let mut edge_ids = vec![0usize; edge_offsets[num_items]];
+        for (ei, e) in edges.iter().enumerate() {
+            for j in e.items.iter() {
+                edge_ids[cursor[j]] = ei;
+                cursor[j] += 1;
+            }
+        }
+
+        let unique_item_flags = edges
+            .iter()
+            .map(|e| e.items.iter().any(|j| degrees[j] == 1))
+            .collect();
+
+        ItemIndex {
+            degrees,
+            max_degree,
+            active_items,
+            edge_offsets,
+            edge_ids,
+            unique_item_flags,
+        }
+    }
+
+    /// Per-item degrees (number of hyperedges containing each item).
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// Maximum item degree `B`.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Items that appear in at least one hyperedge, in increasing order.
+    pub fn active_items(&self) -> &[usize] {
+        &self.active_items
+    }
+
+    /// The indices of the edges containing `item` (CSR adjacency lookup).
+    pub fn edges_containing(&self, item: usize) -> &[usize] {
+        &self.edge_ids[self.edge_offsets[item]..self.edge_offsets[item + 1]]
+    }
+
+    /// For every edge, whether it contains an item of degree 1.
+    pub fn unique_item_flags(&self) -> &[bool] {
+        &self.unique_item_flags
+    }
 }
 
 /// Summary statistics of a hypergraph (Table 3 of the paper).
@@ -48,21 +176,26 @@ impl Hypergraph {
         Hypergraph {
             num_items,
             edges: Vec::new(),
+            index: OnceLock::new(),
         }
     }
 
     /// Adds a hyperedge over `items` with valuation `valuation`; returns its
-    /// index. Item indices are sorted and de-duplicated; indices beyond the
-    /// current item count grow the vertex set.
+    /// index. Duplicate item indices collapse (the bundle is a set); indices
+    /// beyond the current item count grow the vertex set.
     pub fn add_edge<I: IntoIterator<Item = usize>>(&mut self, items: I, valuation: f64) -> usize {
-        let mut items: Vec<usize> = items.into_iter().collect();
-        items.sort_unstable();
-        items.dedup();
-        if let Some(&max) = items.last() {
+        self.add_edge_set(items.into_iter().collect(), valuation)
+    }
+
+    /// Adds a hyperedge that is already an [`ItemSet`] (the fast path used by
+    /// the conflict engines — no intermediate `Vec`).
+    pub fn add_edge_set(&mut self, items: ItemSet, valuation: f64) -> usize {
+        if let Some(max) = items.max_item() {
             self.num_items = self.num_items.max(max + 1);
         }
         assert!(valuation >= 0.0, "valuations must be non-negative");
         self.edges.push(Edge { items, valuation });
+        self.index = OnceLock::new(); // structural change: drop the cache
         self.edges.len() - 1
     }
 
@@ -86,7 +219,16 @@ impl Hypergraph {
         &self.edges[idx]
     }
 
+    /// The aggregate item index, building it on first use.
+    pub fn item_index(&self) -> &ItemIndex {
+        self.index
+            .get_or_init(|| ItemIndex::build(self.num_items, &self.edges))
+    }
+
     /// Replaces every valuation using `f(edge index, edge) -> new valuation`.
+    ///
+    /// Valuations are not part of the [`ItemIndex`], so the cached index
+    /// survives this call.
     pub fn set_valuations<F: FnMut(usize, &Edge) -> f64>(&mut self, mut f: F) {
         for i in 0..self.edges.len() {
             let v = f(i, &self.edges[i]);
@@ -102,43 +244,30 @@ impl Hypergraph {
     }
 
     /// Per-item degrees (number of hyperedges containing each item).
-    pub fn item_degrees(&self) -> Vec<usize> {
-        let mut deg = vec![0usize; self.num_items];
-        for e in &self.edges {
-            for &j in &e.items {
-                deg[j] += 1;
-            }
-        }
-        deg
+    /// O(1) after the first aggregate query on this structure.
+    pub fn item_degrees(&self) -> &[usize] {
+        self.item_index().degrees()
     }
 
-    /// Maximum item degree `B`.
+    /// Maximum item degree `B`. O(1) after the first aggregate query.
     pub fn max_degree(&self) -> usize {
-        self.item_degrees().into_iter().max().unwrap_or(0)
+        self.item_index().max_degree()
     }
 
     /// Items that appear in at least one hyperedge, in increasing order.
-    pub fn active_items(&self) -> Vec<usize> {
-        let mut seen = vec![false; self.num_items];
-        for e in &self.edges {
-            for &j in &e.items {
-                seen[j] = true;
-            }
-        }
-        seen.iter()
-            .enumerate()
-            .filter_map(|(i, &s)| if s { Some(i) } else { None })
-            .collect()
+    pub fn active_items(&self) -> &[usize] {
+        self.item_index().active_items()
+    }
+
+    /// The indices of the edges containing `item`.
+    pub fn edges_containing(&self, item: usize) -> &[usize] {
+        self.item_index().edges_containing(item)
     }
 
     /// For every edge, whether it contains an item that belongs to no other
     /// edge ("unique item" in the paper's layering analysis).
-    pub fn edges_with_unique_item(&self) -> Vec<bool> {
-        let deg = self.item_degrees();
-        self.edges
-            .iter()
-            .map(|e| e.items.iter().any(|&j| deg[j] == 1))
-            .collect()
+    pub fn edges_with_unique_item(&self) -> &[bool] {
+        self.item_index().unique_item_flags()
     }
 
     /// Summary statistics (Table 3 / Figure 4 of the paper).
@@ -155,24 +284,24 @@ impl Hypergraph {
             max_degree: self.max_degree(),
             avg_edge_size: avg,
             empty_edges: sizes.iter().filter(|&&s| s == 0).count(),
-            edges_with_unique_item: self
-                .edges_with_unique_item()
-                .into_iter()
-                .filter(|&b| b)
-                .count(),
+            edges_with_unique_item: self.edges_with_unique_item().iter().filter(|&&b| b).count(),
         }
     }
 
-    /// Histogram of edge sizes with `buckets` equal-width bins over
-    /// `[0, max_size]` — the data behind Figure 4.
+    /// Histogram of edge sizes — the data behind Figure 4. Bins have equal
+    /// width `ceil(max_size / buckets)` and cover `[0, max_size]` inclusive
+    /// (so up to `buckets + 1` entries, fewer when `max_size < buckets`).
+    /// Each entry is `(lower bound of the bin, count)`; bins are derived
+    /// from the actual maximum edge size, so no empty trailing bins past
+    /// `max_size` are emitted and every label is a size that can occur.
     pub fn edge_size_histogram(&self, buckets: usize) -> Vec<(usize, usize)> {
         assert!(buckets > 0);
         let max_size = self.edges.iter().map(|e| e.size()).max().unwrap_or(0);
-        let width = (max_size / buckets).max(1);
-        let mut hist = vec![0usize; buckets + 1];
+        let width = max_size.div_ceil(buckets).max(1);
+        let bins = max_size / width + 1;
+        let mut hist = vec![0usize; bins];
         for e in &self.edges {
-            let b = (e.size() / width).min(buckets);
-            hist[b] += 1;
+            hist[e.size() / width] += 1;
         }
         hist.into_iter()
             .enumerate()
@@ -185,9 +314,8 @@ impl Hypergraph {
     pub fn restrict_items(&self, k: usize) -> Hypergraph {
         let mut h = Hypergraph::new(k.min(self.num_items));
         for e in &self.edges {
-            let items: Vec<usize> = e.items.iter().copied().filter(|&j| j < k).collect();
             h.edges.push(Edge {
-                items,
+                items: e.items.restricted_below(k),
                 valuation: e.valuation,
             });
         }
@@ -209,13 +337,15 @@ mod tests {
     }
 
     #[test]
-    fn add_edge_sorts_dedups_and_grows() {
+    fn add_edge_dedups_and_grows() {
         let mut h = Hypergraph::new(2);
         let idx = h.add_edge(vec![3, 1, 3], 2.0);
         assert_eq!(idx, 0);
-        assert_eq!(h.edge(0).items, vec![1, 3]);
+        assert_eq!(h.edge(0).items_vec(), vec![1, 3]);
         assert_eq!(h.num_items(), 4);
         assert_eq!(h.edge(0).size(), 2);
+        assert!(h.edge(0).items.contains(3));
+        assert!(!h.edge(0).items.contains(2));
     }
 
     #[test]
@@ -249,6 +379,29 @@ mod tests {
     }
 
     #[test]
+    fn csr_adjacency_lists_the_right_edges() {
+        let h = sample();
+        assert_eq!(h.edges_containing(1), &[0, 1]);
+        assert_eq!(h.edges_containing(0), &[0]);
+        assert_eq!(h.edges_containing(4), &[2]);
+        let idx = h.item_index();
+        assert_eq!(idx.max_degree(), 2);
+        assert_eq!(idx.degrees()[1], 2);
+    }
+
+    #[test]
+    fn index_is_invalidated_by_structural_changes_only() {
+        let mut h = sample();
+        assert_eq!(h.max_degree(), 2); // builds the index
+        h.add_edge(vec![1, 4], 2.0); // structural: must invalidate
+        assert_eq!(h.max_degree(), 3);
+        assert_eq!(h.edges_containing(4), &[2, 4]);
+        h.set_valuations(|_, e| e.valuation * 2.0); // non-structural
+        assert_eq!(h.max_degree(), 3);
+        assert_eq!(h.total_valuation(), 44.0);
+    }
+
+    #[test]
     fn histogram_covers_all_edges() {
         let h = sample();
         let hist = h.edge_size_histogram(3);
@@ -257,13 +410,32 @@ mod tests {
     }
 
     #[test]
+    fn histogram_trims_bins_to_the_actual_max_size() {
+        // max edge size 2 with 10 requested buckets: the old implementation
+        // emitted 11 bins with labels up to 10; now bins stop at max_size.
+        let mut h = Hypergraph::new(3);
+        h.add_edge(vec![0], 1.0);
+        h.add_edge(vec![0, 1], 1.0);
+        h.add_edge(vec![1, 2], 1.0);
+        let hist = h.edge_size_histogram(10);
+        assert_eq!(hist, vec![(0, 0), (1, 1), (2, 2)]);
+
+        // Wide edges still bucket with equal widths derived from max_size.
+        let mut wide = Hypergraph::new(9);
+        wide.add_edge(0..9, 1.0); // size 9
+        wide.add_edge(0..2, 1.0); // size 2
+        let hist = wide.edge_size_histogram(3);
+        assert_eq!(hist, vec![(0, 1), (3, 0), (6, 0), (9, 1)]);
+    }
+
+    #[test]
     fn restrict_items_drops_high_indices() {
         let h = sample();
         let r = h.restrict_items(2);
         assert_eq!(r.num_items(), 2);
-        assert_eq!(r.edge(0).items, vec![0, 1]);
-        assert_eq!(r.edge(1).items, vec![1]);
-        assert_eq!(r.edge(2).items, Vec::<usize>::new());
+        assert_eq!(r.edge(0).items_vec(), vec![0, 1]);
+        assert_eq!(r.edge(1).items_vec(), vec![1]);
+        assert_eq!(r.edge(2).items_vec(), Vec::<usize>::new());
         // Valuations are preserved.
         assert_eq!(r.edge(1).valuation, 6.0);
     }

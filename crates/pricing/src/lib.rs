@@ -33,6 +33,13 @@
 //! live in [`bounds`]; the Ω(log m) lower-bound constructions of Lemmas 2–4
 //! live in [`instances`].
 //!
+//! ## Representation
+//!
+//! Hyperedges store their bundles as [`ItemSet`] bitsets (`qp-core`), and
+//! aggregate item queries (degrees, max degree `B`, unique-item flags,
+//! item→edge adjacency) are served by the lazily-built, cache-invalidated
+//! [`ItemIndex`] — see the [`Hypergraph`] docs for the invalidation rules.
+//!
 //! ## Example
 //!
 //! ```
@@ -64,8 +71,9 @@ pub mod revenue;
 mod hypergraph;
 mod pricing_fn;
 
-pub use hypergraph::{Edge, Hypergraph, HypergraphStats};
+pub use hypergraph::{Edge, Hypergraph, HypergraphStats, ItemIndex};
 pub use pricing_fn::{is_monotone, is_subadditive, BundlePricing, Pricing};
+pub use qp_core::ItemSet;
 
 /// The result of running a pricing algorithm on a hypergraph.
 #[derive(Debug, Clone)]

@@ -1,5 +1,7 @@
 //! Succinct pricing-function classes.
 
+use qp_core::ItemSet;
+
 /// A set function assigning a price to every bundle of items.
 ///
 /// Arbitrage-freeness requires the function to be monotone and subadditive
@@ -10,6 +12,16 @@ pub trait BundlePricing {
     /// Price of the bundle containing exactly `items` (indices may be in any
     /// order and may repeat; repeats are ignored).
     fn price(&self, items: &[usize]) -> f64;
+
+    /// Price of a bundle given as an [`ItemSet`] — the hot path used by the
+    /// broker and the revenue accounting, where bundles are already bitsets.
+    ///
+    /// The default goes through [`BundlePricing::price`] on the sorted-vec
+    /// form; implementors with an additive structure should override it to
+    /// avoid the conversion (see [`Pricing`]).
+    fn price_set(&self, items: &ItemSet) -> f64 {
+        self.price(&items.to_vec())
+    }
 }
 
 /// A concrete succinct pricing function.
@@ -87,6 +99,17 @@ fn additive_price(weights: &[f64], items: &[usize], seen: &mut [bool]) -> f64 {
     total
 }
 
+/// Additive price of a bitset bundle: no `seen` bookkeeping is needed
+/// because an [`ItemSet`] cannot contain duplicates. Folds from `+0.0`
+/// explicitly — `Iterator::sum` for floats starts at `-0.0`, which would
+/// price empty bundles at a cosmetically negative zero.
+fn additive_set_price(weights: &[f64], items: &ItemSet) -> f64 {
+    items
+        .iter()
+        .map(|j| weights.get(j).copied().unwrap_or(0.0))
+        .fold(0.0, |acc, w| acc + w)
+}
+
 impl BundlePricing for Pricing {
     fn price(&self, items: &[usize]) -> f64 {
         match self {
@@ -103,6 +126,17 @@ impl BundlePricing for Pricing {
                     .map(|w| additive_price(w, items, &mut seen))
                     .fold(0.0, f64::max)
             }
+        }
+    }
+
+    fn price_set(&self, items: &ItemSet) -> f64 {
+        match self {
+            Pricing::UniformBundle { price } => *price,
+            Pricing::Item { weights } => additive_set_price(weights, items),
+            Pricing::Xos { components } => components
+                .iter()
+                .map(|w| additive_set_price(w, items))
+                .fold(0.0, f64::max),
         }
     }
 }
@@ -202,6 +236,36 @@ mod tests {
         };
         assert!(is_monotone(&xos, 4));
         assert!(is_subadditive(&xos, 4));
+    }
+
+    #[test]
+    fn price_set_agrees_with_price_on_every_class() {
+        let bundles: Vec<Vec<usize>> = vec![vec![], vec![0], vec![0, 2], vec![1, 2, 7]];
+        let pricings = [
+            Pricing::UniformBundle { price: 3.5 },
+            Pricing::Item {
+                weights: vec![1.0, 2.0, 4.0],
+            },
+            Pricing::Xos {
+                components: vec![vec![3.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]],
+            },
+        ];
+        for p in &pricings {
+            for b in &bundles {
+                let set: ItemSet = b.iter().copied().collect();
+                assert_eq!(
+                    p.price(b),
+                    p.price_set(&set),
+                    "{:?} on {b:?}",
+                    p.class_name()
+                );
+            }
+        }
+        // Empty bundles price at *positive* zero under the additive classes
+        // (float `sum()` folds from -0.0; `additive_set_price` must not).
+        for p in &pricings[1..] {
+            assert!(p.price_set(&ItemSet::new()).is_sign_positive());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub fn revenue(h: &Hypergraph, pricing: &dyn BundlePricing) -> f64 {
     h.edges()
         .iter()
         .map(|e| {
-            let p = pricing.price(&e.items);
+            let p = pricing.price_set(&e.items);
             if p <= e.valuation + SALE_EPS {
                 p.min(e.valuation)
             } else {
@@ -32,7 +32,7 @@ pub fn sold_edges(h: &Hypergraph, pricing: &dyn BundlePricing) -> Vec<usize> {
     h.edges()
         .iter()
         .enumerate()
-        .filter(|(_, e)| pricing.price(&e.items) <= e.valuation + SALE_EPS)
+        .filter(|(_, e)| pricing.price_set(&e.items) <= e.valuation + SALE_EPS)
         .map(|(i, _)| i)
         .collect()
 }
@@ -46,7 +46,7 @@ pub fn item_pricing_revenue(h: &Hypergraph, weights: &[f64]) -> f64 {
             let p: f64 = e
                 .items
                 .iter()
-                .map(|&j| weights.get(j).copied().unwrap_or(0.0))
+                .map(|j| weights.get(j).copied().unwrap_or(0.0))
                 .sum();
             if p <= e.valuation + SALE_EPS {
                 p.min(e.valuation)

@@ -214,7 +214,7 @@ impl Expr {
     }
 
     /// Resolves column names against `schema`, producing an executable
-    /// [`BoundExpr`].
+    /// `BoundExpr` (a crate-internal representation).
     pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, QdbError> {
         Ok(match self {
             Expr::Col(name) => BoundExpr::Col(schema.index_of(name)?),

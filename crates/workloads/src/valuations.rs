@@ -106,13 +106,13 @@ pub fn assign_valuations(h: &mut Hypergraph, model: &ValuationModel, seed: u64) 
             let item_prices = additive_item_prices(h.num_items(), &mut rng, |rng| {
                 rng.gen_range(1..=(*k).max(1)) as f64
             });
-            h.set_valuations(|_, e| e.items.iter().map(|&j| item_prices[j]).sum());
+            h.set_valuations(|_, e| e.items.iter().map(|j| item_prices[j]).sum());
         }
         ValuationModel::AdditiveBinomial { k } => {
             let item_prices = additive_item_prices(h.num_items(), &mut rng, |rng| {
                 dist::binomial(rng, *k, 0.5).max(1) as f64
             });
-            h.set_valuations(|_, e| e.items.iter().map(|&j| item_prices[j]).sum());
+            h.set_valuations(|_, e| e.items.iter().map(|j| item_prices[j]).sum());
         }
     }
 }

@@ -12,7 +12,7 @@
 //! and prints the per-sale revenue ledger.
 
 use query_pricing::market::{check_all, Broker, PurchaseOutcome, SupportConfig};
-use query_pricing::pricing::{algorithms, bounds, Hypergraph};
+use query_pricing::pricing::{algorithms, bounds, Hypergraph, ItemSet};
 use query_pricing::qdb::pretty;
 use query_pricing::qdb::{AggFunc, Expr, Query};
 use query_pricing::workloads::world::{self, WorldConfig};
@@ -69,14 +69,14 @@ fn main() {
     // Broker + conflict sets (one engine pass via quote_batch).
     let broker = Broker::new(db, &SupportConfig::with_size(300));
     let queries: Vec<Query> = buyers.iter().map(|(_, q, _)| q.clone()).collect();
-    let conflict_sets: Vec<Vec<usize>> = broker
+    let conflict_sets: Vec<ItemSet> = broker
         .quote_batch(&queries)
         .into_iter()
         .map(|quote| quote.conflict_set)
         .collect();
     let mut h = Hypergraph::new(broker.support().len());
     for (cs, (_, _, v)) in conflict_sets.iter().zip(&buyers) {
-        h.add_edge(cs.clone(), *v);
+        h.add_edge_set(cs.clone(), *v);
     }
 
     // A/B the registry roster on the anticipated workload; install the best.

@@ -5,6 +5,8 @@
 //!
 //! The crate is a thin facade over the workspace members:
 //!
+//! * [`ItemSet`] (`qp-core`) — the compact bitset over support-database
+//!   indices that conflict sets and hyperedges are made of.
 //! * [`lp`] — a dense two-phase simplex LP solver (primal + dual).
 //! * [`qdb`] — a minimal in-memory relational engine with tuple deltas.
 //! * [`pricing`] — hypergraphs, pricing-function classes, and the
@@ -52,6 +54,7 @@
 //! // Re-price through &self — safe while other threads keep quoting.
 //! broker.set_pricing(Pricing::UniformBundle { price: quotes[0].price });
 //! ```
+pub use qp_core::ItemSet;
 pub use qp_lp as lp;
 pub use qp_market as market;
 pub use qp_pricing as pricing;

@@ -11,7 +11,7 @@ use query_pricing::market::{
     SupportConfig, SupportSet,
 };
 use query_pricing::pricing::algorithms::{self, CipConfig, LpipConfig};
-use query_pricing::pricing::{bounds, is_monotone, is_subadditive, revenue, Hypergraph};
+use query_pricing::pricing::{bounds, is_monotone, is_subadditive, revenue, Hypergraph, ItemSet};
 use query_pricing::qdb::{AggFunc, Expr, Query};
 use query_pricing::workloads::queries::{skewed, uniform};
 use query_pricing::workloads::valuations::{assign_valuations, ValuationModel};
@@ -115,10 +115,10 @@ fn broker_quotes_are_arbitrage_free_across_algorithms() {
         Query::scan("Country"),
         Query::scan("City").aggregate(vec!["CountryCode"], vec![(AggFunc::Count, None, "c")]),
     ];
-    let conflict_sets: Vec<Vec<usize>> = queries.iter().map(|q| broker.conflict_set(q)).collect();
+    let conflict_sets: Vec<ItemSet> = queries.iter().map(|q| broker.conflict_set(q)).collect();
     let mut h = Hypergraph::new(broker.support().len());
     for cs in &conflict_sets {
-        h.add_edge(cs.clone(), 20.0);
+        h.add_edge_set(cs.clone(), 20.0);
     }
 
     for name in ["UBP", "LPIP", "Layering"] {

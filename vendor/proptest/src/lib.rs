@@ -202,7 +202,7 @@ tuple_strategies! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Something usable as the size argument of [`vec`].
+    /// Something usable as the size argument of [`vec()`].
     pub trait SizeRange {
         /// Samples a concrete length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
