@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use qp_bench::arg_value;
 use qp_market::{
     ConflictEngine, DeltaConflictEngine, ParallelConflictEngine, SupportConfig, SupportSet,
 };
@@ -29,18 +30,6 @@ struct Row {
     serial_ms: f64,
     parallel_ms: f64,
     forced_4t_ms: f64,
-}
-
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    for i in 0..args.len() {
-        if args[i] == flag {
-            return args.get(i + 1).cloned();
-        }
-        if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
 }
 
 fn main() {
@@ -81,9 +70,10 @@ fn main() {
         let parallel_sets = parallel.conflict_sets(queries);
         let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
 
-        // Forced 4 workers regardless of core count: on single-core hardware
-        // this measures threading overhead, on ≥4 cores it is the speedup.
-        let forced = ParallelConflictEngine::with_threads(&db, &s, 4);
+        // Forced 4 workers regardless of core count (bypassing the engine's
+        // hardware clamp): on single-core hardware this measures threading
+        // overhead, on ≥4 cores it is the speedup.
+        let forced = ParallelConflictEngine::with_threads_forced(&db, &s, 4);
         let start = Instant::now();
         let forced_sets = forced.conflict_sets(queries);
         let forced_4t_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -62,23 +62,41 @@ impl WorkloadKind {
             WorkloadKind::Tpch => "TPC-H",
         }
     }
+
+    /// Parses a workload name as used on experiment command lines
+    /// (`skewed`, `uniform`, `ssb`, `tpch`; case-insensitive).
+    pub fn parse(name: &str) -> Option<WorkloadKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "skewed" => Some(WorkloadKind::Skewed),
+            "uniform" => Some(WorkloadKind::Uniform),
+            "ssb" => Some(WorkloadKind::Ssb),
+            "tpch" | "tpc-h" => Some(WorkloadKind::Tpch),
+            _ => None,
+        }
+    }
 }
 
 /// Parses `--scale {test|quick|full}` from the process arguments
 /// (defaulting to `test` so every binary finishes in seconds).
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
+    arg_value(&args, "--scale")
+        .map(|v| parse_scale(&v))
+        .unwrap_or(Scale::Test)
+}
+
+/// Looks up a `--flag value` or `--flag=value` argument, shared by the
+/// artifact binaries (`bench_conflict`, `sim_scenarios`, …).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     for i in 0..args.len() {
-        if args[i] == "--scale" {
-            if let Some(v) = args.get(i + 1) {
-                return parse_scale(v);
-            }
+        if args[i] == flag {
+            return args.get(i + 1).cloned();
         }
-        if let Some(v) = args[i].strip_prefix("--scale=") {
-            return parse_scale(v);
+        if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
         }
     }
-    Scale::Test
+    None
 }
 
 fn parse_scale(v: &str) -> Scale {
@@ -122,13 +140,12 @@ pub fn build_instance(kind: WorkloadKind, scale: Scale) -> WorkloadInstance {
     build_instance_with_support(kind, scale, support_size(kind, scale))
 }
 
-/// Builds a workload instance with an explicit support-set size.
-pub fn build_instance_with_support(
-    kind: WorkloadKind,
-    scale: Scale,
-    support: usize,
-) -> WorkloadInstance {
-    let (db, workload) = match kind {
+/// Generates a workload's dataset and query set at a scale — the common
+/// front half of [`build_instance_with_support`], also used directly by
+/// binaries (e.g. `sim_scenarios`) that build their own broker instead of a
+/// hypergraph.
+pub fn dataset_and_queries(kind: WorkloadKind, scale: Scale) -> (Database, Workload) {
+    match kind {
         WorkloadKind::Skewed => {
             let cfg = WorldConfig::at_scale(scale);
             let db = world::generate(&cfg);
@@ -153,7 +170,16 @@ pub fn build_instance_with_support(
             let db = tpch::generate(&tpch::TpchConfig::at_scale(scale));
             (db, tpch::workload())
         }
-    };
+    }
+}
+
+/// Builds a workload instance with an explicit support-set size.
+pub fn build_instance_with_support(
+    kind: WorkloadKind,
+    scale: Scale,
+    support: usize,
+) -> WorkloadInstance {
+    let (db, workload) = dataset_and_queries(kind, scale);
 
     let support = SupportSet::generate(&db, &SupportConfig::with_size(support));
     let start = Instant::now();

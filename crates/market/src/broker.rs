@@ -61,26 +61,49 @@ pub struct Sale {
     pub conflict_set_len: usize,
     /// The price the buyer paid.
     pub price: f64,
+    /// The simulation tick at which the sale closed; 0 for purchases made
+    /// outside a simulator (see [`Broker::purchase_at`]). Stamping sales
+    /// with their tick lets revenue-over-time be reconstructed from the
+    /// ledger alone.
+    pub tick: u64,
 }
 
-/// The broker's record of realized revenue: one [`Sale`] per purchase.
+/// The broker's record of demand: one [`Sale`] per purchase, plus the count
+/// and forgone revenue of declined quotes.
 ///
-/// Keeping `(conflict_set_len, price)` per sale instead of a single running
-/// total lets operators ask distributional questions after the fact — e.g.
-/// how revenue splits between broad and narrow queries, or what the realized
-/// price-per-item was — without re-running the workload.
+/// Keeping `(conflict_set_len, price, tick)` per sale instead of a single
+/// running total lets operators ask distributional questions after the fact —
+/// e.g. how revenue splits between broad and narrow queries, or how it
+/// accrued over a simulated traffic stream — without re-running the
+/// workload. Declines are aggregated (count + sum of quoted prices) rather
+/// than itemized: they exist to measure conversion and the revenue left on
+/// the table, not to audit individual buyers.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RevenueLedger {
     sales: Vec<Sale>,
+    declined_count: usize,
+    declined_total: f64,
 }
 
 impl RevenueLedger {
-    /// Records a completed sale.
+    /// Records a completed sale outside any simulation (tick 0).
     pub fn record(&mut self, conflict_set_len: usize, price: f64) {
+        self.record_at(conflict_set_len, price, 0);
+    }
+
+    /// Records a completed sale at a simulation tick.
+    pub fn record_at(&mut self, conflict_set_len: usize, price: f64, tick: u64) {
         self.sales.push(Sale {
             conflict_set_len,
             price,
+            tick,
         });
+    }
+
+    /// Records a declined quote: the buyer walked away from `price`.
+    pub fn record_decline(&mut self, price: f64) {
+        self.declined_count += 1;
+        self.declined_total += price;
     }
 
     /// Total revenue across all recorded sales.
@@ -101,6 +124,27 @@ impl RevenueLedger {
     /// The recorded sales, in purchase order.
     pub fn sales(&self) -> &[Sale] {
         &self.sales
+    }
+
+    /// Number of declined quotes.
+    pub fn declined_count(&self) -> usize {
+        self.declined_count
+    }
+
+    /// Sum of the prices buyers declined to pay (revenue left on the table).
+    pub fn declined_total(&self) -> f64 {
+        self.declined_total
+    }
+
+    /// Fraction of purchase attempts that closed, or `None` before any
+    /// attempt has been recorded.
+    pub fn conversion_rate(&self) -> Option<f64> {
+        let attempts = self.sales.len() + self.declined_count;
+        if attempts == 0 {
+            None
+        } else {
+            Some(self.sales.len() as f64 / attempts as f64)
+        }
     }
 }
 
@@ -348,19 +392,62 @@ impl Broker {
     /// Attempts to sell `query` to a buyer with the given `budget`.
     ///
     /// On success the query is evaluated on the real database and the answer
-    /// returned; the sale is recorded in the revenue ledger.
+    /// returned; the sale is recorded in the revenue ledger with tick 0.
+    /// Declined quotes are recorded too (count + forgone price), so the
+    /// ledger's [`RevenueLedger::conversion_rate`] reflects every attempt.
     pub fn purchase(&self, query: &Query, budget: f64) -> Result<PurchaseOutcome, QdbError> {
+        self.purchase_at(query, budget, 0)
+    }
+
+    /// [`Broker::purchase`] with an explicit simulation tick stamped on the
+    /// resulting ledger entry. Simulators use this so revenue-over-time can
+    /// be reconstructed from the ledger; direct API purchases use tick 0.
+    pub fn purchase_at(
+        &self,
+        query: &Query,
+        budget: f64,
+        tick: u64,
+    ) -> Result<PurchaseOutcome, QdbError> {
         let quote = self.quote(query);
+        self.settle(&quote, query, budget, tick)
+    }
+
+    /// Settles an already-quoted query: sells at the quoted price if the
+    /// budget covers it (recording the sale at `tick`), otherwise records
+    /// the decline. The quote is honored as issued — callers that quoted
+    /// before a [`Broker::set_pricing`] swap settle at the old price, which
+    /// is exactly the guarantee a marketplace quote carries.
+    ///
+    /// A covered quote whose query then fails to evaluate is recorded as a
+    /// decline (the buyer paid nothing and walked away empty-handed) before
+    /// the error propagates, so every settlement attempt — sold, declined,
+    /// or failed — leaves exactly one ledger mark and
+    /// [`RevenueLedger::conversion_rate`] stays faithful to the traffic.
+    pub fn settle(
+        &self,
+        quote: &QuotedQuery,
+        query: &Query,
+        budget: f64,
+        tick: u64,
+    ) -> Result<PurchaseOutcome, QdbError> {
         if quote.price <= budget + 1e-9 {
-            let answer = query.evaluate(&self.db)?;
-            self.ledger
-                .lock()
-                .record(quote.conflict_set.len(), quote.price);
-            Ok(PurchaseOutcome::Sold {
-                price: quote.price,
-                answer,
-            })
+            match query.evaluate(&self.db) {
+                Ok(answer) => {
+                    self.ledger
+                        .lock()
+                        .record_at(quote.conflict_set.len(), quote.price, tick);
+                    Ok(PurchaseOutcome::Sold {
+                        price: quote.price,
+                        answer,
+                    })
+                }
+                Err(e) => {
+                    self.ledger.lock().record_decline(quote.price);
+                    Err(e)
+                }
+            }
         } else {
+            self.ledger.lock().record_decline(quote.price);
             Ok(PurchaseOutcome::Declined { price: quote.price })
         }
     }
@@ -477,15 +564,75 @@ mod tests {
         assert_eq!(ledger.sales()[0].conflict_set_len, quote.conflict_set.len());
         assert!((ledger.sales()[0].price - quote.price).abs() < 1e-9);
 
-        // A zero budget cannot buy a positively priced query, and declines
-        // leave no ledger entry.
+        // A zero budget cannot buy a positively priced query; the decline
+        // adds no sale but is counted (with its forgone price) so the
+        // conversion rate reflects it.
         if quote.price > 0.0 {
             match broker.purchase(q, 0.0).unwrap() {
                 PurchaseOutcome::Declined { price } => assert!(price > 0.0),
                 PurchaseOutcome::Sold { .. } => panic!("should have been declined"),
             }
-            assert_eq!(broker.ledger().len(), 1);
+            let ledger = broker.ledger();
+            assert_eq!(ledger.len(), 1);
+            assert_eq!(ledger.declined_count(), 1);
+            assert!((ledger.declined_total() - quote.price).abs() < 1e-9);
+            assert_eq!(ledger.conversion_rate(), Some(0.5));
         }
+    }
+
+    #[test]
+    fn purchases_stamp_ticks_and_direct_purchases_use_tick_zero() {
+        let broker = priced_broker();
+        let q = &buyer_queries()[1];
+        let quote = broker.quote(q);
+        broker.purchase(q, quote.price + 1.0).unwrap();
+        broker.purchase_at(q, quote.price + 1.0, 17).unwrap();
+        let ledger = broker.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.sales()[0].tick, 0);
+        assert_eq!(ledger.sales()[1].tick, 17);
+        // The budget never covers a price above the quote by less than the
+        // shortfall below: a hard decline stays a decline at any tick.
+        match broker.purchase_at(q, quote.price - 1.0, 18).unwrap() {
+            PurchaseOutcome::Declined { price } => assert!((price - quote.price).abs() < 1e-9),
+            PurchaseOutcome::Sold { .. } => panic!("budget is below the quote"),
+        }
+        assert_eq!(broker.ledger().len(), 2);
+        assert_eq!(broker.ledger().declined_count(), 1);
+    }
+
+    #[test]
+    fn failed_evaluations_leave_a_decline_mark_not_a_sale() {
+        // A query over a missing table quotes at 0 (empty conflict set), so
+        // the budget covers it — but evaluation fails. The attempt must
+        // still leave exactly one ledger mark, as a decline.
+        let broker = priced_broker();
+        let bad = Query::scan("NoSuchTable");
+        assert!(broker.purchase(&bad, 10.0).is_err());
+        let ledger = broker.ledger();
+        assert_eq!(ledger.len(), 0);
+        assert_eq!(ledger.declined_count(), 1);
+        assert_eq!(ledger.conversion_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn settle_honors_the_quoted_price_across_a_repricing() {
+        // Quote, swap the pricing, then settle: the buyer pays the quoted
+        // price, not the new one.
+        let broker = priced_broker();
+        let q = &buyer_queries()[1];
+        let quote = broker.quote(q);
+        let n = broker.support().len();
+        broker.set_pricing(Pricing::Item {
+            weights: vec![1000.0; n],
+        });
+        match broker.settle(&quote, q, quote.price + 1.0, 3).unwrap() {
+            PurchaseOutcome::Sold { price, .. } => assert!((price - quote.price).abs() < 1e-9),
+            PurchaseOutcome::Declined { .. } => panic!("the old quote must be honored"),
+        }
+        let ledger = broker.ledger();
+        assert_eq!(ledger.sales()[0].tick, 3);
+        assert!((ledger.total() - quote.price).abs() < 1e-9);
     }
 
     #[test]
@@ -574,19 +721,27 @@ mod tests {
     }
 
     #[test]
-    fn ledger_totals_accumulate_over_sales() {
+    fn ledger_totals_accumulate_over_sales_and_declines() {
         let mut ledger = RevenueLedger::default();
         assert!(ledger.is_empty());
+        assert_eq!(ledger.conversion_rate(), None);
         ledger.record(3, 2.5);
-        ledger.record(1, 4.0);
+        ledger.record_at(1, 4.0, 9);
+        ledger.record_decline(7.5);
+        ledger.record_decline(0.5);
         assert_eq!(ledger.len(), 2);
         assert!((ledger.total() - 6.5).abs() < 1e-12);
         assert_eq!(
             ledger.sales()[1],
             Sale {
                 conflict_set_len: 1,
-                price: 4.0
+                price: 4.0,
+                tick: 9
             }
         );
+        assert_eq!(ledger.sales()[0].tick, 0);
+        assert_eq!(ledger.declined_count(), 2);
+        assert!((ledger.declined_total() - 8.0).abs() < 1e-12);
+        assert_eq!(ledger.conversion_rate(), Some(0.5));
     }
 }

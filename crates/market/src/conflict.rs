@@ -30,11 +30,11 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use qp_core::ItemSet;
 use qp_pricing::Hypergraph;
 use qp_qdb::{Database, DeltaInstance, QdbError, Query, Relation, Schema, Tuple, Value};
 
+use crate::parallel::claim_map;
 use crate::support::SupportSet;
 
 /// A conflict-set engine bound to a database and a support set.
@@ -470,7 +470,11 @@ impl DeltaConflictEngine<'_> {
 ///
 /// Batches whose total work (queries × support size) is below a small
 /// threshold take the serial path directly — thread spawn and ledger
-/// round-trips would cost more than they save.
+/// round-trips would cost more than they save. The same reasoning clamps the
+/// worker count to the hardware parallelism: whenever the effective thread
+/// count is 1 (single-query calls, one-core machines, tiny batches), the
+/// engine is exactly the serial [`DeltaConflictEngine`], regardless of work
+/// size.
 pub struct ParallelConflictEngine<'a> {
     db: &'a Database,
     support: &'a SupportSet,
@@ -481,14 +485,35 @@ impl<'a> ParallelConflictEngine<'a> {
     /// Creates an engine over `db` and `support` with one worker per
     /// available hardware thread.
     pub fn new(db: &'a Database, support: &'a SupportSet) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        ParallelConflictEngine::with_threads(db, support, threads)
+        ParallelConflictEngine::with_threads(db, support, usize::MAX)
     }
 
-    /// Creates an engine with an explicit worker count (must be positive).
+    /// Creates an engine with at most `threads` workers (must be positive).
+    ///
+    /// The requested count is clamped to the available hardware parallelism:
+    /// asking for more workers than the machine can run concurrently only
+    /// adds spawn and ledger overhead (`BENCH_conflict.json` puts the forced
+    /// 4-thread path at ≤1.06× serial — often *below* 1× — on a 1-core
+    /// container), so the effective count on such a machine is 1 and batches
+    /// take the serial path. Use
+    /// [`ParallelConflictEngine::with_threads_forced`] to bypass the clamp
+    /// for overhead measurements.
     pub fn with_threads(db: &'a Database, support: &'a SupportSet, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelConflictEngine::with_threads_forced(db, support, threads.min(hw))
+    }
+
+    /// Creates an engine with an *exact* worker count, bypassing the
+    /// hardware-parallelism clamp of [`ParallelConflictEngine::with_threads`].
+    ///
+    /// This exists for benchmarks that measure threading overhead on
+    /// undersized machines and for tests that must exercise the threaded
+    /// path regardless of where they run; production callers should let the
+    /// clamp do its job.
+    pub fn with_threads_forced(db: &'a Database, support: &'a SupportSet, threads: usize) -> Self {
         assert!(threads > 0, "at least one worker thread is required");
         ParallelConflictEngine {
             db,
@@ -501,12 +526,6 @@ impl<'a> ParallelConflictEngine<'a> {
     pub fn threads(&self) -> usize {
         self.threads
     }
-}
-
-/// The shared batch state: a claim cursor plus one result slot per query.
-struct BatchLedger {
-    next: usize,
-    results: Vec<Option<ItemSet>>,
 }
 
 /// Minimum batch work (queries × support databases) before spawning worker
@@ -526,41 +545,19 @@ impl ConflictEngine for ParallelConflictEngine<'_> {
 
     fn conflict_sets(&self, queries: &[Query]) -> Vec<ItemSet> {
         let workers = self.threads.min(queries.len());
+        // One effective worker takes the serial path no matter how large the
+        // batch is — a second thread cannot exist to share the work, so
+        // spawn + ledger overhead would be pure loss. Multi-worker batches
+        // still fall back to serial below the work threshold.
         if workers <= 1 || queries.len() * self.support.len() < PARALLEL_WORK_THRESHOLD {
             return DeltaConflictEngine::new(self.db, self.support).conflict_sets(queries);
         }
-
-        let ledger = Mutex::new(BatchLedger {
-            next: 0,
-            results: vec![None; queries.len()],
-        });
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let engine = DeltaConflictEngine::new(self.db, self.support);
-                    loop {
-                        let i = {
-                            let mut led = ledger.lock();
-                            if led.next >= queries.len() {
-                                break;
-                            }
-                            led.next += 1;
-                            led.next - 1
-                        };
-                        // Conflict-set computation — the expensive part —
-                        // runs without holding the ledger lock.
-                        let set = engine.conflict_set(&queries[i]);
-                        ledger.lock().results[i] = Some(set);
-                    }
-                });
-            }
-        });
-        ledger
-            .into_inner()
-            .results
-            .into_iter()
-            .map(|r| r.expect("scoped workers drain the whole batch"))
-            .collect()
+        claim_map(
+            queries,
+            workers,
+            || DeltaConflictEngine::new(self.db, self.support),
+            |engine, query| engine.conflict_set(query),
+        )
     }
 }
 
@@ -715,7 +712,9 @@ mod tests {
         let support = SupportSet::generate(&db, &SupportConfig::with_size(900));
         let serial = DeltaConflictEngine::new(&db, &support);
         for threads in [1, 2, 5] {
-            let parallel = ParallelConflictEngine::with_threads(&db, &support, threads);
+            // Forced thread counts so the threaded path is exercised even on
+            // a single-core machine, where `with_threads` would clamp to 1.
+            let parallel = ParallelConflictEngine::with_threads_forced(&db, &support, threads);
             assert_eq!(parallel.support_size(), support.len());
             let qs = queries();
             let batch = parallel.conflict_sets(&qs);
@@ -733,13 +732,39 @@ mod tests {
         let support = SupportSet::generate(&db, &SupportConfig::with_size(850));
         let qs = queries();
         let serial = build_hypergraph(&DeltaConflictEngine::new(&db, &support), &qs);
-        let parallel =
-            build_hypergraph(&ParallelConflictEngine::with_threads(&db, &support, 4), &qs);
+        let parallel = build_hypergraph(
+            &ParallelConflictEngine::with_threads_forced(&db, &support, 4),
+            &qs,
+        );
         assert_eq!(serial.num_items(), parallel.num_items());
         assert_eq!(serial.num_edges(), parallel.num_edges());
         for i in 0..serial.num_edges() {
             assert_eq!(serial.edge(i).items, parallel.edge(i).items);
         }
+    }
+
+    #[test]
+    fn requested_threads_are_clamped_to_hardware_parallelism() {
+        let db = world_like_db();
+        let support = SupportSet::generate(&db, &SupportConfig::with_size(20));
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // `new` and over-asking `with_threads` both land on the hardware
+        // count; `with_threads_forced` keeps the exact request.
+        assert_eq!(ParallelConflictEngine::new(&db, &support).threads(), hw);
+        assert_eq!(
+            ParallelConflictEngine::with_threads(&db, &support, usize::MAX).threads(),
+            hw
+        );
+        assert_eq!(
+            ParallelConflictEngine::with_threads(&db, &support, 1).threads(),
+            1
+        );
+        assert_eq!(
+            ParallelConflictEngine::with_threads_forced(&db, &support, 64).threads(),
+            64
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod arbitrage;
 pub mod broker;
 pub mod conflict;
+pub mod parallel;
 pub mod support;
 
 pub use arbitrage::{
@@ -40,4 +41,5 @@ pub use conflict::{
     build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine,
     ParallelConflictEngine,
 };
+pub use parallel::claim_map;
 pub use support::{SupportConfig, SupportSet};

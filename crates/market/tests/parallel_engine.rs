@@ -25,7 +25,10 @@ fn parallel_and_serial_engines_build_identical_world_hypergraphs() {
     let h_serial = build_hypergraph(&serial, queries);
 
     for threads in [1usize, 3, 8] {
-        let parallel = ParallelConflictEngine::with_threads(&db, &support, threads);
+        // Forced counts: `with_threads` clamps to the machine's parallelism,
+        // which would silently reduce this to a serial-vs-serial comparison
+        // on a single-core runner.
+        let parallel = ParallelConflictEngine::with_threads_forced(&db, &support, threads);
         let h_parallel = build_hypergraph(&parallel, queries);
         assert_eq!(h_serial.num_items(), h_parallel.num_items());
         assert_eq!(h_serial.num_edges(), h_parallel.num_edges());
@@ -53,6 +56,9 @@ fn default_thread_count_matches_available_parallelism() {
     let db = world::generate(&cfg);
     let support = SupportSet::generate(&db, &SupportConfig::with_size(20));
     let engine = ParallelConflictEngine::new(&db, &support);
-    assert!(engine.threads() >= 1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert_eq!(engine.threads(), hw);
     assert_eq!(engine.support_size(), support.len());
 }

@@ -152,7 +152,9 @@ proptest! {
             &SupportConfig { size: rdb.support, seed: rdb.seed, ..Default::default() },
         );
         let serial = DeltaConflictEngine::new(&db, &support);
-        let parallel = ParallelConflictEngine::with_threads(&db, &support, threads);
+        // Forced: `with_threads` clamps to hardware parallelism, which on a
+        // single-core runner would quietly make this serial-vs-serial.
+        let parallel = ParallelConflictEngine::with_threads_forced(&db, &support, threads);
         let qs = query_pool();
         prop_assert_eq!(parallel.conflict_sets(&qs), serial.conflict_sets(&qs));
     }

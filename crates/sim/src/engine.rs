@@ -1,0 +1,390 @@
+//! The discrete-event market loop.
+//!
+//! [`run`] drives a live [`Broker`] with a seeded, deterministic stream of
+//! buyers. Each tick:
+//!
+//! 1. The arrival process draws how many buyers show up; the active
+//!    population (schedules may shift populations mid-run) samples each
+//!    buyer's segment, query, and budget. All randomness happens here, on
+//!    the coordinating thread, from one seeded RNG.
+//! 2. The buyers fan out across scoped **worker threads**, each quoting
+//!    against the shared broker and settling at the quoted price — the
+//!    concurrent read traffic the broker's `RwLock`ed pricing exists for.
+//!    Workers claim buyers from a work ledger and write outcomes back by
+//!    arrival index.
+//! 3. The coordinator folds outcomes **in arrival order** into the tick's
+//!    statistics, so revenue totals are bit-identical for a fixed seed no
+//!    matter how the workers interleaved.
+//! 4. The repricing policy sees the tick's stats; when it fires, a demand
+//!    hypergraph is rebuilt from the recently observed quotes (conflict set
+//!    plus the buyer's bid as the valuation) and the configured registry
+//!    algorithm's output is hot-swapped in through `set_pricing(&self, …)`.
+//!
+//! Because pricing swaps land on tick boundaries and within-tick pricing is
+//! fixed, every buyer's outcome is a pure function of the seed — worker
+//! threads affect wall-clock only, never revenue.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qp_core::ItemSet;
+use qp_market::{Broker, PurchaseOutcome};
+use qp_pricing::algorithms;
+use qp_pricing::Hypergraph;
+use qp_workloads::arrivals::ArrivalProcess;
+
+use crate::metrics::{RepricingEvent, SimReport, TickStats};
+use crate::population::{Buyer, Population};
+use crate::repricing::RepricingPolicy;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of ticks to simulate.
+    pub ticks: u64,
+    /// RNG seed; two runs with the same seed (and the same broker build)
+    /// report identical revenue.
+    pub seed: u64,
+    /// Quote worker threads per tick; 0 uses the available hardware
+    /// parallelism. Any value yields the same revenue — only throughput
+    /// changes.
+    pub workers: usize,
+    /// Registry algorithm re-run on observed demand at each repricing.
+    pub algorithm: String,
+    /// How many of the most recent observed quotes feed a repricing;
+    /// 0 keeps every observation (unbounded).
+    pub demand_window: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            ticks: 60,
+            seed: 0xC0FFEE,
+            workers: 0,
+            algorithm: "UBP".to_string(),
+            demand_window: 2048,
+        }
+    }
+}
+
+/// One settled quote, in arrival order.
+struct Settled {
+    sold: bool,
+    price: f64,
+    /// The buyer's bid — the engine's demand observation for repricing.
+    budget: f64,
+    conflict_set: ItemSet,
+}
+
+/// Runs a simulation against a live broker.
+///
+/// `schedule` is a list of `(from_tick, population)` phases sorted by start
+/// tick; the first phase must start at tick 0. A single-population run is
+/// `&[(0, population)]`.
+///
+/// # Panics
+///
+/// Panics if the schedule is empty, does not start at tick 0, or is not
+/// sorted by start tick, or if `cfg.algorithm` is not in the pricing
+/// registry — configuration errors a simulation must fail loudly on.
+pub fn run(
+    broker: &Broker,
+    schedule: &[(u64, Population)],
+    arrivals: &ArrivalProcess,
+    policy: &mut dyn RepricingPolicy,
+    cfg: &SimConfig,
+) -> SimReport {
+    assert!(
+        !schedule.is_empty(),
+        "simulation needs at least one population"
+    );
+    assert_eq!(
+        schedule[0].0, 0,
+        "the population schedule must start at tick 0"
+    );
+    assert!(
+        schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+        "the population schedule must be sorted by start tick"
+    );
+    let algo = algorithms::by_name(&cfg.algorithm)
+        .unwrap_or_else(|| panic!("unknown repricing algorithm {:?}", cfg.algorithm));
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut observed: VecDeque<(ItemSet, f64)> = VecDeque::new();
+    let mut ticks = Vec::with_capacity(cfg.ticks as usize);
+    let mut repricings = Vec::new();
+    let started = Instant::now();
+
+    for tick in 0..cfg.ticks {
+        let population = active_population(schedule, tick);
+        let n = arrivals.arrivals_at(tick, &mut rng);
+        let buyers: Vec<Buyer> = (0..n).map(|_| population.sample(&mut rng)).collect();
+
+        let outcomes = settle_batch(broker, population, &buyers, tick, workers);
+
+        let mut stats = TickStats {
+            tick,
+            arrivals: n,
+            sold: 0,
+            declined: 0,
+            revenue: 0.0,
+        };
+        for o in &outcomes {
+            if o.sold {
+                stats.sold += 1;
+                stats.revenue += o.price;
+            } else {
+                stats.declined += 1;
+            }
+            observed.push_back((o.conflict_set.clone(), o.budget));
+            if cfg.demand_window > 0 && observed.len() > cfg.demand_window {
+                observed.pop_front();
+            }
+        }
+
+        if policy.should_reprice(&stats) && !observed.is_empty() {
+            let t0 = Instant::now();
+            let mut demand = Hypergraph::new(broker.support().len());
+            for (set, bid) in &observed {
+                demand.add_edge_set(set.clone(), bid.max(0.0));
+            }
+            broker.set_pricing(algo.run(&demand).pricing);
+            repricings.push(RepricingEvent {
+                tick,
+                latency: t0.elapsed(),
+                observed_edges: observed.len(),
+            });
+        }
+        ticks.push(stats);
+    }
+
+    SimReport {
+        scenario: String::new(),
+        workload: String::new(),
+        seed: cfg.seed,
+        algorithm: cfg.algorithm.clone(),
+        policy: policy.label(),
+        arrivals_label: arrivals.label(),
+        ticks,
+        repricings,
+        wall: started.elapsed(),
+    }
+}
+
+/// The schedule phase governing `tick`: the last entry whose start is not
+/// after it.
+fn active_population(schedule: &[(u64, Population)], tick: u64) -> &Population {
+    let mut current = &schedule[0].1;
+    for (start, pop) in schedule {
+        if *start <= tick {
+            current = pop;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+/// Quotes and settles a tick's buyers, fanning them across `workers` scoped
+/// threads through [`qp_market::claim_map`]. Outcomes land at the buyer's
+/// arrival index, so callers aggregate in a thread-independent order.
+fn settle_batch(
+    broker: &Broker,
+    population: &Population,
+    buyers: &[Buyer],
+    tick: u64,
+    workers: usize,
+) -> Vec<Settled> {
+    qp_market::claim_map(
+        buyers,
+        workers,
+        || (),
+        |(), buyer| settle_one(broker, population, buyer, tick),
+    )
+}
+
+/// Quotes one buyer's query against the live pricing and settles at the
+/// quoted price. A query that fails to evaluate counts as a failed sale.
+fn settle_one(broker: &Broker, population: &Population, buyer: &Buyer, tick: u64) -> Settled {
+    let query = population.query(buyer);
+    let quote = broker.quote(query);
+    let price = quote.price;
+    let sold = matches!(
+        broker.settle(&quote, query, buyer.budget, tick),
+        Ok(PurchaseOutcome::Sold { .. })
+    );
+    Settled {
+        sold,
+        price,
+        budget: buyer.budget,
+        conflict_set: quote.conflict_set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{BudgetModel, BuyerSegment};
+    use crate::repricing::{EveryNTicks, Never};
+    use qp_market::SupportConfig;
+    use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
+
+    fn tiny_broker() -> Broker {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..12 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        Broker::builder(db)
+            .support_config(SupportConfig::with_size(40))
+            .algorithm("UBP")
+            .anticipate(Query::scan("T"), 30.0)
+            .build()
+            .expect("UBP is registered")
+    }
+
+    fn population() -> Population {
+        Population::new(vec![BuyerSegment::new(
+            "all",
+            vec![Query::scan("T")],
+            BudgetModel::Uniform { lo: 0.0, hi: 60.0 },
+        )])
+    }
+
+    #[test]
+    fn run_produces_one_stats_row_per_tick() {
+        let broker = tiny_broker();
+        let report = run(
+            &broker,
+            &[(0, population())],
+            &ArrivalProcess::Poisson { rate: 3.0 },
+            &mut Never,
+            &SimConfig {
+                ticks: 10,
+                seed: 1,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(report.ticks.len(), 10);
+        assert_eq!(report.quotes(), report.sales() + report.declines());
+        assert!(report.repricings.is_empty());
+        // The broker's ledger saw the same traffic the report did.
+        let ledger = broker.ledger();
+        assert_eq!(ledger.len(), report.sales());
+        assert_eq!(ledger.declined_count(), report.declines());
+        assert!((ledger.total() - report.total_revenue()).abs() < 1e-6);
+        // Sales are tick-stamped within the simulated horizon.
+        assert!(ledger.sales().iter().all(|s| s.tick < 10));
+    }
+
+    #[test]
+    fn repricing_policy_fires_and_records_latency() {
+        let broker = tiny_broker();
+        let report = run(
+            &broker,
+            &[(0, population())],
+            &ArrivalProcess::Poisson { rate: 4.0 },
+            &mut EveryNTicks { every: 3 },
+            &SimConfig {
+                ticks: 9,
+                seed: 2,
+                ..SimConfig::default()
+            },
+        );
+        // Fires after ticks 2, 5, 8 (skipping any with no demand yet).
+        assert!(!report.repricings.is_empty());
+        assert!(report.repricings.len() <= 3);
+        for r in &report.repricings {
+            assert!((r.tick + 1) % 3 == 0);
+            assert!(r.observed_edges > 0);
+        }
+    }
+
+    #[test]
+    fn schedules_shift_the_active_population() {
+        let rich = Population::new(vec![BuyerSegment::new(
+            "rich",
+            vec![Query::scan("T")],
+            BudgetModel::Uniform { lo: 1e6, hi: 2e6 },
+        )]);
+        let broke = Population::new(vec![BuyerSegment::new(
+            "broke",
+            vec![Query::scan("T")],
+            BudgetModel::Uniform { lo: 0.0, hi: 1e-9 },
+        )]);
+        let broker = tiny_broker();
+        let report = run(
+            &broker,
+            &[(0, rich), (5, broke)],
+            &ArrivalProcess::Poisson { rate: 5.0 },
+            &mut Never,
+            &SimConfig {
+                ticks: 10,
+                seed: 3,
+                ..SimConfig::default()
+            },
+        );
+        let early: usize = report.ticks[..5].iter().map(|t| t.declined).sum();
+        let late: usize = report.ticks[5..].iter().map(|t| t.sold).sum();
+        assert_eq!(early, 0, "rich buyers never decline");
+        assert_eq!(late, 0, "broke buyers never buy a priced scan");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown repricing algorithm")]
+    fn unknown_algorithms_fail_loudly() {
+        let broker = tiny_broker();
+        run(
+            &broker,
+            &[(0, population())],
+            &ArrivalProcess::Poisson { rate: 1.0 },
+            &mut Never,
+            &SimConfig {
+                algorithm: "nope".to_string(),
+                ..SimConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by start tick")]
+    fn unsorted_schedules_are_rejected() {
+        let broker = tiny_broker();
+        run(
+            &broker,
+            &[(0, population()), (10, population()), (5, population())],
+            &ArrivalProcess::Poisson { rate: 1.0 },
+            &mut Never,
+            &SimConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start at tick 0")]
+    fn schedules_must_start_at_tick_zero() {
+        let broker = tiny_broker();
+        run(
+            &broker,
+            &[(3, population())],
+            &ArrivalProcess::Poisson { rate: 1.0 },
+            &mut Never,
+            &SimConfig::default(),
+        );
+    }
+}

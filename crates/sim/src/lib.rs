@@ -1,0 +1,44 @@
+//! # qp-sim — a discrete-event data-market simulator
+//!
+//! The paper evaluates its pricing algorithms on static hypergraph
+//! instances; this crate adds the dimension the ROADMAP's production story
+//! needs: **time**. Buyers arrive over simulated ticks, quote against a live
+//! [`qp_market::Broker`] from multiple worker threads, purchase or decline
+//! against their budget, and a pluggable repricing policy re-runs a registry
+//! algorithm on the observed demand and hot-swaps the pricing mid-traffic —
+//! the online setting of *Pricing Queries (Approximately) Optimally*
+//! (Syrgkanis & Gehrke) layered over the paper's static machinery.
+//!
+//! The moving parts:
+//!
+//! * [`population`] — buyer segments with budget distributions (built on
+//!   [`qp_workloads::dist`]) and per-segment query pools, mixed by weight.
+//! * [`qp_workloads::arrivals`] — Poisson / bursty / flash-crowd tick-based
+//!   arrival processes (exported by the workloads crate so traffic shapes
+//!   live next to the other workload generators).
+//! * [`repricing`] — the [`repricing::RepricingPolicy`] trait and the three
+//!   standard policies: [`repricing::Never`], [`repricing::EveryNTicks`],
+//!   [`repricing::OnConversionDrift`].
+//! * [`engine`] — the seeded, deterministic event loop: per-tick sampling on
+//!   the coordinator, concurrent quote-and-settle across scoped workers,
+//!   arrival-order aggregation (same seed ⇒ bit-identical revenue,
+//!   regardless of worker count), and live `set_pricing` swaps on tick
+//!   boundaries.
+//! * [`scenario`] — the scenario library (`steady_state`, `flash_crowd`,
+//!   `shifting_demand`, `arbitrage_probe`), instantiable over any query
+//!   pool.
+//! * [`metrics`] — per-tick stats, repricing events, and the
+//!   [`metrics::SimReport`] that serializes into `BENCH_sim.json`
+//!   (revenue-over-time, conversion rate, quotes/sec, repricing latency).
+
+pub mod engine;
+pub mod metrics;
+pub mod population;
+pub mod repricing;
+pub mod scenario;
+
+pub use engine::{run, SimConfig};
+pub use metrics::{bench_json, RepricingEvent, SimReport, TickStats};
+pub use population::{BudgetModel, Buyer, BuyerSegment, Population};
+pub use repricing::{EveryNTicks, Never, OnConversionDrift, RepricingPolicy};
+pub use scenario::{library, PolicyKind, Scenario};

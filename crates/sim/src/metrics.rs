@@ -1,0 +1,314 @@
+//! Simulation metrics: per-tick statistics, repricing events, and the
+//! aggregate [`SimReport`] with its `BENCH_sim.json` serializer.
+//!
+//! Revenue figures are accumulated in **arrival order** by the engine, so
+//! every total here is bit-identical across runs with the same seed — even
+//! when quotes were settled by racing worker threads. Throughput figures
+//! (`quotes_per_sec`, repricing latency) are wall-clock measurements and
+//! vary run to run by design.
+
+use std::time::Duration;
+
+/// Aggregate statistics for one completed tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStats {
+    /// The tick index.
+    pub tick: u64,
+    /// Buyers that arrived this tick.
+    pub arrivals: usize,
+    /// Quotes that converted into sales.
+    pub sold: usize,
+    /// Quotes the buyer declined (or that failed to evaluate).
+    pub declined: usize,
+    /// Revenue realized this tick (arrival-order sum).
+    pub revenue: f64,
+}
+
+impl TickStats {
+    /// Conversion rate of this tick alone, or `None` with no arrivals.
+    pub fn conversion_rate(&self) -> Option<f64> {
+        let attempts = self.sold + self.declined;
+        if attempts == 0 {
+            None
+        } else {
+            Some(self.sold as f64 / attempts as f64)
+        }
+    }
+}
+
+/// One live repricing performed by the engine.
+#[derive(Debug, Clone)]
+pub struct RepricingEvent {
+    /// The tick after which the swap happened.
+    pub tick: u64,
+    /// Wall-clock time from demand-hypergraph construction to
+    /// `set_pricing` returning.
+    pub latency: Duration,
+    /// Number of observed demand edges the algorithm repriced over.
+    pub observed_edges: usize,
+}
+
+/// The outcome of one simulated scenario run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Scenario name (e.g. `flash_crowd`).
+    pub scenario: String,
+    /// Workload the broker was priced for (e.g. `skewed`).
+    pub workload: String,
+    /// The run's RNG seed.
+    pub seed: u64,
+    /// Registry algorithm used for live repricing.
+    pub algorithm: String,
+    /// Repricing policy label.
+    pub policy: String,
+    /// Arrival-process label.
+    pub arrivals_label: String,
+    /// Per-tick statistics, in tick order (the revenue-over-time series).
+    pub ticks: Vec<TickStats>,
+    /// Every live repricing, in tick order.
+    pub repricings: Vec<RepricingEvent>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl SimReport {
+    /// Total revenue, summed in tick (= arrival) order: deterministic for a
+    /// fixed seed.
+    pub fn total_revenue(&self) -> f64 {
+        self.ticks.iter().map(|t| t.revenue).sum()
+    }
+
+    /// Total purchase attempts (every arrival is quoted exactly once).
+    pub fn quotes(&self) -> usize {
+        self.ticks.iter().map(|t| t.sold + t.declined).sum()
+    }
+
+    /// Total sales.
+    pub fn sales(&self) -> usize {
+        self.ticks.iter().map(|t| t.sold).sum()
+    }
+
+    /// Total declines.
+    pub fn declines(&self) -> usize {
+        self.ticks.iter().map(|t| t.declined).sum()
+    }
+
+    /// Overall conversion rate (0 when nothing was quoted).
+    pub fn conversion_rate(&self) -> f64 {
+        let q = self.quotes();
+        if q == 0 {
+            0.0
+        } else {
+            self.sales() as f64 / q as f64
+        }
+    }
+
+    /// Quote throughput over the run's wall clock.
+    pub fn quotes_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.quotes() as f64 / secs
+        }
+    }
+
+    /// Mean repricing latency in milliseconds (0 with no repricings).
+    pub fn mean_repricing_ms(&self) -> f64 {
+        if self.repricings.is_empty() {
+            return 0.0;
+        }
+        self.repricings
+            .iter()
+            .map(|r| r.latency.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / self.repricings.len() as f64
+    }
+
+    /// Cumulative revenue after each tick.
+    pub fn cumulative_revenue(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.ticks
+            .iter()
+            .map(|t| {
+                acc += t.revenue;
+                acc
+            })
+            .collect()
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} {:<8} revenue {:>9.2}  conversion {:>5.1}%  {:>7.0} quotes/s  {} repricings ({:.1} ms mean)",
+            self.scenario,
+            self.workload,
+            self.total_revenue(),
+            100.0 * self.conversion_rate(),
+            self.quotes_per_sec(),
+            self.repricings.len(),
+            self.mean_repricing_ms(),
+        )
+    }
+
+    /// This run as one JSON object (used inside the `runs` array of
+    /// `BENCH_sim.json`).
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .ticks
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tick\": {}, \"arrivals\": {}, \"sold\": {}, \"declined\": {}, \"revenue\": {}}}",
+                    t.tick,
+                    t.arrivals,
+                    t.sold,
+                    t.declined,
+                    json_f64(t.revenue)
+                )
+            })
+            .collect();
+        let repricings: Vec<String> = self
+            .repricings
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"tick\": {}, \"latency_ms\": {}, \"observed_edges\": {}}}",
+                    r.tick,
+                    json_f64(r.latency.as_secs_f64() * 1e3),
+                    r.observed_edges
+                )
+            })
+            .collect();
+        format!(
+            "{{\n      \"scenario\": {:?},\n      \"workload\": {:?},\n      \"seed\": {},\n      \"algorithm\": {:?},\n      \"policy\": {:?},\n      \"arrivals\": {:?},\n      \"ticks\": {},\n      \"quotes\": {},\n      \"sales\": {},\n      \"declines\": {},\n      \"total_revenue\": {},\n      \"conversion_rate\": {},\n      \"quotes_per_sec\": {},\n      \"repricing_count\": {},\n      \"mean_repricing_ms\": {},\n      \"wall_ms\": {},\n      \"revenue_by_tick\": [{}],\n      \"repricings\": [{}]\n    }}",
+            self.scenario,
+            self.workload,
+            self.seed,
+            self.algorithm,
+            self.policy,
+            self.arrivals_label,
+            self.ticks.len(),
+            self.quotes(),
+            self.sales(),
+            self.declines(),
+            json_f64(self.total_revenue()),
+            json_f64(self.conversion_rate()),
+            json_f64(self.quotes_per_sec()),
+            self.repricings.len(),
+            json_f64(self.mean_repricing_ms()),
+            json_f64(self.wall.as_secs_f64() * 1e3),
+            series.join(", "),
+            repricings.join(", ")
+        )
+    }
+}
+
+/// Renders a finite f64 exactly (shortest round-trip form); NaN/∞ — which
+/// JSON cannot carry — become 0.
+fn json_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{x}");
+    // `{}` prints integral floats without a decimal point; keep them
+    // unambiguously floating-point for strict consumers.
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders the whole `BENCH_sim.json` artifact from a batch of runs.
+pub fn bench_json(seed: u64, threads: usize, runs: &[SimReport]) -> String {
+    let body: Vec<String> = runs.iter().map(|r| r.to_json()).collect();
+    format!(
+        "{{\n  \"benchmark\": \"sim_scenarios\",\n  \"seed\": {},\n  \"threads\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        seed,
+        threads,
+        body.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            scenario: "steady_state".into(),
+            workload: "skewed".into(),
+            seed: 42,
+            algorithm: "UBP".into(),
+            policy: "never".into(),
+            arrivals_label: "poisson(4/tick)".into(),
+            ticks: vec![
+                TickStats {
+                    tick: 0,
+                    arrivals: 3,
+                    sold: 2,
+                    declined: 1,
+                    revenue: 10.5,
+                },
+                TickStats {
+                    tick: 1,
+                    arrivals: 1,
+                    sold: 0,
+                    declined: 1,
+                    revenue: 0.0,
+                },
+            ],
+            repricings: vec![RepricingEvent {
+                tick: 0,
+                latency: Duration::from_millis(2),
+                observed_edges: 3,
+            }],
+            wall: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_ticks() {
+        let r = report();
+        assert_eq!(r.quotes(), 4);
+        assert_eq!(r.sales(), 2);
+        assert_eq!(r.declines(), 2);
+        assert!((r.total_revenue() - 10.5).abs() < 1e-12);
+        assert!((r.conversion_rate() - 0.5).abs() < 1e-12);
+        assert!((r.quotes_per_sec() - 40.0).abs() < 1e-9);
+        assert_eq!(r.cumulative_revenue(), vec![10.5, 10.5]);
+        assert!((r.mean_repricing_ms() - 2.0).abs() < 1e-9);
+        assert_eq!(r.ticks[0].conversion_rate(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn json_artifact_has_the_required_fields() {
+        let json = bench_json(42, 1, &[report()]);
+        for key in [
+            "\"benchmark\": \"sim_scenarios\"",
+            "\"scenario\": \"steady_state\"",
+            "\"workload\": \"skewed\"",
+            "\"total_revenue\": 10.5",
+            "\"conversion_rate\": 0.5",
+            "\"quotes_per_sec\"",
+            "\"mean_repricing_ms\"",
+            "\"revenue_by_tick\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_floats_are_finite_and_explicit() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(-2.0), "-2.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+}

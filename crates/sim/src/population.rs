@@ -1,0 +1,287 @@
+//! Buyer populations: who shows up, what they ask, and what they will pay.
+//!
+//! A [`Population`] is a weighted mix of [`BuyerSegment`]s. Each segment
+//! draws its queries from a pool (uniformly or Zipf-skewed toward the front
+//! of the pool) and its budgets from a [`BudgetModel`] built on the
+//! [`qp_workloads::dist`] samplers — the same distribution machinery the
+//! paper's valuation models use (§6.3), applied to willingness-to-pay
+//! instead of hyperedge valuations.
+
+use qp_qdb::Query;
+use qp_workloads::dist;
+use rand::Rng;
+
+/// How a segment draws a buyer's budget (willingness to pay).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetModel {
+    /// `budget ~ Uniform[lo, hi)`.
+    Uniform {
+        /// Lower end of the budget range.
+        lo: f64,
+        /// Upper end of the budget range.
+        hi: f64,
+    },
+    /// `budget ~ Normal(mean, variance)`, clamped at 0.
+    Normal {
+        /// Mean budget.
+        mean: f64,
+        /// Budget variance.
+        variance: f64,
+    },
+    /// `budget ~ Exponential(mean)` — a long tail of occasional big spenders.
+    Exponential {
+        /// Mean budget.
+        mean: f64,
+    },
+}
+
+impl BudgetModel {
+    /// Samples one budget.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            BudgetModel::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(*lo..*hi)
+                } else {
+                    *lo
+                }
+            }
+            BudgetModel::Normal { mean, variance } => dist::normal(rng, *mean, *variance).max(0.0),
+            BudgetModel::Exponential { mean } => dist::exponential(rng, (*mean).max(0.0)),
+        }
+    }
+
+    /// Short label used in simulation reports.
+    pub fn label(&self) -> String {
+        match self {
+            BudgetModel::Uniform { lo, hi } => format!("uniform[{lo},{hi})"),
+            BudgetModel::Normal { mean, variance } => format!("normal({mean},{variance})"),
+            BudgetModel::Exponential { mean } => format!("exp({mean})"),
+        }
+    }
+}
+
+/// One buyer segment: a share of the arrival stream with its own query pool
+/// and budget distribution.
+#[derive(Debug, Clone)]
+pub struct BuyerSegment {
+    /// Segment name, for reports.
+    pub name: String,
+    /// Relative share of arrivals (weights are normalized across the
+    /// population; they need not sum to 1).
+    pub weight: f64,
+    /// The queries this segment may ask.
+    pub queries: Vec<Query>,
+    /// Optional Zipf exponent skewing query choice toward the front of the
+    /// pool; `None` draws uniformly.
+    pub query_skew: Option<f64>,
+    /// The segment's budget distribution.
+    pub budget: BudgetModel,
+}
+
+impl BuyerSegment {
+    /// A segment with weight 1 and uniform query choice.
+    pub fn new(name: impl Into<String>, queries: Vec<Query>, budget: BudgetModel) -> BuyerSegment {
+        BuyerSegment {
+            name: name.into(),
+            weight: 1.0,
+            queries,
+            query_skew: None,
+            budget,
+        }
+    }
+
+    /// Sets the segment's arrival weight.
+    pub fn weight(mut self, weight: f64) -> BuyerSegment {
+        self.weight = weight;
+        self
+    }
+
+    /// Skews query choice Zipf(`a`)-style toward the front of the pool.
+    pub fn skew(mut self, a: f64) -> BuyerSegment {
+        self.query_skew = Some(a);
+        self
+    }
+}
+
+/// One sampled buyer: a segment, a query from its pool, and a budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buyer {
+    /// Index of the buyer's segment in the population.
+    pub segment: usize,
+    /// Index of the buyer's query in the segment's pool.
+    pub query: usize,
+    /// The buyer's budget for this purchase.
+    pub budget: f64,
+}
+
+/// A weighted mix of buyer segments with precomputed samplers.
+#[derive(Debug, Clone)]
+pub struct Population {
+    segments: Vec<BuyerSegment>,
+    /// Cumulative (unnormalized) segment weights for roulette selection.
+    cumulative: Vec<f64>,
+    /// Per-segment Zipf table over the query pool, where skewed.
+    zipfs: Vec<Option<dist::Zipf>>,
+}
+
+impl Population {
+    /// Builds a population from its segments.
+    ///
+    /// Panics if there are no segments, a segment has an empty query pool,
+    /// or the total weight is not positive — all configuration bugs a
+    /// simulation should fail loudly on.
+    pub fn new(segments: Vec<BuyerSegment>) -> Population {
+        assert!(
+            !segments.is_empty(),
+            "a population needs at least one segment"
+        );
+        let mut cumulative = Vec::with_capacity(segments.len());
+        let mut total = 0.0;
+        for s in &segments {
+            assert!(!s.queries.is_empty(), "segment {:?} has no queries", s.name);
+            assert!(s.weight >= 0.0, "segment {:?} has negative weight", s.name);
+            total += s.weight;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "population weights sum to zero");
+        let zipfs = segments
+            .iter()
+            .map(|s| s.query_skew.map(|a| dist::Zipf::new(s.queries.len(), a)))
+            .collect();
+        Population {
+            segments,
+            cumulative,
+            zipfs,
+        }
+    }
+
+    /// The population's segments.
+    pub fn segments(&self) -> &[BuyerSegment] {
+        &self.segments
+    }
+
+    /// Samples one buyer: segment by weight, query by the segment's pool
+    /// distribution, budget by its model.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Buyer {
+        let total = *self.cumulative.last().expect("non-empty population");
+        let u = rng.gen::<f64>() * total;
+        let segment = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.segments.len() - 1);
+        let seg = &self.segments[segment];
+        let query = match &self.zipfs[segment] {
+            // Zipf ranks are 1-based; rank 1 is the front of the pool.
+            Some(z) => z.sample(rng) - 1,
+            None => rng.gen_range(0..seg.queries.len()),
+        };
+        Buyer {
+            segment,
+            query,
+            budget: seg.budget.sample(rng),
+        }
+    }
+
+    /// Resolves a sampled buyer to their query.
+    pub fn query(&self, buyer: &Buyer) -> &Query {
+        &self.segments[buyer.segment].queries[buyer.query]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(n: usize) -> Vec<Query> {
+        (0..n).map(|i| Query::scan(format!("T{i}"))).collect()
+    }
+
+    #[test]
+    fn segment_weights_shape_the_mix() {
+        let pop = Population::new(vec![
+            BuyerSegment::new("a", pool(3), BudgetModel::Uniform { lo: 1.0, hi: 2.0 }).weight(3.0),
+            BuyerSegment::new("b", pool(3), BudgetModel::Uniform { lo: 1.0, hi: 2.0 }).weight(1.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 8000;
+        let a = (0..n).filter(|_| pop.sample(&mut rng).segment == 0).count();
+        let share = a as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.03, "segment-a share {share}");
+    }
+
+    #[test]
+    fn skewed_segments_favour_the_front_of_the_pool() {
+        let pop = Population::new(vec![BuyerSegment::new(
+            "probers",
+            pool(20),
+            BudgetModel::Exponential { mean: 3.0 },
+        )
+        .skew(1.8)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 20];
+        for _ in 0..6000 {
+            counts[pop.sample(&mut rng).query] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > 4 * counts[10].max(1));
+    }
+
+    #[test]
+    fn budgets_follow_the_segment_model() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let u = BudgetModel::Uniform { lo: 5.0, hi: 10.0 };
+        for _ in 0..200 {
+            let b = u.sample(&mut rng);
+            assert!((5.0..10.0).contains(&b));
+        }
+        let e = BudgetModel::Exponential { mean: 4.0 };
+        let mean = (0..20_000).map(|_| e.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+        let n = BudgetModel::Normal {
+            mean: -5.0,
+            variance: 1.0,
+        };
+        assert!((0..100).all(|_| n.sample(&mut rng) >= 0.0), "clamped at 0");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let pop = Population::new(vec![
+            BuyerSegment::new("a", pool(7), BudgetModel::Uniform { lo: 0.0, hi: 9.0 }).skew(1.2),
+            BuyerSegment::new(
+                "b",
+                pool(4),
+                BudgetModel::Normal {
+                    mean: 20.0,
+                    variance: 16.0,
+                },
+            ),
+        ]);
+        let draw = |seed| -> Vec<Buyer> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| pop.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_populations_are_rejected() {
+        Population::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no queries")]
+    fn segments_without_queries_are_rejected() {
+        Population::new(vec![BuyerSegment::new(
+            "mute",
+            Vec::new(),
+            BudgetModel::Exponential { mean: 1.0 },
+        )]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Live repricing policies.
+//!
+//! After every tick the engine hands the policy that tick's [`TickStats`];
+//! when the policy fires, the engine rebuilds a demand hypergraph from the
+//! recently observed quotes and hot-swaps the broker's pricing through
+//! `Broker::set_pricing(&self, …)` while worker threads keep quoting — the
+//! online-pricing setting of "Pricing Queries (Approximately) Optimally"
+//! grafted onto the paper's static algorithms.
+
+use crate::metrics::TickStats;
+
+/// Decides, tick by tick, when the engine re-runs the pricing algorithm.
+pub trait RepricingPolicy: Send {
+    /// Policy label for reports.
+    fn label(&self) -> String;
+
+    /// Called once per completed tick, in tick order. Returning `true`
+    /// triggers a repricing before the next tick; the engine always honors
+    /// it, so stateful policies may reset their windows when they fire.
+    fn should_reprice(&mut self, stats: &TickStats) -> bool;
+}
+
+/// Never reprices: the broker keeps its initial pricing for the whole run.
+#[derive(Debug, Clone, Default)]
+pub struct Never;
+
+impl RepricingPolicy for Never {
+    fn label(&self) -> String {
+        "never".to_string()
+    }
+
+    fn should_reprice(&mut self, _stats: &TickStats) -> bool {
+        false
+    }
+}
+
+/// Reprices on a fixed cadence: after ticks `every-1, 2·every-1, …`.
+#[derive(Debug, Clone)]
+pub struct EveryNTicks {
+    /// The cadence in ticks (must be positive).
+    pub every: u64,
+}
+
+impl RepricingPolicy for EveryNTicks {
+    fn label(&self) -> String {
+        format!("every-{}-ticks", self.every)
+    }
+
+    fn should_reprice(&mut self, stats: &TickStats) -> bool {
+        assert!(self.every > 0, "EveryNTicks needs a positive cadence");
+        (stats.tick + 1).is_multiple_of(self.every)
+    }
+}
+
+/// Reprices when the observed conversion rate drifts away from a target.
+///
+/// Conversion is accumulated over a window that starts at the last repricing
+/// (or the run start); once at least `min_quotes` quotes are in the window
+/// and `|rate − target| > tolerance`, the policy fires and the window
+/// resets. This is the feedback controller a marketplace actually wants:
+/// prices too high → conversion collapses → reprice on the demand actually
+/// seen; prices too low → everything sells → reprice to capture the surplus.
+#[derive(Debug, Clone)]
+pub struct OnConversionDrift {
+    /// The conversion rate the operator is aiming for.
+    pub target: f64,
+    /// How far conversion may drift before a repricing fires.
+    pub tolerance: f64,
+    /// Minimum quotes in the window before drift is trusted.
+    pub min_quotes: usize,
+    window_quotes: usize,
+    window_sold: usize,
+}
+
+impl OnConversionDrift {
+    /// A drift policy around `target ± tolerance`, trusting windows of at
+    /// least `min_quotes` quotes.
+    pub fn new(target: f64, tolerance: f64, min_quotes: usize) -> OnConversionDrift {
+        OnConversionDrift {
+            target,
+            tolerance,
+            min_quotes: min_quotes.max(1),
+            window_quotes: 0,
+            window_sold: 0,
+        }
+    }
+
+    /// Conversion rate of the current window, if it has any quotes.
+    pub fn window_rate(&self) -> Option<f64> {
+        if self.window_quotes == 0 {
+            None
+        } else {
+            Some(self.window_sold as f64 / self.window_quotes as f64)
+        }
+    }
+}
+
+impl RepricingPolicy for OnConversionDrift {
+    fn label(&self) -> String {
+        format!(
+            "conversion-drift(target {}, ±{}, ≥{} quotes)",
+            self.target, self.tolerance, self.min_quotes
+        )
+    }
+
+    fn should_reprice(&mut self, stats: &TickStats) -> bool {
+        self.window_quotes += stats.sold + stats.declined;
+        self.window_sold += stats.sold;
+        let Some(rate) = self.window_rate() else {
+            return false;
+        };
+        if self.window_quotes >= self.min_quotes && (rate - self.target).abs() > self.tolerance {
+            self.window_quotes = 0;
+            self.window_sold = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tick: u64, sold: usize, declined: usize) -> TickStats {
+        TickStats {
+            tick,
+            arrivals: sold + declined,
+            sold,
+            declined,
+            revenue: sold as f64,
+        }
+    }
+
+    #[test]
+    fn never_never_fires() {
+        let mut p = Never;
+        assert!((0..100).all(|t| !p.should_reprice(&stats(t, 5, 5))));
+    }
+
+    #[test]
+    fn every_n_ticks_fires_on_the_cadence() {
+        let mut p = EveryNTicks { every: 5 };
+        let fired: Vec<u64> = (0..20)
+            .filter(|&t| p.should_reprice(&stats(t, 1, 0)))
+            .collect();
+        assert_eq!(fired, vec![4, 9, 14, 19]);
+    }
+
+    #[test]
+    fn conversion_drift_waits_for_enough_quotes_then_fires_and_resets() {
+        let mut p = OnConversionDrift::new(0.8, 0.1, 10);
+        // 4 quotes at 0% conversion: drifted, but the window is too small.
+        assert!(!p.should_reprice(&stats(0, 0, 4)));
+        // 8 more: the window reaches 12 ≥ 10 with rate 0 — fires and resets.
+        assert!(p.should_reprice(&stats(1, 0, 8)));
+        assert_eq!(p.window_rate(), None);
+        // On-target traffic never fires: 8/10 = target.
+        assert!(!p.should_reprice(&stats(2, 8, 2)));
+        assert!(!p.should_reprice(&stats(3, 8, 2)));
+    }
+
+    #[test]
+    fn conversion_drift_fires_high_as_well_as_low() {
+        // Everything selling (rate 1.0, target 0.5) is also drift: the
+        // seller is leaving money on the table.
+        let mut p = OnConversionDrift::new(0.5, 0.2, 5);
+        assert!(p.should_reprice(&stats(0, 10, 0)));
+    }
+
+    #[test]
+    fn labels_name_the_policy() {
+        assert_eq!(Never.label(), "never");
+        assert!(EveryNTicks { every: 3 }.label().contains('3'));
+        assert!(OnConversionDrift::new(0.6, 0.1, 5).label().contains("0.6"));
+    }
+}

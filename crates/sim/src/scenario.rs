@@ -1,0 +1,316 @@
+//! The scenario library: named, reproducible market situations.
+//!
+//! Each [`Scenario`] bundles a population schedule, an arrival process, a
+//! repricing policy, and a horizon. [`library`] instantiates the four
+//! standard scenarios over any query pool (the paper's world workloads,
+//! SSB, TPC-H, …), so every workload can be stress-tested under the same
+//! four traffic shapes:
+//!
+//! | Scenario | Traffic | Repricing | What it probes |
+//! |----------|---------|-----------|----------------|
+//! | `steady_state` | constant Poisson | never | baseline revenue accrual |
+//! | `flash_crowd` | one high-rate window | fixed cadence | repricing under a demand spike |
+//! | `shifting_demand` | constant Poisson, population swaps mid-run | conversion drift | adapting prices to a new buyer mix |
+//! | `arbitrage_probe` | periodic bursts | fixed cadence | lowball probing of narrow sub-queries vs broad buyers |
+
+use qp_market::Broker;
+use qp_qdb::Query;
+use qp_workloads::arrivals::ArrivalProcess;
+
+use crate::engine::{self, SimConfig};
+use crate::metrics::SimReport;
+use crate::population::{BudgetModel, BuyerSegment, Population};
+use crate::repricing::{EveryNTicks, Never, OnConversionDrift, RepricingPolicy};
+
+/// A declarative repricing-policy choice (the trait objects themselves are
+/// stateful, so scenarios carry the recipe and build a fresh policy per run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Keep the initial pricing for the whole run.
+    Never,
+    /// Reprice on a fixed cadence.
+    EveryNTicks {
+        /// Cadence in ticks.
+        every: u64,
+    },
+    /// Reprice when conversion drifts off-target.
+    OnConversionDrift {
+        /// Target conversion rate.
+        target: f64,
+        /// Allowed drift before repricing.
+        tolerance: f64,
+        /// Minimum quotes before drift is trusted.
+        min_quotes: usize,
+    },
+}
+
+impl PolicyKind {
+    /// Builds a fresh policy instance.
+    pub fn build(&self) -> Box<dyn RepricingPolicy> {
+        match self {
+            PolicyKind::Never => Box::new(Never),
+            PolicyKind::EveryNTicks { every } => Box::new(EveryNTicks { every: *every }),
+            PolicyKind::OnConversionDrift {
+                target,
+                tolerance,
+                min_quotes,
+            } => Box::new(OnConversionDrift::new(*target, *tolerance, *min_quotes)),
+        }
+    }
+}
+
+/// A named, fully-specified market situation, runnable against any broker
+/// priced for the same query pool.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable, used in reports and `BENCH_sim.json`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Population phases: `(from_tick, population)`, first phase at tick 0.
+    pub schedule: Vec<(u64, Population)>,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// The repricing-policy recipe.
+    pub policy: PolicyKind,
+    /// Simulation horizon in ticks.
+    pub ticks: u64,
+}
+
+impl Scenario {
+    /// Runs the scenario against `broker`. The config's tick count is
+    /// overridden by the scenario's horizon; seed, workers, and repricing
+    /// algorithm come from `cfg`.
+    pub fn run(&self, broker: &Broker, cfg: &SimConfig) -> SimReport {
+        let mut policy = self.policy.build();
+        let cfg = SimConfig {
+            ticks: self.ticks,
+            ..cfg.clone()
+        };
+        let mut report = engine::run(
+            broker,
+            &self.schedule,
+            &self.arrivals,
+            policy.as_mut(),
+            &cfg,
+        );
+        report.scenario = self.name.to_string();
+        report
+    }
+}
+
+/// Instantiates the four standard scenarios over a query pool, with a
+/// `ticks`-tick horizon each.
+///
+/// Panics if the pool is empty.
+pub fn library(queries: &[Query], ticks: u64) -> Vec<Scenario> {
+    assert!(
+        !queries.is_empty(),
+        "the scenario library needs a query pool"
+    );
+    let pool: Vec<Query> = queries.to_vec();
+    // The probe pool: the front of the workload, which for the paper's
+    // generators is where the narrow template expansions live.
+    let narrow: Vec<Query> = queries[..queries.len().div_ceil(4)].to_vec();
+    let mid = ticks / 2;
+
+    vec![
+        Scenario {
+            name: "steady_state",
+            description: "constant traffic, fixed pricing: the baseline revenue accrual",
+            schedule: vec![(
+                0,
+                Population::new(vec![
+                    BuyerSegment::new(
+                        "regulars",
+                        pool.clone(),
+                        BudgetModel::Uniform { lo: 2.0, hi: 35.0 },
+                    ),
+                    BuyerSegment::new(
+                        "premium",
+                        pool.clone(),
+                        BudgetModel::Normal {
+                            mean: 60.0,
+                            variance: 100.0,
+                        },
+                    )
+                    .weight(0.35)
+                    .skew(1.2),
+                ]),
+            )],
+            arrivals: ArrivalProcess::Poisson { rate: 5.0 },
+            policy: PolicyKind::Never,
+            ticks,
+        },
+        Scenario {
+            name: "flash_crowd",
+            description: "a viral traffic spike mid-run, repriced on a fixed cadence",
+            schedule: vec![(
+                0,
+                Population::new(vec![
+                    BuyerSegment::new(
+                        "regulars",
+                        pool.clone(),
+                        BudgetModel::Uniform { lo: 2.0, hi: 40.0 },
+                    ),
+                    BuyerSegment::new(
+                        "rubberneckers",
+                        pool.clone(),
+                        BudgetModel::Exponential { mean: 8.0 },
+                    )
+                    .weight(0.8)
+                    .skew(1.5),
+                ]),
+            )],
+            arrivals: ArrivalProcess::FlashCrowd {
+                base_rate: 2.0,
+                peak_rate: 16.0,
+                start: ticks / 3,
+                duration: (ticks / 4).max(1),
+            },
+            policy: PolicyKind::EveryNTicks { every: 5 },
+            ticks,
+        },
+        Scenario {
+            name: "shifting_demand",
+            description: "the buyer mix swaps from enterprise to long-tail mid-run; \
+                          conversion drift triggers repricing on the demand actually seen",
+            schedule: vec![
+                (
+                    0,
+                    Population::new(vec![BuyerSegment::new(
+                        "enterprise",
+                        pool.clone(),
+                        BudgetModel::Normal {
+                            mean: 70.0,
+                            variance: 225.0,
+                        },
+                    )]),
+                ),
+                (
+                    mid,
+                    Population::new(vec![BuyerSegment::new(
+                        "long-tail",
+                        pool.clone(),
+                        BudgetModel::Exponential { mean: 6.0 },
+                    )
+                    .skew(1.5)]),
+                ),
+            ],
+            arrivals: ArrivalProcess::Poisson { rate: 6.0 },
+            policy: PolicyKind::OnConversionDrift {
+                target: 0.6,
+                tolerance: 0.25,
+                min_quotes: 30,
+            },
+            ticks,
+        },
+        Scenario {
+            name: "arbitrage_probe",
+            description: "lowball probers hammer narrow sub-queries in bursts while a few \
+                          whales buy broad bundles — the traffic shape arbitrage-free \
+                          pricing must survive",
+            schedule: vec![(
+                0,
+                Population::new(vec![
+                    BuyerSegment::new("probers", narrow, BudgetModel::Exponential { mean: 3.0 })
+                        .weight(0.7)
+                        .skew(2.0),
+                    BuyerSegment::new(
+                        "whales",
+                        pool,
+                        BudgetModel::Normal {
+                            mean: 90.0,
+                            variance: 400.0,
+                        },
+                    )
+                    .weight(0.3),
+                ]),
+            )],
+            arrivals: ArrivalProcess::Bursty {
+                base_rate: 3.0,
+                burst_every: 8,
+                burst_rate: 12.0,
+            },
+            policy: PolicyKind::EveryNTicks { every: 8 },
+            ticks,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<Query> {
+        (0..n).map(|i| Query::scan(format!("T{i}"))).collect()
+    }
+
+    #[test]
+    fn library_covers_four_scenarios_and_three_policies() {
+        let lib = library(&pool(20), 40);
+        let names: Vec<&str> = lib.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "steady_state",
+                "flash_crowd",
+                "shifting_demand",
+                "arbitrage_probe"
+            ]
+        );
+        assert!(lib.iter().any(|s| s.policy == PolicyKind::Never));
+        assert!(lib
+            .iter()
+            .any(|s| matches!(s.policy, PolicyKind::EveryNTicks { .. })));
+        assert!(lib
+            .iter()
+            .any(|s| matches!(s.policy, PolicyKind::OnConversionDrift { .. })));
+        for s in &lib {
+            assert_eq!(s.ticks, 40);
+            assert_eq!(s.schedule[0].0, 0);
+            assert!(!s.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn shifting_demand_has_two_phases() {
+        let lib = library(&pool(8), 30);
+        let shifting = lib.iter().find(|s| s.name == "shifting_demand").unwrap();
+        assert_eq!(shifting.schedule.len(), 2);
+        assert_eq!(shifting.schedule[1].0, 15);
+    }
+
+    #[test]
+    fn arbitrage_probers_draw_from_the_front_of_the_pool() {
+        let lib = library(&pool(40), 30);
+        let probe = lib.iter().find(|s| s.name == "arbitrage_probe").unwrap();
+        let probers = &probe.schedule[0].1.segments()[0];
+        assert_eq!(probers.name, "probers");
+        assert_eq!(probers.queries.len(), 10);
+        assert!(probers.query_skew.is_some());
+    }
+
+    #[test]
+    fn policy_recipes_build_fresh_instances() {
+        assert_eq!(PolicyKind::Never.build().label(), "never");
+        assert!(PolicyKind::EveryNTicks { every: 4 }
+            .build()
+            .label()
+            .contains('4'));
+        assert!(PolicyKind::OnConversionDrift {
+            target: 0.5,
+            tolerance: 0.1,
+            min_quotes: 10
+        }
+        .build()
+        .label()
+        .contains("drift"));
+    }
+
+    #[test]
+    #[should_panic(expected = "query pool")]
+    fn empty_pools_are_rejected() {
+        library(&[], 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end simulator guarantees over the paper's world workload:
+//!
+//! * **Same-seed determinism** — two runs with the same seed (on
+//!   identically-built brokers) report bit-identical revenue, and the
+//!   worker-thread count changes throughput only, never revenue.
+//! * **No torn reads** — while the simulator hot-swaps pricing every tick,
+//!   an outside thread hammering `Broker::quote` only ever observes prices
+//!   belonging to *some* installed pricing (at most one new price per
+//!   repricing), never a mix of two.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use qp_market::{Broker, SupportConfig};
+use qp_qdb::Query;
+use qp_sim::{library, EveryNTicks, Population, SimConfig};
+use qp_workloads::arrivals::ArrivalProcess;
+use qp_workloads::queries::skewed;
+use qp_workloads::world::{self, WorldConfig};
+use qp_workloads::Scale;
+
+/// A deterministic broker over the world dataset, priced with UBP for a
+/// slice of the skewed workload. Everything is seeded, so two calls build
+/// byte-for-byte identical brokers.
+fn broker_and_pool() -> (Broker, Vec<Query>) {
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let pool: Vec<Query> = skewed::workload(&db, cfg.countries).queries[..40].to_vec();
+    let broker = Broker::builder(db)
+        .support_config(SupportConfig::with_size(100))
+        .algorithm("UBP")
+        .anticipate_all(
+            pool.iter()
+                .enumerate()
+                .map(|(i, q)| (q.clone(), 5.0 + (i % 7) as f64 * 6.0)),
+        )
+        .build()
+        .expect("UBP is registered");
+    (broker, pool)
+}
+
+#[test]
+fn same_seed_runs_report_identical_revenue() {
+    let scenario_of = |pool: &[Query]| {
+        library(pool, 16)
+            .into_iter()
+            .find(|s| s.name == "flash_crowd")
+            .expect("flash_crowd is in the library")
+    };
+    let cfg = SimConfig {
+        seed: 77,
+        ..SimConfig::default()
+    };
+
+    let (broker_a, pool_a) = broker_and_pool();
+    let a = scenario_of(&pool_a).run(&broker_a, &cfg);
+    let (broker_b, pool_b) = broker_and_pool();
+    let b = scenario_of(&pool_b).run(&broker_b, &cfg);
+
+    // Bit-identical totals and tick series — not merely approximately equal.
+    assert_eq!(a.total_revenue().to_bits(), b.total_revenue().to_bits());
+    assert_eq!(a.ticks.len(), b.ticks.len());
+    for (ta, tb) in a.ticks.iter().zip(&b.ticks) {
+        assert_eq!(ta.arrivals, tb.arrivals);
+        assert_eq!(ta.sold, tb.sold);
+        assert_eq!(ta.declined, tb.declined);
+        assert_eq!(ta.revenue.to_bits(), tb.revenue.to_bits());
+    }
+    assert_eq!(
+        a.repricings.iter().map(|r| r.tick).collect::<Vec<_>>(),
+        b.repricings.iter().map(|r| r.tick).collect::<Vec<_>>()
+    );
+
+    // A different seed takes a different trajectory.
+    let (broker_c, pool_c) = broker_and_pool();
+    let c = scenario_of(&pool_c).run(
+        &broker_c,
+        &SimConfig {
+            seed: 78,
+            ..SimConfig::default()
+        },
+    );
+    assert_ne!(a.total_revenue().to_bits(), c.total_revenue().to_bits());
+}
+
+#[test]
+fn worker_count_changes_throughput_not_revenue() {
+    let run_with = |workers: usize| {
+        let (broker, pool) = broker_and_pool();
+        let scenario = library(&pool, 12)
+            .into_iter()
+            .find(|s| s.name == "shifting_demand")
+            .expect("shifting_demand is in the library");
+        scenario.run(
+            &broker,
+            &SimConfig {
+                seed: 5,
+                workers,
+                ..SimConfig::default()
+            },
+        )
+    };
+    let serial = run_with(1);
+    let threaded = run_with(4);
+    assert!(serial.quotes() > 0, "the scenario generated traffic");
+    assert_eq!(
+        serial.total_revenue().to_bits(),
+        threaded.total_revenue().to_bits()
+    );
+    assert_eq!(serial.sales(), threaded.sales());
+    assert_eq!(serial.declines(), threaded.declines());
+}
+
+#[test]
+fn repricing_under_concurrent_quotes_has_no_torn_reads() {
+    let (broker, pool) = broker_and_pool();
+    // A probe query with a non-empty conflict set: its price under any
+    // installed pricing is a single well-defined number.
+    let probe = pool
+        .iter()
+        .find(|q| !broker.conflict_set(q).is_empty())
+        .expect("some workload query has a non-empty conflict set")
+        .clone();
+
+    let population = Population::new(vec![qp_sim::BuyerSegment::new(
+        "all",
+        pool.clone(),
+        qp_sim::BudgetModel::Uniform { lo: 0.0, hi: 50.0 },
+    )]);
+    let cfg = SimConfig {
+        ticks: 12,
+        seed: 9,
+        workers: 2,
+        ..SimConfig::default()
+    };
+
+    let done = AtomicBool::new(false);
+    let (report, observed) = std::thread::scope(|scope| {
+        let sim = scope.spawn(|| {
+            // Repricing after *every* tick maximizes swap/quote overlap.
+            let mut policy = EveryNTicks { every: 1 };
+            let report = qp_sim::run(
+                &broker,
+                &[(0, population)],
+                &ArrivalProcess::Poisson { rate: 6.0 },
+                &mut policy,
+                &cfg,
+            );
+            done.store(true, Ordering::Relaxed);
+            report
+        });
+        let checker = scope.spawn(|| {
+            let mut prices = Vec::new();
+            while !done.load(Ordering::Relaxed) {
+                prices.push(broker.quote(&probe).price);
+            }
+            prices
+        });
+        (
+            sim.join().expect("simulation must not panic"),
+            checker.join().expect("checker must not panic"),
+        )
+    });
+
+    assert!(!report.repricings.is_empty(), "the sim repriced live");
+    assert!(!observed.is_empty(), "the checker overlapped the run");
+    for &p in &observed {
+        assert!(p.is_finite() && p >= 0.0, "torn or corrupt quote {p}");
+    }
+    // Every installed pricing gives the probe exactly one price, so the
+    // checker can have seen at most one distinct price per pricing ever
+    // installed: the initial one plus one per repricing. A torn read would
+    // show up as an extra distinct value.
+    let mut distinct: Vec<u64> = observed.iter().map(|p| p.to_bits()).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        distinct.len() <= report.repricings.len() + 1,
+        "{} distinct prices from {} repricings: some quote matched no installed pricing",
+        distinct.len(),
+        report.repricings.len()
+    );
+}

@@ -1,0 +1,237 @@
+//! Buyer arrival processes for traffic simulation.
+//!
+//! The paper evaluates pricing on static hypergraph instances; driving a live
+//! broker requires a model of *when* buyers show up. This module provides the
+//! three traffic shapes the `qp-sim` scenario library is built from, all
+//! tick-based and fully deterministic in the caller's RNG:
+//!
+//! * [`ArrivalProcess::Poisson`] — a memoryless stream at a constant mean
+//!   rate, sampled per tick by accumulating exponential inter-arrival times
+//!   (the classical construction: the count of renewals in a unit interval).
+//! * [`ArrivalProcess::Bursty`] — a Poisson base stream punctuated by
+//!   periodic high-rate ticks (batch jobs, market opens).
+//! * [`ArrivalProcess::FlashCrowd`] — a base stream with one contiguous
+//!   high-rate window (a viral link, a data release).
+
+use rand::Rng;
+
+use crate::dist;
+
+/// A tick-based buyer arrival process.
+///
+/// Every variant reduces to "a Poisson draw at [`ArrivalProcess::rate_at`]
+/// for the current tick", so the shapes differ only in how the mean rate
+/// moves over time — which keeps scenario comparisons apples-to-apples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// A constant mean of `rate` arrivals per tick.
+    Poisson {
+        /// Mean arrivals per tick (may be fractional).
+        rate: f64,
+    },
+    /// `base_rate` arrivals per tick, except every `burst_every`-th tick
+    /// (ticks `0, burst_every, 2·burst_every, …`) which runs at `burst_rate`.
+    Bursty {
+        /// Mean arrivals on ordinary ticks.
+        base_rate: f64,
+        /// Burst period in ticks (0 disables bursts).
+        burst_every: u64,
+        /// Mean arrivals on burst ticks.
+        burst_rate: f64,
+    },
+    /// `base_rate` arrivals per tick, except the window
+    /// `start..start + duration` which runs at `peak_rate`.
+    FlashCrowd {
+        /// Mean arrivals outside the crowd window.
+        base_rate: f64,
+        /// Mean arrivals inside the crowd window.
+        peak_rate: f64,
+        /// First tick of the crowd.
+        start: u64,
+        /// Length of the crowd in ticks.
+        duration: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short label used in simulation reports.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson { rate } => format!("poisson({rate}/tick)"),
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_every,
+                burst_rate,
+            } => format!("bursty({base_rate}/tick, {burst_rate} every {burst_every})"),
+            ArrivalProcess::FlashCrowd {
+                base_rate,
+                peak_rate,
+                start,
+                duration,
+            } => format!("flash-crowd({base_rate}→{peak_rate} @ {start}+{duration})"),
+        }
+    }
+
+    /// The mean arrival rate at `tick`.
+    pub fn rate_at(&self, tick: u64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_every,
+                burst_rate,
+            } => {
+                if *burst_every > 0 && tick.is_multiple_of(*burst_every) {
+                    *burst_rate
+                } else {
+                    *base_rate
+                }
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rate,
+                peak_rate,
+                start,
+                duration,
+            } => {
+                if tick >= *start && tick < start.saturating_add(*duration) {
+                    *peak_rate
+                } else {
+                    *base_rate
+                }
+            }
+        }
+    }
+
+    /// Samples the number of buyers arriving during `tick`: a Poisson draw
+    /// with mean [`ArrivalProcess::rate_at`], realized as the number of
+    /// exponential inter-arrival gaps that fit in the unit tick interval.
+    pub fn arrivals_at<R: Rng + ?Sized>(&self, tick: u64, rng: &mut R) -> usize {
+        poisson_count(rng, self.rate_at(tick))
+    }
+}
+
+/// Counts renewals of an exponential(mean `1/rate`) inter-arrival clock
+/// within one unit of time — a Poisson(`rate`) variate.
+fn poisson_count<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> usize {
+    if rate <= 0.0 || !rate.is_finite() {
+        return 0;
+    }
+    let mean_gap = 1.0 / rate;
+    let mut elapsed = dist::exponential(rng, mean_gap);
+    let mut count = 0usize;
+    while elapsed < 1.0 {
+        count += 1;
+        elapsed += dist::exponential(rng, mean_gap);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_arrivals(p: &ArrivalProcess, tick: u64, draws: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..draws)
+            .map(|_| p.arrivals_at(tick, &mut rng) as f64)
+            .sum::<f64>()
+            / draws as f64
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        for rate in [0.5, 3.0, 12.0] {
+            let p = ArrivalProcess::Poisson { rate };
+            let mean = mean_arrivals(&p, 0, 20_000);
+            assert!(
+                (mean - rate).abs() < 0.15 * rate.max(1.0),
+                "rate {rate}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_rates_produce_no_arrivals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::Poisson { rate: 0.0 };
+        assert!((0..100).all(|t| p.arrivals_at(t, &mut rng) == 0));
+        let n = ArrivalProcess::Poisson { rate: -2.0 };
+        assert!((0..100).all(|t| n.arrivals_at(t, &mut rng) == 0));
+    }
+
+    #[test]
+    fn bursty_rate_spikes_on_the_period() {
+        let p = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_every: 5,
+            burst_rate: 20.0,
+        };
+        assert_eq!(p.rate_at(0), 20.0);
+        assert_eq!(p.rate_at(1), 2.0);
+        assert_eq!(p.rate_at(5), 20.0);
+        assert_eq!(p.rate_at(7), 2.0);
+        // A zero period disables bursts entirely.
+        let q = ArrivalProcess::Bursty {
+            base_rate: 2.0,
+            burst_every: 0,
+            burst_rate: 20.0,
+        };
+        assert!((0..20).all(|t| q.rate_at(t) == 2.0));
+    }
+
+    #[test]
+    fn flash_crowd_window_is_half_open() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_rate: 1.0,
+            peak_rate: 15.0,
+            start: 10,
+            duration: 5,
+        };
+        assert_eq!(p.rate_at(9), 1.0);
+        assert_eq!(p.rate_at(10), 15.0);
+        assert_eq!(p.rate_at(14), 15.0);
+        assert_eq!(p.rate_at(15), 1.0);
+        // The crowd raises the realized arrival mean, not just the rate.
+        assert!(mean_arrivals(&p, 12, 4000) > 3.0 * mean_arrivals(&p, 0, 4000).max(0.5));
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_in_the_rng_seed() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_rate: 3.0,
+            peak_rate: 9.0,
+            start: 4,
+            duration: 3,
+        };
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|t| p.arrivals_at(t, &mut rng)).collect()
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+
+    #[test]
+    fn labels_name_the_shape() {
+        assert!(ArrivalProcess::Poisson { rate: 4.0 }
+            .label()
+            .contains("poisson"));
+        assert!(ArrivalProcess::Bursty {
+            base_rate: 1.0,
+            burst_every: 3,
+            burst_rate: 9.0
+        }
+        .label()
+        .contains("bursty"));
+        assert!(ArrivalProcess::FlashCrowd {
+            base_rate: 1.0,
+            peak_rate: 9.0,
+            start: 2,
+            duration: 4
+        }
+        .label()
+        .contains("flash"));
+    }
+}

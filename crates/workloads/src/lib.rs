@@ -21,7 +21,11 @@
 //! * **Distributions** ([`dist`]) — the Zipf / Normal / Exponential /
 //!   Binomial samplers the valuation models need, implemented on top of
 //!   `rand` so no extra dependency is required.
+//! * **Arrival processes** ([`arrivals`]) — tick-based Poisson / bursty /
+//!   flash-crowd traffic shapes that turn these static workloads into the
+//!   time-varying buyer streams the `qp-sim` market simulator replays.
 
+pub mod arrivals;
 pub mod dist;
 pub mod queries;
 pub mod ssb;

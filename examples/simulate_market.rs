@@ -1,0 +1,85 @@
+//! A live data market under a flash crowd.
+//!
+//! ```bash
+//! cargo run --release --example simulate_market
+//! ```
+//!
+//! Builds a broker over the `world` dataset, priced with UIP for a slice of
+//! the paper's skewed workload, then replays the `flash_crowd` scenario from
+//! the `qp-sim` library: Poisson background traffic, a burst of
+//! rubberneckers mid-run, and a repricing policy that re-runs the algorithm
+//! on observed demand every five ticks while buyers keep quoting from
+//! worker threads. Prints the revenue-over-time table the simulator's
+//! `BENCH_sim.json` artifact is built from.
+
+use query_pricing::market::{Broker, SupportConfig};
+use query_pricing::sim::{library, SimConfig};
+use query_pricing::workloads::queries::skewed;
+use query_pricing::workloads::world::{self, WorldConfig};
+use query_pricing::workloads::Scale;
+
+fn main() {
+    // The seller's dataset and the anticipated buyer queries.
+    let cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&cfg);
+    let pool = skewed::workload(&db, cfg.countries).queries[..80].to_vec();
+    println!(
+        "world dataset: {} tables, {} tuples; {} anticipated queries",
+        db.num_tables(),
+        db.total_rows(),
+        pool.len()
+    );
+
+    let broker = Broker::builder(db)
+        .support_config(SupportConfig::with_size(120))
+        .algorithm("UIP")
+        .anticipate_all(
+            pool.iter()
+                .enumerate()
+                .map(|(i, q)| (q.clone(), 10.0 + (i % 9) as f64 * 5.0)),
+        )
+        .build()
+        .expect("UIP is a registered algorithm");
+
+    // The flash-crowd scenario: traffic spikes mid-run, pricing follows.
+    let scenario = library(&pool, 30)
+        .into_iter()
+        .find(|s| s.name == "flash_crowd")
+        .expect("flash_crowd is in the scenario library");
+    println!("scenario: {} — {}\n", scenario.name, scenario.description);
+
+    let report = scenario.run(
+        &broker,
+        &SimConfig {
+            seed: 7,
+            algorithm: "UIP".to_string(),
+            ..SimConfig::default()
+        },
+    );
+
+    println!("tick  arrivals  sold  declined   revenue   cumulative");
+    let cumulative = report.cumulative_revenue();
+    for (t, cum) in report.ticks.iter().zip(&cumulative) {
+        let repriced = if report.repricings.iter().any(|r| r.tick == t.tick) {
+            "  <- repriced"
+        } else {
+            ""
+        };
+        println!(
+            "{:>4}  {:>8}  {:>4}  {:>8}  {:>8.2}  {:>10.2}{repriced}",
+            t.tick, t.arrivals, t.sold, t.declined, t.revenue, cum
+        );
+    }
+    println!("\n{}", report.summary());
+
+    // The broker's ledger saw the same story, tick-stamped.
+    let ledger = broker.ledger();
+    println!(
+        "ledger: {} sales totalling {:.2}, {} declines leaving {:.2} on the table, conversion {:.1}%",
+        ledger.len(),
+        ledger.total(),
+        ledger.declined_count(),
+        ledger.declined_total(),
+        100.0 * ledger.conversion_rate().unwrap_or(0.0)
+    );
+}

@@ -19,7 +19,13 @@
 //!   engine (assembled with [`market::BrokerBuilder`], re-priceable under
 //!   live read traffic, batch quoting, per-sale revenue ledger).
 //! * [`workloads`] — dataset generators (world, TPC-H, SSB), the four query
-//!   workloads of the paper, and buyer-valuation models.
+//!   workloads of the paper, buyer-valuation models, and buyer arrival
+//!   processes.
+//! * [`sim`] — the discrete-event market simulator: buyer populations,
+//!   tick-based arrivals, concurrent quote-and-settle against a live
+//!   broker, pluggable live-repricing policies, and the four-scenario
+//!   library (`steady_state`, `flash_crowd`, `shifting_demand`,
+//!   `arbitrage_probe`).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +66,7 @@ pub use qp_market as market;
 pub use qp_pricing as pricing;
 pub use qp_pricing::algorithms::PricingAlgorithm;
 pub use qp_qdb as qdb;
+pub use qp_sim as sim;
 pub use qp_workloads as workloads;
 
 /// Version of the library (mirrors the crate version).
