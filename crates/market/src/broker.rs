@@ -21,7 +21,7 @@
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use qp_core::ItemSet;
-use qp_pricing::algorithms::{self, CipConfig, LpipConfig};
+use qp_pricing::algorithms::{self, CipConfig, LpipConfig, PricingPatch};
 use qp_pricing::{BundlePricing, Hypergraph, Pricing};
 use qp_qdb::{Database, QdbError, Query, Relation};
 
@@ -337,6 +337,25 @@ impl Broker {
     /// new one.
     pub fn set_pricing(&self, pricing: Pricing) {
         *self.pricing.write() = pricing;
+    }
+
+    /// Patches the installed pricing **in place** under the same write lock
+    /// as [`Broker::set_pricing`] — the incremental-repricing hot path.
+    ///
+    /// Where a full repricing constructs a fresh [`Pricing`] and swaps it,
+    /// an incremental repricer (see [`qp_pricing::algorithms::Repricer`])
+    /// usually changes one float (UBP's uniform price, UIP's uniform
+    /// weight); this applies that change directly to the installed value,
+    /// reusing its allocation where shapes line up. The lock discipline is
+    /// identical to `set_pricing`: in-flight quotes that already hold the
+    /// read lock finish against the old pricing, quotes that start after
+    /// the patch see the new one, and workers keep quoting throughout —
+    /// `PricingPatch::Keep` never takes the write lock at all.
+    pub fn apply_delta(&self, patch: &PricingPatch) {
+        if matches!(patch, PricingPatch::Keep) {
+            return;
+        }
+        patch.apply(&mut self.pricing.write());
     }
 
     /// Read access to the currently installed pricing function.
@@ -699,6 +718,34 @@ mod tests {
             (final_price - edge).abs() < 1e-9 || (final_price - 2.0 * edge).abs() < 1e-9,
             "final quote {final_price} matches neither installed pricing"
         );
+    }
+
+    #[test]
+    fn apply_delta_patches_the_live_pricing_in_place() {
+        let broker = priced_broker();
+        let q = &buyer_queries()[1];
+        let n = broker.support().len();
+        broker.set_pricing(Pricing::UniformBundle { price: 4.0 });
+        assert_eq!(broker.quote(q).price, 4.0);
+
+        // The UBP one-float patch lands under the write lock.
+        broker.apply_delta(&PricingPatch::SetUniformPrice(9.0));
+        assert_eq!(broker.quote(q).price, 9.0);
+
+        // Keep is a no-op (and never takes the lock).
+        broker.apply_delta(&PricingPatch::Keep);
+        assert_eq!(broker.quote(q).price, 9.0);
+
+        // A shape-changing patch replaces the pricing wholesale.
+        broker.apply_delta(&PricingPatch::SetUniformWeight {
+            weight: 2.0,
+            num_items: n,
+        });
+        let edge = broker.conflict_set(q).len() as f64;
+        assert!((broker.quote(q).price - 2.0 * edge).abs() < 1e-9);
+
+        broker.apply_delta(&PricingPatch::Replace(Pricing::zero_items(n)));
+        assert_eq!(broker.quote(q).price, 0.0);
     }
 
     #[test]

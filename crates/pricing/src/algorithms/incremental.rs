@@ -1,0 +1,805 @@
+//! Incremental repricing: patch a pricing in place as demand changes.
+//!
+//! The paper's algorithms assume a static demand hypergraph; a live market
+//! learns demand from buyer interactions (the online setting of *Pricing
+//! Queries (Approximately) Optimally*), so repricing is a hot path. This
+//! module is the `RepriceIncremental` capability: algorithms whose optimum
+//! has a cheap update rule expose an [`IncrementalRepricer`] through
+//! [`super::PricingAlgorithm::reprice_incremental`], and the [`Repricer`]
+//! driver transparently falls back to a full recompute for the rest.
+//!
+//! Cheap update rules implemented here:
+//!
+//! * **UBP** ([`UbpIncremental`], exact) — the optimal uniform bundle price
+//!   depends only on the multiset of valuations. A sorted run-length
+//!   multiset (contiguous `Vec`, keyed by the valuation's IEEE-754 bits,
+//!   which order identically to the non-negative floats themselves)
+//!   absorbs each delta as one O(m + |delta| log |delta|) three-way merge;
+//!   the optimum is re-read with one cache-friendly descending scan over
+//!   the *distinct* values — no hypergraph rebuild, no O(m log m) re-sort.
+//! * **UIP** ([`UipIncremental`], exact) — same shape over the candidate
+//!   rates `v_e / |e|`, aggregating bundle sizes per distinct rate.
+//! * **XOS** ([`XosIncremental`], *not* exact) — re-fitting the LPIP/CIP
+//!   components means re-running LPs, so the incremental rule keeps the
+//!   fitted envelope and re-evaluates its revenue on the updated demand,
+//!   re-fitting the components (a full LP recompute) once the absorbed
+//!   churn exceeds [`XosIncremental::with_refit_after`]'s fraction of the edge count.
+//!
+//! "Exact" means the incrementally-maintained pricing is **identical** to
+//! what a from-scratch run on the updated hypergraph would return — the
+//! differential oracle suite (`tests/differential_delta.rs`) asserts exact
+//! equality after every random delta. Both exact rules re-read revenue
+//! through [`crate::revenue::revenue`] on the maintained graph, so the
+//! reported revenue is bit-identical to the full run's too.
+
+use crate::algorithms::{xos_pricing, CipConfig, LpipConfig, PricingAlgorithm};
+use crate::{revenue, AppliedOp, Hypergraph, Pricing, PricingOutcome};
+
+/// The minimal change a repricing made to the installed [`Pricing`] — what a
+/// broker applies under its write lock instead of swapping a whole pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingPatch {
+    /// Nothing changed (e.g. the XOS envelope is reused as-is).
+    Keep,
+    /// Install this pricing wholesale (the full-recompute fallback).
+    Replace(Pricing),
+    /// Set the uniform bundle price (UBP's one-float patch).
+    SetUniformPrice(f64),
+    /// Set every item weight to one value (UIP's in-place patch; replaces
+    /// the pricing if the installed one is not an item pricing over
+    /// `num_items` items).
+    SetUniformWeight {
+        /// The uniform per-item weight.
+        weight: f64,
+        /// Number of items the weight vector covers.
+        num_items: usize,
+    },
+}
+
+impl PricingPatch {
+    /// Applies the patch to an installed pricing, reusing its allocation
+    /// where the shapes line up.
+    pub fn apply(&self, pricing: &mut Pricing) {
+        match self {
+            PricingPatch::Keep => {}
+            PricingPatch::Replace(p) => *pricing = p.clone(),
+            PricingPatch::SetUniformPrice(p) => match pricing {
+                Pricing::UniformBundle { price } => *price = *p,
+                other => *other = Pricing::UniformBundle { price: *p },
+            },
+            PricingPatch::SetUniformWeight { weight, num_items } => match pricing {
+                Pricing::Item { weights } if weights.len() == *num_items => {
+                    weights.iter_mut().for_each(|w| *w = *weight);
+                }
+                other => {
+                    *other = Pricing::Item {
+                        weights: vec![*weight; *num_items],
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The incremental-repricing capability: stateful mirror of one algorithm's
+/// optimum that absorbs [`AppliedOp`] logs instead of re-reading the whole
+/// hypergraph.
+///
+/// Protocol: [`IncrementalRepricer::prime`] once on a full hypergraph, then
+/// [`IncrementalRepricer::apply`] after every [`Hypergraph::apply_delta`]
+/// with the ops that call returned. `apply` sees the hypergraph **after**
+/// the delta landed.
+pub trait IncrementalRepricer: Send {
+    /// The underlying algorithm's registry name.
+    fn algorithm(&self) -> &'static str;
+
+    /// Whether [`IncrementalRepricer::apply`] is guaranteed to return
+    /// exactly what a from-scratch run on the updated hypergraph would.
+    fn exact(&self) -> bool;
+
+    /// (Re)builds the internal state from a full hypergraph and returns the
+    /// initial outcome (equivalent to the full algorithm run).
+    fn prime(&mut self, h: &Hypergraph) -> PricingOutcome;
+
+    /// Absorbs the ops of one applied delta and returns the patched outcome
+    /// plus the minimal [`PricingPatch`] a broker needs to install it.
+    fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch);
+}
+
+/// Orderable key for a non-negative (possibly +∞) valuation: for IEEE-754
+/// floats in `[+0, +∞]` the bit patterns order exactly like the values.
+/// `-0.0` (which passes the `v ≥ 0` asserts) is normalized to `+0.0` first.
+fn key(v: f64) -> u64 {
+    (v + 0.0).to_bits()
+}
+
+/// Merges a sorted run-length multiset with a batch of insertions and
+/// removals (each carrying a per-key payload accumulated by `Acc`) into a
+/// fresh sorted run-length multiset in one three-way linear walk.
+///
+/// `base` entries are `(key, accumulated)`, `ins`/`rem` are sorted
+/// `(key, payload)` pairs. Panics if a removal exceeds what the base plus
+/// the batch's own insertions hold — that is a state-desync bug, never a
+/// recoverable condition.
+fn merge_counts<A: Acc>(
+    base: &[(u64, A)],
+    ins: &[(u64, A::Item)],
+    rem: &[(u64, A::Item)],
+) -> Vec<(u64, A)> {
+    let mut out = Vec::with_capacity(base.len() + ins.len());
+    let (mut b, mut i, mut r) = (0usize, 0usize, 0usize);
+    loop {
+        let mut k = u64::MAX;
+        let mut any = false;
+        if b < base.len() {
+            k = k.min(base[b].0);
+            any = true;
+        }
+        if i < ins.len() {
+            k = k.min(ins[i].0);
+            any = true;
+        }
+        if r < rem.len() {
+            k = k.min(rem[r].0);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        let mut acc = A::default();
+        if b < base.len() && base[b].0 == k {
+            acc.merge(&base[b].1);
+            b += 1;
+        }
+        while i < ins.len() && ins[i].0 == k {
+            acc.add(&ins[i].1);
+            i += 1;
+        }
+        while r < rem.len() && rem[r].0 == k {
+            acc.sub(&rem[r].1);
+            r += 1;
+        }
+        if !acc.is_zero() {
+            out.push((k, acc));
+        }
+    }
+    out
+}
+
+/// Per-key payload accumulated by [`merge_counts`].
+trait Acc: Default {
+    /// The per-element payload carried by an insertion or removal.
+    type Item;
+    fn merge(&mut self, other: &Self);
+    fn add(&mut self, item: &Self::Item);
+    /// Panics when removing more than is tracked (state desync).
+    fn sub(&mut self, item: &Self::Item);
+    fn is_zero(&self) -> bool;
+}
+
+/// UBP payload: the multiplicity of one distinct valuation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Count(usize);
+
+impl Acc for Count {
+    type Item = ();
+    fn merge(&mut self, other: &Count) {
+        self.0 += other.0;
+    }
+    fn add(&mut self, _: &()) {
+        self.0 += 1;
+    }
+    fn sub(&mut self, _: &()) {
+        assert!(
+            self.0 > 0,
+            "incremental repricer out of sync: removing an untracked valuation"
+        );
+        self.0 -= 1;
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// UBP's incremental rule (see the module docs). Exact.
+#[derive(Debug, Clone, Default)]
+pub struct UbpIncremental {
+    /// Run-length multiset of edge valuations: distinct IEEE-bit keys
+    /// ascending (= numeric ascending) with multiplicities, contiguous so
+    /// the optimum scan streams through cache.
+    vals: Vec<(u64, Count)>,
+}
+
+impl UbpIncremental {
+    /// An unprimed UBP repricer.
+    pub fn new() -> UbpIncremental {
+        UbpIncremental::default()
+    }
+
+    /// Replays the full algorithm's price scan over the distinct valuations,
+    /// descending: the candidate price `v` sells every bundle valued ≥ `v`.
+    /// Tie-breaking matches [`crate::algorithms::uniform_bundle_price`]
+    /// exactly (strict improvement, higher price wins revenue ties).
+    fn best_price(&self) -> f64 {
+        let mut best_price = 0.0;
+        let mut best_rev = 0.0;
+        let mut sold = 0usize;
+        for &(bits, Count(count)) in self.vals.iter().rev() {
+            sold += count;
+            let v = f64::from_bits(bits);
+            let rev = v * sold as f64;
+            if rev > best_rev {
+                best_rev = rev;
+                best_price = v;
+            }
+        }
+        best_price
+    }
+
+    fn outcome(&self, h: &Hypergraph) -> PricingOutcome {
+        let pricing = Pricing::UniformBundle {
+            price: self.best_price(),
+        };
+        let rev = revenue::revenue(h, &pricing);
+        PricingOutcome {
+            algorithm: "UBP",
+            revenue: rev,
+            pricing,
+        }
+    }
+}
+
+impl IncrementalRepricer for UbpIncremental {
+    fn algorithm(&self) -> &'static str {
+        "UBP"
+    }
+
+    fn exact(&self) -> bool {
+        true
+    }
+
+    fn prime(&mut self, h: &Hypergraph) -> PricingOutcome {
+        let mut keys: Vec<u64> = h.edges().iter().map(|e| key(e.valuation)).collect();
+        keys.sort_unstable();
+        self.vals.clear();
+        for k in keys {
+            match self.vals.last_mut() {
+                Some((last, count)) if *last == k => count.0 += 1,
+                _ => self.vals.push((k, Count(1))),
+            }
+        }
+        self.outcome(h)
+    }
+
+    fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
+        let mut ins: Vec<(u64, ())> = Vec::new();
+        let mut rem: Vec<(u64, ())> = Vec::new();
+        for op in ops {
+            match op {
+                AppliedOp::Added { valuation, .. } => ins.push((key(*valuation), ())),
+                AppliedOp::Removed { edge, .. } => rem.push((key(edge.valuation), ())),
+                AppliedOp::Revalued { old, new, .. } => {
+                    rem.push((key(*old), ()));
+                    ins.push((key(*new), ()));
+                }
+            }
+        }
+        ins.sort_unstable_by_key(|e| e.0);
+        rem.sort_unstable_by_key(|e| e.0);
+        self.vals = merge_counts(&self.vals, &ins, &rem);
+
+        let out = self.outcome(h);
+        let Pricing::UniformBundle { price } = out.pricing else {
+            unreachable!("UBP always returns a uniform bundle pricing");
+        };
+        (out, PricingPatch::SetUniformPrice(price))
+    }
+}
+
+/// UIP payload: how many non-empty bundles share one distinct rate, and
+/// the sum of their sizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RateGroup {
+    count: usize,
+    sizes: usize,
+}
+
+impl Acc for RateGroup {
+    type Item = usize; // the bundle size
+    fn merge(&mut self, other: &RateGroup) {
+        self.count += other.count;
+        self.sizes += other.sizes;
+    }
+    fn add(&mut self, size: &usize) {
+        self.count += 1;
+        self.sizes += size;
+    }
+    fn sub(&mut self, size: &usize) {
+        assert!(
+            self.count > 0 && self.sizes >= *size,
+            "incremental repricer out of sync: removing an untracked rate"
+        );
+        self.count -= 1;
+        self.sizes -= size;
+    }
+    fn is_zero(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// The candidate rate of a non-empty bundle, or `None` for empty bundles
+/// (which contribute no candidate — exactly as the full algorithm filters).
+fn rate_key(valuation: f64, size: usize) -> Option<(u64, usize)> {
+    (size > 0).then(|| (key(valuation / size as f64), size))
+}
+
+/// UIP's incremental rule (see the module docs). Exact.
+#[derive(Debug, Clone, Default)]
+pub struct UipIncremental {
+    /// Run-length multiset of distinct rates `v/|e|` (IEEE-bit keys,
+    /// ascending) with counts and summed bundle sizes, contiguous.
+    rates: Vec<(u64, RateGroup)>,
+}
+
+impl UipIncremental {
+    /// An unprimed UIP repricer.
+    pub fn new() -> UipIncremental {
+        UipIncremental::default()
+    }
+
+    /// Replays [`crate::algorithms::uniform_item_price`]'s candidate scan:
+    /// descending rates with cumulative bundle sizes, strict improvement.
+    fn best_weight(&self) -> f64 {
+        let mut best_w = 0.0;
+        let mut best_rev = 0.0;
+        let mut sold_items = 0usize;
+        for &(bits, group) in self.rates.iter().rev() {
+            sold_items += group.sizes;
+            let rate = f64::from_bits(bits);
+            let rev = rate * sold_items as f64;
+            if rev > best_rev {
+                best_rev = rev;
+                best_w = rate;
+            }
+        }
+        best_w
+    }
+
+    fn outcome(&self, h: &Hypergraph) -> (PricingOutcome, f64) {
+        let w = self.best_weight();
+        let pricing = Pricing::Item {
+            weights: vec![w; h.num_items()],
+        };
+        let rev = revenue::revenue(h, &pricing);
+        (
+            PricingOutcome {
+                algorithm: "UIP",
+                revenue: rev,
+                pricing,
+            },
+            w,
+        )
+    }
+}
+
+impl IncrementalRepricer for UipIncremental {
+    fn algorithm(&self) -> &'static str {
+        "UIP"
+    }
+
+    fn exact(&self) -> bool {
+        true
+    }
+
+    fn prime(&mut self, h: &Hypergraph) -> PricingOutcome {
+        let mut keys: Vec<(u64, usize)> = h
+            .edges()
+            .iter()
+            .filter_map(|e| rate_key(e.valuation, e.size()))
+            .collect();
+        keys.sort_unstable_by_key(|e| e.0);
+        self.rates.clear();
+        for (k, size) in keys {
+            match self.rates.last_mut() {
+                Some((last, group)) if *last == k => {
+                    group.count += 1;
+                    group.sizes += size;
+                }
+                _ => self.rates.push((
+                    k,
+                    RateGroup {
+                        count: 1,
+                        sizes: size,
+                    },
+                )),
+            }
+        }
+        self.outcome(h).0
+    }
+
+    fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
+        let mut ins: Vec<(u64, usize)> = Vec::new();
+        let mut rem: Vec<(u64, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                AppliedOp::Added {
+                    valuation, size, ..
+                } => ins.extend(rate_key(*valuation, *size)),
+                AppliedOp::Removed { edge, .. } => {
+                    rem.extend(rate_key(edge.valuation, edge.size()))
+                }
+                AppliedOp::Revalued { size, old, new, .. } => {
+                    rem.extend(rate_key(*old, *size));
+                    ins.extend(rate_key(*new, *size));
+                }
+            }
+        }
+        ins.sort_unstable_by_key(|e| e.0);
+        rem.sort_unstable_by_key(|e| e.0);
+        self.rates = merge_counts(&self.rates, &ins, &rem);
+
+        let (out, w) = self.outcome(h);
+        let patch = PricingPatch::SetUniformWeight {
+            weight: w,
+            num_items: h.num_items(),
+        };
+        (out, patch)
+    }
+}
+
+/// XOS's incremental rule: reuse the fitted LPIP/CIP envelope, re-evaluate
+/// its revenue on the updated demand, and **re-fit** (re-run the component
+/// LPs) once the demand has churned past the [`XosIncremental::with_refit_after`] fraction —
+/// the periodic full recompute that bounds envelope drift. **Not exact** —
+/// between refits a full recompute would generally return a different
+/// envelope.
+#[derive(Debug, Clone)]
+pub struct XosIncremental {
+    lpip: LpipConfig,
+    cip: CipConfig,
+    components: Vec<Vec<f64>>,
+    /// Re-fit once the ops absorbed since the last fit exceed this fraction
+    /// of the current edge count (0.5 by default; `f64::INFINITY` disables
+    /// refitting entirely).
+    refit_after: f64,
+    ops_since_fit: usize,
+}
+
+impl XosIncremental {
+    /// Ops-per-edge churn fraction that triggers a refit by default.
+    pub const DEFAULT_REFIT_AFTER: f64 = 0.5;
+
+    /// An unprimed XOS repricer with the given component configurations and
+    /// the default refit threshold.
+    pub fn new(lpip: LpipConfig, cip: CipConfig) -> XosIncremental {
+        XosIncremental {
+            lpip,
+            cip,
+            components: Vec::new(),
+            refit_after: Self::DEFAULT_REFIT_AFTER,
+            ops_since_fit: 0,
+        }
+    }
+
+    /// Overrides the churn fraction that triggers an envelope refit
+    /// (`f64::INFINITY` reuses the primed envelope forever).
+    pub fn with_refit_after(mut self, fraction: f64) -> XosIncremental {
+        assert!(fraction >= 0.0, "refit fraction must be non-negative");
+        self.refit_after = fraction;
+        self
+    }
+}
+
+impl IncrementalRepricer for XosIncremental {
+    fn algorithm(&self) -> &'static str {
+        "XOS"
+    }
+
+    fn exact(&self) -> bool {
+        false
+    }
+
+    fn prime(&mut self, h: &Hypergraph) -> PricingOutcome {
+        let out = xos_pricing(h, &self.lpip, &self.cip);
+        let Pricing::Xos { components } = &out.pricing else {
+            unreachable!("XOS always returns an XOS pricing");
+        };
+        self.components = components.clone();
+        self.ops_since_fit = 0;
+        out
+    }
+
+    fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
+        self.ops_since_fit += ops.len();
+        if self.ops_since_fit as f64 >= self.refit_after * h.num_edges().max(1) as f64 {
+            let out = self.prime(h);
+            let patch = PricingPatch::Replace(out.pricing.clone());
+            return (out, patch);
+        }
+        let pricing = Pricing::Xos {
+            components: self.components.clone(),
+        };
+        let rev = revenue::revenue(h, &pricing);
+        (
+            PricingOutcome {
+                algorithm: "XOS",
+                revenue: rev,
+                pricing,
+            },
+            PricingPatch::Keep,
+        )
+    }
+}
+
+/// Drives one registry algorithm through a stream of repricings, using its
+/// incremental capability when it has one and falling back to full
+/// recomputes when it does not (or before the first priming).
+pub struct Repricer {
+    algo: Box<dyn PricingAlgorithm>,
+    incremental: Option<Box<dyn IncrementalRepricer>>,
+    primed: bool,
+}
+
+impl Repricer {
+    /// Wraps a registry algorithm, probing its incremental capability.
+    pub fn new(algo: Box<dyn PricingAlgorithm>) -> Repricer {
+        let incremental = algo.reprice_incremental();
+        Repricer {
+            algo,
+            incremental,
+            primed: false,
+        }
+    }
+
+    /// The wrapped algorithm's registry name.
+    pub fn algorithm(&self) -> &str {
+        self.algo.name()
+    }
+
+    /// Whether repricings after the first will take the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// Runs the full algorithm, bypassing any incremental state (the
+    /// full-rebuild baseline; does not prime).
+    pub fn run_full(&self, h: &Hypergraph) -> PricingOutcome {
+        self.algo.run(h)
+    }
+
+    /// Reprices on the updated hypergraph: the first call primes (full run),
+    /// later calls absorb `ops` incrementally; algorithms without the
+    /// capability run in full every time. Returns the outcome and the
+    /// minimal patch to install it.
+    pub fn reprice(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
+        match &mut self.incremental {
+            Some(inc) if self.primed => inc.apply(h, ops),
+            Some(inc) => {
+                self.primed = true;
+                let out = inc.prime(h);
+                let patch = PricingPatch::Replace(out.pricing.clone());
+                (out, patch)
+            }
+            None => {
+                let out = self.algo.run(h);
+                let patch = PricingPatch::Replace(out.pricing.clone());
+                (out, patch)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{self, uniform_bundle_price, uniform_item_price};
+    use crate::HypergraphDelta;
+
+    fn graph() -> Hypergraph {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(vec![0], 8.0);
+        h.add_edge(vec![1], 2.0);
+        h.add_edge(vec![0, 1], 9.0);
+        h.add_edge(vec![1, 2], 4.0);
+        h
+    }
+
+    #[test]
+    fn ubp_incremental_tracks_the_full_algorithm_exactly() {
+        let mut h = graph();
+        let mut inc = UbpIncremental::new();
+        let primed = inc.prime(&h);
+        let full = uniform_bundle_price(&h);
+        assert_eq!(primed.pricing, full.pricing);
+        assert_eq!(primed.revenue.to_bits(), full.revenue.to_bits());
+
+        let mut delta = HypergraphDelta::new();
+        delta
+            .add_edge([2usize, 3].into_iter().collect(), 11.0)
+            .remove_edge(0)
+            .revalue_edge(1, 1.0);
+        let ops = h.apply_delta(delta);
+        let (out, patch) = inc.apply(&h, &ops);
+        let full = uniform_bundle_price(&h);
+        assert_eq!(out.pricing, full.pricing);
+        assert_eq!(out.revenue.to_bits(), full.revenue.to_bits());
+        let Pricing::UniformBundle { price } = full.pricing else {
+            unreachable!()
+        };
+        assert_eq!(patch, PricingPatch::SetUniformPrice(price));
+    }
+
+    #[test]
+    fn uip_incremental_tracks_the_full_algorithm_exactly() {
+        let mut h = graph();
+        let mut inc = UipIncremental::new();
+        inc.prime(&h);
+
+        let mut delta = HypergraphDelta::new();
+        delta
+            .add_edge([0usize, 2, 3].into_iter().collect(), 12.0)
+            .revalue_edge(2, 3.0)
+            .remove_edge(1);
+        let ops = h.apply_delta(delta);
+        let (out, patch) = inc.apply(&h, &ops);
+        let full = uniform_item_price(&h);
+        assert_eq!(out.pricing, full.pricing);
+        assert_eq!(out.revenue.to_bits(), full.revenue.to_bits());
+        assert!(matches!(patch, PricingPatch::SetUniformWeight { .. }));
+    }
+
+    #[test]
+    fn empty_bundles_never_become_rate_candidates() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(Vec::<usize>::new(), 5.0);
+        h.add_edge(vec![0], 3.0);
+        let mut inc = UipIncremental::new();
+        inc.prime(&h);
+        let mut delta = HypergraphDelta::new();
+        delta.remove_edge(0).add_edge(qp_core::ItemSet::new(), 7.0);
+        let ops = h.apply_delta(delta);
+        let (out, _) = inc.apply(&h, &ops);
+        assert_eq!(out.pricing, uniform_item_price(&h).pricing);
+    }
+
+    #[test]
+    fn xos_incremental_reuses_the_envelope_and_reports_true_revenue() {
+        let mut h = graph();
+        let mut inc = XosIncremental::new(LpipConfig::default(), CipConfig::default())
+            .with_refit_after(f64::INFINITY); // pin the envelope for this test
+        let primed = inc.prime(&h);
+
+        let mut delta = HypergraphDelta::new();
+        delta.add_edge([3usize].into_iter().collect(), 6.0);
+        let ops = h.apply_delta(delta);
+        let (out, patch) = inc.apply(&h, &ops);
+        // Envelope unchanged, revenue re-read against the new demand.
+        assert_eq!(out.pricing, primed.pricing);
+        assert_eq!(
+            out.revenue.to_bits(),
+            revenue::revenue(&h, &out.pricing).to_bits()
+        );
+        assert_eq!(patch, PricingPatch::Keep);
+        assert!(!inc.exact());
+    }
+
+    #[test]
+    fn xos_incremental_refits_the_envelope_once_churn_accumulates() {
+        // Demand shifts wholesale: with the default threshold the envelope
+        // must be re-fitted (a Replace patch) instead of going stale.
+        let mut h = graph();
+        let mut inc = XosIncremental::new(LpipConfig::default(), CipConfig::default());
+        let primed = inc.prime(&h);
+
+        let mut delta = HypergraphDelta::new();
+        for _ in 0..h.num_edges() {
+            delta.remove_edge(0);
+        }
+        delta
+            .add_edge([0usize].into_iter().collect(), 20.0)
+            .add_edge([1usize].into_iter().collect(), 25.0)
+            .add_edge([2usize].into_iter().collect(), 30.0)
+            .add_edge([3usize].into_iter().collect(), 50.0);
+        let ops = h.apply_delta(delta);
+        let (out, patch) = inc.apply(&h, &ops);
+        assert!(
+            matches!(patch, PricingPatch::Replace(_)),
+            "churn past the threshold must refit, got {patch:?}"
+        );
+        // The refit equals a fresh full XOS run on the new demand…
+        let full = xos_pricing(&h, &LpipConfig::default(), &CipConfig::default());
+        assert_eq!(out.pricing, full.pricing);
+        assert_ne!(out.pricing, primed.pricing, "the old envelope was stale");
+        // …and the churn counter reset: a tiny follow-up delta reuses it.
+        let mut delta = HypergraphDelta::new();
+        delta.revalue_edge(0, 31.0);
+        let ops = h.apply_delta(delta);
+        let (_, patch) = inc.apply(&h, &ops);
+        assert_eq!(patch, PricingPatch::Keep);
+    }
+
+    #[test]
+    fn repricer_falls_back_to_full_runs_without_the_capability() {
+        let mut h = graph();
+        let mut layering = Repricer::new(algorithms::by_name("Layering").unwrap());
+        assert!(!layering.is_incremental());
+        let (out, patch) = layering.reprice(&h, &[]);
+        assert!(matches!(patch, PricingPatch::Replace(_)));
+
+        let mut delta = HypergraphDelta::new();
+        delta.remove_edge(2);
+        let ops = h.apply_delta(delta);
+        let (out2, patch2) = layering.reprice(&h, &ops);
+        assert!(matches!(patch2, PricingPatch::Replace(_)));
+        // Full reruns both times: outcomes match direct runs.
+        assert!(out.revenue >= 0.0 && out2.revenue >= 0.0);
+        assert_eq!(
+            out2.revenue.to_bits(),
+            layering.run_full(&h).revenue.to_bits()
+        );
+    }
+
+    #[test]
+    fn repricer_primes_then_patches_for_incremental_algorithms() {
+        let mut h = graph();
+        let mut ubp = Repricer::new(algorithms::by_name("UBP").unwrap());
+        assert!(ubp.is_incremental());
+        assert_eq!(ubp.algorithm(), "UBP");
+        let (_, patch) = ubp.reprice(&h, &[]);
+        assert!(
+            matches!(patch, PricingPatch::Replace(_)),
+            "first call primes"
+        );
+
+        let mut delta = HypergraphDelta::new();
+        delta.add_edge([0usize].into_iter().collect(), 20.0);
+        let ops = h.apply_delta(delta);
+        let (out, patch) = ubp.reprice(&h, &ops);
+        assert!(matches!(patch, PricingPatch::SetUniformPrice(_)));
+        assert_eq!(out.pricing, uniform_bundle_price(&h).pricing);
+    }
+
+    #[test]
+    fn patches_mutate_pricings_in_place_or_replace_on_shape_mismatch() {
+        let mut p = Pricing::UniformBundle { price: 3.0 };
+        PricingPatch::SetUniformPrice(5.0).apply(&mut p);
+        assert_eq!(p, Pricing::UniformBundle { price: 5.0 });
+
+        PricingPatch::SetUniformWeight {
+            weight: 2.0,
+            num_items: 3,
+        }
+        .apply(&mut p);
+        assert_eq!(
+            p,
+            Pricing::Item {
+                weights: vec![2.0; 3]
+            }
+        );
+        PricingPatch::SetUniformWeight {
+            weight: 4.0,
+            num_items: 3,
+        }
+        .apply(&mut p);
+        assert_eq!(
+            p,
+            Pricing::Item {
+                weights: vec![4.0; 3]
+            }
+        );
+
+        let before = p.clone();
+        PricingPatch::Keep.apply(&mut p);
+        assert_eq!(p, before);
+
+        PricingPatch::Replace(Pricing::UniformBundle { price: 1.0 }).apply(&mut p);
+        assert_eq!(p, Pricing::UniformBundle { price: 1.0 });
+    }
+
+    #[test]
+    fn negative_zero_valuations_normalize_into_the_positive_key() {
+        assert_eq!(key(-0.0), key(0.0));
+        assert!(key(1.0) > key(0.5));
+        assert!(key(f64::INFINITY) > key(1e300));
+    }
+}

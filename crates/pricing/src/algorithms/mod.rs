@@ -13,6 +13,7 @@
 //! uniformly. The free functions remain as the underlying implementations.
 
 mod cip;
+mod incremental;
 mod layering;
 mod lpip;
 mod refine;
@@ -22,6 +23,9 @@ mod uip;
 mod xos;
 
 pub use cip::{capacity_item_price, CipConfig};
+pub use incremental::{
+    IncrementalRepricer, PricingPatch, Repricer, UbpIncremental, UipIncremental, XosIncremental,
+};
 pub use layering::layering;
 pub use lpip::{lp_item_price, LpipConfig};
 pub use refine::refine_uniform_bundle_price;

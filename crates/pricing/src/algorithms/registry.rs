@@ -26,7 +26,8 @@ use crate::{Hypergraph, PricingOutcome};
 
 use super::{
     capacity_item_price, layering, lp_item_price, refine_uniform_bundle_price,
-    uniform_bundle_price, uniform_item_price, xos_pricing, CipConfig, LpipConfig,
+    uniform_bundle_price, uniform_item_price, xos_pricing, CipConfig, IncrementalRepricer,
+    LpipConfig, UbpIncremental, UipIncremental, XosIncremental,
 };
 
 /// A revenue-maximization algorithm producing an arbitrage-free pricing.
@@ -43,6 +44,15 @@ pub trait PricingAlgorithm: Send + Sync {
     /// Runs the algorithm on `h` and returns the pricing it found together
     /// with the revenue that pricing earns on `h`.
     fn run(&self, h: &Hypergraph) -> PricingOutcome;
+
+    /// The `RepriceIncremental` capability: algorithms whose optimum has a
+    /// cheap update rule return a stateful [`IncrementalRepricer`] that
+    /// patches the pricing in place as demand deltas land; the default
+    /// (`None`) makes callers — e.g. [`super::Repricer`] — fall back to a
+    /// full recompute transparently.
+    fn reprice_incremental(&self) -> Option<Box<dyn IncrementalRepricer>> {
+        None
+    }
 }
 
 /// UBP — optimal uniform bundle pricing (§5.1).
@@ -56,6 +66,9 @@ impl PricingAlgorithm for Ubp {
     fn run(&self, h: &Hypergraph) -> PricingOutcome {
         uniform_bundle_price(h)
     }
+    fn reprice_incremental(&self) -> Option<Box<dyn IncrementalRepricer>> {
+        Some(Box::new(UbpIncremental::new()))
+    }
 }
 
 /// UIP — uniform item pricing (Guruswami et al., §5.2).
@@ -68,6 +81,9 @@ impl PricingAlgorithm for Uip {
     }
     fn run(&self, h: &Hypergraph) -> PricingOutcome {
         uniform_item_price(h)
+    }
+    fn reprice_incremental(&self) -> Option<Box<dyn IncrementalRepricer>> {
+        Some(Box::new(UipIncremental::new()))
     }
 }
 
@@ -131,6 +147,12 @@ impl PricingAlgorithm for Xos {
     }
     fn run(&self, h: &Hypergraph) -> PricingOutcome {
         xos_pricing(h, &self.lpip, &self.cip)
+    }
+    fn reprice_incremental(&self) -> Option<Box<dyn IncrementalRepricer>> {
+        Some(Box::new(XosIncremental::new(
+            self.lpip.clone(),
+            self.cip.clone(),
+        )))
     }
 }
 

@@ -37,8 +37,22 @@
 //!
 //! Hyperedges store their bundles as [`ItemSet`] bitsets (`qp-core`), and
 //! aggregate item queries (degrees, max degree `B`, unique-item flags,
-//! item→edge adjacency) are served by the lazily-built, cache-invalidated
-//! [`ItemIndex`] — see the [`Hypergraph`] docs for the invalidation rules.
+//! item→edge adjacency) are served by the lazily-built [`ItemIndex`],
+//! which structural mutations patch **in place** — see the [`Hypergraph`]
+//! docs for the maintenance rules.
+//!
+//! ## Incremental demand deltas
+//!
+//! Live markets learn demand from buyer interactions, so the hypergraph
+//! mutates constantly. [`HypergraphDelta`] batches
+//! `add_edge`/`remove_edge`/`revalue_edge` ops, [`Hypergraph::apply_delta`]
+//! applies them in O(|delta|) and returns an [`AppliedOp`] log, and
+//! algorithms with cheap update rules (UBP, UIP, XOS) expose an
+//! [`algorithms::IncrementalRepricer`] through
+//! [`algorithms::PricingAlgorithm::reprice_incremental`] that patches their
+//! pricing in place — [`algorithms::Repricer`] drives either path
+//! uniformly, and [`algorithms::PricingPatch`] carries the minimal change
+//! to install.
 //!
 //! ## Example
 //!
@@ -71,7 +85,9 @@ pub mod revenue;
 mod hypergraph;
 mod pricing_fn;
 
-pub use hypergraph::{Edge, Hypergraph, HypergraphStats, ItemIndex};
+pub use hypergraph::{
+    AppliedOp, DeltaOp, Edge, Hypergraph, HypergraphDelta, HypergraphStats, ItemIndex,
+};
 pub use pricing_fn::{is_monotone, is_subadditive, BundlePricing, Pricing};
 pub use qp_core::ItemSet;
 

@@ -15,16 +15,23 @@
 //! 3. The coordinator folds outcomes **in arrival order** into the tick's
 //!    statistics, so revenue totals are bit-identical for a fixed seed no
 //!    matter how the workers interleaved.
-//! 4. The repricing policy sees the tick's stats; when it fires, a demand
-//!    hypergraph is rebuilt from the recently observed quotes (conflict set
-//!    plus the buyer's bid as the valuation) and the configured registry
-//!    algorithm's output is hot-swapped in through `set_pricing(&self, …)`.
+//! 4. Every observed quote (conflict set plus the buyer's bid as the
+//!    valuation) lands in a sliding [`DemandWindow`] that accumulates a
+//!    `HypergraphDelta` instead of storing raw quotes. When the repricing
+//!    policy fires, the delta is applied to the **live** demand hypergraph
+//!    in O(|delta|) and the algorithm's incremental rule (when it has one —
+//!    see `qp_pricing::algorithms::Repricer`) patches the broker's pricing
+//!    in place through `Broker::apply_delta`; algorithms without the
+//!    capability re-run in full on the maintained graph. The pre-delta
+//!    behavior — rebuild the window's hypergraph from scratch and re-run the
+//!    full algorithm — remains available as
+//!    [`RepricingMode::FullRebuild`], and for UBP/UIP the two modes install
+//!    identical prices (their incremental rules are exact).
 //!
 //! Because pricing swaps land on tick boundaries and within-tick pricing is
 //! fixed, every buyer's outcome is a pure function of the seed — worker
 //! threads affect wall-clock only, never revenue.
 
-use std::collections::VecDeque;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -32,13 +39,27 @@ use rand::SeedableRng;
 
 use qp_core::ItemSet;
 use qp_market::{Broker, PurchaseOutcome};
-use qp_pricing::algorithms;
-use qp_pricing::Hypergraph;
+use qp_pricing::algorithms::{self, Repricer};
 use qp_workloads::arrivals::ArrivalProcess;
 
+use crate::demand::DemandWindow;
 use crate::metrics::{RepricingEvent, SimReport, TickStats};
 use crate::population::{Buyer, Population};
 use crate::repricing::RepricingPolicy;
+
+/// How a firing repricing policy turns observed demand into a new pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepricingMode {
+    /// Apply the accumulated demand delta to the live hypergraph and let
+    /// the algorithm's incremental rule patch the pricing in place (full
+    /// recompute only for algorithms without the capability). The default.
+    #[default]
+    Incremental,
+    /// Rebuild the demand hypergraph from the window in arrival order and
+    /// re-run the full algorithm — the pre-delta hot path, kept as the
+    /// benchmark baseline.
+    FullRebuild,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +78,8 @@ pub struct SimConfig {
     /// How many of the most recent observed quotes feed a repricing;
     /// 0 keeps every observation (unbounded).
     pub demand_window: usize,
+    /// Incremental delta application vs full rebuild at each repricing.
+    pub repricing_mode: RepricingMode,
 }
 
 impl Default for SimConfig {
@@ -67,6 +90,7 @@ impl Default for SimConfig {
             workers: 0,
             algorithm: "UBP".to_string(),
             demand_window: 2048,
+            repricing_mode: RepricingMode::Incremental,
         }
     }
 }
@@ -121,7 +145,8 @@ pub fn run(
     };
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut observed: VecDeque<(ItemSet, f64)> = VecDeque::new();
+    let mut repricer = Repricer::new(algo);
+    let mut window = DemandWindow::new(broker.support().len(), cfg.demand_window);
     let mut ticks = Vec::with_capacity(cfg.ticks as usize);
     let mut repricings = Vec::new();
     let started = Instant::now();
@@ -140,30 +165,35 @@ pub fn run(
             declined: 0,
             revenue: 0.0,
         };
-        for o in &outcomes {
+        for o in outcomes {
             if o.sold {
                 stats.sold += 1;
                 stats.revenue += o.price;
             } else {
                 stats.declined += 1;
             }
-            observed.push_back((o.conflict_set.clone(), o.budget));
-            if cfg.demand_window > 0 && observed.len() > cfg.demand_window {
-                observed.pop_front();
-            }
+            window.observe(o.conflict_set, o.budget);
         }
 
-        if policy.should_reprice(&stats) && !observed.is_empty() {
+        if policy.should_reprice(&stats) && !window.is_empty() {
             let t0 = Instant::now();
-            let mut demand = Hypergraph::new(broker.support().len());
-            for (set, bid) in &observed {
-                demand.add_edge_set(set.clone(), bid.max(0.0));
+            let observed_edges = window.len();
+            match cfg.repricing_mode {
+                RepricingMode::Incremental => {
+                    let (demand, ops) = window.flush();
+                    let (_, patch) = repricer.reprice(demand, &ops);
+                    broker.apply_delta(&patch);
+                }
+                RepricingMode::FullRebuild => {
+                    window.flush();
+                    let demand = window.rebuild_in_arrival_order();
+                    broker.set_pricing(repricer.run_full(&demand).pricing);
+                }
             }
-            broker.set_pricing(algo.run(&demand).pricing);
             repricings.push(RepricingEvent {
                 tick,
                 latency: t0.elapsed(),
-                observed_edges: observed.len(),
+                observed_edges,
             });
         }
         ticks.push(stats);
@@ -344,6 +374,39 @@ mod tests {
         let late: usize = report.ticks[5..].iter().map(|t| t.sold).sum();
         assert_eq!(early, 0, "rich buyers never decline");
         assert_eq!(late, 0, "broke buyers never buy a priced scan");
+    }
+
+    #[test]
+    fn incremental_and_full_rebuild_install_identical_ubp_prices() {
+        // UBP's incremental rule is exact, so the two repricing modes must
+        // produce bit-identical revenue trajectories for the same seed.
+        let run_mode = |mode: RepricingMode| {
+            let broker = tiny_broker();
+            run(
+                &broker,
+                &[(0, population())],
+                &ArrivalProcess::Poisson { rate: 5.0 },
+                &mut EveryNTicks { every: 2 },
+                &SimConfig {
+                    ticks: 12,
+                    seed: 11,
+                    demand_window: 16, // small window forces evictions
+                    repricing_mode: mode,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let inc = run_mode(RepricingMode::Incremental);
+        let full = run_mode(RepricingMode::FullRebuild);
+        assert!(!inc.repricings.is_empty(), "the policy fired");
+        assert_eq!(
+            inc.total_revenue().to_bits(),
+            full.total_revenue().to_bits()
+        );
+        for (a, b) in inc.ticks.iter().zip(&full.ticks) {
+            assert_eq!(a.sold, b.sold);
+            assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
+        }
     }
 
     #[test]

@@ -19,11 +19,16 @@
 //! * [`repricing`] — the [`repricing::RepricingPolicy`] trait and the three
 //!   standard policies: [`repricing::Never`], [`repricing::EveryNTicks`],
 //!   [`repricing::OnConversionDrift`].
+//! * [`demand`] — the sliding [`DemandWindow`]: observed quotes accumulate
+//!   a `HypergraphDelta` between repricings and apply to one live demand
+//!   hypergraph in O(|delta|), instead of rebuilding it from scratch.
 //! * [`engine`] — the seeded, deterministic event loop: per-tick sampling on
 //!   the coordinator, concurrent quote-and-settle across scoped workers,
 //!   arrival-order aggregation (same seed ⇒ bit-identical revenue,
-//!   regardless of worker count), and live `set_pricing` swaps on tick
-//!   boundaries.
+//!   regardless of worker count), and live pricing updates on tick
+//!   boundaries — incremental in-place patches through
+//!   `Broker::apply_delta` by default, with [`RepricingMode::FullRebuild`]
+//!   as the legacy baseline.
 //! * [`scenario`] — the scenario library (`steady_state`, `flash_crowd`,
 //!   `shifting_demand`, `arbitrage_probe`), instantiable over any query
 //!   pool.
@@ -31,13 +36,15 @@
 //!   [`metrics::SimReport`] that serializes into `BENCH_sim.json`
 //!   (revenue-over-time, conversion rate, quotes/sec, repricing latency).
 
+pub mod demand;
 pub mod engine;
 pub mod metrics;
 pub mod population;
 pub mod repricing;
 pub mod scenario;
 
-pub use engine::{run, SimConfig};
+pub use demand::DemandWindow;
+pub use engine::{run, RepricingMode, SimConfig};
 pub use metrics::{bench_json, RepricingEvent, SimReport, TickStats};
 pub use population::{BudgetModel, Buyer, BuyerSegment, Population};
 pub use repricing::{EveryNTicks, Never, OnConversionDrift, RepricingPolicy};

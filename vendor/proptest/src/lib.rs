@@ -7,8 +7,11 @@
 //! * [`collection::vec`] with exact, `Range`, or `RangeInclusive` sizes,
 //! * the [`Strategy::prop_map`] / [`Strategy::prop_flat_map`] combinators,
 //! * the [`proptest!`] macro with an optional
-//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header, and
-//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, and
+//! * the `PROPTEST_CASES` environment variable, honored by
+//!   [`ProptestConfig::default`] (explicit `with_cases(n)` stays pinned —
+//!   the same split real proptest makes).
 //!
 //! Semantics differ from real proptest in two deliberate ways: generation is
 //! **deterministic** (seeded from the test function's name, so failures are
@@ -48,8 +51,17 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, or the value of the `PROPTEST_CASES` environment variable
+    /// when set (matching real proptest: the env var steers configs built
+    /// from `default()`, while an explicit `with_cases(n)` stays pinned).
+    /// CI elevates the differential/invariant suites through this hook.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
@@ -357,5 +369,23 @@ mod tests {
             format!("{:?}", s.generate(&mut a)),
             format!("{:?}", s.generate(&mut b))
         );
+    }
+
+    #[test]
+    fn default_case_count_honors_proptest_cases() {
+        // The only test in this binary touching the variable, so the
+        // set/remove pair cannot race another reader.
+        std::env::set_var("PROPTEST_CASES", "256");
+        assert_eq!(ProptestConfig::default().cases, 256);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        // Explicit case counts stay pinned regardless of the environment.
+        std::env::set_var("PROPTEST_CASES", "512");
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+        std::env::remove_var("PROPTEST_CASES");
     }
 }
