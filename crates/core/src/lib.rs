@@ -9,7 +9,9 @@
 //! and block-wise set algebra — `union`, `intersect`, `difference`,
 //! `is_subset` — that runs at 64 items per machine word.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 const BLOCK_BITS: usize = 64;
 
@@ -22,9 +24,44 @@ const BLOCK_BITS: usize = 64;
 ///
 /// Iteration ([`ItemSet::iter`]) yields items in increasing order, matching
 /// the sorted `Vec<usize>` representation this type replaced.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct ItemSet {
     blocks: Vec<u64>,
+}
+
+/// Block-wise hashing. Because the representation never stores trailing
+/// zero blocks (see [`ItemSet`]), hashing the block vector directly gives
+/// `a == b ⇒ hash(a) == hash(b)` regardless of how the two sets were built
+/// (insert order, removals, set algebra). Keyed collections
+/// (`HashMap<ItemSet, _>` quote caches, dedup sets) rely on this.
+impl Hash for ItemSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.blocks.hash(state);
+    }
+}
+
+impl PartialOrd for ItemSet {
+    fn partial_cmp(&self, other: &ItemSet) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Orders sets by their value as a big-endian bitset integer: block count
+/// first (the top block is never zero, so more blocks means a larger
+/// number), then blocks from most to least significant.
+///
+/// Equivalently: `a < b` iff the largest item in the symmetric difference
+/// belongs to `b`. This order is **consistent with subset**: `a ⊆ b`
+/// implies `a ≤ b` (dropping bits can only decrease the integer), which is
+/// what sorted containers of bundles (e.g. `BTreeMap` price tables) need to
+/// agree with the pricing functions' monotonicity direction.
+impl Ord for ItemSet {
+    fn cmp(&self, other: &ItemSet) -> Ordering {
+        self.blocks
+            .len()
+            .cmp(&other.blocks.len())
+            .then_with(|| self.blocks.iter().rev().cmp(other.blocks.iter().rev()))
+    }
 }
 
 impl ItemSet {
@@ -212,6 +249,44 @@ impl ItemSet {
         out
     }
 
+    /// The raw u64 blocks, least-significant first, with no trailing zero
+    /// block. This is the set's canonical wire form: two equal sets expose
+    /// identical block slices.
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a set from raw blocks (e.g. decoded off the wire). Trailing
+    /// zero blocks are dropped, so the result upholds the representation
+    /// invariant no matter what the peer sent.
+    pub fn from_blocks(mut blocks: Vec<u64>) -> ItemSet {
+        while blocks.last() == Some(&0) {
+            blocks.pop();
+        }
+        ItemSet { blocks }
+    }
+
+    /// A process- and platform-independent 64-bit hash (FNV-1a over the
+    /// block bytes, least-significant block first).
+    ///
+    /// `std::hash::Hash` goes through `RandomState`, which is seeded per
+    /// process; shard routing and on-disk artifacts need the *same* bundle
+    /// to land on the same shard across runs and across the client/server
+    /// boundary, which this provides. Equal sets always agree (the
+    /// representation stores no trailing zero blocks).
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &block in &self.blocks {
+            for byte in block.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
     /// Drops trailing zero blocks, restoring the representation invariant.
     fn normalize(&mut self) {
         while self.blocks.last() == Some(&0) {
@@ -358,6 +433,56 @@ mod tests {
         let items: Vec<usize> = (&s).into_iter().collect();
         assert_eq!(items, vec![2, 9, 130]);
         assert_eq!(format!("{s:?}"), "{2, 9, 130}");
+    }
+
+    #[test]
+    fn equal_sets_hash_equal_regardless_of_history() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash_of = |s: &ItemSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let direct: ItemSet = [1usize, 64, 130].into_iter().collect();
+        // Same set reached through inserts beyond block 2 and removals that
+        // must drop the trailing blocks again.
+        let mut via_removal: ItemSet = [130usize, 64, 1, 500].into_iter().collect();
+        via_removal.remove(500);
+        assert_eq!(direct, via_removal);
+        assert_eq!(hash_of(&direct), hash_of(&via_removal));
+        assert_eq!(direct.stable_hash(), via_removal.stable_hash());
+        assert_ne!(
+            direct.stable_hash(),
+            ItemSet::new().stable_hash(),
+            "distinct sets should (overwhelmingly) hash apart"
+        );
+    }
+
+    #[test]
+    fn ord_is_the_bitset_integer_order() {
+        let lo: ItemSet = [0usize, 1].into_iter().collect(); // value 3
+        let hi: ItemSet = [64usize].into_iter().collect(); // value 2^64
+        assert!(lo < hi, "more blocks wins");
+        let a: ItemSet = [0usize, 5].into_iter().collect();
+        let b: ItemSet = [5usize].into_iter().collect();
+        assert!(b < a, "same top item, extra low bit breaks the tie upward");
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        // Subset consistency: a ⊆ b ⇒ a ≤ b.
+        assert!(b.is_subset(&a) && b <= a);
+        assert!(ItemSet::new() <= b);
+    }
+
+    #[test]
+    fn blocks_roundtrip_and_normalize_on_decode() {
+        let s: ItemSet = [3usize, 64, 200].into_iter().collect();
+        assert_eq!(ItemSet::from_blocks(s.as_blocks().to_vec()), s);
+        // A peer that pads with trailing zero blocks still decodes to the
+        // canonical representation.
+        let mut padded = s.as_blocks().to_vec();
+        padded.extend([0, 0]);
+        assert_eq!(ItemSet::from_blocks(padded), s);
+        assert_eq!(ItemSet::from_blocks(vec![0, 0]), ItemSet::new());
+        assert!(ItemSet::new().as_blocks().is_empty());
     }
 
     #[test]

@@ -113,3 +113,93 @@ proptest! {
         prop_assert_eq!(set, expected);
     }
 }
+
+/// The reference total order: compare the largest item of the symmetric
+/// difference — whichever set contains it is the larger set. This is the
+/// bitset-as-big-endian-integer order `Ord` promises.
+fn reference_cmp(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> std::cmp::Ordering {
+    let top_diff = a.symmetric_difference(b).max();
+    match top_diff {
+        None => std::cmp::Ordering::Equal,
+        Some(j) if a.contains(j) => std::cmp::Ordering::Greater,
+        Some(_) => std::cmp::Ordering::Less,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hash_agrees_with_equality_across_build_histories(v in items(), extra in 400usize..800) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |s: &ItemSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let direct: ItemSet = v.iter().copied().collect();
+        // Same extensional set via a different history: reversed insertion
+        // order plus a high item inserted and removed again, which forces
+        // trailing blocks to be allocated and then dropped.
+        let mut indirect: ItemSet = v.iter().rev().copied().collect();
+        indirect.insert(extra);
+        indirect.remove(extra);
+        prop_assert_eq!(&direct, &indirect);
+        prop_assert_eq!(hash_of(&direct), hash_of(&indirect));
+        prop_assert_eq!(direct.stable_hash(), indirect.stable_hash());
+    }
+
+    #[test]
+    fn stable_hash_separates_unequal_sets(a in items(), b in items()) {
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        if sa != sb {
+            // FNV-1a over ≤ 400-bit inputs: collisions in a 64-bit digest
+            // would be astronomically unlikely for these sizes — and any
+            // deterministic collision here would break shard routing tests.
+            prop_assert_ne!(sa.stable_hash(), sb.stable_hash());
+        } else {
+            prop_assert_eq!(sa.stable_hash(), sb.stable_hash());
+        }
+    }
+
+    #[test]
+    fn ord_matches_the_reference_order(a in items(), b in items()) {
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        let expected = reference_cmp(&reference(&a), &reference(&b));
+        prop_assert_eq!(sa.cmp(&sb), expected);
+        prop_assert_eq!(sb.cmp(&sa), expected.reverse());
+        prop_assert_eq!(sa.partial_cmp(&sb), Some(expected));
+        prop_assert_eq!(sa.cmp(&sb) == std::cmp::Ordering::Equal, sa == sb);
+    }
+
+    #[test]
+    fn ord_is_consistent_with_subset(a in items(), b in items()) {
+        // Every subset relation the algebra can produce must sort downward:
+        // a∩b ⊆ a ⊆ a∪b, and a\b ⊆ a.
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        let inter = sa.intersection(&sb);
+        let uni = sa.union(&sb);
+        let diff = sa.difference(&sb);
+        prop_assert!(inter <= sa && inter <= sb);
+        prop_assert!(sa <= uni && sb <= uni);
+        prop_assert!(diff <= sa);
+        if sa.is_subset(&sb) {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn ord_is_transitive(a in items(), b in items(), c in items()) {
+        let sa: ItemSet = a.iter().copied().collect();
+        let sb: ItemSet = b.iter().copied().collect();
+        let sc: ItemSet = c.iter().copied().collect();
+        let mut sorted = [sa, sb, sc];
+        sorted.sort();
+        prop_assert!(sorted[0] <= sorted[1] && sorted[1] <= sorted[2]);
+        prop_assert!(sorted[0] <= sorted[2]);
+    }
+}

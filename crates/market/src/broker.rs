@@ -17,6 +17,32 @@
 //! and installs the resulting pricing. Quotes carry their conflict set as a
 //! [`qp_core::ItemSet`] bitset and are priced through
 //! [`BundlePricing::price_set`] without materializing index vectors.
+//!
+//! # The pricing epoch and the cache-invalidation contract
+//!
+//! Every observable change to the installed pricing — a wholesale
+//! [`Broker::set_pricing`] swap or an incremental [`Broker::apply_delta`]
+//! patch (other than `PricingPatch::Keep`, which changes nothing) —
+//! increments a monotone **pricing epoch**, readable with
+//! [`Broker::pricing_epoch`]. The counter is bumped *while holding the same
+//! write lock* that guards the pricing, which gives layered caches (e.g.
+//! `qp-server`'s per-shard quote caches) a precise contract:
+//!
+//! 1. A cached price tagged with epoch `e` may be served as long as
+//!    `pricing_epoch() == e`. Any repricing strictly increases the epoch,
+//!    so a tag mismatch detects **every** pricing change — there is no
+//!    ABA window.
+//! 2. [`Broker::versioned_price`] returns a `(price, epoch)` pair that is
+//!    *atomically consistent*: it reads the epoch while holding the pricing
+//!    read lock, and writers bump the epoch while holding the write lock,
+//!    so the pair can never mix one epoch's price with another's tag. Fill
+//!    caches only from this method.
+//! 3. The epoch says nothing about *quotes already issued*: a quote is
+//!    honored at its quoted price ([`Broker::settle`]) even if the epoch
+//!    has moved on. Invalidation applies to caches, not to contracts with
+//!    buyers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
@@ -292,6 +318,10 @@ pub struct Broker {
     db: Database,
     support: SupportSet,
     pricing: RwLock<Pricing>,
+    /// Monotone count of observable pricing changes; bumped under the
+    /// `pricing` write lock (see the module docs for the invalidation
+    /// contract this gives layered caches).
+    epoch: AtomicU64,
     ledger: Mutex<RevenueLedger>,
 }
 
@@ -314,6 +344,7 @@ impl Broker {
             db,
             support,
             pricing: RwLock::new(Pricing::zero_items(n)),
+            epoch: AtomicU64::new(0),
             ledger: Mutex::new(RevenueLedger::default()),
         }
     }
@@ -336,7 +367,11 @@ impl Broker {
     /// pricing complete against it; quotes that start after the swap see the
     /// new one.
     pub fn set_pricing(&self, pricing: Pricing) {
-        *self.pricing.write() = pricing;
+        let mut installed = self.pricing.write();
+        *installed = pricing;
+        // Bumped while the write lock is held: no reader can observe the
+        // new pricing with the old epoch (or vice versa).
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Patches the installed pricing **in place** under the same write lock
@@ -353,9 +388,33 @@ impl Broker {
     /// `PricingPatch::Keep` never takes the write lock at all.
     pub fn apply_delta(&self, patch: &PricingPatch) {
         if matches!(patch, PricingPatch::Keep) {
-            return;
+            return; // nothing changes, so the epoch must not move either
         }
-        patch.apply(&mut self.pricing.write());
+        let mut installed = self.pricing.write();
+        patch.apply(&mut installed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current pricing epoch: a monotone counter of observable pricing
+    /// changes (`set_pricing`, and every `apply_delta` except
+    /// `PricingPatch::Keep`). See the module docs for the invalidation
+    /// contract; cache fills must pair prices with epochs through
+    /// [`Broker::versioned_price`], not through two separate reads.
+    pub fn pricing_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Prices a bundle and returns the epoch the price belongs to, as one
+    /// atomically consistent pair.
+    ///
+    /// The epoch is read while the pricing read lock is held; since writers
+    /// bump the epoch while holding the write lock, the returned pair can
+    /// never combine epoch `e` with a price from epoch `e' ≠ e` — the
+    /// property a quote cache needs to tag entries safely.
+    pub fn versioned_price(&self, bundle: &ItemSet) -> (f64, u64) {
+        let pricing = self.pricing.read();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (pricing.price_set(bundle), epoch)
     }
 
     /// Read access to the currently installed pricing function.
@@ -746,6 +805,56 @@ mod tests {
 
         broker.apply_delta(&PricingPatch::Replace(Pricing::zero_items(n)));
         assert_eq!(broker.quote(q).price, 0.0);
+    }
+
+    #[test]
+    fn pricing_epoch_counts_observable_changes_only() {
+        let broker = priced_broker();
+        let e0 = broker.pricing_epoch();
+        broker.set_pricing(Pricing::UniformBundle { price: 4.0 });
+        assert_eq!(broker.pricing_epoch(), e0 + 1);
+        // Keep is a no-op: no change, no bump.
+        broker.apply_delta(&PricingPatch::Keep);
+        assert_eq!(broker.pricing_epoch(), e0 + 1);
+        broker.apply_delta(&PricingPatch::SetUniformPrice(9.0));
+        assert_eq!(broker.pricing_epoch(), e0 + 2);
+        broker.apply_delta(&PricingPatch::Replace(Pricing::zero_items(3)));
+        assert_eq!(broker.pricing_epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn versioned_price_pairs_are_atomically_consistent() {
+        // A repricer thread walks the uniform price in lockstep with the
+        // epoch; every (price, epoch) pair a reader sees must line up
+        // exactly. Two separate reads would fail this under load.
+        let broker = priced_broker();
+        broker.set_pricing(Pricing::UniformBundle { price: 1000.0 });
+        let e0 = broker.pricing_epoch();
+        let bundle: ItemSet = [0usize, 2].into_iter().collect();
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                let mut checked = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (price, epoch) = broker.versioned_price(&bundle);
+                    let step = epoch - e0;
+                    assert_eq!(
+                        price,
+                        1000.0 + step as f64,
+                        "price from epoch {epoch} served under the wrong tag"
+                    );
+                    checked += 1;
+                }
+                checked
+            });
+            for k in 1..=400u64 {
+                broker.apply_delta(&PricingPatch::SetUniformPrice(1000.0 + k as f64));
+            }
+            stop.store(true, Ordering::Relaxed);
+            assert!(reader.join().unwrap() > 0, "reader never sampled");
+        });
+        assert_eq!(broker.pricing_epoch(), e0 + 400);
     }
 
     #[test]

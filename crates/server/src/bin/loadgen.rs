@@ -1,0 +1,366 @@
+//! Seeded open-loop traffic against the quote server → `BENCH_server.json`.
+//!
+//! For each requested shard count, the binary:
+//!
+//! 1. builds that many identically-priced [`Broker`] replicas over the
+//!    world/skewed workload and starts a [`QuoteServer`] on a loopback
+//!    port;
+//! 2. drives it with `qp-sim`'s seeded event loop over the network
+//!    transport — buyers arrive by `qp_workloads::arrivals`, quote and
+//!    purchase over TCP from multiple worker connections, and the engine's
+//!    live repricings travel as `REPRICE` frames (the incremental-delta
+//!    path end-to-end from wire to patched pricing);
+//! 3. re-runs the **same seed in-process** (`qp_sim::run` against one more
+//!    identically built broker) and asserts the revenue totals are
+//!    **bit-identical** — the transport must be revenue-invisible;
+//! 4. records throughput, round-trip latency percentiles, and the server's
+//!    cache hit rate.
+//!
+//! ```bash
+//! cargo run --release -p qp-server --bin loadgen              # full sizes
+//! cargo run --release -p qp-server --bin loadgen -- --smoke   # CI-sized
+//! cargo run --release -p qp-server --bin loadgen -- \
+//!     --shards 1,2,4 --ticks 30 --seed 7 --out BENCH_server.json
+//! ```
+
+use std::sync::Arc;
+
+use qp_market::{Broker, SupportConfig};
+use qp_qdb::{Database, Query};
+use qp_server::{BundleTable, NetTransport, QuoteServer, ShardSet};
+use qp_sim::{
+    run, run_with, BudgetModel, BuyerSegment, EveryNTicks, Population, RepricingMode, SimConfig,
+    SimReport,
+};
+use qp_workloads::arrivals::ArrivalProcess;
+use qp_workloads::queries::skewed;
+use qp_workloads::world::{self, WorldConfig};
+use qp_workloads::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Sizing {
+    support: usize,
+    pool: usize,
+    ticks: u64,
+    rate: f64,
+    workers: usize,
+    shard_counts: Vec<usize>,
+}
+
+struct RunResult {
+    shards: usize,
+    report: SimReport,
+    baseline: SimReport,
+    latencies_us: Vec<u64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    final_epochs: Vec<u64>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    for i in 0..args.len() {
+        if args[i] == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// A deterministically-priced broker replica — every call with the same
+/// inputs builds the same support, hypergraph, and pricing, which is what
+/// makes shard replicas interchangeable and the determinism check exact.
+fn build_broker(
+    db: &Database,
+    pool: &[Query],
+    support: usize,
+    algorithm: &str,
+    seed: u64,
+) -> Broker {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Broker::builder(db.clone())
+        .support_config(SupportConfig::with_size(support))
+        .algorithm(algorithm)
+        .anticipate_all(pool.iter().map(|q| (q.clone(), rng.gen_range(1.0..=50.0))))
+        .build()
+        .unwrap_or_else(|e| panic!("broker build failed: {e}"))
+}
+
+/// A two-phase buyer schedule: a broad mix up front, a long-tail shift at
+/// the midpoint — enough phase structure to exercise the bundle table's
+/// phase indexing and the repricer's reaction to changing demand.
+fn schedule(pool: &[Query], ticks: u64) -> Vec<(u64, Population)> {
+    let phase0 = Population::new(vec![
+        BuyerSegment::new(
+            "regulars",
+            pool.to_vec(),
+            BudgetModel::Uniform { lo: 2.0, hi: 35.0 },
+        ),
+        BuyerSegment::new(
+            "premium",
+            pool.to_vec(),
+            BudgetModel::Normal {
+                mean: 60.0,
+                variance: 100.0,
+            },
+        )
+        .weight(0.35)
+        .skew(1.2),
+    ]);
+    let phase1 = Population::new(vec![BuyerSegment::new(
+        "long-tail",
+        pool.to_vec(),
+        BudgetModel::Exponential { mean: 10.0 },
+    )
+    .skew(1.4)]);
+    vec![(0, phase0), ((ticks / 2).max(1), phase1)]
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+/// Renders a finite f64 exactly; NaN/∞ become 0 (JSON cannot carry them).
+fn json_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    db: &Database,
+    pool: &[Query],
+    sizing: &Sizing,
+    shards: usize,
+    algorithm: &str,
+    seed: u64,
+    arrivals: &ArrivalProcess,
+    cfg: &SimConfig,
+) -> RunResult {
+    let sched = schedule(pool, sizing.ticks);
+
+    // The shard replicas, plus one reference Arc kept for the bundle table.
+    let brokers: Vec<Arc<Broker>> = (0..shards)
+        .map(|_| Arc::new(build_broker(db, pool, sizing.support, algorithm, seed)))
+        .collect();
+    let reference = Arc::clone(&brokers[0]);
+    let mut server =
+        QuoteServer::bind("127.0.0.1:0", ShardSet::new(brokers)).expect("bind loopback");
+
+    let bundles = BundleTable::for_schedule(&reference, &sched);
+    let net = NetTransport::connect(server.local_addr(), bundles).expect("connect transport");
+    let mut policy = EveryNTicks { every: 4 };
+    let report = run_with(&net, &sched, arrivals, &mut policy, cfg);
+
+    let mut latencies_us = net.take_latencies_us();
+    latencies_us.sort_unstable();
+    let stats = net.admin().stats().expect("server stats");
+    let cache_hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
+    let cache_misses: u64 = stats.iter().map(|s| s.quotes - s.cache_hits).sum();
+    let final_epochs: Vec<u64> = stats.iter().map(|s| s.epoch).collect();
+
+    // The server-side ledgers saw exactly the traffic the engine drove.
+    let server_sales: u64 = stats.iter().map(|s| s.sales).sum();
+    let server_declines: u64 = stats.iter().map(|s| s.declines).sum();
+    assert_eq!(
+        server_sales as usize,
+        report.sales(),
+        "ledger sales drifted"
+    );
+    assert_eq!(
+        server_declines as usize,
+        report.declines(),
+        "ledger declines drifted"
+    );
+
+    drop(net);
+    server.shutdown();
+
+    // The in-process baseline: one more identical broker, the same seed,
+    // the same event loop — only the transport differs.
+    let baseline_broker = build_broker(db, pool, sizing.support, algorithm, seed);
+    let mut baseline_policy = EveryNTicks { every: 4 };
+    let baseline = run(
+        &baseline_broker,
+        &sched,
+        arrivals,
+        &mut baseline_policy,
+        cfg,
+    );
+
+    RunResult {
+        shards,
+        report,
+        baseline,
+        latencies_us,
+        cache_hits,
+        cache_misses,
+        final_epochs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let algorithm = arg_value(&args, "--algorithm").unwrap_or_else(|| "UBP".to_string());
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let mut sizing = if smoke {
+        Sizing {
+            support: 60,
+            pool: 40,
+            ticks: 10,
+            rate: 6.0,
+            workers: 3,
+            shard_counts: vec![1, 2],
+        }
+    } else {
+        Sizing {
+            support: 120,
+            pool: 100,
+            ticks: 30,
+            rate: 12.0,
+            workers: 4,
+            shard_counts: vec![1, 2, 4],
+        }
+    };
+    if let Some(t) = arg_value(&args, "--ticks").and_then(|s| s.parse().ok()) {
+        sizing.ticks = t;
+    }
+    if let Some(w) = arg_value(&args, "--workers").and_then(|s| s.parse().ok()) {
+        sizing.workers = w;
+    }
+    if let Some(list) = arg_value(&args, "--shards") {
+        sizing.shard_counts = list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&s| s > 0)
+            .collect();
+        assert!(
+            !sizing.shard_counts.is_empty(),
+            "--shards parsed to nothing"
+        );
+    }
+
+    println!(
+        "loadgen: workload skewed, seed {seed}, {} ticks, shard counts {:?}, {} workers{}",
+        sizing.ticks,
+        sizing.shard_counts,
+        sizing.workers,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let world_cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&world_cfg);
+    let mut pool = skewed::workload(&db, world_cfg.countries).queries;
+    pool.truncate(sizing.pool);
+    let arrivals = ArrivalProcess::Poisson { rate: sizing.rate };
+    let cfg = SimConfig {
+        ticks: sizing.ticks,
+        seed,
+        workers: sizing.workers,
+        algorithm: algorithm.clone(),
+        demand_window: 2048,
+        repricing_mode: RepricingMode::Incremental,
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    for &shards in &sizing.shard_counts {
+        let r = run_one(
+            &db, &pool, &sizing, shards, &algorithm, seed, &arrivals, &cfg,
+        );
+        let revenue = r.report.total_revenue();
+        let baseline_revenue = r.baseline.total_revenue();
+        let deterministic = revenue.to_bits() == baseline_revenue.to_bits()
+            && r.report.sales() == r.baseline.sales()
+            && r.report.declines() == r.baseline.declines();
+        let hit_rate = if r.cache_hits + r.cache_misses == 0 {
+            0.0
+        } else {
+            r.cache_hits as f64 / (r.cache_hits + r.cache_misses) as f64
+        };
+        println!(
+            "  shards {:>2}: {:>5} quotes  {:>8.0} q/s  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  \
+             cache {:>5.1}%  revenue {:.2}  determinism {}",
+            r.shards,
+            r.report.quotes(),
+            r.report.quotes_per_sec(),
+            percentile_ms(&r.latencies_us, 50.0),
+            percentile_ms(&r.latencies_us, 95.0),
+            percentile_ms(&r.latencies_us, 99.0),
+            100.0 * hit_rate,
+            revenue,
+            if deterministic { "OK" } else { "MISMATCH" }
+        );
+        assert!(
+            deterministic,
+            "revenue determinism check FAILED at {} shards: network {:.17} ({} sales) vs \
+             in-process {:.17} ({} sales)",
+            r.shards,
+            revenue,
+            r.report.sales(),
+            baseline_revenue,
+            r.baseline.sales()
+        );
+
+        let epochs: Vec<String> = r.final_epochs.iter().map(u64::to_string).collect();
+        rows.push(format!(
+            "{{\n      \"shards\": {},\n      \"ticks\": {},\n      \"quotes\": {},\n      \
+             \"sales\": {},\n      \"declines\": {},\n      \"repricings\": {},\n      \
+             \"throughput_qps\": {},\n      \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n      \
+             \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {},\n      \
+             \"final_epochs\": [{}],\n      \"revenue\": {},\n      \"revenue_bits\": {},\n      \
+             \"baseline_revenue\": {},\n      \"baseline_revenue_bits\": {},\n      \
+             \"determinism_ok\": {}\n    }}",
+            r.shards,
+            sizing.ticks,
+            r.report.quotes(),
+            r.report.sales(),
+            r.report.declines(),
+            r.report.repricings.len(),
+            json_f64(r.report.quotes_per_sec()),
+            json_f64(percentile_ms(&r.latencies_us, 50.0)),
+            json_f64(percentile_ms(&r.latencies_us, 95.0)),
+            json_f64(percentile_ms(&r.latencies_us, 99.0)),
+            r.cache_hits,
+            r.cache_misses,
+            json_f64(hit_rate),
+            epochs.join(", "),
+            json_f64(revenue),
+            revenue.to_bits(),
+            json_f64(baseline_revenue),
+            baseline_revenue.to_bits(),
+            deterministic
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"qp_server\",\n  \"workload\": \"skewed\",\n  \"seed\": {},\n  \
+         \"algorithm\": {:?},\n  \"workers\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        seed,
+        algorithm,
+        sizing.workers,
+        rows.join(",\n    ")
+    );
+    std::fs::write(&out_path, json).expect("writing the benchmark artifact");
+    println!(
+        "wrote {out_path}: {} shard counts, every determinism check bit-exact",
+        sizing.shard_counts.len()
+    );
+}

@@ -1,0 +1,82 @@
+//! A standalone quote server over a generated workload.
+//!
+//! Builds `--shards` identically-priced broker replicas for the world/
+//! skewed workload, binds `--addr`, and serves until a `SHUTDOWN` frame
+//! arrives (e.g. `QuoteClient::shutdown_server`) or the process is killed:
+//!
+//! ```bash
+//! cargo run --release -p qp-server --bin serve -- --addr 127.0.0.1:7979 --shards 2
+//! ```
+
+use std::sync::Arc;
+
+use qp_market::{Broker, SupportConfig};
+use qp_server::{QuoteServer, ShardSet};
+use qp_workloads::queries::skewed;
+use qp_workloads::world::{self, WorldConfig};
+use qp_workloads::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    for i in 0..args.len() {
+        if args[i] == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    let shards: usize = arg_value(&args, "--shards")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let support: usize = arg_value(&args, "--support")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let pool_size: usize = arg_value(&args, "--pool")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let algorithm = arg_value(&args, "--algorithm").unwrap_or_else(|| "UIP".to_string());
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    assert!(shards > 0, "--shards must be positive");
+
+    let world_cfg = WorldConfig::at_scale(Scale::Test);
+    let db = world::generate(&world_cfg);
+    let mut pool = skewed::workload(&db, world_cfg.countries).queries;
+    pool.truncate(pool_size);
+    println!(
+        "serve: building {shards} {algorithm} shard(s), support {support}, {} anticipated queries",
+        pool.len()
+    );
+
+    let brokers: Vec<Arc<Broker>> = (0..shards)
+        .map(|_| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Arc::new(
+                Broker::builder(db.clone())
+                    .support_config(SupportConfig::with_size(support))
+                    .algorithm(&algorithm)
+                    .anticipate_all(pool.iter().map(|q| (q.clone(), rng.gen_range(1.0..=50.0))))
+                    .build()
+                    .unwrap_or_else(|e| panic!("broker build failed: {e}")),
+            )
+        })
+        .collect();
+
+    let mut server = QuoteServer::bind(addr.as_str(), ShardSet::new(brokers))
+        .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+    println!(
+        "serving on {} — send a SHUTDOWN frame to stop",
+        server.local_addr()
+    );
+    server.wait();
+    println!("shut down");
+}

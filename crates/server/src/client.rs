@@ -1,0 +1,100 @@
+//! A blocking client for the quote-server protocol: one TCP connection,
+//! strictly request/reply.
+//!
+//! Each method sends one frame and blocks for the matching reply. A typed
+//! [`Response::Error`] from the server surfaces as an
+//! [`io::ErrorKind::Other`] error carrying the server's message; a reply of
+//! the wrong kind (a protocol violation) surfaces as
+//! [`io::ErrorKind::InvalidData`].
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use qp_core::ItemSet;
+use qp_pricing::algorithms::PricingPatch;
+
+use crate::protocol::{read_frame, write_frame, QuoteReply, Request, Response, ShardStats};
+
+/// One client connection to a [`crate::QuoteServer`].
+pub struct QuoteClient {
+    stream: TcpStream,
+}
+
+impl QuoteClient {
+    /// Connects (with `TCP_NODELAY`, since the protocol is small
+    /// request/reply frames on the quoting hot path).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<QuoteClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(QuoteClient { stream })
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let response = Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if let Response::Error { code, message } = &response {
+            return Err(io::Error::other(format!(
+                "server error {code:?}: {message}"
+            )));
+        }
+        Ok(response)
+    }
+
+    fn protocol_violation<T>(got: &Response) -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply {got:?}"),
+        ))
+    }
+
+    /// Quotes a bundle.
+    pub fn quote(&mut self, bundle: &ItemSet) -> io::Result<QuoteReply> {
+        match self.call(&Request::Quote(bundle.clone()))? {
+            Response::Quoted(reply) => Ok(reply),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Settles a quote; returns `(sold, price)` with the price honored as
+    /// quoted.
+    pub fn purchase(&mut self, quote_id: u64, budget: f64, tick: u64) -> io::Result<(bool, f64)> {
+        match self.call(&Request::Purchase {
+            quote_id,
+            budget,
+            tick,
+        })? {
+            Response::Purchased { sold, price } => Ok((sold, price)),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Fetches per-shard serving statistics.
+    pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Applies a pricing patch on every shard; returns the post-patch
+    /// epochs in shard order. When this returns, the new pricing is live:
+    /// quotes issued afterwards are priced (and epoch-tagged) against it.
+    pub fn reprice(&mut self, patch: &PricingPatch) -> io::Result<Vec<u64>> {
+        match self.call(&Request::Reprice(patch.clone()))? {
+            Response::Repriced { epochs } => Ok(epochs),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Asks the server to shut down; returns once the server acknowledges.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Self::protocol_violation(&other),
+        }
+    }
+}

@@ -1,0 +1,730 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Dependency-free by design (std only): every message is one **frame** —
+//! a big-endian `u32` payload length followed by the payload, whose first
+//! byte is the opcode. Integers are big-endian; floats travel as their
+//! IEEE-754 bit patterns (`f64::to_bits`), so prices survive the wire
+//! **bit-exactly** — the revenue-determinism self-check depends on that.
+//! Bundles travel as their canonical bitset blocks
+//! ([`ItemSet::as_blocks`]), least-significant block first.
+//!
+//! The full frame catalogue, byte layouts, and error codes are specified in
+//! `PROTOCOL.md` at the workspace root; this module is the executable form
+//! of that document. Requests and responses are symmetric enums with
+//! `encode`/`decode` pairs, and the round-trip property is pinned by the
+//! tests below.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use qp_core::ItemSet;
+use qp_pricing::algorithms::PricingPatch;
+use qp_pricing::Pricing;
+
+/// Upper bound on a frame payload (16 MiB). A peer announcing more is
+/// answered with [`ErrorCode::Malformed`] and disconnected — it is either
+/// broken or hostile, and `Vec::with_capacity` on its say-so would be a
+/// memory-exhaustion gift.
+pub const MAX_FRAME: usize = 1 << 24;
+
+// Request opcodes.
+const OP_QUOTE: u8 = 0x01;
+const OP_PURCHASE: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_REPRICE: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+// Response opcodes (request opcode | 0x80).
+const OP_QUOTED: u8 = 0x81;
+const OP_PURCHASED: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x83;
+const OP_REPRICED: u8 = 0x84;
+const OP_SHUTDOWN_ACK: u8 = 0x85;
+const OP_ERROR: u8 = 0xFF;
+
+/// Why a peer's bytes could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// The payload continued past the announced structure.
+    TrailingBytes(usize),
+    /// The leading opcode byte is not in the catalogue.
+    UnknownOpcode(u8),
+    /// A tag byte inside the payload (pricing class, patch kind, error
+    /// code) is not in the catalogue.
+    UnknownTag(u8),
+    /// A declared length would exceed [`MAX_FRAME`].
+    Oversized(usize),
+    /// A string field is not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the message"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::UnknownTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            WireError::Oversized(n) => write!(f, "declared length {n} exceeds MAX_FRAME"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Error codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request opcode is not in the catalogue.
+    UnknownOpcode = 1,
+    /// The request payload did not decode.
+    Malformed = 2,
+    /// `PURCHASE` named a quote id the server does not hold (never issued,
+    /// or already settled — quotes are one-shot).
+    UnknownQuote = 3,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Result<ErrorCode, WireError> {
+        match b {
+            1 => Ok(ErrorCode::UnknownOpcode),
+            2 => Ok(ErrorCode::Malformed),
+            3 => Ok(ErrorCode::UnknownQuote),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Quote a bundle (a conflict set as bitset blocks). Answered with
+    /// [`Response::Quoted`].
+    Quote(ItemSet),
+    /// Settle a previously issued quote against a budget. Quotes are
+    /// honored at their quoted price even across repricings, and are
+    /// one-shot: settling consumes the id.
+    Purchase {
+        /// The id returned by the matching `QUOTE`.
+        quote_id: u64,
+        /// The buyer's willingness to pay.
+        budget: f64,
+        /// Simulation tick stamped on the ledger entry (0 outside a
+        /// simulation).
+        tick: u64,
+    },
+    /// Fetch per-shard serving statistics.
+    Stats,
+    /// Apply a pricing patch to **every** shard (each bumps its pricing
+    /// epoch unless the patch is `Keep`). This is the PR 4 incremental
+    /// delta path arriving over the wire.
+    Reprice(PricingPatch),
+    /// Ask the server to stop accepting connections and wind down.
+    Shutdown,
+}
+
+/// One shard's serving counters, as reported by `STATS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// The shard's current pricing epoch.
+    pub epoch: u64,
+    /// Quotes served (cache hits + misses).
+    pub quotes: u64,
+    /// Quotes answered from the epoch-validated cache.
+    pub cache_hits: u64,
+    /// Purchases that closed.
+    pub sales: u64,
+    /// Purchases that were declined.
+    pub declines: u64,
+    /// Revenue realized on this shard.
+    pub revenue: f64,
+}
+
+/// The fields of a successful quote reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuoteReply {
+    /// One-shot id to settle the quote with.
+    pub quote_id: u64,
+    /// The quoted price.
+    pub price: f64,
+    /// The pricing epoch the price belongs to.
+    pub epoch: u64,
+    /// Which shard served it.
+    pub shard: u32,
+    /// Whether the epoch-validated cache answered it.
+    pub cache_hit: bool,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `QUOTE`.
+    Quoted(QuoteReply),
+    /// Answer to `PURCHASE`: whether it sold, at the honored quoted price.
+    Purchased {
+        /// Whether the budget covered the quoted price.
+        sold: bool,
+        /// The (quoted) price the settlement used.
+        price: f64,
+    },
+    /// Answer to `STATS`, one entry per shard in shard order.
+    Stats(Vec<ShardStats>),
+    /// Answer to `REPRICE`: every shard's pricing epoch after the patch.
+    Repriced {
+        /// Post-patch epochs, in shard order.
+        epochs: Vec<u64>,
+    },
+    /// Answer to `SHUTDOWN`.
+    ShutdownAck,
+    /// Any request the server could not honor.
+    Error {
+        /// The machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail (diagnostic only; not stable).
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Frame IO
+// ---------------------------------------------------------------------------
+
+/// Writes one frame: `u32` big-endian payload length, then the payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up between messages); EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::Oversized(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / the payload cursor
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// A bounds-checked reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A declared count of fixed-`width`-byte records, rejected before
+    /// allocation if it could not possibly fit in a legal frame.
+    fn checked_count(&mut self, width: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(width) > MAX_FRAME {
+            return Err(WireError::Oversized(n));
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite codecs: bundles, pricings, patches
+// ---------------------------------------------------------------------------
+
+fn put_bundle(out: &mut Vec<u8>, bundle: &ItemSet) {
+    let blocks = bundle.as_blocks();
+    put_u32(out, blocks.len() as u32);
+    for &b in blocks {
+        put_u64(out, b);
+    }
+}
+
+fn take_bundle(c: &mut Cursor<'_>) -> Result<ItemSet, WireError> {
+    let n = c.checked_count(8)?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(c.u64()?);
+    }
+    // from_blocks re-normalizes, so even a peer that pads with zero blocks
+    // yields the canonical set (hash/route/compare-safe).
+    Ok(ItemSet::from_blocks(blocks))
+}
+
+const PRICING_UNIFORM_BUNDLE: u8 = 0;
+const PRICING_ITEM: u8 = 1;
+const PRICING_XOS: u8 = 2;
+
+fn put_pricing(out: &mut Vec<u8>, pricing: &Pricing) {
+    match pricing {
+        Pricing::UniformBundle { price } => {
+            out.push(PRICING_UNIFORM_BUNDLE);
+            put_f64(out, *price);
+        }
+        Pricing::Item { weights } => {
+            out.push(PRICING_ITEM);
+            put_u32(out, weights.len() as u32);
+            for &w in weights {
+                put_f64(out, w);
+            }
+        }
+        Pricing::Xos { components } => {
+            out.push(PRICING_XOS);
+            put_u32(out, components.len() as u32);
+            for comp in components {
+                put_u32(out, comp.len() as u32);
+                for &w in comp {
+                    put_f64(out, w);
+                }
+            }
+        }
+    }
+}
+
+fn take_pricing(c: &mut Cursor<'_>) -> Result<Pricing, WireError> {
+    match c.u8()? {
+        PRICING_UNIFORM_BUNDLE => Ok(Pricing::UniformBundle { price: c.f64()? }),
+        PRICING_ITEM => {
+            let n = c.checked_count(8)?;
+            let mut weights = Vec::with_capacity(n);
+            for _ in 0..n {
+                weights.push(c.f64()?);
+            }
+            Ok(Pricing::Item { weights })
+        }
+        PRICING_XOS => {
+            let ncomp = c.checked_count(4)?;
+            let mut components = Vec::with_capacity(ncomp);
+            for _ in 0..ncomp {
+                let n = c.checked_count(8)?;
+                let mut comp = Vec::with_capacity(n);
+                for _ in 0..n {
+                    comp.push(c.f64()?);
+                }
+                components.push(comp);
+            }
+            Ok(Pricing::Xos { components })
+        }
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+const PATCH_KEEP: u8 = 0;
+const PATCH_REPLACE: u8 = 1;
+const PATCH_SET_UNIFORM_PRICE: u8 = 2;
+const PATCH_SET_UNIFORM_WEIGHT: u8 = 3;
+
+fn put_patch(out: &mut Vec<u8>, patch: &PricingPatch) {
+    match patch {
+        PricingPatch::Keep => out.push(PATCH_KEEP),
+        PricingPatch::Replace(pricing) => {
+            out.push(PATCH_REPLACE);
+            put_pricing(out, pricing);
+        }
+        PricingPatch::SetUniformPrice(p) => {
+            out.push(PATCH_SET_UNIFORM_PRICE);
+            put_f64(out, *p);
+        }
+        PricingPatch::SetUniformWeight { weight, num_items } => {
+            out.push(PATCH_SET_UNIFORM_WEIGHT);
+            put_f64(out, *weight);
+            put_u64(out, *num_items as u64);
+        }
+    }
+}
+
+fn take_patch(c: &mut Cursor<'_>) -> Result<PricingPatch, WireError> {
+    match c.u8()? {
+        PATCH_KEEP => Ok(PricingPatch::Keep),
+        PATCH_REPLACE => Ok(PricingPatch::Replace(take_pricing(c)?)),
+        PATCH_SET_UNIFORM_PRICE => Ok(PricingPatch::SetUniformPrice(c.f64()?)),
+        PATCH_SET_UNIFORM_WEIGHT => Ok(PricingPatch::SetUniformWeight {
+            weight: c.f64()?,
+            num_items: c.u64()? as usize,
+        }),
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response codecs
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Serializes into a frame payload (opcode byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Quote(bundle) => {
+                out.push(OP_QUOTE);
+                put_bundle(&mut out, bundle);
+            }
+            Request::Purchase {
+                quote_id,
+                budget,
+                tick,
+            } => {
+                out.push(OP_PURCHASE);
+                put_u64(&mut out, *quote_id);
+                put_f64(&mut out, *budget);
+                put_u64(&mut out, *tick);
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Reprice(patch) => {
+                out.push(OP_REPRICE);
+                put_patch(&mut out, patch);
+            }
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            OP_QUOTE => Request::Quote(take_bundle(&mut c)?),
+            OP_PURCHASE => Request::Purchase {
+                quote_id: c.u64()?,
+                budget: c.f64()?,
+                tick: c.u64()?,
+            },
+            OP_STATS => Request::Stats,
+            OP_REPRICE => Request::Reprice(take_patch(&mut c)?),
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a frame payload (opcode byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Quoted(q) => {
+                out.push(OP_QUOTED);
+                put_u64(&mut out, q.quote_id);
+                put_f64(&mut out, q.price);
+                put_u64(&mut out, q.epoch);
+                put_u32(&mut out, q.shard);
+                out.push(u8::from(q.cache_hit));
+            }
+            Response::Purchased { sold, price } => {
+                out.push(OP_PURCHASED);
+                out.push(u8::from(*sold));
+                put_f64(&mut out, *price);
+            }
+            Response::Stats(shards) => {
+                out.push(OP_STATS_REPLY);
+                put_u32(&mut out, shards.len() as u32);
+                for s in shards {
+                    put_u64(&mut out, s.epoch);
+                    put_u64(&mut out, s.quotes);
+                    put_u64(&mut out, s.cache_hits);
+                    put_u64(&mut out, s.sales);
+                    put_u64(&mut out, s.declines);
+                    put_f64(&mut out, s.revenue);
+                }
+            }
+            Response::Repriced { epochs } => {
+                out.push(OP_REPRICED);
+                put_u32(&mut out, epochs.len() as u32);
+                for &e in epochs {
+                    put_u64(&mut out, e);
+                }
+            }
+            Response::ShutdownAck => out.push(OP_SHUTDOWN_ACK),
+            Response::Error { code, message } => {
+                out.push(OP_ERROR);
+                out.push(*code as u8);
+                let bytes = message.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            OP_QUOTED => Response::Quoted(QuoteReply {
+                quote_id: c.u64()?,
+                price: c.f64()?,
+                epoch: c.u64()?,
+                shard: c.u32()?,
+                cache_hit: c.u8()? != 0,
+            }),
+            OP_PURCHASED => Response::Purchased {
+                sold: c.u8()? != 0,
+                price: c.f64()?,
+            },
+            OP_STATS_REPLY => {
+                let n = c.checked_count(48)?;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(ShardStats {
+                        epoch: c.u64()?,
+                        quotes: c.u64()?,
+                        cache_hits: c.u64()?,
+                        sales: c.u64()?,
+                        declines: c.u64()?,
+                        revenue: c.f64()?,
+                    });
+                }
+                Response::Stats(shards)
+            }
+            OP_REPRICED => {
+                let n = c.checked_count(8)?;
+                let mut epochs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    epochs.push(c.u64()?);
+                }
+                Response::Repriced { epochs }
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_ERROR => {
+                let code = ErrorCode::from_byte(c.u8()?)?;
+                let len = c.checked_count(1)?;
+                let message = std::str::from_utf8(c.take(len)?)
+                    .map_err(|_| WireError::BadUtf8)?
+                    .to_string();
+                Response::Error { code, message }
+            }
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let decoded = Request::decode(&req.encode()).expect("decodes");
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let decoded = Response::decode(&resp.encode()).expect("decodes");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip_bit_exactly() {
+        roundtrip_request(Request::Quote([0usize, 63, 64, 200].into_iter().collect()));
+        roundtrip_request(Request::Quote(ItemSet::new()));
+        roundtrip_request(Request::Purchase {
+            quote_id: u64::MAX,
+            budget: 0.1 + 0.2, // a value with a messy bit pattern
+            tick: 77,
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Reprice(PricingPatch::Keep));
+        roundtrip_request(Request::Reprice(PricingPatch::SetUniformPrice(3.25)));
+        roundtrip_request(Request::Reprice(PricingPatch::SetUniformWeight {
+            weight: 0.3333333333333333,
+            num_items: 150,
+        }));
+        roundtrip_request(Request::Reprice(PricingPatch::Replace(Pricing::Xos {
+            components: vec![vec![1.0, 0.0, 2.5], vec![0.1, 0.2, 0.3]],
+        })));
+        roundtrip_request(Request::Reprice(PricingPatch::Replace(Pricing::Item {
+            weights: vec![],
+        })));
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_exactly() {
+        roundtrip_response(Response::Quoted(QuoteReply {
+            quote_id: 9,
+            price: 12.7,
+            epoch: 3,
+            shard: 1,
+            cache_hit: true,
+        }));
+        roundtrip_response(Response::Purchased {
+            sold: false,
+            price: f64::MAX,
+        });
+        roundtrip_response(Response::Stats(vec![
+            ShardStats {
+                epoch: 1,
+                quotes: 100,
+                cache_hits: 40,
+                sales: 30,
+                declines: 25,
+                revenue: 123.456,
+            },
+            ShardStats {
+                epoch: 2,
+                quotes: 0,
+                cache_hits: 0,
+                sales: 0,
+                declines: 0,
+                revenue: 0.0,
+            },
+        ]));
+        roundtrip_response(Response::Repriced {
+            epochs: vec![4, 4, 5],
+        });
+        roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::UnknownQuote,
+            message: "quote 7 unknown".into(),
+        });
+    }
+
+    #[test]
+    fn decoded_bundles_are_canonical_even_when_padded() {
+        let bundle: ItemSet = [5usize, 70].into_iter().collect();
+        // Hand-build a QUOTE whose block vector carries trailing zeros.
+        let mut payload = vec![0x01u8];
+        let mut blocks = bundle.as_blocks().to_vec();
+        blocks.extend([0u64, 0u64]);
+        payload.extend_from_slice(&(blocks.len() as u32).to_be_bytes());
+        for b in blocks {
+            payload.extend_from_slice(&b.to_be_bytes());
+        }
+        match Request::decode(&payload).expect("decodes") {
+            Request::Quote(decoded) => assert_eq!(decoded, bundle),
+            other => panic!("wrong request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_yield_typed_errors() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(
+            Request::decode(&[0x42]),
+            Err(WireError::UnknownOpcode(0x42))
+        );
+        // A QUOTE that announces more blocks than it carries.
+        let mut truncated = vec![0x01u8];
+        truncated.extend_from_slice(&5u32.to_be_bytes());
+        assert_eq!(Request::decode(&truncated), Err(WireError::Truncated));
+        // A count that could never fit a legal frame is rejected before
+        // any allocation happens.
+        let mut oversized = vec![0x01u8];
+        oversized.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            Request::decode(&oversized),
+            Err(WireError::Oversized(_))
+        ));
+        // Trailing garbage after a well-formed message.
+        let mut trailing = Request::Stats.encode();
+        trailing.push(0);
+        assert_eq!(Request::decode(&trailing), Err(WireError::TrailingBytes(1)));
+        // An unknown patch kind.
+        assert_eq!(
+            Request::decode(&[0x04, 0x77]),
+            Err(WireError::UnknownTag(0x77))
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let payloads: Vec<Vec<u8>> = vec![
+            Request::Stats.encode(),
+            Request::Quote([1usize, 2, 3].as_slice().into()).encode(),
+            Vec::new(), // an empty payload is a legal frame
+        ];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut reader = &wire[..];
+        for p in &payloads {
+            assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&p[..]));
+        }
+        // Clean EOF at the frame boundary.
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+        // EOF inside a header is an error, not a clean end.
+        let mut partial = &[0u8, 0][..];
+        assert!(read_frame(&mut partial).is_err());
+        // An oversized announced length is rejected without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut reader = &huge[..];
+        assert!(read_frame(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! The TCP front-end: an accept loop fanning connections across handler
+//! threads, each speaking the frame protocol against the shared
+//! [`ShardSet`].
+//!
+//! The server is deliberately boring: **all** pricing logic lives in the
+//! shard set; a connection handler only decodes a frame, dispatches, and
+//! encodes the reply. Malformed payloads are answered with a typed
+//! [`Response::Error`] rather than a dropped connection, so clients can
+//! tell a protocol bug from a network failure.
+//!
+//! Shutdown is cooperative: a `SHUTDOWN` frame (or [`QuoteServer::shutdown`])
+//! sets a stop flag and wakes the accept loop with a dummy connection.
+//! Handler threads notice the flag at their next idle read timeout and wind
+//! down; in-flight requests always complete.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{write_frame, ErrorCode, QuoteReply, Request, Response, MAX_FRAME};
+use crate::shard::ShardSet;
+
+/// How often an idle handler thread re-checks the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+struct ServerState {
+    shards: ShardSet,
+    stop: AtomicBool,
+}
+
+/// A running quote server: the accept loop runs on its own thread from
+/// `bind` until [`QuoteServer::shutdown`] (or drop).
+pub struct QuoteServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl QuoteServer {
+    /// Binds a listener and starts serving `shards` immediately.
+    ///
+    /// Bind to port 0 to let the OS pick a free port; the actual address is
+    /// available from [`QuoteServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, shards: ShardSet) -> io::Result<QuoteServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            shards,
+            stop: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::Builder::new()
+            .name("qp-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(QuoteServer {
+            addr,
+            state,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard set being served (stats, direct quoting in tests).
+    pub fn shards(&self) -> &ShardSet {
+        &self.state.shards
+    }
+
+    /// Stops accepting connections and joins the accept loop. Idempotent.
+    /// Connection handlers finish their in-flight request and exit at
+    /// their next idle poll.
+    pub fn shutdown(&mut self) {
+        self.state.stop.store(true, Ordering::Release);
+        // Wake the accept loop: a throwaway connection, immediately closed.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (a `SHUTDOWN` frame arrives or
+    /// another thread calls [`QuoteServer::shutdown`]). Used by the
+    /// standalone `serve` binary.
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QuoteServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_state = Arc::clone(&state);
+        // Handlers are detached: they exit on peer EOF or at the first
+        // idle poll after the stop flag is set.
+        let _ = std::thread::Builder::new()
+            .name("qp-server-conn".into())
+            .spawn(move || handle_connection(stream, conn_state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    loop {
+        let payload = match read_frame_idle_aware(&mut stream, &state.stop) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return, // peer EOF, stop flag, or broken pipe
+        };
+        let (response, shutdown) = match Request::decode(&payload) {
+            Ok(request) => dispatch(&state, request),
+            Err(err) => (error_response(&err), false),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if shutdown {
+            state.stop.store(true, Ordering::Release);
+            // Wake the accept loop so it observes the flag.
+            let _ = stream.local_addr().map(TcpStream::connect);
+            return;
+        }
+    }
+}
+
+/// Executes one request against the shard set. Returns the reply and
+/// whether the connection asked the server to shut down.
+fn dispatch(state: &ServerState, request: Request) -> (Response, bool) {
+    match request {
+        Request::Quote(bundle) => {
+            let q = state.shards.quote(&bundle);
+            (
+                Response::Quoted(QuoteReply {
+                    quote_id: q.quote_id,
+                    price: q.price,
+                    epoch: q.epoch,
+                    shard: q.shard as u32,
+                    cache_hit: q.cache_hit,
+                }),
+                false,
+            )
+        }
+        Request::Purchase {
+            quote_id,
+            budget,
+            tick,
+        } => match state.shards.settle(quote_id, budget, tick) {
+            Some((sold, price)) => (Response::Purchased { sold, price }, false),
+            None => (
+                Response::Error {
+                    code: ErrorCode::UnknownQuote,
+                    message: format!("quote {quote_id} was never issued or is already settled"),
+                },
+                false,
+            ),
+        },
+        Request::Stats => (Response::Stats(state.shards.stats()), false),
+        Request::Reprice(patch) => (
+            Response::Repriced {
+                epochs: state.shards.apply_patch(&patch),
+            },
+            false,
+        ),
+        Request::Shutdown => (Response::ShutdownAck, true),
+    }
+}
+
+fn error_response(err: &crate::protocol::WireError) -> Response {
+    use crate::protocol::WireError;
+    let code = match err {
+        WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+        _ => ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        message: err.to_string(),
+    }
+}
+
+/// [`read_frame`] over a stream with a read timeout: timeouts while waiting
+/// for a new frame's first byte poll the stop flag and keep waiting, so an
+/// idle keep-alive connection neither busy-spins nor outlives shutdown.
+/// A timeout *inside* a frame keeps reading — the peer has committed to
+/// sending it.
+fn read_frame_idle_aware(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Vec<u8>>> {
+    // Header, byte by byte so a timeout before the first byte is cleanly
+    // distinguishable from one mid-header.
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if got == 0 && stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame payload",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::QuoteClient;
+    use crate::protocol::read_frame;
+    use qp_core::ItemSet;
+    use qp_market::{Broker, SupportConfig};
+    use qp_pricing::algorithms::PricingPatch;
+    use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
+
+    fn tiny_broker() -> Arc<Broker> {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..10 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        Arc::new(
+            Broker::builder(db)
+                .support_config(SupportConfig::with_size(40))
+                .algorithm("UBP")
+                .anticipate(Query::scan("T"), 30.0)
+                .build()
+                .expect("UBP is registered"),
+        )
+    }
+
+    fn start_server(shards: usize) -> QuoteServer {
+        let set = ShardSet::new((0..shards).map(|_| tiny_broker()).collect());
+        QuoteServer::bind("127.0.0.1:0", set).expect("bind loopback")
+    }
+
+    #[test]
+    fn quote_purchase_stats_roundtrip_over_tcp() {
+        let mut server = start_server(2);
+        let mut client = QuoteClient::connect(server.local_addr()).expect("connect");
+
+        client
+            .reprice(&PricingPatch::SetUniformPrice(5.0))
+            .expect("reprice");
+        let bundle: ItemSet = [0usize, 3].as_slice().into();
+        let q = client.quote(&bundle).expect("quote");
+        assert_eq!(q.price, 5.0);
+        assert!((q.shard as usize) < 2);
+
+        // Repricing between quote and purchase: the quote is honored.
+        let epochs = client
+            .reprice(&PricingPatch::SetUniformPrice(50.0))
+            .expect("reprice");
+        assert_eq!(epochs.len(), 2);
+        let (sold, price) = client.purchase(q.quote_id, 5.0, 3).expect("purchase");
+        assert!(sold);
+        assert_eq!(price, 5.0);
+
+        // One-shot: the second settlement attempt is a typed error.
+        let err = client.purchase(q.quote_id, 5.0, 3).expect_err("consumed");
+        assert!(err.to_string().contains("already settled"), "{err}");
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.sales).sum::<u64>(), 1);
+        let revenue: f64 = stats.iter().map(|s| s.revenue).sum();
+        assert!((revenue - 5.0).abs() < 1e-12);
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_unknown_frames_get_typed_errors_not_hangups() {
+        let mut server = start_server(1);
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+        // Unknown opcode.
+        write_frame(&mut stream, &[0x42u8]).unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // Truncated QUOTE body — the connection survives to serve a good
+        // request afterwards.
+        write_frame(&mut stream, &[0x01u8, 0, 0]).unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("reply");
+        match Response::decode(&reply).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected error, got {other:?}"),
+        }
+        write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("reply");
+        assert!(matches!(
+            Response::decode(&reply).unwrap(),
+            Response::Stats(_)
+        ));
+
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_frame_winds_the_server_down() {
+        let mut server = start_server(1);
+        let addr = server.local_addr();
+        let mut client = QuoteClient::connect(addr).expect("connect");
+        client.shutdown_server().expect("acked");
+        // The accept loop exits; wait() returns rather than blocking
+        // forever.
+        server.wait();
+        // New connections are no longer served (either refused outright or
+        // accepted by the OS backlog and never answered — sending must not
+        // yield a reply).
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = write_frame(&mut s, &Request::Stats.encode());
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            let got_reply = matches!(read_frame(&mut s), Ok(Some(_)));
+            assert!(!got_reply, "a shut-down server must not serve");
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_their_own_answers() {
+        let server = start_server(2);
+        let addr = server.local_addr();
+        server
+            .shards()
+            .apply_patch(&PricingPatch::SetUniformPrice(2.0));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut client = QuoteClient::connect(addr).expect("connect");
+                    let mut bought = 0usize;
+                    for i in 0..25usize {
+                        let bundle: ItemSet = [t, i % 7].as_slice().into();
+                        let q = client.quote(&bundle).expect("quote");
+                        let (sold, price) = client
+                            .purchase(q.quote_id, 2.0, i as u64)
+                            .expect("purchase");
+                        assert_eq!(price.to_bits(), q.price.to_bits());
+                        bought += usize::from(sold);
+                    }
+                    bought
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "uniform price 2 with budget 2 always sells");
+        let stats = server.shards().stats();
+        assert_eq!(stats.iter().map(|s| s.sales).sum::<u64>(), 100);
+    }
+}

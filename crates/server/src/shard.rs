@@ -1,0 +1,448 @@
+//! The sharded quote engine: [`Broker`] replicas behind an epoch-validated
+//! quote cache.
+//!
+//! A [`ShardSet`] owns `k` broker replicas (identically built, identically
+//! priced — repricing patches are broadcast to all of them). Every bundle
+//! is routed to the shard `stable_hash(bundle) mod k`, which spreads load
+//! and gives each bundle **cache affinity**: repeated quotes for the same
+//! bundle hit the same shard's cache and never touch the pricing lock.
+//!
+//! # Cache correctness
+//!
+//! Each cache entry is a `(price, epoch)` pair filled from
+//! [`Broker::versioned_price`], which is atomically consistent (the epoch
+//! is read under the pricing read lock; writers bump it under the write
+//! lock — see the `qp_market::broker` module docs). A hit is served only
+//! when the entry's epoch equals the broker's *current* epoch; since every
+//! observable repricing strictly increases the epoch, a stale entry can
+//! never satisfy that check. The pair served to the client is therefore
+//! always self-consistent: the price is exactly what the pricing at the
+//! claimed epoch assigns the bundle. (The concurrent proof of this lives
+//! in `tests/epoch_races.rs`.)
+//!
+//! Quotes are **one-shot contracts**: [`ShardSet::quote`] registers the
+//! quoted price under a fresh id, and [`ShardSet::settle`] consumes the id
+//! and settles at that price — honored even if the epoch has moved on,
+//! matching `Broker::settle`'s guarantee (and its budget tolerance).
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use qp_core::ItemSet;
+use qp_market::{Broker, RevenueLedger};
+use qp_pricing::algorithms::PricingPatch;
+
+use crate::protocol::ShardStats;
+
+/// Default per-shard cache capacity (entries). When full, the cache is
+/// flushed wholesale rather than evicted piecemeal — bundles follow a
+/// workload's query pool, so the working set either fits or churns.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Budget slack used when settling, mirroring [`Broker::settle`] so the
+/// network path and the in-process path make identical sold/declined calls.
+const BUDGET_EPSILON: f64 = 1e-9;
+
+/// Cap on outstanding (quoted, unsettled) quotes. Quote ids are issued in
+/// increasing order, so when the table is full the **oldest** pending quote
+/// is expired to make room — a peer that quotes without ever purchasing
+/// (a crashed client, or a hostile one) cannot grow server memory without
+/// bound, the same posture `protocol::MAX_FRAME` takes against oversized
+/// frames. Settling an expired id reports `UnknownQuote`.
+pub const MAX_PENDING_QUOTES: usize = 1 << 16;
+
+struct CacheEntry {
+    epoch: u64,
+    price: f64,
+}
+
+struct Shard {
+    broker: Arc<Broker>,
+    cache: Mutex<HashMap<ItemSet, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Server-side sales record. Separate from the broker's own ledger:
+    /// wire purchases settle bundles, not queries, so nothing is evaluated
+    /// on the database here.
+    ledger: Mutex<RevenueLedger>,
+}
+
+/// A served quote: the one-shot id plus everything the wire reply carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardQuote {
+    /// One-shot settlement id.
+    pub quote_id: u64,
+    /// The shard that served (and will settle) the quote.
+    pub shard: usize,
+    /// The quoted price.
+    pub price: f64,
+    /// The pricing epoch the price belongs to.
+    pub epoch: u64,
+    /// Whether the cache answered without touching the pricing lock.
+    pub cache_hit: bool,
+}
+
+struct PendingQuote {
+    shard: usize,
+    price: f64,
+    bundle_len: usize,
+}
+
+/// `k` broker replicas, a router, per-shard epoch-validated caches, and
+/// the outstanding-quote table. The transport-independent core of the
+/// server: the TCP layer only decodes frames into these calls.
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    cache_capacity: usize,
+    next_quote_id: AtomicU64,
+    /// Outstanding quotes by id. A `BTreeMap` because ids are issued in
+    /// increasing order, which makes "expire the oldest" when
+    /// [`MAX_PENDING_QUOTES`] is reached an O(log n) `pop_first`.
+    pending: Mutex<BTreeMap<u64, PendingQuote>>,
+}
+
+impl ShardSet {
+    /// Builds a shard set over broker replicas with the default cache
+    /// capacity. The brokers should be identically built and priced;
+    /// repricing broadcasts keep them in lockstep afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty replica list.
+    pub fn new(brokers: Vec<Arc<Broker>>) -> ShardSet {
+        ShardSet::with_cache_capacity(brokers, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// [`ShardSet::new`] with an explicit per-shard cache capacity
+    /// (0 disables caching: every quote reads the pricing).
+    pub fn with_cache_capacity(brokers: Vec<Arc<Broker>>, cache_capacity: usize) -> ShardSet {
+        assert!(!brokers.is_empty(), "a shard set needs at least one broker");
+        ShardSet {
+            shards: brokers
+                .into_iter()
+                .map(|broker| Shard {
+                    broker,
+                    cache: Mutex::new(HashMap::new()),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    ledger: Mutex::new(RevenueLedger::default()),
+                })
+                .collect(),
+            cache_capacity,
+            next_quote_id: AtomicU64::new(0),
+            pending: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a bundle routes to: `stable_hash(bundle) mod k`, so the
+    /// same bundle lands on the same shard across connections, runs, and
+    /// processes.
+    pub fn route(&self, bundle: &ItemSet) -> usize {
+        (bundle.stable_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// The broker replica behind a shard (tests and embedders).
+    pub fn broker(&self, shard: usize) -> &Arc<Broker> {
+        &self.shards[shard].broker
+    }
+
+    /// Quotes a bundle: routes, serves from the epoch-validated cache when
+    /// possible, and registers a one-shot pending quote at the served
+    /// price.
+    pub fn quote(&self, bundle: &ItemSet) -> ShardQuote {
+        let idx = self.route(bundle);
+        let shard = &self.shards[idx];
+
+        let current_epoch = shard.broker.pricing_epoch();
+        let cached = shard
+            .cache
+            .lock()
+            .get(bundle)
+            .filter(|e| e.epoch == current_epoch)
+            .map(|e| (e.price, e.epoch));
+
+        let (price, epoch, cache_hit) = match cached {
+            Some((price, epoch)) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                (price, epoch, true)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                // The only way a (price, epoch) pair enters the system:
+                // atomically consistent by the broker's contract.
+                let (price, epoch) = shard.broker.versioned_price(bundle);
+                if self.cache_capacity > 0 {
+                    let mut cache = shard.cache.lock();
+                    if cache.len() >= self.cache_capacity && !cache.contains_key(bundle) {
+                        cache.clear();
+                    }
+                    match cache.entry(bundle.clone()) {
+                        Entry::Occupied(mut slot) => {
+                            // Concurrent fills race benignly; keep the
+                            // newest epoch so progress is monotone.
+                            if slot.get().epoch < epoch {
+                                slot.insert(CacheEntry { epoch, price });
+                            }
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert(CacheEntry { epoch, price });
+                        }
+                    }
+                }
+                (price, epoch, false)
+            }
+        };
+
+        let quote_id = self.next_quote_id.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut pending = self.pending.lock();
+            while pending.len() >= MAX_PENDING_QUOTES {
+                pending.pop_first(); // expire the oldest unsettled quote
+            }
+            pending.insert(
+                quote_id,
+                PendingQuote {
+                    shard: idx,
+                    price,
+                    bundle_len: bundle.len(),
+                },
+            );
+        }
+        ShardQuote {
+            quote_id,
+            shard: idx,
+            price,
+            epoch,
+            cache_hit,
+        }
+    }
+
+    /// Settles a pending quote at its quoted price: sold if the budget
+    /// covers it, declined otherwise, recorded in the serving shard's
+    /// ledger at `tick`. Returns `None` for an id the set does not hold
+    /// (never issued, or already settled — ids are one-shot).
+    pub fn settle(&self, quote_id: u64, budget: f64, tick: u64) -> Option<(bool, f64)> {
+        let pending = self.pending.lock().remove(&quote_id)?;
+        let shard = &self.shards[pending.shard];
+        let sold = pending.price <= budget + BUDGET_EPSILON;
+        let mut ledger = shard.ledger.lock();
+        if sold {
+            ledger.record_at(pending.bundle_len, pending.price, tick);
+        } else {
+            ledger.record_decline(pending.price);
+        }
+        Some((sold, pending.price))
+    }
+
+    /// Broadcasts a pricing patch to every shard and returns the post-patch
+    /// epochs in shard order. Each non-`Keep` patch bumps the shard's epoch
+    /// under its pricing write lock, instantly invalidating that shard's
+    /// whole cache (entries carry the old epoch).
+    pub fn apply_patch(&self, patch: &PricingPatch) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.broker.apply_delta(patch);
+                s.broker.pricing_epoch()
+            })
+            .collect()
+    }
+
+    /// Per-shard serving statistics, in shard order.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let ledger = s.ledger.lock();
+                // Load each counter exactly once: deriving `quotes` from
+                // two loads of `hits` could report cache_hits > quotes
+                // under concurrent quoting.
+                let hits = s.hits.load(Ordering::Relaxed);
+                let misses = s.misses.load(Ordering::Relaxed);
+                ShardStats {
+                    epoch: s.broker.pricing_epoch(),
+                    quotes: hits + misses,
+                    cache_hits: hits,
+                    sales: ledger.len() as u64,
+                    declines: ledger.declined_count() as u64,
+                    revenue: ledger.total(),
+                }
+            })
+            .collect()
+    }
+
+    /// Quotes issued but not yet settled.
+    pub fn pending_quotes(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_market::SupportConfig;
+    use qp_pricing::Pricing;
+    use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
+
+    fn tiny_broker() -> Arc<Broker> {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..10 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        Arc::new(
+            Broker::builder(db)
+                .support_config(SupportConfig::with_size(40))
+                .algorithm("UBP")
+                .anticipate(Query::scan("T"), 30.0)
+                .build()
+                .expect("UBP is registered"),
+        )
+    }
+
+    fn shard_set(shards: usize) -> ShardSet {
+        ShardSet::new((0..shards).map(|_| tiny_broker()).collect())
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let set = shard_set(3);
+        for i in 0..50usize {
+            let bundle: ItemSet = [i, i + 3].as_slice().into();
+            let shard = set.route(&bundle);
+            assert!(shard < 3);
+            assert_eq!(shard, set.route(&bundle.clone()));
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_first_quote_and_invalidates_on_epoch_bump() {
+        let set = shard_set(2);
+        let bundle: ItemSet = [1usize, 4].as_slice().into();
+        let first = set.quote(&bundle);
+        assert!(!first.cache_hit, "cold cache must miss");
+        let second = set.quote(&bundle);
+        assert!(second.cache_hit, "warm cache must hit");
+        assert_eq!(second.price.to_bits(), first.price.to_bits());
+        assert_eq!(second.epoch, first.epoch);
+
+        // An epoch bump invalidates every cached entry on the patched
+        // shards...
+        set.apply_patch(&PricingPatch::SetUniformPrice(123.0));
+        let after = set.quote(&bundle);
+        assert!(!after.cache_hit, "stale entry must not be served");
+        assert_eq!(after.price, 123.0);
+        assert_eq!(after.epoch, first.epoch + 1);
+        // ...but a Keep patch bumps nothing and the refill keeps serving.
+        set.apply_patch(&PricingPatch::Keep);
+        assert!(set.quote(&bundle).cache_hit);
+    }
+
+    #[test]
+    fn quotes_are_one_shot_and_settle_at_the_quoted_price() {
+        let set = shard_set(1);
+        set.apply_patch(&PricingPatch::SetUniformPrice(10.0));
+        let bundle: ItemSet = [0usize, 2].as_slice().into();
+        let q = set.quote(&bundle);
+        assert_eq!(set.pending_quotes(), 1);
+
+        // Reprice between quote and purchase: the quote is honored.
+        set.apply_patch(&PricingPatch::SetUniformPrice(99.0));
+        let (sold, price) = set.settle(q.quote_id, 10.0, 5).expect("pending");
+        assert!(sold, "budget exactly covers the quoted price");
+        assert_eq!(price, 10.0);
+        assert_eq!(set.pending_quotes(), 0);
+        // The id is consumed.
+        assert_eq!(set.settle(q.quote_id, 100.0, 5), None);
+
+        // A decline records forgone revenue, not a sale.
+        let q2 = set.quote(&bundle);
+        let (sold2, price2) = set.settle(q2.quote_id, 1.0, 6).expect("pending");
+        assert!(!sold2);
+        assert_eq!(price2, 99.0);
+
+        let stats = set.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].sales, 1);
+        assert_eq!(stats[0].declines, 1);
+        assert_eq!(stats[0].quotes, 2);
+        assert!((stats[0].revenue - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_caches_flush_and_keep_serving_correctly() {
+        let brokers = vec![tiny_broker()];
+        let set = ShardSet::with_cache_capacity(brokers, 4);
+        // More distinct bundles than capacity: the cache flushes but every
+        // quote still matches the direct pricing read.
+        for round in 0..3 {
+            for i in 0..10usize {
+                let bundle: ItemSet = [i].as_slice().into();
+                let q = set.quote(&bundle);
+                let (expect, _) = set.broker(0).versioned_price(&bundle);
+                assert_eq!(
+                    q.price.to_bits(),
+                    expect.to_bits(),
+                    "round {round} bundle {i}"
+                );
+            }
+        }
+        // Capacity 0 disables caching entirely.
+        let uncached = ShardSet::with_cache_capacity(vec![tiny_broker()], 0);
+        let b: ItemSet = [1usize].as_slice().into();
+        uncached.quote(&b);
+        assert!(!uncached.quote(&b).cache_hit);
+    }
+
+    #[test]
+    fn pending_quotes_are_bounded_by_expiring_the_oldest() {
+        let set = shard_set(1);
+        let bundle: ItemSet = [0usize, 2].as_slice().into();
+        let first = set.quote(&bundle);
+        // Fill the table past the cap: the earliest quote is expired.
+        let mut last = first;
+        for _ in 0..MAX_PENDING_QUOTES {
+            last = set.quote(&bundle);
+        }
+        assert_eq!(set.pending_quotes(), MAX_PENDING_QUOTES);
+        assert_eq!(
+            set.settle(first.quote_id, 1e9, 0),
+            None,
+            "the oldest quote must have been expired"
+        );
+        assert!(
+            set.settle(last.quote_id, 1e9, 0).is_some(),
+            "recent quotes survive"
+        );
+    }
+
+    #[test]
+    fn patches_broadcast_to_every_shard() {
+        let set = shard_set(3);
+        let before: Vec<u64> = (0..3).map(|i| set.broker(i).pricing_epoch()).collect();
+        let epochs = set.apply_patch(&PricingPatch::Replace(Pricing::UniformBundle {
+            price: 7.0,
+        }));
+        assert_eq!(epochs.len(), 3);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(*e, before[i] + 1);
+            let bundle: ItemSet = [i].as_slice().into();
+            let (price, _) = set.broker(i).versioned_price(&bundle);
+            assert_eq!(price, 7.0);
+        }
+    }
+}

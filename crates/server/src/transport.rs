@@ -1,0 +1,222 @@
+//! The network [`SettleTransport`]: `qp-sim`'s event loop driven over the
+//! wire.
+//!
+//! [`NetTransport`] implements the transport boundary the simulator's
+//! engine was factored around (`qp_sim::driver`): each worker thread gets
+//! its own TCP connection ([`NetWorker`]), buyers' queries are resolved to
+//! their **precomputed** conflict-set bundles through a [`BundleTable`]
+//! (the server prices bundles, not queries), and live repricings travel as
+//! `REPRICE` frames on a dedicated admin connection — acknowledged before
+//! the engine proceeds, so pricing changes land on tick boundaries exactly
+//! as they do in-process.
+//!
+//! Because the engine samples everything on the coordinating thread and
+//! aggregates in arrival order, a run over this transport must report
+//! **bit-identical revenue** to an in-process run with the same seed
+//! against an identically built broker — the determinism self-check the
+//! `loadgen` binary performs on every invocation.
+//!
+//! Workers panic on I/O errors: this transport exists for load generation
+//! and self-checks, where a lost connection invalidates the run.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use qp_core::ItemSet;
+use qp_market::Broker;
+use qp_pricing::algorithms::PricingPatch;
+use qp_pricing::Pricing;
+use qp_sim::driver::{SettleTransport, SettleWorker, SettledQuote};
+use qp_sim::{Buyer, Population};
+
+use crate::client::QuoteClient;
+
+/// Conflict-set bundles for every query a schedule can sample, indexed
+/// `[phase][segment][query]` — the shape of [`Buyer`]'s indices.
+pub struct BundleTable {
+    phases: Vec<Vec<Vec<ItemSet>>>,
+    num_items: usize,
+}
+
+impl BundleTable {
+    /// Precomputes the conflict set of every query in every phase of a
+    /// schedule against `broker`'s support. The broker only lends its
+    /// conflict engine here; its pricing is never read.
+    pub fn for_schedule(broker: &Broker, schedule: &[(u64, Population)]) -> BundleTable {
+        let phases = schedule
+            .iter()
+            .map(|(_, population)| {
+                population
+                    .segments()
+                    .iter()
+                    .map(|segment| {
+                        segment
+                            .queries
+                            .iter()
+                            .map(|q| broker.conflict_set(q))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        BundleTable {
+            phases,
+            num_items: broker.support().len(),
+        }
+    }
+
+    /// The bundle for a sampled buyer in a schedule phase.
+    pub fn bundle(&self, phase: usize, buyer: &Buyer) -> &ItemSet {
+        &self.phases[phase][buyer.segment][buyer.query]
+    }
+
+    /// Number of support items the bundles index into.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+}
+
+/// The engine-facing network transport: hands each fan-out thread a
+/// dedicated connection and broadcasts repricings over an admin connection.
+///
+/// Connections are pooled: the engine requests one worker per fan-out
+/// thread **per tick**, so workers check their connection back in on drop
+/// and the next tick's workers reuse it — connection setup happens once
+/// per concurrent thread, not once per tick, and the timed run measures
+/// quoting rather than TCP handshakes. A worker that panics mid-request
+/// drops its connection instead (the stream may carry a half-read reply).
+pub struct NetTransport {
+    addr: SocketAddr,
+    bundles: Arc<BundleTable>,
+    admin: Mutex<QuoteClient>,
+    /// Checked-in idle connections, reused across ticks.
+    idle: Arc<Mutex<Vec<QuoteClient>>>,
+    /// Round-trip latency samples (µs), one per settled quote (QUOTE +
+    /// PURCHASE), flushed in by workers as they drop.
+    latencies_us: Arc<Mutex<Vec<u64>>>,
+}
+
+impl NetTransport {
+    /// Connects the admin channel to a running server.
+    pub fn connect(addr: SocketAddr, bundles: BundleTable) -> std::io::Result<NetTransport> {
+        Ok(NetTransport {
+            addr,
+            bundles: Arc::new(bundles),
+            admin: Mutex::new(QuoteClient::connect(addr)?),
+            idle: Arc::new(Mutex::new(Vec::new())),
+            latencies_us: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Drains the collected per-request latency samples (µs). Workers
+    /// flush on drop, so call this after the run's fan-outs have joined
+    /// (i.e. after `run_with` returns).
+    pub fn take_latencies_us(&self) -> Vec<u64> {
+        std::mem::take(&mut self.latencies_us.lock())
+    }
+
+    /// Borrows the admin connection (e.g. for a final `STATS`).
+    pub fn admin(&self) -> parking_lot::MutexGuard<'_, QuoteClient> {
+        self.admin.lock()
+    }
+}
+
+impl SettleTransport for NetTransport {
+    type Worker = NetWorker;
+
+    fn worker(&self) -> NetWorker {
+        let client = self
+            .idle
+            .lock()
+            .pop()
+            .map(Ok)
+            .unwrap_or_else(|| QuoteClient::connect(self.addr))
+            .expect("loadgen worker connect");
+        NetWorker {
+            client: Some(client),
+            pool: Arc::clone(&self.idle),
+            bundles: Arc::clone(&self.bundles),
+            samples: Vec::new(),
+            sink: Arc::clone(&self.latencies_us),
+        }
+    }
+
+    fn install_pricing(&self, pricing: Pricing) {
+        self.apply_patch(&PricingPatch::Replace(pricing));
+    }
+
+    fn apply_patch(&self, patch: &PricingPatch) {
+        // The reply is awaited, so the patch is live on every shard before
+        // the engine issues the next tick's quotes.
+        self.admin
+            .lock()
+            .reprice(patch)
+            .expect("loadgen repricing frame");
+    }
+
+    fn num_items(&self) -> usize {
+        self.bundles.num_items()
+    }
+}
+
+/// One worker thread's connection (checked out of the transport's pool):
+/// quotes the buyer's precomputed bundle and settles at the quoted price,
+/// timing the round trip.
+pub struct NetWorker {
+    /// `Some` until drop; taken there so the connection can be returned to
+    /// the pool (or discarded on panic).
+    client: Option<QuoteClient>,
+    pool: Arc<Mutex<Vec<QuoteClient>>>,
+    bundles: Arc<BundleTable>,
+    samples: Vec<u64>,
+    sink: Arc<Mutex<Vec<u64>>>,
+}
+
+impl SettleWorker for NetWorker {
+    fn quote_and_settle(
+        &mut self,
+        _population: &Population,
+        phase: usize,
+        buyer: &Buyer,
+        tick: u64,
+    ) -> SettledQuote {
+        let client = self.client.as_mut().expect("live until drop");
+        let bundle = self.bundles.bundle(phase, buyer).clone();
+        let started = Instant::now();
+        let quote = client.quote(&bundle).expect("loadgen quote");
+        let (sold, price) = client
+            .purchase(quote.quote_id, buyer.budget, tick)
+            .expect("loadgen purchase");
+        self.samples.push(started.elapsed().as_micros() as u64);
+        debug_assert_eq!(
+            price.to_bits(),
+            quote.price.to_bits(),
+            "the server must honor the quoted price"
+        );
+        SettledQuote {
+            sold,
+            price,
+            budget: buyer.budget,
+            conflict_set: bundle,
+        }
+    }
+}
+
+impl Drop for NetWorker {
+    fn drop(&mut self) {
+        if !self.samples.is_empty() {
+            self.sink.lock().append(&mut self.samples);
+        }
+        // Check the connection back in for the next tick's workers —
+        // unless this thread is unwinding, in which case the stream may
+        // hold a half-finished exchange and must not be reused.
+        if !std::thread::panicking() {
+            if let Some(client) = self.client.take() {
+                self.pool.lock().push(client);
+            }
+        }
+    }
+}

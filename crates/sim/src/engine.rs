@@ -7,11 +7,13 @@
 //!    population (schedules may shift populations mid-run) samples each
 //!    buyer's segment, query, and budget. All randomness happens here, on
 //!    the coordinating thread, from one seeded RNG.
-//! 2. The buyers fan out across scoped **worker threads**, each quoting
-//!    against the shared broker and settling at the quoted price — the
-//!    concurrent read traffic the broker's `RwLock`ed pricing exists for.
-//!    Workers claim buyers from a work ledger and write outcomes back by
-//!    arrival index.
+//! 2. The buyers fan out across scoped **worker threads** through the
+//!    transport-agnostic settle driver ([`crate::driver`]), each quoting
+//!    and settling at the quoted price — against the shared broker
+//!    in-process (the concurrent read traffic the broker's `RwLock`ed
+//!    pricing exists for), or against a remote shard set when the
+//!    transport is `qp-server`'s network client. Workers claim buyers from
+//!    a work ledger and write outcomes back by arrival index.
 //! 3. The coordinator folds outcomes **in arrival order** into the tick's
 //!    statistics, so revenue totals are bit-identical for a fixed seed no
 //!    matter how the workers interleaved.
@@ -37,12 +39,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use qp_core::ItemSet;
-use qp_market::{Broker, PurchaseOutcome};
+use qp_market::Broker;
 use qp_pricing::algorithms::{self, Repricer};
 use qp_workloads::arrivals::ArrivalProcess;
 
 use crate::demand::DemandWindow;
+use crate::driver::{self, BrokerTransport, SettleTransport};
 use crate::metrics::{RepricingEvent, SimReport, TickStats};
 use crate::population::{Buyer, Population};
 use crate::repricing::RepricingPolicy;
@@ -95,16 +97,8 @@ impl Default for SimConfig {
     }
 }
 
-/// One settled quote, in arrival order.
-struct Settled {
-    sold: bool,
-    price: f64,
-    /// The buyer's bid — the engine's demand observation for repricing.
-    budget: f64,
-    conflict_set: ItemSet,
-}
-
-/// Runs a simulation against a live broker.
+/// Runs a simulation against a live broker — the in-process
+/// [`BrokerTransport`] instantiation of [`run_with`].
 ///
 /// `schedule` is a list of `(from_tick, population)` phases sorted by start
 /// tick; the first phase must start at tick 0. A single-population run is
@@ -117,6 +111,29 @@ struct Settled {
 /// registry — configuration errors a simulation must fail loudly on.
 pub fn run(
     broker: &Broker,
+    schedule: &[(u64, Population)],
+    arrivals: &ArrivalProcess,
+    policy: &mut dyn RepricingPolicy,
+    cfg: &SimConfig,
+) -> SimReport {
+    run_with(&BrokerTransport { broker }, schedule, arrivals, policy, cfg)
+}
+
+/// Runs a simulation against any [`SettleTransport`] — the same seeded
+/// event loop whether quotes are answered by an in-process broker or a
+/// remote shard set over the wire.
+///
+/// All sampling happens on this (the coordinating) thread from one seeded
+/// RNG; the transport only answers quotes and applies repricings, so two
+/// transports fronting the same pricing state produce **bit-identical
+/// revenue** for the same seed. `qp-server`'s loadgen leans on exactly this
+/// to check its network path against an in-process baseline.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_with<T: SettleTransport>(
+    transport: &T,
     schedule: &[(u64, Population)],
     arrivals: &ArrivalProcess,
     policy: &mut dyn RepricingPolicy,
@@ -146,17 +163,18 @@ pub fn run(
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut repricer = Repricer::new(algo);
-    let mut window = DemandWindow::new(broker.support().len(), cfg.demand_window);
+    let mut window = DemandWindow::new(transport.num_items(), cfg.demand_window);
     let mut ticks = Vec::with_capacity(cfg.ticks as usize);
     let mut repricings = Vec::new();
     let started = Instant::now();
 
     for tick in 0..cfg.ticks {
-        let population = active_population(schedule, tick);
+        let phase = active_phase(schedule, tick);
+        let population = &schedule[phase].1;
         let n = arrivals.arrivals_at(tick, &mut rng);
         let buyers: Vec<Buyer> = (0..n).map(|_| population.sample(&mut rng)).collect();
 
-        let outcomes = settle_batch(broker, population, &buyers, tick, workers);
+        let outcomes = driver::settle_batch(transport, population, phase, &buyers, tick, workers);
 
         let mut stats = TickStats {
             tick,
@@ -182,12 +200,12 @@ pub fn run(
                 RepricingMode::Incremental => {
                     let (demand, ops) = window.flush();
                     let (_, patch) = repricer.reprice(demand, &ops);
-                    broker.apply_delta(&patch);
+                    transport.apply_patch(&patch);
                 }
                 RepricingMode::FullRebuild => {
                     window.flush();
                     let demand = window.rebuild_in_arrival_order();
-                    broker.set_pricing(repricer.run_full(&demand).pricing);
+                    transport.install_pricing(repricer.run_full(&demand).pricing);
                 }
             }
             repricings.push(RepricingEvent {
@@ -212,54 +230,18 @@ pub fn run(
     }
 }
 
-/// The schedule phase governing `tick`: the last entry whose start is not
-/// after it.
-fn active_population(schedule: &[(u64, Population)], tick: u64) -> &Population {
-    let mut current = &schedule[0].1;
-    for (start, pop) in schedule {
+/// The index of the schedule phase governing `tick`: the last entry whose
+/// start is not after it.
+fn active_phase(schedule: &[(u64, Population)], tick: u64) -> usize {
+    let mut current = 0;
+    for (i, (start, _)) in schedule.iter().enumerate() {
         if *start <= tick {
-            current = pop;
+            current = i;
         } else {
             break;
         }
     }
     current
-}
-
-/// Quotes and settles a tick's buyers, fanning them across `workers` scoped
-/// threads through [`qp_market::claim_map`]. Outcomes land at the buyer's
-/// arrival index, so callers aggregate in a thread-independent order.
-fn settle_batch(
-    broker: &Broker,
-    population: &Population,
-    buyers: &[Buyer],
-    tick: u64,
-    workers: usize,
-) -> Vec<Settled> {
-    qp_market::claim_map(
-        buyers,
-        workers,
-        || (),
-        |(), buyer| settle_one(broker, population, buyer, tick),
-    )
-}
-
-/// Quotes one buyer's query against the live pricing and settles at the
-/// quoted price. A query that fails to evaluate counts as a failed sale.
-fn settle_one(broker: &Broker, population: &Population, buyer: &Buyer, tick: u64) -> Settled {
-    let query = population.query(buyer);
-    let quote = broker.quote(query);
-    let price = quote.price;
-    let sold = matches!(
-        broker.settle(&quote, query, buyer.budget, tick),
-        Ok(PurchaseOutcome::Sold { .. })
-    );
-    Settled {
-        sold,
-        price,
-        budget: buyer.budget,
-        conflict_set: quote.conflict_set,
-    }
 }
 
 #[cfg(test)]

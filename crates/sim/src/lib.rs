@@ -22,6 +22,11 @@
 //! * [`demand`] — the sliding [`DemandWindow`]: observed quotes accumulate
 //!   a `HypergraphDelta` between repricings and apply to one live demand
 //!   hypergraph in O(|delta|), instead of rebuilding it from scratch.
+//! * [`driver`] — the transport-agnostic settle fan-out: the
+//!   [`driver::SettleTransport`] boundary between the event loop and
+//!   whatever answers quotes (the in-process broker here; `qp-server`'s
+//!   TCP client in the serving layer), plus the arrival-order
+//!   [`driver::settle_batch`] used by both.
 //! * [`engine`] — the seeded, deterministic event loop: per-tick sampling on
 //!   the coordinator, concurrent quote-and-settle across scoped workers,
 //!   arrival-order aggregation (same seed ⇒ bit-identical revenue,
@@ -37,6 +42,7 @@
 //!   (revenue-over-time, conversion rate, quotes/sec, repricing latency).
 
 pub mod demand;
+pub mod driver;
 pub mod engine;
 pub mod metrics;
 pub mod population;
@@ -44,7 +50,8 @@ pub mod repricing;
 pub mod scenario;
 
 pub use demand::DemandWindow;
-pub use engine::{run, RepricingMode, SimConfig};
+pub use driver::{settle_batch, BrokerTransport, SettleTransport, SettleWorker, SettledQuote};
+pub use engine::{run, run_with, RepricingMode, SimConfig};
 pub use metrics::{bench_json, RepricingEvent, SimReport, TickStats};
 pub use population::{BudgetModel, Buyer, BuyerSegment, Population};
 pub use repricing::{EveryNTicks, Never, OnConversionDrift, RepricingPolicy};

@@ -22,10 +22,15 @@
 //!   workloads of the paper, buyer-valuation models, and buyer arrival
 //!   processes.
 //! * [`sim`] — the discrete-event market simulator: buyer populations,
-//!   tick-based arrivals, concurrent quote-and-settle against a live
-//!   broker, pluggable live-repricing policies, and the four-scenario
-//!   library (`steady_state`, `flash_crowd`, `shifting_demand`,
-//!   `arbitrage_probe`).
+//!   tick-based arrivals, concurrent quote-and-settle through the
+//!   transport-agnostic settle driver, pluggable live-repricing policies,
+//!   and the four-scenario library (`steady_state`, `flash_crowd`,
+//!   `shifting_demand`, `arbitrage_probe`).
+//! * [`server`] — the sharded TCP quote-serving front-end: a
+//!   length-prefixed binary protocol (`QUOTE`/`PURCHASE`/`STATS`/
+//!   `REPRICE`, see `PROTOCOL.md`), broker replicas routed by bundle hash,
+//!   per-shard quote caches invalidated by the broker's pricing epoch, and
+//!   the `loadgen`/`serve` binaries.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +71,7 @@ pub use qp_market as market;
 pub use qp_pricing as pricing;
 pub use qp_pricing::algorithms::PricingAlgorithm;
 pub use qp_qdb as qdb;
+pub use qp_server as server;
 pub use qp_sim as sim;
 pub use qp_workloads as workloads;
 
