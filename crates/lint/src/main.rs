@@ -1,0 +1,43 @@
+//! `qp-lint` CLI — run the repo-specific lint rules over the workspace.
+//!
+//! ```text
+//! qp-lint            # lint crates/*/src under the current directory
+//! qp-lint PATH       # lint a workspace rooted at PATH
+//! ```
+//!
+//! Prints one `path:line: [rule] message` per violation and exits
+//! non-zero if any fired. See the library docs for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "qp-lint: {} has no crates/ directory (run from the workspace root or pass it)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match qp_lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("qp-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("qp-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("qp-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

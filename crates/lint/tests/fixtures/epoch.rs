@@ -1,0 +1,27 @@
+//! Fixture: epoch-outside-lock rule (linted once as broker.rs, once as a
+//! non-broker path). As broker.rs: violations on lines 8, 21. As any other
+//! file: every epoch mutation fires (lines 8, 17, 21).
+
+use parking_lot::atomic::{AtomicU64, Ordering};
+
+fn bump_unlocked(epoch: &AtomicU64) {
+    epoch.fetch_add(1, Ordering::SeqCst); // VIOLATION: no write lock in scope
+}
+
+struct Broker;
+
+impl Broker {
+    fn set_pricing(&self, epoch: &AtomicU64, pricing: &parking_lot::RwLock<u64>) {
+        let mut guard = pricing.write();
+        *guard += 1;
+        epoch.fetch_add(1, Ordering::SeqCst); // allowed in broker.rs: after pricing.write()
+    }
+
+    fn reset(&self, epoch: &AtomicU64) {
+        epoch.store(0, Ordering::SeqCst); // VIOLATION: mutation without the write lock
+    }
+
+    fn observe(&self, epoch: &AtomicU64) -> u64 {
+        epoch.load(Ordering::SeqCst) // allowed: loads are not mutations
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: float-eq rule. Seeded violations on lines 4, 12.
+
+fn f(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        // VIOLATION above: naked float ==
+        return false;
+    }
+    if x.to_bits() == y.to_bits() {
+        // allowed: bitwise comparison
+        return true;
+    }
+    x != 1.5 // VIOLATION: naked float !=
+}
+
+fn g(x: f64, n: usize) -> bool {
+    // float-eq: exact sentinel comparison — 0.0 is assigned, never computed.
+    let zeroed = x == 0.0; // allowed: justified above
+    let exact = x == 2.0; // float-eq: powers of two are exact in f64
+    zeroed && exact && n == 0 // allowed: integer comparison
+}

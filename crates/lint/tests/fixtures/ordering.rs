@@ -1,0 +1,17 @@
+//! Fixture: ordering-comment rule. Seeded violations on lines 8, 16.
+
+use parking_lot::atomic::{AtomicU64, Ordering};
+
+fn f(a: &AtomicU64) -> u64 {
+    a.load(Ordering::SeqCst); // allowed: SeqCst needs no justification
+    a.fetch_add(1, Ordering::SeqCst);
+    a.load(Ordering::Relaxed) // VIOLATION: unjustified Relaxed
+}
+
+fn g(a: &AtomicU64) {
+    // ordering: Relaxed — a statistics counter, no ordering required.
+    a.fetch_add(1, Ordering::Relaxed); // allowed: justified above
+    a.store(0, Ordering::Release); // ordering: Release pairs with h()'s Acquire
+    let _ = std::cmp::Ordering::Less; // allowed: cmp::Ordering, not atomics
+    a.store(1, Ordering::Release); // VIOLATION: unjustified Release
+}

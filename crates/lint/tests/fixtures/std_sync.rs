@@ -1,0 +1,24 @@
+//! Fixture: std-sync rule. Seeded violations on lines 4, 5, 6, 13.
+
+use std::sync::Arc; // allowed: Arc is not a synchronization primitive
+use std::sync::Mutex; // VIOLATION: direct std::sync::Mutex
+use std::sync::{Arc as A2, RwLock}; // VIOLATION: RwLock via import list
+use std::sync::atomic::{AtomicU64, Ordering}; // VIOLATION: atomic module
+
+fn quiet() {
+    // A string mentioning std::sync::Mutex must not fire:
+    let _s = "std::sync::Mutex";
+    // Neither must a comment: std::sync::RwLock
+    let _a: Arc<u32> = Arc::new(1);
+    let _m = std::sync::Condvar::new(); // VIOLATION: Condvar
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex; // allowed: test code is exempt
+
+    #[test]
+    fn t() {
+        let _ = Mutex::new(0);
+    }
+}

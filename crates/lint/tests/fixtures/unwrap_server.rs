@@ -1,0 +1,19 @@
+//! Fixture: unwrap-in-server rule (linted as a crates/server/src path).
+//! Seeded violations on lines 6, 7.
+
+fn handle(req: Option<u32>) -> u32 {
+    let head = req.unwrap_or(0); // allowed: unwrap_or is not unwrap
+    let a = req.unwrap(); // VIOLATION: unwrap on a request path
+    let b = req.expect("missing request"); // VIOLATION: expect on a request path
+    // A comment about .unwrap() must not fire, nor a string:
+    let _doc = ".unwrap()";
+    head + a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1u32).unwrap(); // allowed: test code is exempt
+    }
+}

@@ -114,6 +114,8 @@ impl Tableau {
                 continue;
             }
             let cb = c.get(self.basis[r]).copied().unwrap_or(0.0);
+            // float-eq: exact-zero skip of untouched objective entries;
+            // cb is copied, never computed, so 0.0 compares exactly.
             if cb == 0.0 {
                 continue;
             }

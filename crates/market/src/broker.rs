@@ -41,8 +41,31 @@
 //!    honored at its quoted price ([`Broker::settle`]) even if the epoch
 //!    has moved on. Invalidation applies to caches, not to contracts with
 //!    buyers.
+//!
+//! # Lock-order and epoch discipline (machine-checked)
+//!
+//! The rules this module relies on — verified by the `qp-verify` model
+//! checker (`cargo run --release -p qp-verify`, models `no-stale-quote`
+//! and `rw-atomicity`) and enforced going forward by `qp-lint`:
+//!
+//! * **The epoch moves only inside the pricing write-lock critical
+//!   section** (`set_pricing` / `apply_delta`). Bumping it anywhere else
+//!   reopens the stale-quote race the checker's seeded-bug model
+//!   demonstrates (lint rule `epoch-outside-lock`).
+//! * **Epoch reads that tag a price must happen under the pricing read
+//!   lock** — that is what makes `versioned_price`'s pair consistent.
+//!   A bare `pricing_epoch()` is only a freshness hint.
+//! * **Lock order**: the pricing lock is a leaf — no other lock in this
+//!   crate is acquired while it is held. Callers layering caches on top
+//!   (e.g. `qp-server`'s shards) must release their cache locks before
+//!   calling into the broker, or take them strictly after the broker call
+//!   returns.
+//! * **Synchronization goes through the `parking_lot` facade** (including
+//!   its `atomic` module), never `std::sync` directly, so
+//!   `--cfg qp_verify` builds can interpose the checker's instrumented
+//!   shims on production code (lint rule `std-sync`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
@@ -371,6 +394,9 @@ impl Broker {
         *installed = pricing;
         // Bumped while the write lock is held: no reader can observe the
         // new pricing with the old epoch (or vice versa).
+        // ordering: Release — pairs with the Acquire loads in
+        // pricing_epoch()/versioned_price(), publishing the new pricing to
+        // epoch observers.
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -392,6 +418,7 @@ impl Broker {
         }
         let mut installed = self.pricing.write();
         patch.apply(&mut installed);
+        // ordering: Release — same pairing as set_pricing's bump.
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -401,6 +428,8 @@ impl Broker {
     /// contract; cache fills must pair prices with epochs through
     /// [`Broker::versioned_price`], not through two separate reads.
     pub fn pricing_epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the Release bumps under the write
+        // lock; an observed epoch implies the matching pricing is visible.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -413,6 +442,9 @@ impl Broker {
     /// property a quote cache needs to tag entries safely.
     pub fn versioned_price(&self, bundle: &ItemSet) -> (f64, u64) {
         let pricing = self.pricing.read();
+        // ordering: Acquire — pairs with the Release bumps; consistency of
+        // the (price, epoch) pair comes from holding the read lock, since
+        // writers only move the epoch inside the write-lock section.
         let epoch = self.epoch.load(Ordering::Acquire);
         (pricing.price_set(bundle), epoch)
     }
@@ -832,7 +864,12 @@ mod tests {
         let e0 = broker.pricing_epoch();
         let bundle: ItemSet = [0usize, 2].into_iter().collect();
         let stop = AtomicBool::new(false);
+        let sampled = AtomicU64::new(0);
 
+        // Keep repricing until the reader has raced us at least a few
+        // times — a fixed patch count can complete before the reader
+        // thread is even scheduled on a loaded single-core box.
+        let mut repricings = 0u64;
         std::thread::scope(|scope| {
             let reader = scope.spawn(|| {
                 let mut checked = 0usize;
@@ -845,16 +882,19 @@ mod tests {
                         "price from epoch {epoch} served under the wrong tag"
                     );
                     checked += 1;
+                    // ordering: Relaxed — progress counter, no data published.
+                    sampled.fetch_add(1, Ordering::Relaxed);
                 }
                 checked
             });
-            for k in 1..=400u64 {
-                broker.apply_delta(&PricingPatch::SetUniformPrice(1000.0 + k as f64));
+            while repricings < 400 || sampled.load(Ordering::Relaxed) < 10 {
+                repricings += 1;
+                broker.apply_delta(&PricingPatch::SetUniformPrice(1000.0 + repricings as f64));
             }
             stop.store(true, Ordering::Relaxed);
             assert!(reader.join().unwrap() > 0, "reader never sampled");
         });
-        assert_eq!(broker.pricing_epoch(), e0 + 400);
+        assert_eq!(broker.pricing_epoch(), e0 + repricings);
     }
 
     #[test]

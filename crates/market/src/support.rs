@@ -177,6 +177,8 @@ fn perturb(old: &Value, domain: &[Value], jitter: f64, rng: &mut StdRng) -> Valu
         Value::Float(f) => {
             let span = (f.abs() * jitter).max(1.0);
             let delta: f64 = rng.gen_range(-span..=span);
+            // float-eq: guards the exact-zero draw so the perturbed value
+            // always differs from the original.
             Value::Float(f + if delta == 0.0 { span } else { delta })
         }
         Value::Bool(b) => Value::Bool(!b),

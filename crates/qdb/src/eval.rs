@@ -245,6 +245,8 @@ impl AggState {
             } => {
                 if !seen {
                     Value::Null
+                // float-eq: fract() of an integral f64 is exactly 0.0 —
+                // the standard integral-valued test.
                 } else if all_int && total.fract() == 0.0 && total.abs() < i64::MAX as f64 {
                     Value::Int(total as i64)
                 } else {

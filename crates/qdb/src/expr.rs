@@ -358,6 +358,8 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
                     Sub => a - b,
                     Mul => a * b,
                     Div => {
+                        // float-eq: exact division-by-zero guard (SQL
+                        // semantics: x / 0 is NULL, including -0.0).
                         if b == 0.0 {
                             return Value::Null;
                         }
@@ -368,6 +370,7 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
                 // Preserve integer typing for exact integer arithmetic.
                 if matches!((l, r), (Value::Int(_), Value::Int(_)))
                     && !matches!(op, Div)
+                    // float-eq: fract() of an integral f64 is exactly 0.0.
                     && x.fract() == 0.0
                     && x.abs() < i64::MAX as f64
                 {

@@ -69,6 +69,7 @@ impl Value {
         match self {
             Value::Bool(b) => *b,
             Value::Int(i) => *i != 0,
+            // float-eq: SQL truthiness is exact — only ±0.0 is falsy.
             Value::Float(f) => *f != 0.0,
             Value::Null => false,
             Value::Str(s) => !s.is_empty(),
@@ -84,8 +85,8 @@ impl Value {
     fn float_bits(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
+        // float-eq: detects ±0.0 exactly to normalize -0.0 to +0.0.
         } else if f == 0.0 {
-            // normalize -0.0 to +0.0
             0u64
         } else {
             f.to_bits()

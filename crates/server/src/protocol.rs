@@ -266,16 +266,24 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
+    /// Like [`Cursor::take`] but returns a fixed-size array, so multi-byte
+    /// decoders need no fallible (or panicking) slice conversion.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N)?);
+        Ok(a)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {

@@ -13,9 +13,9 @@
 //! Handler threads notice the flag at their next idle read timeout and wind
 //! down; in-flight requests always complete.
 
+use parking_lot::atomic::{AtomicBool, Ordering};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -76,6 +76,9 @@ impl QuoteServer {
     /// Connection handlers finish their in-flight request and exit at
     /// their next idle poll.
     pub fn shutdown(&mut self) {
+        // ordering: Release — pairs with the Acquire loads in the accept
+        // loop and idle polls, so work done before shutdown is visible to
+        // the threads that observe the flag.
         self.state.stop.store(true, Ordering::Release);
         // Wake the accept loop: a throwaway connection, immediately closed.
         let _ = TcpStream::connect(self.addr);
@@ -102,6 +105,8 @@ impl Drop for QuoteServer {
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     for stream in listener.incoming() {
+        // ordering: Acquire — pairs with the Release stores of the stop
+        // flag; everything the stopping thread did is visible here.
         if state.stop.load(Ordering::Acquire) {
             break;
         }
@@ -131,6 +136,8 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
             return;
         }
         if shutdown {
+            // ordering: Release — pairs with the Acquire loads in the
+            // accept loop and idle polls (see shutdown()).
             state.stop.store(true, Ordering::Release);
             // Wake the accept loop so it observes the flag.
             let _ = stream.local_addr().map(TcpStream::connect);
@@ -216,6 +223,8 @@ fn read_frame_idle_aware(stream: &mut TcpStream, stop: &AtomicBool) -> io::Resul
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // ordering: Acquire — pairs with the Release stores of the
+                // stop flag.
                 if got == 0 && stop.load(Ordering::Acquire) {
                     return Ok(None);
                 }

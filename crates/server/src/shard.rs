@@ -25,9 +25,9 @@
 //! and settles at that price — honored even if the epoch has moved on,
 //! matching `Broker::settle`'s guarantee (and its budget tolerance).
 
+use parking_lot::atomic::{AtomicU64, Ordering};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -172,10 +172,13 @@ impl ShardSet {
 
         let (price, epoch, cache_hit) = match cached {
             Some((price, epoch)) => {
+                // ordering: Relaxed — hits is a statistics counter; no
+                // other memory depends on its value.
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 (price, epoch, true)
             }
             None => {
+                // ordering: Relaxed — statistics counter, as above.
                 shard.misses.fetch_add(1, Ordering::Relaxed);
                 // The only way a (price, epoch) pair enters the system:
                 // atomically consistent by the broker's contract.
@@ -202,6 +205,8 @@ impl ShardSet {
             }
         };
 
+        // ordering: Relaxed — the counter only needs uniqueness; the id is
+        // published to other threads via the pending-table mutex below.
         let quote_id = self.next_quote_id.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut pending = self.pending.lock();
@@ -266,7 +271,10 @@ impl ShardSet {
                 // Load each counter exactly once: deriving `quotes` from
                 // two loads of `hits` could report cache_hits > quotes
                 // under concurrent quoting.
+                // ordering: Relaxed — monotone counters read for reporting;
+                // a momentarily stale value is acceptable.
                 let hits = s.hits.load(Ordering::Relaxed);
+                // ordering: Relaxed — as above.
                 let misses = s.misses.load(Ordering::Relaxed);
                 ShardStats {
                     epoch: s.broker.pricing_epoch(),

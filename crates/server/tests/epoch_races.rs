@@ -14,6 +14,10 @@
 //!
 //! Run once against the in-process [`ShardSet`] (maximum race pressure, no
 //! syscall pacing) and once over real TCP through the full server stack.
+//! A third test covers the same invariant by **enumeration** instead of
+//! sampling: a bounded `qp-verify` model of the shard-cache protocol,
+//! checked over every explored thread interleaving (see
+//! `no_stale_quote_holds_under_exhaustive_interleaving`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -206,4 +210,95 @@ fn concurrent_quoters_never_see_a_stale_price_over_tcp() {
 
     drop((admin, probe));
     server.shutdown();
+}
+
+/// The in-process stress case above, ported to a bounded `qp-verify`
+/// model: the same epoch-encoded-in-price trick, the same
+/// quote-cache/repricer choreography as `ShardSet::quote` +
+/// `Broker::apply_delta`, but with the scheduler *enumerating*
+/// interleavings rather than sampling them. The stress test covers depth
+/// (hundreds of repricings against the real stack); this covers breadth
+/// (every schedule the budget reaches, ≥ 1,000 of them).
+#[test]
+fn no_stale_quote_holds_under_exhaustive_interleaving() {
+    use qp_verify::sync::{
+        AtomicU64 as ModelAtomicU64, Mutex as ModelMutex, RwLock as ModelRwLock,
+    };
+    use qp_verify::{explore, Config};
+
+    const MODEL_BASE: u64 = 10_000;
+
+    let report = explore(&Config::with_max_schedules(1_500), || {
+        // Pricing state: the price encodes the epoch (price - BASE ==
+        // epoch), mirroring the stress tests' consistency equation.
+        let pricing = Arc::new(ModelRwLock::new(MODEL_BASE));
+        let epoch = Arc::new(ModelAtomicU64::new(0));
+        // One cache slot, like one ShardSet cache entry: (price, epoch).
+        let cache = Arc::new(ModelMutex::new(None::<(u64, u64)>));
+
+        let mut handles = Vec::new();
+        {
+            // The repricer: apply_delta's discipline — price moves and
+            // epoch bump both inside the write-lock critical section.
+            let pricing = Arc::clone(&pricing);
+            let epoch = Arc::clone(&epoch);
+            handles.push(qp_verify::thread::spawn(move || {
+                for _ in 0..2 {
+                    let mut p = pricing.write();
+                    *p += 1;
+                    epoch.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            // Quoters: ShardSet::quote's discipline — serve a cached pair
+            // only when its tag matches the epoch observed at request
+            // start; fill misses from a versioned_price-style snapshot
+            // (epoch read under the read lock), keeping the newest epoch.
+            let pricing = Arc::clone(&pricing);
+            let epoch = Arc::clone(&epoch);
+            let cache = Arc::clone(&cache);
+            handles.push(qp_verify::thread::spawn(move || {
+                for _ in 0..2 {
+                    let seen = epoch.load(Ordering::SeqCst);
+                    let hit = match *cache.lock() {
+                        Some((p, e)) if e == seen => Some((p, e)),
+                        _ => None,
+                    };
+                    let (price, at) = match hit {
+                        Some(pair) => pair,
+                        None => {
+                            let snap = {
+                                let p = pricing.read();
+                                (*p, epoch.load(Ordering::SeqCst))
+                            };
+                            let mut c = cache.lock();
+                            if c.is_none_or(|(_, e)| e < snap.1) {
+                                *c = Some(snap);
+                            }
+                            snap
+                        }
+                    };
+                    assert!(
+                        price == MODEL_BASE + at,
+                        "stale quote: price {price} tagged epoch {at}"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("model thread");
+        }
+    });
+
+    assert!(
+        report.failure.is_none(),
+        "no-stale-quote violated: {}",
+        report.failure.unwrap()
+    );
+    assert!(
+        report.schedules >= 1_000,
+        "only {} interleavings explored",
+        report.schedules
+    );
 }

@@ -1,0 +1,172 @@
+//! `qp-verify` CLI — run the concurrency-model catalog.
+//!
+//! ```text
+//! qp-verify                      # full budget (default 2000 schedules/model)
+//! qp-verify --smoke              # CI budget: 300 schedules, preemption bound 3
+//! qp-verify --max 5000           # raise the per-model schedule budget
+//! qp-verify --model NAME         # check a single catalog model
+//! qp-verify --replay NAME 0,1,2  # re-execute one schedule of one model
+//! qp-verify --list               # list catalog models
+//! ```
+//!
+//! Exit status is non-zero when any model's outcome differs from its
+//! expectation: a core model with a counterexample, a seeded-bug model the
+//! checker failed to catch, or a counterexample that does not replay.
+
+use qp_verify::models::{catalog, run_catalog, ModelVerdict};
+use qp_verify::{parse_schedule, Config};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: qp-verify [--smoke] [--max N] [--model NAME] [--replay NAME SCHEDULE] [--list]"
+    );
+    ExitCode::from(2)
+}
+
+fn print_verdict(v: &ModelVerdict) {
+    let budget = if v.report.truncated {
+        " (budget-capped)"
+    } else {
+        " (exhaustive)"
+    };
+    match (&v.report.failure, v.expect_failure) {
+        (None, false) => println!(
+            "PASS  {:<32} {:>6} interleavings{budget}, invariant held on all",
+            v.name, v.report.schedules
+        ),
+        (Some(f), true) => {
+            let replayed = if v.replay_confirmed == Some(true) {
+                "replay confirmed"
+            } else {
+                "REPLAY FAILED"
+            };
+            println!(
+                "PASS  {:<32} seeded bug caught after {} clean interleavings ({replayed})",
+                v.name, v.report.schedules
+            );
+            println!("      counterexample: {f}");
+        }
+        (Some(f), false) => {
+            println!("FAIL  {:<32} invariant violated", v.name);
+            println!("      counterexample: {f}");
+            println!(
+                "      reproduce: cargo run --release -p qp-verify -- --replay {} \"{}\"",
+                v.name,
+                f.schedule_string()
+            );
+        }
+        (None, true) => println!(
+            "FAIL  {:<32} seeded bug NOT caught in {} interleavings{budget}",
+            v.name, v.report.schedules
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut only: Option<String> = None;
+    let mut replay_req: Option<(String, String)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = Config::smoke(),
+            "--max" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => cfg.max_schedules = n,
+                    None => return usage(),
+                }
+            }
+            "--model" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => only = Some(name.clone()),
+                    None => return usage(),
+                }
+            }
+            "--replay" => {
+                i += 2;
+                match (args.get(i - 1), args.get(i)) {
+                    (Some(name), Some(sched)) => replay_req = Some((name.clone(), sched.clone())),
+                    _ => return usage(),
+                }
+            }
+            "--list" => {
+                for spec in catalog() {
+                    let kind = if spec.expect_failure {
+                        "seeded-bug"
+                    } else {
+                        "invariant "
+                    };
+                    println!("{kind}  {:<32} {}", spec.name, spec.about);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some((name, sched)) = replay_req {
+        let Some(schedule) = parse_schedule(&sched) else {
+            eprintln!("qp-verify: malformed schedule '{sched}' (expected e.g. \"0,1,2\")");
+            return ExitCode::from(2);
+        };
+        let Some(spec) = catalog().into_iter().find(|s| s.name == name) else {
+            eprintln!("qp-verify: no model named '{name}' (see --list)");
+            return ExitCode::from(2);
+        };
+        return match spec.replay(&schedule) {
+            Err(f) => {
+                println!("replayed {name}: {f}");
+                ExitCode::SUCCESS
+            }
+            Ok(()) => {
+                println!("replayed {name}: schedule completed without violation");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let verdicts: Vec<ModelVerdict> = match only {
+        Some(name) => match catalog().into_iter().find(|s| s.name == name) {
+            Some(spec) => {
+                let report = spec.check(&cfg);
+                let replay_confirmed = report.failure.as_ref().map(|f| {
+                    spec.replay(&f.schedule)
+                        .err()
+                        .is_some_and(|r| r.message == f.message)
+                });
+                vec![ModelVerdict {
+                    name: spec.name,
+                    expect_failure: spec.expect_failure,
+                    report,
+                    replay_confirmed,
+                }]
+            }
+            None => {
+                eprintln!("qp-verify: no model named '{name}' (see --list)");
+                return ExitCode::from(2);
+            }
+        },
+        None => run_catalog(&cfg),
+    };
+
+    let mut all_ok = true;
+    for v in &verdicts {
+        print_verdict(v);
+        all_ok &= v.ok();
+    }
+    if all_ok {
+        println!(
+            "qp-verify: all {} models behaved as expected",
+            verdicts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("qp-verify: FAILURES above");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,631 @@
+//! The deterministic-interleaving scheduler.
+//!
+//! A model is a closure that spawns threads through [`crate::thread::spawn`]
+//! and synchronizes through the [`crate::sync`] shims. Only one model thread
+//! runs at a time: every shim operation is a **yield point** where the
+//! running thread hands a baton back to the controller, which picks the next
+//! thread to run. The sequence of picks is a *schedule*; [`explore`]
+//! enumerates schedules depth-first (optionally under a preemption bound)
+//! and [`replay`] re-executes one schedule exactly — which is how a failure
+//! printed by the checker is reproduced.
+//!
+//! The controller only ever schedules threads whose next operation is
+//! *enabled* (a lock acquire is disabled while the lock is held, a join is
+//! disabled until the target finishes), so blocked threads cost nothing and
+//! a state where no thread is enabled is reported as a deadlock, schedule
+//! attached.
+//!
+//! Exploration is stateless in the jargon sense: each schedule re-runs the
+//! closure from scratch with fresh OS threads, so models must confine their
+//! shared state to values created inside the closure (the shims allocate
+//! object identities lazily, which keeps runs independent).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{self, Arc, Condvar, Mutex, MutexGuard};
+
+/// Index of a model thread within one run (the root closure is thread 0;
+/// spawned threads are numbered in spawn order, which is deterministic).
+pub type Tid = usize;
+
+/// Identity of a shim synchronization object (lazily assigned, process-wide
+/// unique so objects outliving a run can never collide with fresh ones).
+pub type Oid = u64;
+
+static NEXT_OID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh object identity for a shim object.
+pub(crate) fn alloc_oid() -> Oid {
+    // ordering: Relaxed — the counter only needs uniqueness, not to order
+    // any other memory access.
+    NEXT_OID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The operation a model thread is about to perform at a yield point. The
+/// controller uses it to decide enabledness; acquire effects are applied
+/// when the thread is granted the baton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling of a thread (its closure has not started yet).
+    Start,
+    /// Blocking exclusive acquire (mutex lock / rwlock write).
+    Lock(Oid),
+    /// Blocking shared acquire (rwlock read).
+    Share(Oid),
+    /// Non-blocking exclusive attempt; always enabled, may fail.
+    TryLock(Oid),
+    /// Non-blocking shared attempt; always enabled, may fail.
+    TryShare(Oid),
+    /// One atomic access (load/store/rmw).
+    Atomic(Oid),
+    /// Join on another model thread; enabled once it has finished.
+    Join(Tid),
+}
+
+#[derive(Default, Clone, Copy)]
+struct LockState {
+    excl: Option<Tid>,
+    shared: usize,
+}
+
+enum TState {
+    /// Waiting for the baton with a declared next operation.
+    Ready(Op),
+    /// Currently holds the baton.
+    Running,
+    /// Closure returned (or the run is unwinding).
+    Finished,
+}
+
+struct State {
+    threads: Vec<TState>,
+    locks: HashMap<Oid, LockState>,
+    /// `Some(t)` while thread `t` holds the baton; `None` hands control to
+    /// the controller.
+    baton: Option<Tid>,
+    /// Set when the run is being torn down; parked threads unwind out.
+    aborting: bool,
+    /// First invariant violation (panic message) observed this run.
+    failure: Option<String>,
+}
+
+pub(crate) struct Shared {
+    mx: Mutex<State>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Shared>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's model context, if it is a managed model thread.
+fn current() -> Option<(Arc<Shared>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread belongs to an active model run. Shims use
+/// this to fall back to plain std behavior outside the checker.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Payload used to unwind parked threads when a run is torn down.
+struct AbortRun;
+
+fn lock_state(sh: &Shared) -> MutexGuard<'_, State> {
+    sh.mx.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_state<'a>(sh: &'a Shared, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    sh.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Yield point: declare the next operation, hand the baton to the
+/// controller, and block until granted. On grant, the effects of blocking
+/// acquires are applied (the controller has already verified enabledness).
+/// No-op outside a model run.
+pub(crate) fn acquire(op: Op) {
+    let Some((sh, me)) = current() else { return };
+    let mut st = lock_state(&sh);
+    st.threads[me] = TState::Ready(op);
+    st.baton = None;
+    sh.cv.notify_all();
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortRun);
+        }
+        if st.baton == Some(me) {
+            break;
+        }
+        st = wait_state(&sh, st);
+    }
+    st.threads[me] = TState::Running;
+    match op {
+        Op::Lock(o) => {
+            let l = st.locks.entry(o).or_default();
+            debug_assert!(l.excl.is_none() && l.shared == 0, "granted a held lock");
+            l.excl = Some(me);
+        }
+        Op::Share(o) => {
+            let l = st.locks.entry(o).or_default();
+            debug_assert!(l.excl.is_none(), "granted a read on a write-held lock");
+            l.shared += 1;
+        }
+        _ => {}
+    }
+}
+
+/// After `acquire(Op::TryLock(oid))`: takes the lock exclusively if free.
+pub(crate) fn try_take_excl(oid: Oid) -> bool {
+    let Some((sh, me)) = current() else {
+        return true;
+    };
+    let mut st = lock_state(&sh);
+    let l = st.locks.entry(oid).or_default();
+    if l.excl.is_none() && l.shared == 0 {
+        l.excl = Some(me);
+        true
+    } else {
+        false
+    }
+}
+
+/// After `acquire(Op::TryShare(oid))`: takes a shared slot if no writer.
+pub(crate) fn try_take_shared(oid: Oid) -> bool {
+    let Some((sh, _)) = current() else {
+        return true;
+    };
+    let mut st = lock_state(&sh);
+    let l = st.locks.entry(oid).or_default();
+    if l.excl.is_none() {
+        l.shared += 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// Releases an exclusive hold (guard drop). No-op outside a model run.
+pub(crate) fn release_excl(oid: Oid) {
+    let Some((sh, _)) = current() else { return };
+    let mut st = lock_state(&sh);
+    if let Some(l) = st.locks.get_mut(&oid) {
+        l.excl = None;
+    }
+}
+
+/// Releases a shared hold (guard drop). No-op outside a model run.
+pub(crate) fn release_shared(oid: Oid) {
+    let Some((sh, _)) = current() else { return };
+    let mut st = lock_state(&sh);
+    if let Some(l) = st.locks.get_mut(&oid) {
+        l.shared = l.shared.saturating_sub(1);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Registers a spawned model thread and starts its OS thread (parked until
+/// first scheduled). Returns the new thread's id. Must be called from a
+/// managed thread.
+pub(crate) fn spawn_managed(f: Box<dyn FnOnce() + Send>) -> Tid {
+    let (sh, _) = current().expect("spawn_managed outside a model run");
+    let tid = {
+        let mut st = lock_state(&sh);
+        st.threads.push(TState::Ready(Op::Start));
+        st.threads.len() - 1
+    };
+    let sh2 = Arc::clone(&sh);
+    let handle = std::thread::Builder::new()
+        .name(format!("qp-verify-{tid}"))
+        .spawn(move || thread_body(sh2, tid, f))
+        .expect("spawn model thread");
+    sh.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+    tid
+}
+
+/// True once `tid` has finished (used by join enabledness and handles).
+fn thread_body(sh: Arc<Shared>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sh), tid)));
+    // Wait to be scheduled for the first time.
+    let started = {
+        let mut st = lock_state(&sh);
+        loop {
+            if st.aborting {
+                break false;
+            }
+            if st.baton == Some(tid) {
+                st.threads[tid] = TState::Running;
+                break true;
+            }
+            st = wait_state(&sh, st);
+        }
+    };
+    let failure = if started {
+        match panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(()) => None,
+            Err(p) if p.is::<AbortRun>() => None,
+            Err(p) => Some(panic_message(p.as_ref())),
+        }
+    } else {
+        None
+    };
+    let mut st = lock_state(&sh);
+    st.threads[tid] = TState::Finished;
+    if let Some(msg) = failure {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+    }
+    st.baton = None;
+    sh.cv.notify_all();
+    drop(st);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn op_enabled(st: &State, op: Op) -> bool {
+    match op {
+        Op::Start | Op::TryLock(_) | Op::TryShare(_) | Op::Atomic(_) => true,
+        Op::Lock(o) => st
+            .locks
+            .get(&o)
+            .is_none_or(|l| l.excl.is_none() && l.shared == 0),
+        Op::Share(o) => st.locks.get(&o).is_none_or(|l| l.excl.is_none()),
+        Op::Join(t) => matches!(st.threads[t], TState::Finished),
+    }
+}
+
+/// One scheduling decision: which threads could run, which one did, and
+/// which one had been running (for preemption accounting).
+struct Decision {
+    enabled: Vec<Tid>,
+    chosen: Tid,
+    prev: Option<Tid>,
+}
+
+impl Decision {
+    /// A choice of `c` preempts when the previously running thread could
+    /// have continued but `c` is someone else.
+    fn preempts(&self, c: Tid) -> bool {
+        matches!(self.prev, Some(p) if p != c && self.enabled.contains(&p))
+    }
+
+    /// Canonical exploration order: the non-preempting default first, then
+    /// the remaining enabled threads in ascending order.
+    fn alternative_order(&self) -> Vec<Tid> {
+        let def = default_choice(&self.enabled, self.prev);
+        let mut order = vec![def];
+        order.extend(self.enabled.iter().copied().filter(|&t| t != def));
+        order
+    }
+}
+
+fn default_choice(enabled: &[Tid], prev: Option<Tid>) -> Tid {
+    match prev {
+        Some(p) if enabled.contains(&p) => p,
+        _ => enabled[0],
+    }
+}
+
+enum RunResult {
+    Completed,
+    Failed(String),
+    Deadlock,
+}
+
+/// How far to explore.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stop after this many complete schedules (the report marks the run
+    /// truncated when the space was larger).
+    pub max_schedules: usize,
+    /// Maximum preemptive context switches per schedule (`None` = no
+    /// bound). Forced switches — the running thread blocked or finished —
+    /// are always free.
+    pub preemption_bound: Option<usize>,
+}
+
+impl Default for Config {
+    /// 2,000 schedules, unbounded preemptions: enough to clear the
+    /// "≥ 1,000 distinct interleavings" bar the core models are held to.
+    fn default() -> Config {
+        Config {
+            max_schedules: 2_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Config {
+    /// A CI-sized budget: few hundred schedules under a small preemption
+    /// bound (seeded-bug self-checks still reproduce under it).
+    pub fn smoke() -> Config {
+        Config {
+            max_schedules: 300,
+            preemption_bound: Some(3),
+        }
+    }
+
+    /// A config exploring up to `n` schedules, unbounded preemptions.
+    pub fn with_max_schedules(n: usize) -> Config {
+        Config {
+            max_schedules: n,
+            preemption_bound: None,
+        }
+    }
+}
+
+/// A schedule that violated an invariant (or deadlocked), replayable with
+/// [`replay`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The thread chosen at each decision point, in order.
+    pub schedule: Vec<Tid>,
+    /// The panic message of the violated assertion (or a deadlock report).
+    pub message: String,
+}
+
+impl Failure {
+    /// The schedule as `"0,1,2,..."` — the format [`parse_schedule`]
+    /// accepts and the `qp-verify` binary prints.
+    pub fn schedule_string(&self) -> String {
+        let items: Vec<String> = self.schedule.iter().map(Tid::to_string).collect();
+        items.join(",")
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [replay schedule: \"{}\"]",
+            self.message,
+            self.schedule_string()
+        )
+    }
+}
+
+/// Parses a `"0,1,2"` schedule string (the inverse of
+/// [`Failure::schedule_string`]).
+pub fn parse_schedule(s: &str) -> Option<Vec<Tid>> {
+    if s.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
+/// The outcome of an [`explore`] run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of distinct complete interleavings executed.
+    pub schedules: usize,
+    /// True when `max_schedules` stopped exploration before the space was
+    /// exhausted.
+    pub truncated: bool,
+    /// The first failing schedule, if any invariant broke.
+    pub failure: Option<Failure>,
+}
+
+/// Installs (once) a panic hook that silences the default backtrace spew
+/// for managed model threads — their panics are *expected* output, captured
+/// and reported as failures with a schedule. Other threads keep the
+/// previous hook's behavior.
+fn quiet_model_panics() {
+    static HOOK: sync::OnceLock<()> = sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let managed = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("qp-verify-"));
+            if !managed {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_once(f: &Arc<dyn Fn() + Send + Sync>, prefix: &[Tid]) -> (RunResult, Vec<Decision>) {
+    quiet_model_panics();
+    let sh = Arc::new(Shared {
+        mx: Mutex::new(State {
+            threads: vec![TState::Ready(Op::Start)],
+            locks: HashMap::new(),
+            baton: None,
+            aborting: false,
+            failure: None,
+        }),
+        cv: Condvar::new(),
+        handles: Mutex::new(Vec::new()),
+    });
+    let sh2 = Arc::clone(&sh);
+    let root = Arc::clone(f);
+    let root_handle = std::thread::Builder::new()
+        .name("qp-verify-0".into())
+        .spawn(move || thread_body(sh2, 0, Box::new(move || root())))
+        .expect("spawn model root thread");
+    sh.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(root_handle);
+
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut prev: Option<Tid> = None;
+    let result = {
+        let mut st = lock_state(&sh);
+        loop {
+            while st.baton.is_some() {
+                st = wait_state(&sh, st);
+            }
+            if let Some(msg) = st.failure.take() {
+                break RunResult::Failed(msg);
+            }
+            let ready: Vec<(Tid, Op)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, s)| match s {
+                    TState::Ready(op) => Some((t, *op)),
+                    _ => None,
+                })
+                .collect();
+            if ready.is_empty() {
+                // Every thread finished (a Running thread would mean the
+                // baton is still out).
+                break RunResult::Completed;
+            }
+            let enabled: Vec<Tid> = ready
+                .iter()
+                .filter(|(_, op)| op_enabled(&st, *op))
+                .map(|(t, _)| *t)
+                .collect();
+            if enabled.is_empty() {
+                break RunResult::Deadlock;
+            }
+            let chosen = match prefix.get(decisions.len()) {
+                Some(&c) if enabled.contains(&c) => c,
+                _ => default_choice(&enabled, prev),
+            };
+            decisions.push(Decision {
+                enabled: enabled.clone(),
+                chosen,
+                prev,
+            });
+            prev = Some(chosen);
+            st.baton = Some(chosen);
+            sh.cv.notify_all();
+        }
+    };
+    // Tear down: wake parked threads so they unwind, then join everyone.
+    {
+        let mut st = lock_state(&sh);
+        st.aborting = true;
+        sh.cv.notify_all();
+    }
+    let handles = std::mem::take(&mut *sh.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    (result, decisions)
+}
+
+/// The next unexplored schedule prefix in depth-first order, or `None` when
+/// the space is exhausted (under the preemption bound).
+fn next_prefix(decisions: &[Decision], bound: Option<usize>) -> Option<Vec<Tid>> {
+    // Preemptions consumed by the first i decisions.
+    let mut used = Vec::with_capacity(decisions.len() + 1);
+    used.push(0usize);
+    for d in decisions {
+        used.push(used.last().copied().unwrap_or(0) + usize::from(d.preempts(d.chosen)));
+    }
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        let order = d.alternative_order();
+        let pos = order
+            .iter()
+            .position(|&t| t == d.chosen)
+            .expect("chosen came from the enabled set");
+        for &alt in &order[pos + 1..] {
+            let cost = used[i] + usize::from(d.preempts(alt));
+            if bound.is_none_or(|b| cost <= b) {
+                let mut p: Vec<Tid> = decisions[..i].iter().map(|d| d.chosen).collect();
+                p.push(alt);
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates interleavings of `f` depth-first until the space is
+/// exhausted, `cfg.max_schedules` is hit, or an invariant fails.
+///
+/// Every assertion inside the model (on any thread) is an invariant: a
+/// panic stops exploration and is reported with the exact schedule that
+/// triggered it, which [`replay`] re-executes deterministically.
+pub fn explore<F>(cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<Tid> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let (result, decisions) = run_once(&f, &prefix);
+        let schedule: Vec<Tid> = decisions.iter().map(|d| d.chosen).collect();
+        match result {
+            RunResult::Failed(message) => {
+                return Report {
+                    schedules,
+                    truncated: false,
+                    failure: Some(Failure { schedule, message }),
+                }
+            }
+            RunResult::Deadlock => {
+                return Report {
+                    schedules,
+                    truncated: false,
+                    failure: Some(Failure {
+                        schedule,
+                        message: "deadlock: no thread is enabled".to_string(),
+                    }),
+                }
+            }
+            RunResult::Completed => schedules += 1,
+        }
+        match next_prefix(&decisions, cfg.preemption_bound) {
+            None => {
+                return Report {
+                    schedules,
+                    truncated: false,
+                    failure: None,
+                }
+            }
+            Some(_) if schedules >= cfg.max_schedules => {
+                return Report {
+                    schedules,
+                    truncated: true,
+                    failure: None,
+                }
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// Re-executes exactly one schedule (as recorded in a [`Failure`]).
+/// Returns the failure it reproduces, or `Ok(())` if the run completes —
+/// which for a schedule printed by the checker means non-reproducibility
+/// and should be treated as a checker bug.
+pub fn replay<F>(schedule: &[Tid], f: F) -> Result<(), Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let (result, decisions) = run_once(&f, schedule);
+    let schedule: Vec<Tid> = decisions.iter().map(|d| d.chosen).collect();
+    match result {
+        RunResult::Completed => Ok(()),
+        RunResult::Failed(message) => Err(Failure { schedule, message }),
+        RunResult::Deadlock => Err(Failure {
+            schedule,
+            message: "deadlock: no thread is enabled".to_string(),
+        }),
+    }
+}

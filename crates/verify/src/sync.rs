@@ -1,0 +1,390 @@
+//! Instrumented drop-in replacements for the `parking_lot` facade types
+//! plus the atomics the workspace uses.
+//!
+//! Each type mirrors the facade's API exactly, so
+//! `vendor/parking_lot` can re-export these under `cfg(qp_verify)` and the
+//! production crates compile unchanged against either implementation.
+//!
+//! Inside a model run every operation is a scheduler yield point; outside a
+//! run (including ordinary tests in a `--cfg qp_verify` build) the shims
+//! delegate to `std::sync`, so instrumented builds still behave normally.
+
+use crate::scheduler::{self, Oid, Op};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{self, OnceLock, TryLockError};
+
+/// Lazily-allocated scheduler identity for a shim object. Lazy because
+/// `new` must stay `const` to match the facade API.
+#[derive(Debug, Default)]
+struct LazyOid(OnceLock<Oid>);
+
+impl LazyOid {
+    const fn new() -> LazyOid {
+        LazyOid(OnceLock::new())
+    }
+
+    fn get(&self) -> Oid {
+        *self.0.get_or_init(scheduler::alloc_oid)
+    }
+}
+
+/// Model-checked mutex with the facade's poison-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    oid: LazyOid,
+    inner: sync::Mutex<T>,
+}
+
+/// Guard of [`Mutex`]; releases the scheduler hold on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `None` when acquired outside a model run (nothing to release).
+    oid: Option<Oid>,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            oid: LazyOid::new(),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock; a scheduler yield point inside a model run.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::Lock(o));
+            Some(o)
+        } else {
+            None
+        };
+        MutexGuard {
+            oid,
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::TryLock(o));
+            if !scheduler::try_take_excl(o) {
+                return None;
+            }
+            Some(o)
+        } else {
+            None
+        };
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { oid, inner: g }),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
+                oid,
+                inner: e.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => {
+                // The scheduler said free but std disagrees: only possible
+                // outside a model run (oid is None), so nothing to undo.
+                debug_assert!(oid.is_none(), "scheduler/std lock-state divergence");
+                None
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(o) = self.oid {
+            scheduler::release_excl(o);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Model-checked reader-writer lock with the facade's poison-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    oid: LazyOid,
+    inner: sync::RwLock<T>,
+}
+
+/// Shared read guard of [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    oid: Option<Oid>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive write guard of [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    oid: Option<Oid>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            oid: LazyOid::new(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access; a scheduler yield point in a model.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::Share(o));
+            Some(o)
+        } else {
+            None
+        };
+        RwLockReadGuard {
+            oid,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquires exclusive write access; a scheduler yield point in a model.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::Lock(o));
+            Some(o)
+        } else {
+            None
+        };
+        RwLockWriteGuard {
+            oid,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::TryShare(o));
+            if !scheduler::try_take_shared(o) {
+                return None;
+            }
+            Some(o)
+        } else {
+            None
+        };
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { oid, inner: g }),
+            Err(TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                oid,
+                inner: e.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => {
+                debug_assert!(oid.is_none(), "scheduler/std lock-state divergence");
+                None
+            }
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let oid = if scheduler::in_model() {
+            let o = self.oid.get();
+            scheduler::acquire(Op::TryLock(o));
+            if !scheduler::try_take_excl(o) {
+                return None;
+            }
+            Some(o)
+        } else {
+            None
+        };
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { oid, inner: g }),
+            Err(TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                oid,
+                inner: e.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => {
+                debug_assert!(oid.is_none(), "scheduler/std lock-state divergence");
+                None
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(o) = self.oid {
+            scheduler::release_shared(o);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(o) = self.oid {
+            scheduler::release_excl(o);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+macro_rules! checked_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            oid: LazyOid,
+            inner: sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic holding `value`.
+            pub const fn new(value: $ty) -> $name {
+                $name {
+                    oid: LazyOid::new(),
+                    inner: sync::atomic::$std::new(value),
+                }
+            }
+
+            fn touch(&self) {
+                if scheduler::in_model() {
+                    scheduler::acquire(Op::Atomic(self.oid.get()));
+                }
+            }
+
+            /// Loads the value; a scheduler yield point in a model.
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.touch();
+                self.inner.load(order)
+            }
+
+            /// Stores `value`; a scheduler yield point in a model.
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.touch();
+                self.inner.store(value, order);
+            }
+
+            /// Adds `value`, returning the previous value; one yield point.
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.touch();
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+checked_atomic!(
+    /// Model-checked `AtomicU64`: every access is one scheduler yield point
+    /// (the access itself stays indivisible, matching hardware atomicity).
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+checked_atomic!(
+    /// Model-checked `AtomicUsize`; see [`AtomicU64`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+/// Model-checked `AtomicBool`; see [`AtomicU64`].
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    oid: LazyOid,
+    inner: sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic holding `value`.
+    pub const fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            oid: LazyOid::new(),
+            inner: sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn touch(&self) {
+        if scheduler::in_model() {
+            scheduler::acquire(Op::Atomic(self.oid.get()));
+        }
+    }
+
+    /// Loads the value; a scheduler yield point in a model.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.touch();
+        self.inner.load(order)
+    }
+
+    /// Stores `value`; a scheduler yield point in a model.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.touch();
+        self.inner.store(value, order);
+    }
+
+    /// Consumes the atomic, returning the inner value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,55 @@
+//! Managed thread spawning for models.
+//!
+//! [`spawn`] inside a model run registers the thread with the scheduler so
+//! its execution is interleaved deterministically; outside a run it
+//! delegates to `std::thread::spawn`. Handles carry the closure's return
+//! value either way, and `join` is a scheduler yield point that only
+//! becomes enabled once the target thread has finished — so a join can
+//! never be used to smuggle an unschedulable wait into a model.
+
+use crate::scheduler::{self, Op, Tid};
+use std::sync::mpsc;
+
+enum Inner<T> {
+    Managed { tid: Tid, result: mpsc::Receiver<T> },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; see [`spawn`].
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its closure's value.
+    ///
+    /// In a model, panics on the target thread surface through the
+    /// scheduler as run failures rather than through this call.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Managed { tid, result } => {
+                scheduler::acquire(Op::Join(tid));
+                result
+                    .try_recv()
+                    .map_err(|e| Box::new(e) as Box<dyn std::any::Any + Send>)
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread: scheduler-managed inside a model run, plain
+/// `std::thread` outside one.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if scheduler::in_model() {
+        let (tx, rx) = mpsc::channel();
+        let tid = scheduler::spawn_managed(Box::new(move || {
+            let _ = tx.send(f());
+        }));
+        JoinHandle(Inner::Managed { tid, result: rx })
+    } else {
+        JoinHandle(Inner::Os(std::thread::spawn(f)))
+    }
+}

@@ -1,0 +1,74 @@
+//! Acceptance tests for the model catalog: core invariants hold over at
+//! least 1,000 distinct interleavings each, and every seeded-bug variant
+//! is caught with a schedule that replays to the same failure.
+
+use qp_verify::models::{catalog, run_catalog};
+use qp_verify::Config;
+
+#[test]
+fn core_models_hold_over_at_least_1000_interleavings() {
+    for spec in catalog().into_iter().filter(|s| !s.expect_failure) {
+        let report = spec.check(&Config::with_max_schedules(1_500));
+        assert!(
+            report.failure.is_none(),
+            "{}: invariant violated: {}",
+            spec.name,
+            report.failure.unwrap()
+        );
+        assert!(
+            report.schedules >= 1_000,
+            "{}: only {} interleavings explored",
+            spec.name,
+            report.schedules
+        );
+    }
+}
+
+#[test]
+fn seeded_bugs_are_caught_with_replayable_schedules() {
+    for spec in catalog().into_iter().filter(|s| s.expect_failure) {
+        let report = spec.check(&Config::default());
+        let failure = report
+            .failure
+            .unwrap_or_else(|| panic!("{}: seeded bug not caught", spec.name));
+        assert!(
+            !failure.schedule.is_empty(),
+            "{}: empty counterexample schedule",
+            spec.name
+        );
+        let replayed = spec
+            .replay(&failure.schedule)
+            .expect_err("replaying the counterexample must reproduce the failure");
+        assert_eq!(
+            replayed.message, failure.message,
+            "{}: replay diverged from the original failure",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn seeded_bugs_are_caught_even_under_the_smoke_budget() {
+    for spec in catalog().into_iter().filter(|s| s.expect_failure) {
+        let report = spec.check(&Config::smoke());
+        assert!(
+            report.failure.is_some(),
+            "{}: seeded bug escaped the smoke budget",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn run_catalog_verdicts_are_all_ok() {
+    for v in run_catalog(&Config::smoke()) {
+        assert!(
+            v.ok(),
+            "{}: verdict not ok (expect_failure={}, failure={:?}, replay={:?})",
+            v.name,
+            v.expect_failure,
+            v.report.failure,
+            v.replay_confirmed
+        );
+    }
+}

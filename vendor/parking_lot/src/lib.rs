@@ -6,102 +6,36 @@
 //! recovered transparently — parking_lot has no poisoning, so neither does
 //! this shim. Performance characteristics are std's, not parking_lot's,
 //! which is irrelevant at this workspace's scales.
+//!
+//! # The `qp_verify` switch
+//!
+//! Built with `RUSTFLAGS="--cfg qp_verify"`, this facade re-exports the
+//! instrumented shims from the `qp-verify` model checker instead of the
+//! std-backed types. Workspace code is written against this facade (plus
+//! its [`atomic`] module), so the *same* production source can run under
+//! deterministic-interleaving exploration without modification. Outside a
+//! model run the shims delegate to `std`, so instrumented builds still
+//! behave normally (ordinary tests keep passing).
 
-use std::sync::{self, TryLockError};
+#[cfg(not(qp_verify))]
+mod std_impl;
 
-/// Guard types re-exported so signatures can name them.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-/// Shared read guard of [`RwLock`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Exclusive write guard of [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[cfg(not(qp_verify))]
+pub use std_impl::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A mutual-exclusion lock with parking_lot's panic-free API.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[cfg(qp_verify)]
+pub use qp_verify::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-impl<T> Mutex<T> {
-    /// Creates a new mutex holding `value`.
-    pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
-    }
-
-    /// Consumes the mutex, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-impl<T: ?Sized> Mutex<T> {
-    /// Acquires the lock, blocking until it is available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Attempts to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-/// A reader-writer lock with parking_lot's panic-free API.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
-
-impl<T> RwLock<T> {
-    /// Creates a new lock holding `value`.
-    pub const fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
-    }
-
-    /// Consumes the lock, returning the inner value.
-    pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access, blocking until available.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Acquires exclusive write access, blocking until available.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Attempts shared read access without blocking.
-    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Attempts exclusive write access without blocking.
-    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive ownership).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
-    }
+/// Atomics facade: the workspace imports its atomics from here instead of
+/// `std::sync::atomic`, so an instrumented build can interpose scheduler
+/// yield points on every atomic access. `Ordering` is always std's —
+/// the shims take the same memory-ordering arguments.
+pub mod atomic {
+    #[cfg(qp_verify)]
+    pub use qp_verify::sync::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+    #[cfg(not(qp_verify))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 }
 
 #[cfg(test)]
@@ -140,5 +74,16 @@ mod tests {
         // parking_lot semantics: the lock is still usable.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn atomic_facade_round_trip() {
+        use atomic::{AtomicBool, AtomicU64, Ordering};
+        let a = AtomicU64::new(3);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 3);
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
     }
 }

@@ -13,11 +13,14 @@
 //!   [`ProptestConfig::default`] (explicit `with_cases(n)` stays pinned —
 //!   the same split real proptest makes).
 //!
-//! Semantics differ from real proptest in two deliberate ways: generation is
-//! **deterministic** (seeded from the test function's name, so failures are
-//! reproducible by re-running the test) and there is **no shrinking** — a
-//! failing case panics with the generated values' `Debug` representation
-//! instead of a minimized counterexample.
+//! Semantics differ from real proptest in two deliberate ways: generation
+//! is **deterministic** (each case draws from its own seed, derived from
+//! the test function's name and the case index) and there is **no
+//! shrinking** — a failing case panics with the generated values' `Debug`
+//! representation instead of a minimized counterexample. Because every
+//! case has its own seed, a failure is one-line reproducible: the panic
+//! message prints `PROPTEST_SEED=0x…`, and setting that environment
+//! variable re-runs exactly (and only) the failing case.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,15 +28,56 @@ use rand::SeedableRng;
 /// The deterministic generator handed to strategies.
 pub type TestRng = StdRng;
 
-/// Seeds the per-test generator from the test's name (FNV-1a) so every test
-/// function explores a different but reproducible stream.
-pub fn rng_for_test(name: &str) -> TestRng {
+/// FNV-1a hash of a test's name — the base every per-case seed mixes in.
+fn name_hash(name: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in name.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
-    StdRng::seed_from_u64(h)
+    h
+}
+
+/// splitmix64's finalizer: scrambles a counter into a well-mixed seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of case number `case` (0-based) of the named test: a
+/// splitmix64 mix of the test-name hash and the case index, so every case
+/// of every test draws from an independent, individually re-runnable
+/// stream.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    splitmix64(name_hash(name) ^ u64::from(case).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// The generator for one explicit seed (as printed by a failure message).
+pub fn rng_for_seed(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The seed forced via the `PROPTEST_SEED` environment variable (hex with
+/// an optional `0x` prefix, or decimal), if set. When a seed is forced,
+/// `proptest!` runs exactly one case from it — the one-line reproduction
+/// path for a failure that printed its seed.
+pub fn forced_seed() -> Option<u64> {
+    let raw = std::env::var("PROPTEST_SEED").ok()?;
+    let t = raw.trim();
+    let (digits, radix) = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => (hex, 16),
+        None => (t, 10),
+    };
+    u64::from_str_radix(digits, radix).ok()
+}
+
+/// Seeds the per-test generator from the test's name (FNV-1a) so every test
+/// function explores a different but reproducible stream. Retained for
+/// direct use; `proptest!` itself seeds per *case* via [`case_seed`].
+pub fn rng_for_test(name: &str) -> TestRng {
+    StdRng::seed_from_u64(name_hash(name))
 }
 
 /// Run-time configuration of a `proptest!` block.
@@ -305,16 +349,26 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__config.cases {
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                let __forced = $crate::forced_seed();
+                let __total = if __forced.is_some() { 1 } else { __config.cases };
+                for __case in 0..__total {
+                    let __seed = match __forced {
+                        Some(seed) => seed,
+                        None => $crate::case_seed(__name, __case),
+                    };
+                    let mut __rng = $crate::rng_for_seed(__seed);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
                     let __dbg = format!(
                         concat!("case {}/{} of ", stringify!($name), ":", $(" ", stringify!($arg), " = {:?}",)* ""),
-                        __case + 1, __config.cases $(, &$arg)*
+                        __case + 1, __total $(, &$arg)*
                     );
                     let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
                     if let Err(err) = __result {
-                        eprintln!("proptest failure in {}", __dbg);
+                        eprintln!(
+                            "proptest failure in {} — re-run just this case with PROPTEST_SEED={:#018x}",
+                            __dbg, __seed
+                        );
                         ::std::panic::resume_unwind(err);
                     }
                 }
@@ -369,6 +423,34 @@ mod tests {
             format!("{:?}", s.generate(&mut a)),
             format!("{:?}", s.generate(&mut b))
         );
+    }
+
+    #[test]
+    fn case_seeds_are_stable_and_distinct() {
+        assert_eq!(crate::case_seed("a::t", 0), crate::case_seed("a::t", 0));
+        assert_ne!(crate::case_seed("a::t", 0), crate::case_seed("a::t", 1));
+        assert_ne!(crate::case_seed("a::t", 0), crate::case_seed("b::t", 0));
+        // A printed seed re-generates the failing case's exact values.
+        let s = pair_strategy();
+        let seed = crate::case_seed("a::t", 3);
+        let one = format!("{:?}", s.generate(&mut crate::rng_for_seed(seed)));
+        let two = format!("{:?}", s.generate(&mut crate::rng_for_seed(seed)));
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn forced_seed_parses_hex_and_decimal() {
+        // The only test in this binary touching the variable, so the
+        // set/remove pair cannot race another reader.
+        std::env::remove_var("PROPTEST_SEED");
+        assert_eq!(crate::forced_seed(), None);
+        std::env::set_var("PROPTEST_SEED", "0x00000000000000ff");
+        assert_eq!(crate::forced_seed(), Some(255));
+        std::env::set_var("PROPTEST_SEED", "255");
+        assert_eq!(crate::forced_seed(), Some(255));
+        std::env::set_var("PROPTEST_SEED", "not-a-seed");
+        assert_eq!(crate::forced_seed(), None);
+        std::env::remove_var("PROPTEST_SEED");
     }
 
     #[test]
