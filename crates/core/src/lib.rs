@@ -8,492 +8,21 @@
 //! over item indices (u64 blocks) with O(1) membership, popcount-based size,
 //! and block-wise set algebra — `union`, `intersect`, `difference`,
 //! `is_subset` — that runs at 64 items per machine word.
+//!
+//! Because these ops are the product's hot path (every quote builds and
+//! consumes conflict sets), the crate carries the performance kernels too:
+//!
+//! * [`set`](ItemSet) — inline small-set representation (1–2 blocks without
+//!   heap allocation, spilling transparently) plus single-block fast paths
+//!   and chunked autovectorization-friendly loops;
+//! * [`arena`](BlockArena) — [`BlockArena`]/[`QuoteScratch`] recycle spilled
+//!   block buffers and batch containers across quote batches;
+//! * [`mod@reference`] — the scalar, allocate-per-call kernels kept as the
+//!   differential-test oracle and benchmark baseline.
 
-use std::cmp::Ordering;
-use std::fmt;
-use std::hash::{Hash, Hasher};
+mod arena;
+pub mod reference;
+mod set;
 
-const BLOCK_BITS: usize = 64;
-
-/// A set of item indices (support-database ids), stored as a bitset.
-///
-/// Items are `usize` indices; membership of item `i` is bit `i % 64` of
-/// block `i / 64`. The representation maintains the invariant that the
-/// highest block is non-zero (no trailing zero blocks), so structural
-/// equality (`==`, `Hash`) coincides with set equality.
-///
-/// Iteration ([`ItemSet::iter`]) yields items in increasing order, matching
-/// the sorted `Vec<usize>` representation this type replaced.
-#[derive(Clone, Default, PartialEq, Eq)]
-pub struct ItemSet {
-    blocks: Vec<u64>,
-}
-
-/// Block-wise hashing. Because the representation never stores trailing
-/// zero blocks (see [`ItemSet`]), hashing the block vector directly gives
-/// `a == b ⇒ hash(a) == hash(b)` regardless of how the two sets were built
-/// (insert order, removals, set algebra). Keyed collections
-/// (`HashMap<ItemSet, _>` quote caches, dedup sets) rely on this.
-impl Hash for ItemSet {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.blocks.hash(state);
-    }
-}
-
-impl PartialOrd for ItemSet {
-    fn partial_cmp(&self, other: &ItemSet) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Orders sets by their value as a big-endian bitset integer: block count
-/// first (the top block is never zero, so more blocks means a larger
-/// number), then blocks from most to least significant.
-///
-/// Equivalently: `a < b` iff the largest item in the symmetric difference
-/// belongs to `b`. This order is **consistent with subset**: `a ⊆ b`
-/// implies `a ≤ b` (dropping bits can only decrease the integer), which is
-/// what sorted containers of bundles (e.g. `BTreeMap` price tables) need to
-/// agree with the pricing functions' monotonicity direction.
-impl Ord for ItemSet {
-    fn cmp(&self, other: &ItemSet) -> Ordering {
-        self.blocks
-            .len()
-            .cmp(&other.blocks.len())
-            .then_with(|| self.blocks.iter().rev().cmp(other.blocks.iter().rev()))
-    }
-}
-
-impl ItemSet {
-    /// Creates an empty set.
-    pub fn new() -> ItemSet {
-        ItemSet { blocks: Vec::new() }
-    }
-
-    /// Creates an empty set with room for items `0..n` without reallocating.
-    pub fn with_capacity(n: usize) -> ItemSet {
-        ItemSet {
-            blocks: Vec::with_capacity(n.div_ceil(BLOCK_BITS)),
-        }
-    }
-
-    /// Inserts `item`; returns `true` if it was not already present.
-    pub fn insert(&mut self, item: usize) -> bool {
-        let (block, bit) = (item / BLOCK_BITS, item % BLOCK_BITS);
-        if block >= self.blocks.len() {
-            self.blocks.resize(block + 1, 0);
-        }
-        let mask = 1u64 << bit;
-        let fresh = self.blocks[block] & mask == 0;
-        self.blocks[block] |= mask;
-        fresh
-    }
-
-    /// Removes `item`; returns `true` if it was present.
-    pub fn remove(&mut self, item: usize) -> bool {
-        let (block, bit) = (item / BLOCK_BITS, item % BLOCK_BITS);
-        if block >= self.blocks.len() {
-            return false;
-        }
-        let mask = 1u64 << bit;
-        let present = self.blocks[block] & mask != 0;
-        self.blocks[block] &= !mask;
-        self.normalize();
-        present
-    }
-
-    /// Whether `item` is in the set.
-    pub fn contains(&self, item: usize) -> bool {
-        self.blocks
-            .get(item / BLOCK_BITS)
-            .is_some_and(|b| b & (1u64 << (item % BLOCK_BITS)) != 0)
-    }
-
-    /// Number of items in the set (popcount over the blocks).
-    pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
-    }
-
-    /// True if the set has no items.
-    pub fn is_empty(&self) -> bool {
-        // The no-trailing-zero-blocks invariant makes this O(1).
-        self.blocks.is_empty()
-    }
-
-    /// The largest item, if any.
-    pub fn max_item(&self) -> Option<usize> {
-        let last = *self.blocks.last()?;
-        Some(
-            (self.blocks.len() - 1) * BLOCK_BITS + (BLOCK_BITS - 1 - last.leading_zeros() as usize),
-        )
-    }
-
-    /// Iterates the items in increasing order.
-    pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            blocks: &self.blocks,
-            block_idx: 0,
-            current: self.blocks.first().copied().unwrap_or(0),
-        }
-    }
-
-    /// The items as a sorted `Vec` (the legacy representation).
-    pub fn to_vec(&self) -> Vec<usize> {
-        self.iter().collect()
-    }
-
-    /// The union `self ∪ other`.
-    pub fn union(&self, other: &ItemSet) -> ItemSet {
-        let mut out = if self.blocks.len() >= other.blocks.len() {
-            self.clone()
-        } else {
-            other.clone()
-        };
-        let shorter = if self.blocks.len() >= other.blocks.len() {
-            &other.blocks
-        } else {
-            &self.blocks
-        };
-        for (dst, src) in out.blocks.iter_mut().zip(shorter) {
-            *dst |= src;
-        }
-        out
-    }
-
-    /// The intersection `self ∩ other`.
-    pub fn intersection(&self, other: &ItemSet) -> ItemSet {
-        let mut out = ItemSet {
-            blocks: self
-                .blocks
-                .iter()
-                .zip(&other.blocks)
-                .map(|(a, b)| a & b)
-                .collect(),
-        };
-        out.normalize();
-        out
-    }
-
-    /// The difference `self \ other`.
-    pub fn difference(&self, other: &ItemSet) -> ItemSet {
-        let mut out = self.clone();
-        out.difference_with(other);
-        out
-    }
-
-    /// In-place union: `self ∪= other`.
-    pub fn union_with(&mut self, other: &ItemSet) {
-        if other.blocks.len() > self.blocks.len() {
-            self.blocks.resize(other.blocks.len(), 0);
-        }
-        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
-            *dst |= src;
-        }
-    }
-
-    /// In-place intersection: `self ∩= other`.
-    pub fn intersect_with(&mut self, other: &ItemSet) {
-        self.blocks.truncate(other.blocks.len());
-        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
-            *dst &= src;
-        }
-        self.normalize();
-    }
-
-    /// In-place difference: `self \= other`.
-    pub fn difference_with(&mut self, other: &ItemSet) {
-        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
-            *dst &= !src;
-        }
-        self.normalize();
-    }
-
-    /// `|self ∩ other|` without materializing the intersection.
-    pub fn intersection_len(&self, other: &ItemSet) -> usize {
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
-    }
-
-    /// Whether `self ⊆ other`.
-    pub fn is_subset(&self, other: &ItemSet) -> bool {
-        if self.blocks.len() > other.blocks.len() {
-            return false; // invariant: the top block is non-zero
-        }
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & !b == 0)
-    }
-
-    /// Whether `self ∩ other = ∅`.
-    pub fn is_disjoint(&self, other: &ItemSet) -> bool {
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & b == 0)
-    }
-
-    /// The subset of items `< k` (used to restrict a hypergraph to a support
-    /// prefix). O(k/64) regardless of set size.
-    pub fn restricted_below(&self, k: usize) -> ItemSet {
-        let full_blocks = k / BLOCK_BITS;
-        let mut blocks: Vec<u64> = self.blocks.iter().take(full_blocks + 1).copied().collect();
-        if let Some(partial) = blocks.get_mut(full_blocks) {
-            *partial &= (1u64 << (k % BLOCK_BITS)) - 1; // k % 64 == 0 masks to 0
-        }
-        let mut out = ItemSet { blocks };
-        out.normalize();
-        out
-    }
-
-    /// The raw u64 blocks, least-significant first, with no trailing zero
-    /// block. This is the set's canonical wire form: two equal sets expose
-    /// identical block slices.
-    pub fn as_blocks(&self) -> &[u64] {
-        &self.blocks
-    }
-
-    /// Rebuilds a set from raw blocks (e.g. decoded off the wire). Trailing
-    /// zero blocks are dropped, so the result upholds the representation
-    /// invariant no matter what the peer sent.
-    pub fn from_blocks(mut blocks: Vec<u64>) -> ItemSet {
-        while blocks.last() == Some(&0) {
-            blocks.pop();
-        }
-        ItemSet { blocks }
-    }
-
-    /// A process- and platform-independent 64-bit hash (FNV-1a over the
-    /// block bytes, least-significant block first).
-    ///
-    /// `std::hash::Hash` goes through `RandomState`, which is seeded per
-    /// process; shard routing and on-disk artifacts need the *same* bundle
-    /// to land on the same shard across runs and across the client/server
-    /// boundary, which this provides. Equal sets always agree (the
-    /// representation stores no trailing zero blocks).
-    pub fn stable_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for &block in &self.blocks {
-            for byte in block.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        }
-        h
-    }
-
-    /// Drops trailing zero blocks, restoring the representation invariant.
-    fn normalize(&mut self) {
-        while self.blocks.last() == Some(&0) {
-            self.blocks.pop();
-        }
-    }
-}
-
-impl fmt::Debug for ItemSet {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter()).finish()
-    }
-}
-
-impl FromIterator<usize> for ItemSet {
-    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> ItemSet {
-        let mut set = ItemSet::new();
-        set.extend(iter);
-        set
-    }
-}
-
-impl Extend<usize> for ItemSet {
-    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
-        for item in iter {
-            self.insert(item);
-        }
-    }
-}
-
-impl From<&[usize]> for ItemSet {
-    fn from(items: &[usize]) -> ItemSet {
-        items.iter().copied().collect()
-    }
-}
-
-impl<'a> IntoIterator for &'a ItemSet {
-    type Item = usize;
-    type IntoIter = Iter<'a>;
-    fn into_iter(self) -> Iter<'a> {
-        self.iter()
-    }
-}
-
-/// Ascending iterator over the items of an [`ItemSet`].
-pub struct Iter<'a> {
-    blocks: &'a [u64],
-    block_idx: usize,
-    current: u64,
-}
-
-impl Iterator for Iter<'_> {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        while self.current == 0 {
-            self.block_idx += 1;
-            if self.block_idx >= self.blocks.len() {
-                return None;
-            }
-            self.current = self.blocks[self.block_idx];
-        }
-        let bit = self.current.trailing_zeros() as usize;
-        self.current &= self.current - 1; // clear the lowest set bit
-        Some(self.block_idx * BLOCK_BITS + bit)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn insert_contains_len_roundtrip() {
-        let mut s = ItemSet::new();
-        assert!(s.is_empty());
-        assert!(s.insert(5));
-        assert!(s.insert(64));
-        assert!(s.insert(0));
-        assert!(!s.insert(5), "re-inserting reports not-fresh");
-        assert_eq!(s.len(), 3);
-        assert!(s.contains(0) && s.contains(5) && s.contains(64));
-        assert!(!s.contains(1) && !s.contains(63) && !s.contains(1000));
-        assert_eq!(s.to_vec(), vec![0, 5, 64]);
-        assert_eq!(s.max_item(), Some(64));
-    }
-
-    #[test]
-    fn remove_restores_the_invariant() {
-        let mut s: ItemSet = [3usize, 200].into_iter().collect();
-        assert!(s.remove(200));
-        assert!(!s.remove(200));
-        // The trailing blocks of item 200 are gone, so equality with a
-        // freshly built singleton holds structurally.
-        assert_eq!(s, [3usize].into_iter().collect());
-        assert!(s.remove(3));
-        assert!(s.is_empty());
-        assert_eq!(s.max_item(), None);
-    }
-
-    #[test]
-    fn set_algebra_on_cross_block_sets() {
-        let a: ItemSet = [0usize, 63, 64, 100].into_iter().collect();
-        let b: ItemSet = [63usize, 100, 300].into_iter().collect();
-        assert_eq!(a.union(&b).to_vec(), vec![0, 63, 64, 100, 300]);
-        assert_eq!(a.intersection(&b).to_vec(), vec![63, 100]);
-        assert_eq!(a.difference(&b).to_vec(), vec![0, 64]);
-        assert_eq!(b.difference(&a).to_vec(), vec![300]);
-        assert_eq!(a.intersection_len(&b), 2);
-        assert!(!a.is_subset(&b));
-        assert!(a.intersection(&b).is_subset(&a));
-        assert!(a.intersection(&b).is_subset(&b));
-        assert!(!a.is_disjoint(&b));
-        assert!(a.difference(&b).is_disjoint(&b));
-    }
-
-    #[test]
-    fn in_place_ops_match_pure_ops() {
-        let a: ItemSet = [1usize, 70, 128].into_iter().collect();
-        let b: ItemSet = [70usize, 129].into_iter().collect();
-        let mut u = a.clone();
-        u.union_with(&b);
-        assert_eq!(u, a.union(&b));
-        let mut i = a.clone();
-        i.intersect_with(&b);
-        assert_eq!(i, a.intersection(&b));
-        let mut d = a.clone();
-        d.difference_with(&b);
-        assert_eq!(d, a.difference(&b));
-    }
-
-    #[test]
-    fn restricted_below_is_a_prefix_filter() {
-        let s: ItemSet = [0usize, 63, 64, 65, 200].into_iter().collect();
-        assert_eq!(s.restricted_below(65).to_vec(), vec![0, 63, 64]);
-        assert_eq!(s.restricted_below(64).to_vec(), vec![0, 63]);
-        assert_eq!(s.restricted_below(0).to_vec(), Vec::<usize>::new());
-        assert_eq!(s.restricted_below(1000), s);
-    }
-
-    #[test]
-    fn iteration_is_ascending_and_debug_prints_items() {
-        let s: ItemSet = [9usize, 2, 130, 2].into_iter().collect();
-        let items: Vec<usize> = (&s).into_iter().collect();
-        assert_eq!(items, vec![2, 9, 130]);
-        assert_eq!(format!("{s:?}"), "{2, 9, 130}");
-    }
-
-    #[test]
-    fn equal_sets_hash_equal_regardless_of_history() {
-        use std::collections::hash_map::DefaultHasher;
-        let hash_of = |s: &ItemSet| {
-            let mut h = DefaultHasher::new();
-            s.hash(&mut h);
-            h.finish()
-        };
-        let direct: ItemSet = [1usize, 64, 130].into_iter().collect();
-        // Same set reached through inserts beyond block 2 and removals that
-        // must drop the trailing blocks again.
-        let mut via_removal: ItemSet = [130usize, 64, 1, 500].into_iter().collect();
-        via_removal.remove(500);
-        assert_eq!(direct, via_removal);
-        assert_eq!(hash_of(&direct), hash_of(&via_removal));
-        assert_eq!(direct.stable_hash(), via_removal.stable_hash());
-        assert_ne!(
-            direct.stable_hash(),
-            ItemSet::new().stable_hash(),
-            "distinct sets should (overwhelmingly) hash apart"
-        );
-    }
-
-    #[test]
-    fn ord_is_the_bitset_integer_order() {
-        let lo: ItemSet = [0usize, 1].into_iter().collect(); // value 3
-        let hi: ItemSet = [64usize].into_iter().collect(); // value 2^64
-        assert!(lo < hi, "more blocks wins");
-        let a: ItemSet = [0usize, 5].into_iter().collect();
-        let b: ItemSet = [5usize].into_iter().collect();
-        assert!(b < a, "same top item, extra low bit breaks the tie upward");
-        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
-        // Subset consistency: a ⊆ b ⇒ a ≤ b.
-        assert!(b.is_subset(&a) && b <= a);
-        assert!(ItemSet::new() <= b);
-    }
-
-    #[test]
-    fn blocks_roundtrip_and_normalize_on_decode() {
-        let s: ItemSet = [3usize, 64, 200].into_iter().collect();
-        assert_eq!(ItemSet::from_blocks(s.as_blocks().to_vec()), s);
-        // A peer that pads with trailing zero blocks still decodes to the
-        // canonical representation.
-        let mut padded = s.as_blocks().to_vec();
-        padded.extend([0, 0]);
-        assert_eq!(ItemSet::from_blocks(padded), s);
-        assert_eq!(ItemSet::from_blocks(vec![0, 0]), ItemSet::new());
-        assert!(ItemSet::new().as_blocks().is_empty());
-    }
-
-    #[test]
-    fn empty_set_edge_cases() {
-        let e = ItemSet::new();
-        assert!(e.is_subset(&e));
-        assert!(e.is_disjoint(&e));
-        assert_eq!(e.union(&e), e);
-        assert_eq!(e.intersection_len(&e), 0);
-        let s: ItemSet = [7usize].into_iter().collect();
-        assert!(e.is_subset(&s));
-        assert!(!s.is_subset(&e));
-    }
-}
+pub use arena::{BlockArena, QuoteScratch};
+pub use set::{ItemSet, Iter, INLINE_BLOCKS};

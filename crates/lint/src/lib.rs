@@ -12,6 +12,7 @@
 //! | `ordering-comment` | a non-`SeqCst` atomic `Ordering::*` without a `// ordering:` justification comment on the same or a directly preceding line |
 //! | `unwrap-in-server` | `.unwrap()`/`.expect(` on `qp-server` request paths (`crates/server/src`, excluding the panic-by-design loadgen `transport.rs` and `bin/`) |
 //! | `float-eq` | `==`/`!=` against a float literal without `to_bits` or a `// float-eq:` justification comment |
+//! | `alloc-in-kernel` | `Vec::new()` / `.to_vec()` / `collect::<Vec<…>>` in a cache-hot kernel module without an `// alloc:` justification comment (kernels reuse buffers; steady-state allocation is a regression) |
 //!
 //! All rules skip test code (`#[cfg(test)]`/`#[test]` items and everything
 //! under `tests/`), and pattern matching runs on *sanitized* lines —
@@ -344,7 +345,22 @@ impl Scope<'_> {
     fn float_eq(&self) -> bool {
         self.in_crates_src()
     }
+
+    /// `alloc-in-kernel` covers only the cache-hot kernel modules, where
+    /// the allocation discipline (arena + double-buffer reuse) is the
+    /// optimization being protected.
+    fn alloc_kernel(&self) -> bool {
+        KERNEL_MODULES.contains(&self.rel)
+    }
 }
+
+/// The modules whose hot loops are allocation-free by design: the
+/// `ItemSet` representation and kernels, and the incremental repricer's
+/// merge machinery.
+const KERNEL_MODULES: [&str; 2] = [
+    "crates/core/src/set.rs",
+    "crates/pricing/src/algorithms/incremental.rs",
+];
 
 const STD_SYNC_DENY: [&str; 4] = ["Mutex", "RwLock", "Condvar", "atomic"];
 const NON_SEQCST: [&str; 4] = ["Relaxed", "Acquire", "Release", "AcqRel"];
@@ -463,6 +479,33 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                              instead (a panicking worker drops the connection)"
                         ),
                     ));
+                }
+            }
+        }
+
+        if scope.alloc_kernel() {
+            for pat in ["Vec::new()", ".to_vec()", "collect::<Vec<"] {
+                for at in find_all(code, pat) {
+                    // `Vec::new()` must not fire on e.g. `MyVec::new()`
+                    // (the dot-prefixed patterns legitimately follow an
+                    // identifier).
+                    if pat == "Vec::new()"
+                        && at > 0
+                        && is_ident_char(code.as_bytes()[at - 1] as char)
+                    {
+                        continue;
+                    }
+                    if !justified(&lines, i, "alloc:") {
+                        out.push(v(
+                            "alloc-in-kernel",
+                            format!(
+                                "`{}` in a kernel module — reuse a buffer \
+                                 (arena/double-buffer) or justify with an \
+                                 `// alloc:` comment",
+                                pat.trim_end_matches('<')
+                            ),
+                        ));
+                    }
                 }
             }
         }

@@ -1,0 +1,37 @@
+//! Fixture: alloc-in-kernel rule. Seeded violations on lines 4, 10, 11.
+
+fn hot_path(blocks: &[u64]) -> Vec<u64> {
+    let staging: Vec<u64> = Vec::new(); // VIOLATION: unjustified allocation
+    // alloc: cold construction path, sized once at startup.
+    let justified: Vec<u64> = Vec::new(); // allowed: justified above
+    let also = Vec::new(); // alloc: same-line justification is fine too
+    let _ = (justified, also, staging);
+
+    let copied = blocks.to_vec(); // VIOLATION: unjustified clone of the blocks
+    let ids = blocks.iter().map(|b| b + 1).collect::<Vec<_>>(); // VIOLATION
+    let typed: Vec<u64> = blocks.iter().map(|b| b + 1).collect(); // allowed: type-annotated collect is not flagged
+    let _ = (ids, typed);
+    copied
+}
+
+struct BlockVec;
+
+impl BlockVec {
+    fn new() -> BlockVec {
+        BlockVec
+    }
+}
+
+fn not_a_vec() -> BlockVec {
+    BlockVec::new() // allowed: not Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let fresh: Vec<u64> = Vec::new(); // allowed: test code
+        let copy = [1u64].to_vec(); // allowed: test code
+        assert_eq!(fresh.len() + copy.len(), 1);
+    }
+}

@@ -65,6 +65,28 @@ fn float_eq_rule_fires_exactly_where_seeded() {
 }
 
 #[test]
+fn alloc_kernel_rule_fires_exactly_where_seeded() {
+    let src = include_str!("fixtures/alloc_kernel.rs");
+    // As a kernel module: unjustified allocations fire; `// alloc:`
+    // comments (same line or directly above), type-annotated collects,
+    // non-Vec `::new()`s, and test code stay quiet.
+    let v = lint_source("crates/core/src/set.rs", src);
+    assert_eq!(
+        fired(&v),
+        vec![
+            ("alloc-in-kernel", 4),
+            ("alloc-in-kernel", 10),
+            ("alloc-in-kernel", 11),
+        ]
+    );
+    let v = lint_source("crates/pricing/src/algorithms/incremental.rs", src);
+    assert_eq!(fired(&v).len(), 3, "both kernel modules are in scope");
+    // The same source is fine anywhere outside the kernel modules.
+    assert!(lint_source("crates/core/src/arena.rs", src).is_empty());
+    assert!(lint_source("crates/market/src/broker.rs", src).is_empty());
+}
+
+#[test]
 fn epoch_rule_respects_the_broker_write_lock_region() {
     let src = include_str!("fixtures/epoch.rs");
     // As broker.rs: the mutation after pricing.write() is legal.

@@ -69,7 +69,7 @@ use parking_lot::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
-use qp_core::ItemSet;
+use qp_core::{ItemSet, QuoteScratch};
 use qp_pricing::algorithms::{self, CipConfig, LpipConfig, PricingPatch};
 use qp_pricing::{BundlePricing, Hypergraph, Pricing};
 use qp_qdb::{Database, QdbError, Query, Relation};
@@ -346,6 +346,16 @@ pub struct Broker {
     /// contract this gives layered caches).
     epoch: AtomicU64,
     ledger: Mutex<RevenueLedger>,
+    /// Arena-backed batch scratch reused across [`Broker::quote_batch`]
+    /// calls (sets, claim slots, and — via [`Broker::recycle_quotes`] —
+    /// spilled conflict-set buffers). Guarded by its own mutex so
+    /// concurrent batches stay correct; a contended call falls back to a
+    /// throwaway scratch rather than serializing (see `quote_batch_into`).
+    /// Never held across the `pricing` lock boundary in a way that breaks
+    /// the leaf-lock rule: `pricing` is acquired *after* (inside) the
+    /// scratch lock and released first, and no scratch-holding path takes
+    /// any further lock.
+    scratch: Mutex<QuoteScratch>,
 }
 
 impl Broker {
@@ -369,6 +379,7 @@ impl Broker {
             pricing: RwLock::new(Pricing::zero_items(n)),
             epoch: AtomicU64::new(0),
             ledger: Mutex::new(RevenueLedger::default()),
+            scratch: Mutex::new(QuoteScratch::new()),
         }
     }
 
@@ -484,19 +495,60 @@ impl Broker {
     /// long batch never stalls [`Broker::set_pricing`] (or quoters queued
     /// behind a writer).
     pub fn quote_batch(&self, queries: &[Query]) -> Vec<QuotedQuery> {
+        let mut quotes = Vec::with_capacity(queries.len());
+        self.quote_batch_into(queries, &mut quotes);
+        quotes
+    }
+
+    /// [`Broker::quote_batch`] writing into a caller-owned quote buffer
+    /// (cleared first), reusing the broker's arena-backed scratch so
+    /// steady-state batch quoting performs no per-set heap allocation.
+    ///
+    /// The scratch (conflict sets, claim slots, recycled block buffers) is
+    /// shared across batches under its own mutex; a batch arriving while
+    /// another holds it quotes through a throwaway scratch instead of
+    /// waiting — correctness never depends on reuse. Pair with
+    /// [`Broker::recycle_quotes`] to return the conflict-set buffers once
+    /// the quotes are dead.
+    pub fn quote_batch_into(&self, queries: &[Query], out: &mut Vec<QuotedQuery>) {
+        out.clear();
         let engine = ParallelConflictEngine::new(&self.db, &self.support);
-        let conflict_sets = engine.conflict_sets(queries);
+        let mut local;
+        let mut shared = self.scratch.try_lock();
+        let scratch = match shared.as_deref_mut() {
+            Some(scratch) => scratch,
+            None => {
+                // alloc: contended fallback — another batch owns the shared
+                // scratch; a fresh one keeps both batches running.
+                local = QuoteScratch::new();
+                &mut local
+            }
+        };
+        // Conflict sets — the dominant cost — are computed before the
+        // pricing lock is taken, so a long batch never stalls
+        // `set_pricing`. Holding the scratch mutex across the pricing read
+        // is legal: `pricing` stays a leaf (acquired last, released first),
+        // and no other path takes the scratch lock while holding `pricing`.
+        engine.conflict_sets_scratch(queries, scratch);
         let pricing = self.pricing.read();
-        conflict_sets
-            .into_iter()
-            .map(|conflict_set| {
-                let price = pricing.price_set(&conflict_set);
-                QuotedQuery {
-                    conflict_set,
-                    price,
-                }
-            })
-            .collect()
+        out.extend(scratch.sets.drain(..).map(|conflict_set| {
+            let price = pricing.price_set(&conflict_set);
+            QuotedQuery {
+                conflict_set,
+                price,
+            }
+        }));
+    }
+
+    /// Returns dead quotes' conflict-set buffers to the broker's arena, so
+    /// the next [`Broker::quote_batch_into`] batch can rebuild its sets
+    /// without heap allocation. `quotes` is drained; dropping quotes
+    /// instead is always safe — the arena just allocates anew.
+    pub fn recycle_quotes(&self, quotes: &mut Vec<QuotedQuery>) {
+        let mut scratch = self.scratch.lock();
+        for quote in quotes.drain(..) {
+            scratch.arena.recycle(quote.conflict_set);
+        }
     }
 
     /// Attempts to sell `query` to a buyer with the given `budget`.
@@ -652,6 +704,27 @@ mod tests {
             let single = broker.quote(q);
             assert_eq!(single.conflict_set, b.conflict_set);
             assert_eq!(single.price, b.price);
+        }
+    }
+
+    #[test]
+    fn quote_batch_into_reuses_buffers_and_recycling_changes_nothing() {
+        let broker = priced_broker();
+        let queries = buyer_queries();
+        let reference = broker.quote_batch(&queries);
+        let mut quotes = Vec::new();
+        // Several rounds through the same buffers, recycling between them:
+        // prices and conflict sets must match the fresh-allocation path
+        // every time.
+        for round in 0..3 {
+            broker.quote_batch_into(&queries, &mut quotes);
+            assert_eq!(quotes.len(), reference.len(), "round {round}");
+            for (a, b) in quotes.iter().zip(&reference) {
+                assert_eq!(a.conflict_set, b.conflict_set);
+                assert_eq!(a.price, b.price);
+            }
+            broker.recycle_quotes(&mut quotes);
+            assert!(quotes.is_empty(), "recycling drains the batch");
         }
     }
 

@@ -30,18 +30,33 @@
 
 use std::collections::HashMap;
 
-use qp_core::ItemSet;
+use qp_core::{ItemSet, QuoteScratch};
 use qp_pricing::Hypergraph;
 use qp_qdb::{Database, DeltaInstance, QdbError, Query, Relation, Schema, Tuple, Value};
 
-use crate::parallel::claim_map;
+use crate::parallel::claim_map_into;
 use crate::support::SupportSet;
 
 /// A conflict-set engine bound to a database and a support set.
 pub trait ConflictEngine {
     /// The indices (into the support set) of the databases in conflict with
     /// `query`'s answer on the base database.
-    fn conflict_set(&self, query: &Query) -> ItemSet;
+    ///
+    /// The default allocates a fresh set and delegates to
+    /// [`ConflictEngine::conflict_set_into`].
+    fn conflict_set(&self, query: &Query) -> ItemSet {
+        let mut out = ItemSet::new();
+        self.conflict_set_into(query, &mut out);
+        out
+    }
+
+    /// Computes the conflict set into a caller-owned set, clearing it first.
+    ///
+    /// This is the allocation-free entry point of the hot quote path: `out`
+    /// keeps any spilled block buffer across calls (see
+    /// [`ItemSet::clear`]), so recycled sets from a `qp_core::BlockArena`
+    /// make repeated batches allocation-free in steady state.
+    fn conflict_set_into(&self, query: &Query, out: &mut ItemSet);
 
     /// Number of support databases.
     fn support_size(&self) -> usize;
@@ -89,19 +104,24 @@ impl<'a> NaiveConflictEngine<'a> {
 
 impl ConflictEngine for NaiveConflictEngine<'_> {
     fn conflict_set(&self, query: &Query) -> ItemSet {
+        let mut out = ItemSet::with_capacity(self.support.len());
+        self.conflict_set_into(query, &mut out);
+        out
+    }
+
+    fn conflict_set_into(&self, query: &Query, out: &mut ItemSet) {
+        out.clear();
         let base = query.evaluate(self.db);
         let tables = query.tables_referenced();
-        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if !tables.contains(&delta.table) {
                 continue; // the perturbation cannot influence the answer
             }
             let overlay = DeltaInstance::new(self.db, delta);
             if answers_differ(&base, &query.evaluate(&overlay)) {
-                conflict.insert(i);
+                out.insert(i);
             }
         }
-        conflict
     }
 
     fn support_size(&self) -> usize {
@@ -223,15 +243,24 @@ impl<'a> DeltaConflictEngine<'a> {
 
 impl ConflictEngine for DeltaConflictEngine<'_> {
     fn conflict_set(&self, query: &Query) -> ItemSet {
+        let mut out = ItemSet::with_capacity(self.support.len());
+        self.conflict_set_into(query, &mut out);
+        out
+    }
+
+    fn conflict_set_into(&self, query: &Query, out: &mut ItemSet) {
+        out.clear();
         match classify(query) {
-            Shape::Chain { table } => self.chain_conflicts(query, &table),
-            Shape::DistinctChain { table, inner } => self.distinct_conflicts(query, &inner, &table),
+            Shape::Chain { table } => self.chain_conflicts(query, &table, out),
+            Shape::DistinctChain { table, inner } => {
+                self.distinct_conflicts(query, &inner, &table, out)
+            }
             Shape::AggregateChain {
                 table,
                 input,
                 group_by,
-            } => self.aggregate_conflicts(query, &input, &group_by, &table),
-            Shape::Other => self.naive.conflict_set(query),
+            } => self.aggregate_conflicts(query, &input, &group_by, &table, out),
+            Shape::Other => self.naive.conflict_set_into(query, out),
         }
     }
 
@@ -242,10 +271,11 @@ impl ConflictEngine for DeltaConflictEngine<'_> {
 
 impl DeltaConflictEngine<'_> {
     /// Fast path for plain filter/project chains: the answer changes iff the
-    /// perturbed tuple's contribution changes.
-    fn chain_conflicts(&self, chain: &Query, table: &str) -> ItemSet {
+    /// perturbed tuple's contribution changes. Fills `out` (already cleared
+    /// by [`ConflictEngine::conflict_set_into`]).
+    fn chain_conflicts(&self, chain: &Query, table: &str, out: &mut ItemSet) {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return ItemSet::new();
+            return;
         };
         // Evaluation errors are schema-driven, and overlays share the base
         // schema: a chain that fails on the base database fails identically
@@ -260,9 +290,8 @@ impl DeltaConflictEngine<'_> {
             empty
         };
         if chain.evaluate(&schema_probe).is_err() {
-            return ItemSet::new();
+            return;
         }
-        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -273,28 +302,27 @@ impl DeltaConflictEngine<'_> {
             let c_old = self.contribution(chain, table, &schema, old.clone());
             let c_new = self.contribution(chain, table, &schema, new);
             if !c_old.same_answer(&c_new) {
-                conflict.insert(i);
+                out.insert(i);
             }
         }
-        conflict
     }
 
     /// Fast path for `DISTINCT` over a chain: the distinct set changes iff
     /// removing the old contribution or adding the new one changes membership.
-    fn distinct_conflicts(&self, _query: &Query, inner: &Query, table: &str) -> ItemSet {
+    /// Fills `out` (already cleared by [`ConflictEngine::conflict_set_into`]).
+    fn distinct_conflicts(&self, _query: &Query, inner: &Query, table: &str, out: &mut ItemSet) {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return ItemSet::new();
+            return;
         };
         // Multiplicity of every output row of the chain over the base data.
         let Ok(full) = inner.evaluate(self.db) else {
-            return ItemSet::new();
+            return;
         };
         let mut counts: HashMap<Tuple, usize> = HashMap::with_capacity(full.len());
         for r in full.rows() {
             *counts.entry(r.clone()).or_insert(0) += 1;
         }
 
-        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -316,29 +344,30 @@ impl DeltaConflictEngine<'_> {
                 .iter()
                 .any(|r| counts.get(r).copied().unwrap_or(0) == 0);
             if removed_changes || added_changes {
-                conflict.insert(i);
+                out.insert(i);
             }
         }
-        conflict
     }
 
     /// Fast path for aggregation over a chain: only the groups touched by the
-    /// perturbed tuple can change; recompute exactly those groups.
+    /// perturbed tuple can change; recompute exactly those groups. Fills
+    /// `out` (already cleared by [`ConflictEngine::conflict_set_into`]).
     fn aggregate_conflicts(
         &self,
         query: &Query,
         input: &Query,
         group_by: &[String],
         table: &str,
-    ) -> ItemSet {
+        out: &mut ItemSet,
+    ) {
         let Ok(schema) = self.db.table(table).map(|r| r.schema().clone()) else {
-            return ItemSet::new();
+            return;
         };
         let Ok(agg_input) = input.evaluate(self.db) else {
-            return ItemSet::new();
+            return;
         };
         let Ok(base_output) = query.evaluate(self.db) else {
-            return ItemSet::new();
+            return;
         };
         let input_schema = agg_input.schema().clone();
         let key_idx: Vec<usize> = match group_by
@@ -347,7 +376,7 @@ impl DeltaConflictEngine<'_> {
             .collect::<Result<Vec<_>, _>>()
         {
             Ok(v) => v,
-            Err(_) => return self.naive.conflict_set(query),
+            Err(_) => return self.naive.conflict_set_into(query, out),
         };
         let group_key =
             |row: &Tuple| -> Vec<Value> { key_idx.iter().map(|&i| row[i].clone()).collect() };
@@ -387,7 +416,6 @@ impl DeltaConflictEngine<'_> {
             .expect("recomputing an aggregate over a temporary table cannot fail")
         };
 
-        let mut conflict = ItemSet::with_capacity(self.support.len());
         for (i, delta) in self.support.deltas().iter().enumerate() {
             if delta.table != table {
                 continue;
@@ -448,10 +476,9 @@ impl DeltaConflictEngine<'_> {
                 }
             }
             if changed {
-                conflict.insert(i);
+                out.insert(i);
             }
         }
-        conflict
     }
 }
 
@@ -526,6 +553,47 @@ impl<'a> ParallelConflictEngine<'a> {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// [`ConflictEngine::conflict_sets`] writing through caller-owned
+    /// scratch: the batch's conflict sets land in `scratch.sets` (cleared
+    /// first, query order preserved).
+    ///
+    /// This is the arena-backed entry point `Broker::quote_batch` reuses
+    /// across ticks. On the serial path every set is drawn from
+    /// `scratch.arena`, so spilled block buffers recycled from earlier
+    /// batches make steady-state quoting allocation-free. On the threaded
+    /// path the `scratch.slots` claim ledger is reused across batches (the
+    /// per-call allocation that used to dominate small batches), while the
+    /// sets themselves are built by the scoped workers — per-worker arenas
+    /// would not outlive the batch, since workers live only for one call.
+    pub fn conflict_sets_scratch(&self, queries: &[Query], scratch: &mut QuoteScratch) {
+        scratch.sets.clear();
+        let workers = self.threads.min(queries.len());
+        // Same serial/threaded split as `conflict_sets` (see below).
+        if workers <= 1 || queries.len() * self.support.len() < PARALLEL_WORK_THRESHOLD {
+            let engine = DeltaConflictEngine::new(self.db, self.support);
+            scratch.sets.reserve(queries.len());
+            for query in queries {
+                let mut set = scratch.arena.take_set();
+                engine.conflict_set_into(query, &mut set);
+                scratch.sets.push(set);
+            }
+            return;
+        }
+        claim_map_into(
+            queries,
+            workers,
+            || DeltaConflictEngine::new(self.db, self.support),
+            |engine, query| engine.conflict_set(query),
+            &mut scratch.slots,
+        );
+        scratch.sets.extend(
+            scratch
+                .slots
+                .drain(..)
+                .map(|s| s.expect("scoped workers drain every item")),
+        );
+    }
 }
 
 /// Minimum batch work (queries × support databases) before spawning worker
@@ -539,25 +607,23 @@ impl ConflictEngine for ParallelConflictEngine<'_> {
         DeltaConflictEngine::new(self.db, self.support).conflict_set(query)
     }
 
+    fn conflict_set_into(&self, query: &Query, out: &mut ItemSet) {
+        DeltaConflictEngine::new(self.db, self.support).conflict_set_into(query, out)
+    }
+
     fn support_size(&self) -> usize {
         self.support.len()
     }
 
+    /// Delegates to [`ParallelConflictEngine::conflict_sets_scratch`] with a
+    /// throwaway scratch. One effective worker takes the serial path no
+    /// matter how large the batch is — a second thread cannot exist to share
+    /// the work, so spawn + ledger overhead would be pure loss. Multi-worker
+    /// batches still fall back to serial below the work threshold.
     fn conflict_sets(&self, queries: &[Query]) -> Vec<ItemSet> {
-        let workers = self.threads.min(queries.len());
-        // One effective worker takes the serial path no matter how large the
-        // batch is — a second thread cannot exist to share the work, so
-        // spawn + ledger overhead would be pure loss. Multi-worker batches
-        // still fall back to serial below the work threshold.
-        if workers <= 1 || queries.len() * self.support.len() < PARALLEL_WORK_THRESHOLD {
-            return DeltaConflictEngine::new(self.db, self.support).conflict_sets(queries);
-        }
-        claim_map(
-            queries,
-            workers,
-            || DeltaConflictEngine::new(self.db, self.support),
-            |engine, query| engine.conflict_set(query),
-        )
+        let mut scratch = QuoteScratch::new();
+        self.conflict_sets_scratch(queries, &mut scratch);
+        std::mem::take(&mut scratch.sets)
     }
 }
 

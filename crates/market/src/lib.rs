@@ -41,5 +41,5 @@ pub use conflict::{
     build_hypergraph, ConflictEngine, DeltaConflictEngine, NaiveConflictEngine,
     ParallelConflictEngine,
 };
-pub use parallel::claim_map;
+pub use parallel::{claim_map, claim_map_into};
 pub use support::{SupportConfig, SupportSet};

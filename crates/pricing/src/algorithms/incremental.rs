@@ -17,8 +17,21 @@
 //!   absorbs each delta as one O(m + |delta| log |delta|) three-way merge;
 //!   the optimum is re-read with one cache-friendly descending scan over
 //!   the *distinct* values — no hypergraph rebuild, no O(m log m) re-sort.
-//! * **UIP** ([`UipIncremental`], exact) — same shape over the candidate
-//!   rates `v_e / |e|`, aggregating bundle sizes per distinct rate.
+//! * **UIP** ([`UipIncremental`], exact) — the same run-length idea over
+//!   the candidate rates `v_e / |e|`, but stored as a flat struct-of-arrays
+//!   [`RateTable`] (`keys` / `counts` / `sizes` in three parallel `Vec`s)
+//!   merged by a **galloping two-pointer batch merge**: the sorted delta is
+//!   coalesced per distinct key, the next affected base key is found by
+//!   exponential-then-binary search, and the unaffected runs in between are
+//!   bulk-copied with `extend_from_slice`. A 1% delta against a 10k-rate
+//!   table thus costs a handful of memcpys plus O(|delta| log m) probes
+//!   instead of a 10k-entry branchy walk. The pre-rewrite per-entry walk is
+//!   kept in [`mod@reference`] as the differential oracle
+//!   (`tests/differential_merge.rs` proves batch-merge bit-identity) and
+//!   the benchmark baseline.
+//!
+//! Both exact rules double-buffer their state (`merge into next, swap`), so
+//! steady-state repricing reuses the same allocations tick after tick.
 //! * **XOS** ([`XosIncremental`], *not* exact) — re-fitting the LPIP/CIP
 //!   components means re-running LPs, so the incremental rule keeps the
 //!   fitted envelope and re-evaluates its revenue on the updated demand,
@@ -115,7 +128,9 @@ fn key(v: f64) -> u64 {
 
 /// Merges a sorted run-length multiset with a batch of insertions and
 /// removals (each carrying a per-key payload accumulated by `Acc`) into a
-/// fresh sorted run-length multiset in one three-way linear walk.
+/// caller-owned sorted run-length multiset (cleared first) in one three-way
+/// linear walk — the double-buffering callers swap `out` back, so
+/// steady-state merges allocate nothing.
 ///
 /// `base` entries are `(key, accumulated)`, `ins`/`rem` are sorted
 /// `(key, payload)` pairs. Panics if a removal exceeds what the base plus
@@ -125,8 +140,10 @@ fn merge_counts<A: Acc>(
     base: &[(u64, A)],
     ins: &[(u64, A::Item)],
     rem: &[(u64, A::Item)],
-) -> Vec<(u64, A)> {
-    let mut out = Vec::with_capacity(base.len() + ins.len());
+    out: &mut Vec<(u64, A)>,
+) {
+    out.clear();
+    out.reserve(base.len() + ins.len());
     let (mut b, mut i, mut r) = (0usize, 0usize, 0usize);
     loop {
         let mut k = u64::MAX;
@@ -163,7 +180,6 @@ fn merge_counts<A: Acc>(
             out.push((k, acc));
         }
     }
-    out
 }
 
 /// Per-key payload accumulated by [`merge_counts`].
@@ -208,6 +224,11 @@ pub struct UbpIncremental {
     /// ascending (= numeric ascending) with multiplicities, contiguous so
     /// the optimum scan streams through cache.
     vals: Vec<(u64, Count)>,
+    /// Per-delta staging buffers (insertions, removals) and the merge's
+    /// double buffer, all reused across `apply` calls.
+    ins: Vec<(u64, ())>,
+    rem: Vec<(u64, ())>,
+    next: Vec<(u64, Count)>,
 }
 
 impl UbpIncremental {
@@ -272,21 +293,22 @@ impl IncrementalRepricer for UbpIncremental {
     }
 
     fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
-        let mut ins: Vec<(u64, ())> = Vec::new();
-        let mut rem: Vec<(u64, ())> = Vec::new();
+        self.ins.clear();
+        self.rem.clear();
         for op in ops {
             match op {
-                AppliedOp::Added { valuation, .. } => ins.push((key(*valuation), ())),
-                AppliedOp::Removed { edge, .. } => rem.push((key(edge.valuation), ())),
+                AppliedOp::Added { valuation, .. } => self.ins.push((key(*valuation), ())),
+                AppliedOp::Removed { edge, .. } => self.rem.push((key(edge.valuation), ())),
                 AppliedOp::Revalued { old, new, .. } => {
-                    rem.push((key(*old), ()));
-                    ins.push((key(*new), ()));
+                    self.rem.push((key(*old), ()));
+                    self.ins.push((key(*new), ()));
                 }
             }
         }
-        ins.sort_unstable_by_key(|e| e.0);
-        rem.sort_unstable_by_key(|e| e.0);
-        self.vals = merge_counts(&self.vals, &ins, &rem);
+        self.ins.sort_unstable_by_key(|e| e.0);
+        self.rem.sort_unstable_by_key(|e| e.0);
+        merge_counts(&self.vals, &self.ins, &self.rem, &mut self.next);
+        std::mem::swap(&mut self.vals, &mut self.next);
 
         let out = self.outcome(h);
         let Pricing::UniformBundle { price } = out.pricing else {
@@ -296,49 +318,176 @@ impl IncrementalRepricer for UbpIncremental {
     }
 }
 
-/// UIP payload: how many non-empty bundles share one distinct rate, and
-/// the sum of their sizes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct RateGroup {
-    count: usize,
-    sizes: usize,
-}
-
-impl Acc for RateGroup {
-    type Item = usize; // the bundle size
-    fn merge(&mut self, other: &RateGroup) {
-        self.count += other.count;
-        self.sizes += other.sizes;
-    }
-    fn add(&mut self, size: &usize) {
-        self.count += 1;
-        self.sizes += size;
-    }
-    fn sub(&mut self, size: &usize) {
-        assert!(
-            self.count > 0 && self.sizes >= *size,
-            "incremental repricer out of sync: removing an untracked rate"
-        );
-        self.count -= 1;
-        self.sizes -= size;
-    }
-    fn is_zero(&self) -> bool {
-        self.count == 0
-    }
-}
-
 /// The candidate rate of a non-empty bundle, or `None` for empty bundles
 /// (which contribute no candidate — exactly as the full algorithm filters).
 fn rate_key(valuation: f64, size: usize) -> Option<(u64, usize)> {
     (size > 0).then(|| (key(valuation / size as f64), size))
 }
 
+/// UIP's run-length rate multiset as a flat struct-of-arrays: three
+/// parallel vectors holding, per distinct rate (IEEE-bit key, ascending =
+/// numeric ascending), how many non-empty bundles share it and the sum of
+/// their sizes.
+///
+/// The SoA layout is what makes [`RateTable::merge_batch`] fast: the
+/// optimum scan touches only `keys` + `sizes` (no padding, no `counts`
+/// traffic), and the batch merge moves unaffected runs with three
+/// `extend_from_slice` memcpys instead of walking entries one by one.
+/// Semantically this is exactly the old `Vec<(u64, RateGroup)>` — the
+/// [`mod@reference`] module keeps that form and `tests/differential_merge.rs`
+/// proves the two merge paths bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RateTable {
+    keys: Vec<u64>,
+    counts: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl RateTable {
+    /// An empty table.
+    pub fn new() -> RateTable {
+        RateTable::default()
+    }
+
+    /// Number of distinct rates.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no rates are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Empties the table, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.counts.clear();
+        self.sizes.clear();
+    }
+
+    /// Appends one run-length entry; `key` must exceed the current last key
+    /// (entries stay sorted) and `count` must be positive.
+    pub fn push(&mut self, key: u64, count: usize, sizes: usize) {
+        debug_assert!(self.keys.last().is_none_or(|&last| last < key));
+        debug_assert!(count > 0);
+        self.keys.push(key);
+        self.counts.push(count);
+        self.sizes.push(sizes);
+    }
+
+    /// The entries as `(key, count, summed sizes)`, ascending by key.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, usize, usize)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .zip(&self.sizes)
+            .map(|((&k, &c), &s)| (k, c, s))
+    }
+
+    /// Merges a sorted delta batch into `out` (cleared first): `ins`/`rem`
+    /// are sorted `(key, bundle size)` pairs, one per inserted/removed
+    /// non-empty bundle.
+    ///
+    /// This is the galloping two-pointer merge (module docs): per distinct
+    /// delta key the batch is coalesced into net count/size adjustments,
+    /// the run of base entries below that key is located by
+    /// exponential-then-binary search and bulk-copied, and the affected
+    /// entry is adjusted in one step. Bit-identical to
+    /// [`reference::merge_rates`], including the desync panic: a batch
+    /// that removes more than the base plus its own insertions hold at any
+    /// key panics — per-entry asserts and the batch-total assert agree
+    /// because the old walk applied all additions before any subtraction,
+    /// so its running value decreased monotonically through the removals.
+    pub fn merge_batch(&self, ins: &[(u64, usize)], rem: &[(u64, usize)], out: &mut RateTable) {
+        out.clear();
+        out.keys.reserve(self.len() + ins.len());
+        out.counts.reserve(self.len() + ins.len());
+        out.sizes.reserve(self.len() + ins.len());
+        let (mut i, mut r, mut b) = (0usize, 0usize, 0usize);
+        while i < ins.len() || r < rem.len() {
+            let k = match (ins.get(i), rem.get(r)) {
+                (Some(&(ki, _)), Some(&(kr, _))) => ki.min(kr),
+                (Some(&(ki, _)), None) => ki,
+                (None, Some(&(kr, _))) => kr,
+                (None, None) => unreachable!("loop condition holds one side"),
+            };
+            // Coalesce the whole batch at this key into net adjustments.
+            let (mut n_ins, mut sum_ins) = (0usize, 0usize);
+            while i < ins.len() && ins[i].0 == k {
+                n_ins += 1;
+                sum_ins += ins[i].1;
+                i += 1;
+            }
+            let (mut n_rem, mut sum_rem) = (0usize, 0usize);
+            while r < rem.len() && rem[r].0 == k {
+                n_rem += 1;
+                sum_rem += rem[r].1;
+                r += 1;
+            }
+            // Gallop to the first base entry ≥ k and bulk-copy the
+            // unaffected run below it.
+            let lo = b + gallop_lower_bound(&self.keys[b..], k);
+            out.keys.extend_from_slice(&self.keys[b..lo]);
+            out.counts.extend_from_slice(&self.counts[b..lo]);
+            out.sizes.extend_from_slice(&self.sizes[b..lo]);
+            b = lo;
+            let (mut count, mut size_sum) = (0usize, 0usize);
+            if b < self.keys.len() && self.keys[b] == k {
+                count = self.counts[b];
+                size_sum = self.sizes[b];
+                b += 1;
+            }
+            assert!(
+                count + n_ins >= n_rem && size_sum + sum_ins >= sum_rem,
+                "incremental repricer out of sync: removing an untracked rate"
+            );
+            let count = count + n_ins - n_rem;
+            let size_sum = size_sum + sum_ins - sum_rem;
+            if count > 0 {
+                out.keys.push(k);
+                out.counts.push(count);
+                out.sizes.push(size_sum);
+            }
+        }
+        out.keys.extend_from_slice(&self.keys[b..]);
+        out.counts.extend_from_slice(&self.counts[b..]);
+        out.sizes.extend_from_slice(&self.sizes[b..]);
+    }
+}
+
+/// The index of the first element of `keys` that is `>= k` (all of `keys`
+/// when none is), found by exponential probing from the front followed by a
+/// binary search over the bracketed window.
+///
+/// Batch merges call this once per distinct delta key with `keys` already
+/// advanced past the previous key's position, so the cost is O(log gap) in
+/// the *distance to the next affected entry*, not O(log m) in the table —
+/// the gallop is what keeps sparse deltas near O(|delta|).
+fn gallop_lower_bound(keys: &[u64], k: u64) -> usize {
+    if keys.first().is_none_or(|&x| x >= k) {
+        return 0;
+    }
+    // keys[hi / 2] < k at every iteration exit.
+    let mut hi = 1usize;
+    while hi < keys.len() && keys[hi] < k {
+        hi *= 2;
+    }
+    let lo = hi / 2 + 1;
+    let hi = hi.min(keys.len());
+    lo + keys[lo..hi].partition_point(|&x| x < k)
+}
+
 /// UIP's incremental rule (see the module docs). Exact.
 #[derive(Debug, Clone, Default)]
 pub struct UipIncremental {
-    /// Run-length multiset of distinct rates `v/|e|` (IEEE-bit keys,
-    /// ascending) with counts and summed bundle sizes, contiguous.
-    rates: Vec<(u64, RateGroup)>,
+    /// Run-length multiset of distinct rates `v/|e|`, struct-of-arrays.
+    rates: RateTable,
+    /// Per-delta staging buffers (insertions, removals) and the merge's
+    /// double buffer, all reused across `apply` calls.
+    ins: Vec<(u64, usize)>,
+    rem: Vec<(u64, usize)>,
+    next: RateTable,
 }
 
 impl UipIncremental {
@@ -349,13 +498,15 @@ impl UipIncremental {
 
     /// Replays [`crate::algorithms::uniform_item_price`]'s candidate scan:
     /// descending rates with cumulative bundle sizes, strict improvement.
+    /// Float op order is identical to the pre-SoA scan, so the winning
+    /// weight is bit-identical.
     fn best_weight(&self) -> f64 {
         let mut best_w = 0.0;
         let mut best_rev = 0.0;
         let mut sold_items = 0usize;
-        for &(bits, group) in self.rates.iter().rev() {
-            sold_items += group.sizes;
-            let rate = f64::from_bits(bits);
+        for i in (0..self.rates.len()).rev() {
+            sold_items += self.rates.sizes[i];
+            let rate = f64::from_bits(self.rates.keys[i]);
             let rev = rate * sold_items as f64;
             if rev > best_rev {
                 best_rev = rev;
@@ -392,51 +543,48 @@ impl IncrementalRepricer for UipIncremental {
     }
 
     fn prime(&mut self, h: &Hypergraph) -> PricingOutcome {
-        let mut keys: Vec<(u64, usize)> = h
-            .edges()
-            .iter()
-            .filter_map(|e| rate_key(e.valuation, e.size()))
-            .collect();
-        keys.sort_unstable_by_key(|e| e.0);
+        self.ins.clear();
+        self.ins.extend(
+            h.edges()
+                .iter()
+                .filter_map(|e| rate_key(e.valuation, e.size())),
+        );
+        self.ins.sort_unstable_by_key(|e| e.0);
         self.rates.clear();
-        for (k, size) in keys {
-            match self.rates.last_mut() {
-                Some((last, group)) if *last == k => {
-                    group.count += 1;
-                    group.sizes += size;
-                }
-                _ => self.rates.push((
-                    k,
-                    RateGroup {
-                        count: 1,
-                        sizes: size,
-                    },
-                )),
+        for &(k, size) in &self.ins {
+            if self.rates.keys.last() == Some(&k) {
+                let last = self.rates.len() - 1;
+                self.rates.counts[last] += 1;
+                self.rates.sizes[last] += size;
+            } else {
+                self.rates.push(k, 1, size);
             }
         }
+        self.ins.clear();
         self.outcome(h).0
     }
 
     fn apply(&mut self, h: &Hypergraph, ops: &[AppliedOp]) -> (PricingOutcome, PricingPatch) {
-        let mut ins: Vec<(u64, usize)> = Vec::new();
-        let mut rem: Vec<(u64, usize)> = Vec::new();
+        self.ins.clear();
+        self.rem.clear();
         for op in ops {
             match op {
                 AppliedOp::Added {
                     valuation, size, ..
-                } => ins.extend(rate_key(*valuation, *size)),
+                } => self.ins.extend(rate_key(*valuation, *size)),
                 AppliedOp::Removed { edge, .. } => {
-                    rem.extend(rate_key(edge.valuation, edge.size()))
+                    self.rem.extend(rate_key(edge.valuation, edge.size()))
                 }
                 AppliedOp::Revalued { size, old, new, .. } => {
-                    rem.extend(rate_key(*old, *size));
-                    ins.extend(rate_key(*new, *size));
+                    self.rem.extend(rate_key(*old, *size));
+                    self.ins.extend(rate_key(*new, *size));
                 }
             }
         }
-        ins.sort_unstable_by_key(|e| e.0);
-        rem.sort_unstable_by_key(|e| e.0);
-        self.rates = merge_counts(&self.rates, &ins, &rem);
+        self.ins.sort_unstable_by_key(|e| e.0);
+        self.rem.sort_unstable_by_key(|e| e.0);
+        self.rates.merge_batch(&self.ins, &self.rem, &mut self.next);
+        std::mem::swap(&mut self.rates, &mut self.next);
 
         let (out, w) = self.outcome(h);
         let patch = PricingPatch::SetUniformWeight {
@@ -475,6 +623,7 @@ impl XosIncremental {
         XosIncremental {
             lpip,
             cip,
+            // alloc: one-time construction; refits reuse the fitted buffers.
             components: Vec::new(),
             refit_after: Self::DEFAULT_REFIT_AFTER,
             ops_since_fit: 0,
@@ -589,6 +738,126 @@ impl Repricer {
     }
 }
 
+/// Scalar reference implementation of the UIP rate-multiset merge — the
+/// pre-SoA entry-at-a-time walk, kept as the differential oracle for
+/// [`RateTable::merge_batch`] (`tests/differential_merge.rs` and the bench
+/// harness both pit the two against each other). These allocate a fresh
+/// result per call on purpose; do not "fix" them.
+pub mod reference {
+    use super::RateTable;
+
+    /// One run-length entry: how many non-empty bundles share a rate, and
+    /// the sum of their sizes.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct RateEntry {
+        /// Number of bundles at this rate.
+        pub count: usize,
+        /// Summed bundle sizes at this rate.
+        pub sizes: usize,
+    }
+
+    /// The old three-way walk: applies `ins` then `rem` per key, one entry
+    /// at a time, with the per-step underflow asserts the batch form of
+    /// [`RateTable::merge_batch`] collapses into one check per key.
+    pub fn merge_rates(
+        base: &[(u64, RateEntry)],
+        ins: &[(u64, usize)],
+        rem: &[(u64, usize)],
+    ) -> Vec<(u64, RateEntry)> {
+        fn apply_at(
+            out: &mut Vec<(u64, RateEntry)>,
+            ins: &[(u64, usize)],
+            rem: &[(u64, usize)],
+            i: &mut usize,
+            r: &mut usize,
+            k: u64,
+            mut e: RateEntry,
+        ) {
+            while *i < ins.len() && ins[*i].0 == k {
+                e.count += 1;
+                e.sizes += ins[*i].1;
+                *i += 1;
+            }
+            while *r < rem.len() && rem[*r].0 == k {
+                assert!(
+                    e.count > 0 && e.sizes >= rem[*r].1,
+                    "incremental repricer out of sync: removing an untracked rate"
+                );
+                e.count -= 1;
+                e.sizes -= rem[*r].1;
+                *r += 1;
+            }
+            if e.count > 0 {
+                out.push((k, e));
+            }
+        }
+        fn next_delta_key(
+            ins: &[(u64, usize)],
+            rem: &[(u64, usize)],
+            i: usize,
+            r: usize,
+        ) -> Option<u64> {
+            match (ins.get(i), rem.get(r)) {
+                (Some(&(ki, _)), Some(&(kr, _))) => Some(ki.min(kr)),
+                (Some(&(ki, _)), None) => Some(ki),
+                (None, Some(&(kr, _))) => Some(kr),
+                (None, None) => None,
+            }
+        }
+        // alloc: oracle path — a fresh result per call is the point.
+        let mut out: Vec<(u64, RateEntry)> = Vec::with_capacity(base.len() + ins.len());
+        let (mut i, mut r) = (0usize, 0usize);
+        for &(k, e) in base {
+            // Delta keys strictly below this base entry form entries of
+            // their own first.
+            while let Some(next) = next_delta_key(ins, rem, i, r) {
+                if next >= k {
+                    break;
+                }
+                apply_at(
+                    &mut out,
+                    ins,
+                    rem,
+                    &mut i,
+                    &mut r,
+                    next,
+                    RateEntry::default(),
+                );
+            }
+            apply_at(&mut out, ins, rem, &mut i, &mut r, k, e);
+        }
+        while let Some(next) = next_delta_key(ins, rem, i, r) {
+            apply_at(
+                &mut out,
+                ins,
+                rem,
+                &mut i,
+                &mut r,
+                next,
+                RateEntry::default(),
+            );
+        }
+        out
+    }
+
+    /// A [`RateTable`] holding exactly `entries` (sorted by key).
+    pub fn table_from_entries(entries: &[(u64, RateEntry)]) -> RateTable {
+        let mut t = RateTable::new();
+        for &(k, e) in entries {
+            t.push(k, e.count, e.sizes);
+        }
+        t
+    }
+
+    /// A table's entries in the reference AoS form.
+    pub fn entries_from_table(t: &RateTable) -> Vec<(u64, RateEntry)> {
+        t.entries()
+            .map(|(k, count, sizes)| (k, RateEntry { count, sizes }))
+            // alloc: oracle path — a fresh result per call is the point.
+            .collect::<Vec<_>>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +915,55 @@ mod tests {
         assert_eq!(out.pricing, full.pricing);
         assert_eq!(out.revenue.to_bits(), full.revenue.to_bits());
         assert!(matches!(patch, PricingPatch::SetUniformWeight { .. }));
+    }
+
+    #[test]
+    fn galloping_batch_merge_matches_the_reference_walk() {
+        // A base multiset with clustered and isolated keys, plus a delta
+        // batch that hits existing keys, creates new ones, annihilates one
+        // entirely, and repeats keys within one batch.
+        let base = vec![
+            (10u64, reference::RateEntry { count: 2, sizes: 7 }),
+            (20, reference::RateEntry { count: 1, sizes: 3 }),
+            (21, reference::RateEntry { count: 4, sizes: 9 }),
+            (50, reference::RateEntry { count: 1, sizes: 2 }),
+            (
+                90,
+                reference::RateEntry {
+                    count: 3,
+                    sizes: 12,
+                },
+            ),
+        ];
+        let ins = vec![(5u64, 4usize), (20, 1), (20, 2), (60, 5), (95, 1)];
+        let rem = vec![(10u64, 3usize), (20, 3), (50, 2), (90, 4)];
+        let expected = reference::merge_rates(&base, &ins, &rem);
+
+        let table = reference::table_from_entries(&base);
+        let mut out = RateTable::new();
+        table.merge_batch(&ins, &rem, &mut out);
+        assert_eq!(reference::entries_from_table(&out), expected);
+
+        // An empty delta is an identity copy.
+        table.merge_batch(&[], &[], &mut out);
+        assert_eq!(reference::entries_from_table(&out), base);
+
+        // A delta against an empty base builds the table from scratch.
+        RateTable::new().merge_batch(&ins, &[], &mut out);
+        assert_eq!(
+            reference::entries_from_table(&out),
+            reference::merge_rates(&[], &ins, &[])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "removing an untracked rate")]
+    fn batch_merge_panics_on_untracked_removal() {
+        let table =
+            reference::table_from_entries(&[(10u64, reference::RateEntry { count: 1, sizes: 2 })]);
+        let mut out = RateTable::new();
+        // Two removals at a key holding one bundle: state desync.
+        table.merge_batch(&[], &[(10, 2), (10, 2)], &mut out);
     }
 
     #[test]

@@ -24,7 +24,8 @@ mod xos;
 
 pub use cip::{capacity_item_price, CipConfig};
 pub use incremental::{
-    IncrementalRepricer, PricingPatch, Repricer, UbpIncremental, UipIncremental, XosIncremental,
+    reference, IncrementalRepricer, PricingPatch, RateTable, Repricer, UbpIncremental,
+    UipIncremental, XosIncremental,
 };
 pub use layering::layering;
 pub use lpip::{lp_item_price, LpipConfig};

@@ -519,12 +519,25 @@ impl Hypergraph {
     /// Cost is O(Σ|e| over touched edges) — a built [`ItemIndex`] is patched
     /// op by op, never rebuilt.
     pub fn apply_delta(&mut self, delta: HypergraphDelta) -> Vec<AppliedOp> {
+        let mut delta = delta;
         let mut applied = Vec::with_capacity(delta.ops.len());
-        for op in delta.ops {
+        self.apply_delta_drain(&mut delta, &mut applied);
+        applied
+    }
+
+    /// [`Hypergraph::apply_delta`] draining a caller-owned delta into a
+    /// caller-owned log, so a steady-state caller (the simulator's demand
+    /// window, once per tick) reuses both buffers instead of allocating
+    /// them anew. `delta` is left empty and ready to refill; `ops` is
+    /// cleared first and holds the same per-op log `apply_delta` returns.
+    pub fn apply_delta_drain(&mut self, delta: &mut HypergraphDelta, ops: &mut Vec<AppliedOp>) {
+        ops.clear();
+        ops.reserve(delta.ops.len());
+        for op in delta.ops.drain(..) {
             match op {
                 DeltaOp::AddEdge { items, valuation } => {
                     let edge = self.add_edge_set(items, valuation);
-                    applied.push(AppliedOp::Added {
+                    ops.push(AppliedOp::Added {
                         edge,
                         size: self.edges[edge].size(),
                         valuation,
@@ -532,14 +545,14 @@ impl Hypergraph {
                 }
                 DeltaOp::RemoveEdge { edge } => {
                     let (removed, moved) = self.remove_edge_tracked(edge);
-                    applied.push(AppliedOp::Removed {
+                    ops.push(AppliedOp::Removed {
                         edge: removed,
                         moved,
                     });
                 }
                 DeltaOp::RevalueEdge { edge, valuation } => {
                     let old = self.revalue_edge(edge, valuation);
-                    applied.push(AppliedOp::Revalued {
+                    ops.push(AppliedOp::Revalued {
                         edge,
                         size: self.edges[edge].size(),
                         old,
@@ -548,7 +561,6 @@ impl Hypergraph {
                 }
             }
         }
-        applied
     }
 
     /// Number of items `n`.

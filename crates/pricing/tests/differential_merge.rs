@@ -1,0 +1,142 @@
+//! Differential tests: the galloping struct-of-arrays
+//! [`RateTable::merge_batch`] against the scalar
+//! [`reference::merge_rates`] walk (the pre-optimization implementation,
+//! kept verbatim) — on valid deltas the merged multisets must be
+//! identical, and on *invalid* deltas (removing rates the base never
+//! tracked) the two must agree on panicking, since the desync assert is
+//! part of the contract.
+//!
+//! Deltas are built from an explicit bundle multiset — base entries
+//! aggregate a list of `(rate key, size)` bundles, removals sample from
+//! that list — so validity is by construction, and the key universe is
+//! kept small to force collisions (several bundles per rate, several
+//! delta entries per key, annihilated entries).
+
+use proptest::prelude::*;
+use qp_pricing::algorithms::{reference, RateTable};
+
+/// A bundle multiset: keys from a tiny universe (collisions guaranteed),
+/// sizes ≥ 1.
+fn bundles() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    proptest::collection::vec((0u64..24, 1usize..16), 0..60)
+}
+
+/// Aggregates a bundle multiset into sorted reference entries.
+fn aggregate(bundles: &[(u64, usize)]) -> Vec<(u64, reference::RateEntry)> {
+    let mut sorted = bundles.to_vec();
+    sorted.sort_unstable_by_key(|e| e.0);
+    let mut out: Vec<(u64, reference::RateEntry)> = Vec::new();
+    for &(k, size) in &sorted {
+        match out.last_mut() {
+            Some((last, e)) if *last == k => {
+                e.count += 1;
+                e.sizes += size;
+            }
+            _ => out.push((
+                k,
+                reference::RateEntry {
+                    count: 1,
+                    sizes: size,
+                },
+            )),
+        }
+    }
+    out
+}
+
+fn sorted(mut v: Vec<(u64, usize)>) -> Vec<(u64, usize)> {
+    v.sort_unstable_by_key(|e| e.0);
+    v
+}
+
+/// Keeps the expected desync panics (hundreds per proptest run) out of the
+/// test output while leaving every other panic's diagnostics intact.
+fn silence_desync_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("incremental repricer out of sync"));
+            if !expected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batch_merge_matches_the_reference_walk_on_valid_deltas(
+        base_bundles in bundles(),
+        ins in bundles(),
+        rem_picks in proptest::collection::vec(0usize..1024, 0..20),
+    ) {
+        let base = aggregate(&base_bundles);
+        let ins = sorted(ins);
+        // Removals sample the live bundle multiset without replacement, so
+        // the delta is valid by construction.
+        let mut live = base_bundles.clone();
+        let mut rem = Vec::new();
+        for pick in rem_picks {
+            if live.is_empty() {
+                break;
+            }
+            rem.push(live.swap_remove(pick % live.len()));
+        }
+        let rem = sorted(rem);
+
+        let expected = reference::merge_rates(&base, &ins, &rem);
+        let table = reference::table_from_entries(&base);
+        let mut out = RateTable::new();
+        table.merge_batch(&ins, &rem, &mut out);
+        prop_assert_eq!(reference::entries_from_table(&out), expected);
+
+        // Buffer reuse must not leak previous contents: merge again into
+        // the same `out` with a different delta.
+        table.merge_batch(&ins, &[], &mut out);
+        prop_assert_eq!(
+            reference::entries_from_table(&out),
+            reference::merge_rates(&base, &ins, &[])
+        );
+    }
+
+    #[test]
+    fn batch_merge_agrees_with_the_reference_on_desync_panics(
+        base_bundles in bundles(),
+        ins in bundles(),
+        rem in bundles(),
+    ) {
+        // Unconstrained removals: often invalid. Both implementations must
+        // agree — same merged result, or both panic with the desync
+        // message.
+        silence_desync_panics();
+        let base = aggregate(&base_bundles);
+        let ins = sorted(ins);
+        let rem = sorted(rem);
+        let table = reference::table_from_entries(&base);
+        let reference_run = std::panic::catch_unwind(|| {
+            reference::merge_rates(&base, &ins, &rem)
+        });
+        let batch_run = std::panic::catch_unwind(|| {
+            let mut out = RateTable::new();
+            table.merge_batch(&ins, &rem, &mut out);
+            reference::entries_from_table(&out)
+        });
+        match (reference_run, batch_run) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "paths disagree on validity: reference {:?}, batch {:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}

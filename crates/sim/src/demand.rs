@@ -41,6 +41,11 @@ pub struct DemandWindow {
     fresh: VecDeque<(ItemSet, f64)>,
     /// Maximum window size; 0 keeps every observation.
     window: usize,
+    /// Reusable delta staging buffer — refilled and drained by every flush,
+    /// so steady-state ticks build their delta without allocating.
+    delta: HypergraphDelta,
+    /// Reusable edge-id → arrival-position map for eviction re-threading.
+    pos: Vec<usize>,
 }
 
 impl DemandWindow {
@@ -53,6 +58,8 @@ impl DemandWindow {
             evicted: Vec::new(),
             fresh: VecDeque::new(),
             window,
+            delta: HypergraphDelta::new(),
+            pos: Vec::new(),
         }
     }
 
@@ -94,36 +101,44 @@ impl DemandWindow {
     /// [`AppliedOp`] log — O(|delta|) graph work (plus one O(window)
     /// arrival-order re-thread when evictions occurred), never a rebuild.
     pub fn flush(&mut self) -> (&Hypergraph, Vec<AppliedOp>) {
+        let mut ops = Vec::new();
+        let demand = self.flush_into(&mut ops);
+        (demand, ops)
+    }
+
+    /// [`DemandWindow::flush`] writing the [`AppliedOp`] log into a
+    /// caller-owned buffer (cleared first), so a per-tick caller reuses the
+    /// log allocation — together with the window's internal delta and
+    /// position buffers, a steady-state flush allocates nothing.
+    pub fn flush_into(&mut self, ops: &mut Vec<AppliedOp>) -> &Hypergraph {
         // Descending removal order keeps every queued id valid under
         // swap-removal (see the module docs).
         self.evicted.sort_unstable_by(|a, b| b.cmp(a));
         let pre_removal_edges = self.order.len() + self.evicted.len();
         let had_evictions = !self.evicted.is_empty();
-        let mut delta = HypergraphDelta::new();
+        debug_assert!(self.delta.is_empty(), "the staging delta is drained");
         for &id in &self.evicted {
-            delta.remove_edge(id);
+            self.delta.remove_edge(id);
         }
         self.evicted.clear();
         for (set, bid) in self.fresh.drain(..) {
-            delta.add_edge(set, bid);
+            self.delta.add_edge(set, bid);
         }
-        let ops = self.demand.apply_delta(delta);
+        self.demand.apply_delta_drain(&mut self.delta, ops);
 
         // Re-thread the arrival order from the authoritative renumberings
         // (every `from`/`to` id is below the pre-removal edge count). Only
         // removals renumber, so a flush without evictions — the common case
         // while the window fills — skips the O(window) position map and
         // just appends the new ids.
-        let mut pos = if had_evictions {
-            let mut pos = vec![usize::MAX; pre_removal_edges];
+        self.pos.clear();
+        if had_evictions {
+            self.pos.resize(pre_removal_edges, usize::MAX);
             for (i, &id) in self.order.iter().enumerate() {
-                pos[id] = i;
+                self.pos[id] = i;
             }
-            pos
-        } else {
-            Vec::new()
-        };
-        for op in &ops {
+        }
+        for op in ops.iter() {
             match op {
                 AppliedOp::Removed {
                     moved: Some((from, to)),
@@ -132,10 +147,10 @@ impl DemandWindow {
                     // The moved edge is always a survivor: removals run in
                     // descending id order, so the renumbered (former last)
                     // edge can never itself be pending removal.
-                    let i = pos[*from];
+                    let i = self.pos[*from];
                     debug_assert_ne!(i, usize::MAX, "moved edge must be tracked");
                     self.order[i] = *to;
-                    pos[*to] = i;
+                    self.pos[*to] = i;
                 }
                 AppliedOp::Removed { moved: None, .. } => {}
                 AppliedOp::Added { edge, .. } => self.order.push_back(*edge),
@@ -145,7 +160,7 @@ impl DemandWindow {
             }
         }
         debug_assert_eq!(self.demand.num_edges(), self.order.len());
-        (&self.demand, ops)
+        &self.demand
     }
 
     /// A fresh hypergraph with the window's edges in **arrival order** — the

@@ -166,15 +166,24 @@ pub fn run_with<T: SettleTransport>(
     let mut window = DemandWindow::new(transport.num_items(), cfg.demand_window);
     let mut ticks = Vec::with_capacity(cfg.ticks as usize);
     let mut repricings = Vec::new();
+    // Per-tick scratch, hoisted so steady-state ticks reuse capacity
+    // instead of reallocating: the sampled buyers, the settle fan-out's
+    // claim slots, and the flush's applied-op log.
+    let mut buyers: Vec<Buyer> = Vec::new();
+    let mut slots: Vec<Option<driver::SettledQuote>> = Vec::new();
+    let mut ops: Vec<qp_pricing::AppliedOp> = Vec::new();
     let started = Instant::now();
 
     for tick in 0..cfg.ticks {
         let phase = active_phase(schedule, tick);
         let population = &schedule[phase].1;
         let n = arrivals.arrivals_at(tick, &mut rng);
-        let buyers: Vec<Buyer> = (0..n).map(|_| population.sample(&mut rng)).collect();
+        buyers.clear();
+        buyers.extend((0..n).map(|_| population.sample(&mut rng)));
 
-        let outcomes = driver::settle_batch(transport, population, phase, &buyers, tick, workers);
+        driver::settle_batch_into(
+            transport, population, phase, &buyers, tick, workers, &mut slots,
+        );
 
         let mut stats = TickStats {
             tick,
@@ -183,7 +192,8 @@ pub fn run_with<T: SettleTransport>(
             declined: 0,
             revenue: 0.0,
         };
-        for o in outcomes {
+        for o in slots.drain(..) {
+            let o = o.expect("settle workers fill every slot");
             if o.sold {
                 stats.sold += 1;
                 stats.revenue += o.price;
@@ -198,7 +208,7 @@ pub fn run_with<T: SettleTransport>(
             let observed_edges = window.len();
             match cfg.repricing_mode {
                 RepricingMode::Incremental => {
-                    let (demand, ops) = window.flush();
+                    let demand = window.flush_into(&mut ops);
                     let (_, patch) = repricer.reprice(demand, &ops);
                     transport.apply_patch(&patch);
                 }
