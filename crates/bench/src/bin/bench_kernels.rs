@@ -16,6 +16,13 @@
 //!   m = 10k distinct rates with a 1% delta: reference entry-at-a-time
 //!   walk (fresh allocation per merge) vs the galloping, bulk-copying
 //!   [`RateTable::merge_batch`] into a reused double buffer.
+//! * **telemetry** — the observability zero-overhead contract: the same
+//!   inline-set fold bare vs instrumented the way the quote path is — one
+//!   `TelemetrySink::Disabled` span + counter touch per 32-op batch (a
+//!   quote wraps a whole conflict-set fold in one span, it does not span
+//!   each set op). Here `before` is the bare fold and `after` the
+//!   instrumented one, so CI can gate on `after_ns <= 1.02 * before_ns`
+//!   (the ≤ 2 % overhead budget for the disabled sink).
 //!
 //! Every measured pair is also *checked* — each timed round asserts the
 //! fast path and the reference produce identical results, so the benchmark
@@ -37,6 +44,7 @@ use rand::{Rng, SeedableRng};
 use qp_bench::arg_value;
 use qp_core::{reference, ItemSet};
 use qp_pricing::algorithms::{reference as rate_reference, RateTable};
+use qp_telemetry::TelemetrySink;
 
 /// Operand pool sizes: enough pairs to defeat branch-predictor lock-in,
 /// small enough to stay cache-resident (the kernels, not the RAM, are
@@ -277,6 +285,43 @@ fn uip_merge_row(m: usize, pct: usize, reps: usize, iters: usize, seed: u64) -> 
     }
 }
 
+/// The disabled-sink overhead row: the inline-set `intersection_len` fold
+/// bare (`before`) vs instrumented at quote-path granularity (`after`) —
+/// one span guard + counter increment per 32-op batch, every handle handed
+/// out by a [`TelemetrySink::Disabled`] sink. The quotient `after/before`
+/// is the overhead the CI telemetry job bounds at 2 %.
+fn telemetry_overhead_row(pool: &[(ItemSet, ItemSet)], reps: usize, iters: usize) -> Row {
+    let sink = TelemetrySink::default();
+    assert!(
+        !sink.is_enabled(),
+        "overhead row measures the Disabled sink"
+    );
+    let batch_span = sink.span_handle("bench.batch");
+    let batch_ops = sink.counter("bench.ops");
+    let before_ns = time_ns(reps, iters, pool.len(), || {
+        pool.iter()
+            .map(|(a, b)| black_box(a).intersection_len(black_box(b)) as u64)
+            .fold(0u64, u64::wrapping_add)
+    });
+    let after_ns = time_ns(reps, iters, pool.len(), || {
+        let mut acc = 0u64;
+        for batch in pool.chunks(32) {
+            let _guard = batch_span.enter();
+            batch_ops.inc();
+            for (a, b) in batch {
+                acc = acc.wrapping_add(black_box(a).intersection_len(black_box(b)) as u64);
+            }
+        }
+        acc
+    });
+    Row {
+        group: "telemetry",
+        kernel: "disabled_sink",
+        before_ns,
+        after_ns,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -302,6 +347,7 @@ fn main() {
     rows.extend(set_rows("large_set", &large_pool, reps, iters));
     let (merge_m, merge_iters) = if smoke { (1000, iters) } else { (10_000, 50) };
     rows.push(uip_merge_row(merge_m, 1, reps, merge_iters, 0x0417E5));
+    rows.push(telemetry_overhead_row(&small_pool, reps, iters));
 
     for r in &rows {
         println!(

@@ -18,11 +18,15 @@
 //! * [`arena`](BlockArena) — [`BlockArena`]/[`QuoteScratch`] recycle spilled
 //!   block buffers and batch containers across quote batches;
 //! * [`mod@reference`] — the scalar, allocate-per-call kernels kept as the
-//!   differential-test oracle and benchmark baseline.
+//!   differential-test oracle and benchmark baseline;
+//! * [`ring`](RingBuffer) — the bounded overwrite-oldest buffer backing
+//!   per-thread telemetry journals and other fixed-size histories.
 
 mod arena;
 pub mod reference;
+mod ring;
 mod set;
 
 pub use arena::{BlockArena, QuoteScratch};
+pub use ring::RingBuffer;
 pub use set::{ItemSet, Iter, INLINE_BLOCKS};

@@ -1,0 +1,128 @@
+//! Fixed-capacity overwrite-oldest ring buffer.
+//!
+//! The telemetry journal needs a bounded event log that never reallocates
+//! once warm and never blocks the writer: when full, a push evicts the
+//! oldest entry. This is that structure, kept generic in qp-core because
+//! it is a plain data-structure concern (no atomics, no clocks) and other
+//! bounded-history consumers (demand windows, exemplar stores) share the
+//! shape.
+//!
+//! Iteration order is oldest → newest, which is the order a human reads a
+//! trace in.
+
+/// A bounded FIFO that overwrites its oldest element when full.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    /// Backing storage; grows up to `cap` and then stays put.
+    buf: Vec<T>,
+    /// Maximum number of live elements.
+    cap: usize,
+    /// Index of the next write once `buf` has reached capacity.
+    head: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// An empty buffer holding at most `cap` elements.
+    ///
+    /// # Panics
+    /// If `cap == 0` — a zero-capacity ring cannot hold a push.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "RingBuffer capacity must be positive");
+        RingBuffer {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+        }
+    }
+
+    /// Number of live elements (at most `capacity()`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no element has been pushed yet (or since `clear`).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed bound the buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends `value`, evicting the oldest element if the buffer is full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Drops all elements; capacity is retained.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// The live elements, oldest first, as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![1, 2]);
+        r.push(3);
+        r.push(4); // evicts 1
+        r.push(5); // evicts 2
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.to_vec(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_repeatedly_in_push_order() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..23 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![19, 20, 21, 22]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut r = RingBuffer::new(2);
+        r.push("a");
+        r.push("b");
+        r.push("c");
+        r.clear();
+        assert!(r.is_empty());
+        r.push("d");
+        assert_eq!(r.to_vec(), vec!["d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

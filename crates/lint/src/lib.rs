@@ -13,6 +13,7 @@
 //! | `unwrap-in-server` | `.unwrap()`/`.expect(` on `qp-server` request paths (`crates/server/src`, excluding the panic-by-design loadgen `transport.rs` and `bin/`) |
 //! | `float-eq` | `==`/`!=` against a float literal without `to_bits` or a `// float-eq:` justification comment |
 //! | `alloc-in-kernel` | `Vec::new()` / `.to_vec()` / `collect::<Vec<…>>` in a cache-hot kernel module without an `// alloc:` justification comment (kernels reuse buffers; steady-state allocation is a regression) |
+//! | `wallclock` | `Instant::now()` / `SystemTime::now()` outside `qp-telemetry`, `qp-bench`, and `bin/` without a `// timing:` justification comment (ambient clock reads belong in the telemetry layer, where they are provably out-of-band) |
 //!
 //! All rules skip test code (`#[cfg(test)]`/`#[test]` items and everything
 //! under `tests/`), and pattern matching runs on *sanitized* lines —
@@ -352,6 +353,17 @@ impl Scope<'_> {
     fn alloc_kernel(&self) -> bool {
         KERNEL_MODULES.contains(&self.rel)
     }
+
+    /// `wallclock` exempts the telemetry crate (clock reads are its job),
+    /// the benchmark harnesses, and CLI binaries (their wall clocks are
+    /// the product); everywhere else an ambient `now()` needs a
+    /// `// timing:` note saying why it cannot influence results.
+    fn wallclock(&self) -> bool {
+        self.in_crates_src()
+            && !self.rel.starts_with("crates/telemetry/")
+            && !self.rel.starts_with("crates/bench/")
+            && !self.rel.contains("/bin/")
+    }
 }
 
 /// The modules whose hot loops are allocation-free by design: the
@@ -506,6 +518,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                             ),
                         ));
                     }
+                }
+            }
+        }
+
+        if scope.wallclock() {
+            for pat in ["Instant::now()", "SystemTime::now()"] {
+                if code.contains(pat) && !justified(&lines, i, "timing:") {
+                    out.push(v(
+                        "wallclock",
+                        format!(
+                            "`{pat}` outside the telemetry/bench layers — route the \
+                             measurement through qp-telemetry or justify with a \
+                             `// timing:` comment explaining why the reading cannot \
+                             influence results"
+                        ),
+                    ));
                 }
             }
         }

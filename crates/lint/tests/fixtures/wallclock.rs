@@ -1,0 +1,27 @@
+// Fixture for the `wallclock` rule.
+use std::time::{Instant, SystemTime};
+
+fn bare_instant() -> Instant {
+    Instant::now()
+}
+
+fn bare_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+fn justified_same_line() -> Instant {
+    Instant::now() // timing: report-only wall clock, never fed back
+}
+
+fn justified_above() -> Instant {
+    // timing: measures the run for the throughput figure only.
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

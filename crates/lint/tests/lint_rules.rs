@@ -108,6 +108,18 @@ fn epoch_rule_respects_the_broker_write_lock_region() {
 }
 
 #[test]
+fn wallclock_rule_fires_outside_telemetry_and_bench() {
+    let src = include_str!("fixtures/wallclock.rs");
+    let v = lint_source("crates/sim/src/fixture.rs", src);
+    assert_eq!(fired(&v), vec![("wallclock", 5), ("wallclock", 9)]);
+    // The telemetry crate, the bench harnesses, and CLI binaries own
+    // their clocks.
+    assert!(lint_source("crates/telemetry/src/histogram.rs", src).is_empty());
+    assert!(lint_source("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(lint_source("crates/server/src/bin/loadgen.rs", src).is_empty());
+}
+
+#[test]
 fn out_of_scope_paths_are_ignored() {
     let src = include_str!("fixtures/std_sync.rs");
     assert!(lint_source("vendor/parking_lot/src/lib.rs", src).is_empty());

@@ -73,6 +73,7 @@ use qp_core::{ItemSet, QuoteScratch};
 use qp_pricing::algorithms::{self, CipConfig, LpipConfig, PricingPatch};
 use qp_pricing::{BundlePricing, Hypergraph, Pricing};
 use qp_qdb::{Database, QdbError, Query, Relation};
+use qp_telemetry::{Counter, SpanHandle, TelemetrySink};
 
 use crate::conflict::{ConflictEngine, DeltaConflictEngine, ParallelConflictEngine};
 use crate::support::{SupportConfig, SupportSet};
@@ -237,6 +238,7 @@ pub struct BrokerBuilder {
     lpip: LpipConfig,
     cip: CipConfig,
     anticipated: Vec<(Query, f64)>,
+    telemetry: TelemetrySink,
 }
 
 impl BrokerBuilder {
@@ -250,7 +252,18 @@ impl BrokerBuilder {
             lpip: LpipConfig::default(),
             cip: CipConfig::default(),
             anticipated: Vec::new(),
+            telemetry: TelemetrySink::Disabled,
         }
+    }
+
+    /// Attaches a telemetry sink: quote/reprice/settle stages record spans
+    /// and counters into it. The default is `TelemetrySink::Disabled`,
+    /// whose handles are inert (no clock reads, no atomics) — telemetry is
+    /// strictly out-of-band either way and never affects prices, RNG, or
+    /// revenue.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> BrokerBuilder {
+        self.telemetry = sink;
+        self
     }
 
     /// Samples the support set with `config` (ignored if [`Self::support`]
@@ -314,7 +327,7 @@ impl BrokerBuilder {
             Some(s) => s,
             None => SupportSet::generate(&self.db, &self.support_config),
         };
-        let broker = Broker::with_support(self.db, support);
+        let broker = Broker::with_support(self.db, support).with_telemetry(self.telemetry);
 
         if let Some(algo) = algorithm {
             // The anticipated workload is a batch, so the conflict sets fan
@@ -356,6 +369,48 @@ pub struct Broker {
     /// scratch lock and released first, and no scratch-holding path takes
     /// any further lock.
     scratch: Mutex<QuoteScratch>,
+    /// Pre-registered observability handles (inert on a disabled sink).
+    telemetry: BrokerTelemetry,
+}
+
+/// The broker's pre-registered telemetry handles: span sites resolved once
+/// at construction so the quote hot path never touches a registration
+/// lock, plus outcome counters. With a `Disabled` sink every field is an
+/// inert `None`-backed handle — entering a span or bumping a counter is a
+/// branch, with no clock read and no atomic.
+#[derive(Debug, Clone, Default)]
+struct BrokerTelemetry {
+    sink: TelemetrySink,
+    /// `broker.conflict` — conflict-set computation inside a quote.
+    conflict: SpanHandle,
+    /// `broker.price` — pricing-function read inside a quote.
+    price: SpanHandle,
+    /// `broker.batch` — a whole `quote_batch_into` call.
+    batch: SpanHandle,
+    /// `reprice.apply` — installing a pricing swap or patch.
+    reprice: SpanHandle,
+    /// `settle.ledger` — settling a quote into the revenue ledger.
+    settle: SpanHandle,
+    /// `broker.quote` / `broker.sale` / `broker.decline` totals.
+    quotes: Counter,
+    sales: Counter,
+    declines: Counter,
+}
+
+impl BrokerTelemetry {
+    fn new(sink: TelemetrySink) -> BrokerTelemetry {
+        BrokerTelemetry {
+            conflict: sink.span_handle("broker.conflict"),
+            price: sink.span_handle("broker.price"),
+            batch: sink.span_handle("broker.batch"),
+            reprice: sink.span_handle("reprice.apply"),
+            settle: sink.span_handle("settle.ledger"),
+            quotes: sink.counter("broker.quote"),
+            sales: sink.counter("broker.sale"),
+            declines: sink.counter("broker.decline"),
+            sink,
+        }
+    }
 }
 
 impl Broker {
@@ -380,7 +435,23 @@ impl Broker {
             epoch: AtomicU64::new(0),
             ledger: Mutex::new(RevenueLedger::default()),
             scratch: Mutex::new(QuoteScratch::new()),
+            telemetry: BrokerTelemetry::default(),
         }
+    }
+
+    /// Attaches a telemetry sink to an already-constructed broker,
+    /// pre-registering its span sites and counters. See
+    /// [`BrokerBuilder::telemetry`].
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Broker {
+        self.telemetry = BrokerTelemetry::new(sink);
+        self
+    }
+
+    /// The telemetry sink this broker records into (`Disabled` unless one
+    /// was attached). Layered components (shards, simulators) share it so
+    /// one registry aggregates the whole stack.
+    pub fn telemetry_sink(&self) -> &TelemetrySink {
+        &self.telemetry.sink
     }
 
     /// The seller's database.
@@ -401,6 +472,7 @@ impl Broker {
     /// pricing complete against it; quotes that start after the swap see the
     /// new one.
     pub fn set_pricing(&self, pricing: Pricing) {
+        let _span = self.telemetry.reprice.enter();
         let mut installed = self.pricing.write();
         *installed = pricing;
         // Bumped while the write lock is held: no reader can observe the
@@ -427,6 +499,7 @@ impl Broker {
         if matches!(patch, PricingPatch::Keep) {
             return; // nothing changes, so the epoch must not move either
         }
+        let _span = self.telemetry.reprice.enter();
         let mut installed = self.pricing.write();
         patch.apply(&mut installed);
         // ordering: Release — same pairing as set_pricing's bump.
@@ -475,8 +548,15 @@ impl Broker {
 
     /// Quotes a price for `query` without selling it.
     pub fn quote(&self, query: &Query) -> QuotedQuery {
-        let conflict_set = self.conflict_set(query);
-        let price = self.pricing.read().price_set(&conflict_set);
+        self.telemetry.quotes.inc();
+        let conflict_set = {
+            let _span = self.telemetry.conflict.enter();
+            self.conflict_set(query)
+        };
+        let price = {
+            let _span = self.telemetry.price.enter();
+            self.pricing.read().price_set(&conflict_set)
+        };
         QuotedQuery {
             conflict_set,
             price,
@@ -511,6 +591,8 @@ impl Broker {
     /// [`Broker::recycle_quotes`] to return the conflict-set buffers once
     /// the quotes are dead.
     pub fn quote_batch_into(&self, queries: &[Query], out: &mut Vec<QuotedQuery>) {
+        let _span = self.telemetry.batch.enter();
+        self.telemetry.quotes.add(queries.len() as u64);
         out.clear();
         let engine = ParallelConflictEngine::new(&self.db, &self.support);
         let mut local;
@@ -592,23 +674,27 @@ impl Broker {
         budget: f64,
         tick: u64,
     ) -> Result<PurchaseOutcome, QdbError> {
+        let _span = self.telemetry.settle.enter();
         if quote.price <= budget + 1e-9 {
             match query.evaluate(&self.db) {
                 Ok(answer) => {
                     self.ledger
                         .lock()
                         .record_at(quote.conflict_set.len(), quote.price, tick);
+                    self.telemetry.sales.inc();
                     Ok(PurchaseOutcome::Sold {
                         price: quote.price,
                         answer,
                     })
                 }
                 Err(e) => {
+                    self.telemetry.declines.inc();
                     self.ledger.lock().record_decline(quote.price);
                     Err(e)
                 }
             }
         } else {
+            self.telemetry.declines.inc();
             self.ledger.lock().record_decline(quote.price);
             Ok(PurchaseOutcome::Declined { price: quote.price })
         }
@@ -1012,5 +1098,54 @@ mod tests {
         assert_eq!(ledger.declined_count(), 2);
         assert!((ledger.declined_total() - 8.0).abs() < 1e-12);
         assert_eq!(ledger.conversion_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_quotes() {
+        use qp_telemetry::TelemetrySink;
+
+        let plain = priced_broker();
+        let sink = TelemetrySink::enabled();
+        let instrumented = Broker::builder(db())
+            .support_config(SupportConfig::with_size(80))
+            .algorithm("LPIP")
+            .anticipate_all(buyer_queries().into_iter().map(|q| (q, 10.0)))
+            .telemetry(sink.clone())
+            .build()
+            .expect("LPIP is registered");
+
+        // Out-of-band: identical quotes bit for bit, telemetry on or off.
+        let queries = buyer_queries();
+        for q in &queries {
+            let a = plain.quote(q);
+            let b = instrumented.quote(q);
+            assert_eq!(a.conflict_set, b.conflict_set);
+            assert_eq!(a.price.to_bits(), b.price.to_bits());
+        }
+        let q = &queries[0];
+        let quote = instrumented.quote(q);
+        instrumented.purchase(q, quote.price + 1.0).unwrap();
+        instrumented.purchase(q, -1.0).unwrap();
+        instrumented.set_pricing(Pricing::zero_items(instrumented.support().len()));
+
+        let snap = sink.snapshot();
+        // quote() ran len + 2 more times on the instrumented broker, and
+        // purchase() quotes internally.
+        assert_eq!(snap.counter("broker.quote"), Some(queries.len() as u64 + 3));
+        assert_eq!(snap.counter("broker.sale"), Some(1));
+        assert_eq!(snap.counter("broker.decline"), Some(1));
+        for name in [
+            "broker.conflict",
+            "broker.price",
+            "reprice.apply",
+            "settle.ledger",
+        ] {
+            let count = snap.histogram(name).map(|h| h.count()).unwrap_or(0);
+            assert!(count > 0, "no observations for {name}");
+        }
+
+        // The disabled default hands out a disabled sink.
+        assert!(!plain.telemetry_sink().is_enabled());
+        assert!(instrumented.telemetry_sink().is_enabled());
     }
 }

@@ -11,16 +11,21 @@
 //!    live repricings travel as `REPRICE` frames (the incremental-delta
 //!    path end-to-end from wire to patched pricing);
 //! 3. re-runs the **same seed in-process** (`qp_sim::run` against one more
-//!    identically built broker) and asserts the revenue totals are
-//!    **bit-identical** — the transport must be revenue-invisible;
-//! 4. records throughput, round-trip latency percentiles, and the server's
-//!    cache hit rate.
+//!    identically built broker, telemetry off) and asserts the revenue
+//!    totals are **bit-identical** — the transport must be
+//!    revenue-invisible, and so must telemetry, which runs *enabled* on
+//!    the server side of every network run;
+//! 4. records throughput, client round-trip latency percentiles, and —
+//!    via the `METRICS` frame — the server's own quote-latency
+//!    p50/p95/p99 and cache hit/miss/invalidation counters, which land in
+//!    each row's `server_metrics` object.
 //!
 //! ```bash
 //! cargo run --release -p qp-server --bin loadgen              # full sizes
 //! cargo run --release -p qp-server --bin loadgen -- --smoke   # CI-sized
 //! cargo run --release -p qp-server --bin loadgen -- \
-//!     --shards 1,2,4 --ticks 30 --seed 7 --out BENCH_server.json
+//!     --shards 1,2,4 --ticks 30 --seed 7 --out BENCH_server.json \
+//!     --metrics-out METRICS_server.prom
 //! ```
 
 use std::sync::Arc;
@@ -32,6 +37,7 @@ use qp_sim::{
     run, run_with, BudgetModel, BuyerSegment, EveryNTicks, Population, RepricingMode, SimConfig,
     SimReport,
 };
+use qp_telemetry::{MetricsSnapshot, TelemetrySink};
 use qp_workloads::arrivals::ArrivalProcess;
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
@@ -55,7 +61,11 @@ struct RunResult {
     latencies_us: Vec<u64>,
     cache_hits: u64,
     cache_misses: u64,
+    cache_invalidations: u64,
     final_epochs: Vec<u64>,
+    /// The server's own telemetry registry, fetched over the `METRICS`
+    /// frame after the run.
+    server_metrics: MetricsSnapshot,
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -79,12 +89,14 @@ fn build_broker(
     support: usize,
     algorithm: &str,
     seed: u64,
+    telemetry: TelemetrySink,
 ) -> Broker {
     let mut rng = StdRng::seed_from_u64(seed);
     Broker::builder(db.clone())
         .support_config(SupportConfig::with_size(support))
         .algorithm(algorithm)
         .anticipate_all(pool.iter().map(|q| (q.clone(), rng.gen_range(1.0..=50.0))))
+        .telemetry(telemetry)
         .build()
         .unwrap_or_else(|e| panic!("broker build failed: {e}"))
 }
@@ -127,6 +139,28 @@ fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[idx] as f64 / 1000.0
 }
 
+/// The per-row `server_metrics` JSON object: the server's own view of the
+/// run, straight off the `METRICS` snapshot — quote-latency quantiles from
+/// the `server.request` span histogram and the epoch-cache counters.
+fn server_metrics_json(snap: &MetricsSnapshot) -> String {
+    let latency = snap
+        .histogram("server.request")
+        .cloned()
+        .unwrap_or_default();
+    let (p50, p95, p99) = latency.percentiles();
+    format!(
+        "{{\"requests\": {}, \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_invalidations\": {}}}",
+        latency.count(),
+        json_f64(p50 as f64 / 1e6),
+        json_f64(p95 as f64 / 1e6),
+        json_f64(p99 as f64 / 1e6),
+        snap.counter("cache.hit").unwrap_or(0),
+        snap.counter("cache.miss").unwrap_or(0),
+        snap.counter("cache.invalidated").unwrap_or(0)
+    )
+}
+
 /// Renders a finite f64 exactly; NaN/∞ become 0 (JSON cannot carry them).
 fn json_f64(x: f64) -> String {
     if !x.is_finite() {
@@ -153,25 +187,62 @@ fn run_one(
 ) -> RunResult {
     let sched = schedule(pool, sizing.ticks);
 
+    // The whole serving side runs with telemetry ENABLED — the determinism
+    // assertion below is also the proof that measurement is out-of-band.
+    let telemetry = TelemetrySink::enabled();
+
     // The shard replicas, plus one reference Arc kept for the bundle table.
     let brokers: Vec<Arc<Broker>> = (0..shards)
-        .map(|_| Arc::new(build_broker(db, pool, sizing.support, algorithm, seed)))
+        .map(|_| {
+            Arc::new(build_broker(
+                db,
+                pool,
+                sizing.support,
+                algorithm,
+                seed,
+                telemetry.clone(),
+            ))
+        })
         .collect();
     let reference = Arc::clone(&brokers[0]);
-    let mut server =
-        QuoteServer::bind("127.0.0.1:0", ShardSet::new(brokers)).expect("bind loopback");
+    let shard_set = ShardSet::new(brokers).with_telemetry(telemetry.clone());
+    let mut server = QuoteServer::bind("127.0.0.1:0", shard_set).expect("bind loopback");
 
     let bundles = BundleTable::for_schedule(&reference, &sched);
     let net = NetTransport::connect(server.local_addr(), bundles).expect("connect transport");
     let mut policy = EveryNTicks { every: 4 };
-    let report = run_with(&net, &sched, arrivals, &mut policy, cfg);
+    let net_cfg = SimConfig {
+        telemetry: telemetry.clone(),
+        ..cfg.clone()
+    };
+    let report = run_with(&net, &sched, arrivals, &mut policy, &net_cfg);
 
     let mut latencies_us = net.take_latencies_us();
     latencies_us.sort_unstable();
     let stats = net.admin().stats().expect("server stats");
+    let server_metrics = net.admin().metrics().expect("server metrics");
     let cache_hits: u64 = stats.iter().map(|s| s.cache_hits).sum();
     let cache_misses: u64 = stats.iter().map(|s| s.quotes - s.cache_hits).sum();
+    let cache_invalidations: u64 = stats.iter().map(|s| s.invalidations).sum();
     let final_epochs: Vec<u64> = stats.iter().map(|s| s.epoch).collect();
+
+    // STATS and METRICS count the same events on the same paths; a drift
+    // between them is an instrumentation bug.
+    assert_eq!(
+        server_metrics.counter("cache.hit").unwrap_or(0),
+        cache_hits,
+        "METRICS cache.hit drifted from STATS"
+    );
+    assert_eq!(
+        server_metrics.counter("cache.miss").unwrap_or(0),
+        cache_misses,
+        "METRICS cache.miss drifted from STATS"
+    );
+    assert_eq!(
+        server_metrics.counter("cache.invalidated").unwrap_or(0),
+        cache_invalidations,
+        "METRICS cache.invalidated drifted from STATS"
+    );
 
     // The server-side ledgers saw exactly the traffic the engine drove.
     let server_sales: u64 = stats.iter().map(|s| s.sales).sum();
@@ -191,8 +262,16 @@ fn run_one(
     server.shutdown();
 
     // The in-process baseline: one more identical broker, the same seed,
-    // the same event loop — only the transport differs.
-    let baseline_broker = build_broker(db, pool, sizing.support, algorithm, seed);
+    // the same event loop — only the transport differs, and telemetry is
+    // OFF, so the bit-identical assertion also covers the sink.
+    let baseline_broker = build_broker(
+        db,
+        pool,
+        sizing.support,
+        algorithm,
+        seed,
+        TelemetrySink::default(),
+    );
     let mut baseline_policy = EveryNTicks { every: 4 };
     let baseline = run(
         &baseline_broker,
@@ -209,7 +288,9 @@ fn run_one(
         latencies_us,
         cache_hits,
         cache_misses,
+        cache_invalidations,
         final_epochs,
+        server_metrics,
     }
 }
 
@@ -278,9 +359,11 @@ fn main() {
         algorithm: algorithm.clone(),
         demand_window: 2048,
         repricing_mode: RepricingMode::Incremental,
+        telemetry: TelemetrySink::default(),
     };
 
     let mut rows: Vec<String> = Vec::new();
+    let mut merged_metrics = MetricsSnapshot::default();
     for &shards in &sizing.shard_counts {
         let r = run_one(
             &db, &pool, &sizing, shards, &algorithm, seed, &arrivals, &cfg,
@@ -324,7 +407,9 @@ fn main() {
             "{{\n      \"shards\": {},\n      \"ticks\": {},\n      \"quotes\": {},\n      \
              \"sales\": {},\n      \"declines\": {},\n      \"repricings\": {},\n      \
              \"throughput_qps\": {},\n      \"latency_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n      \
-             \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_hit_rate\": {},\n      \
+             \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"cache_invalidations\": {},\n      \
+             \"cache_hit_rate\": {},\n      \
+             \"server_metrics\": {},\n      \
              \"final_epochs\": [{}],\n      \"revenue\": {},\n      \"revenue_bits\": {},\n      \
              \"baseline_revenue\": {},\n      \"baseline_revenue_bits\": {},\n      \
              \"determinism_ok\": {}\n    }}",
@@ -340,7 +425,9 @@ fn main() {
             json_f64(percentile_ms(&r.latencies_us, 99.0)),
             r.cache_hits,
             r.cache_misses,
+            r.cache_invalidations,
             json_f64(hit_rate),
+            server_metrics_json(&r.server_metrics),
             epochs.join(", "),
             json_f64(revenue),
             revenue.to_bits(),
@@ -348,6 +435,7 @@ fn main() {
             baseline_revenue.to_bits(),
             deterministic
         ));
+        merged_metrics.merge(&r.server_metrics);
     }
 
     let json = format!(
@@ -363,4 +451,12 @@ fn main() {
         "wrote {out_path}: {} shard counts, every determinism check bit-exact",
         sizing.shard_counts.len()
     );
+
+    // Prometheus-style exposition of the merged server registries, for
+    // eyeballing or scraping-pipeline smoke tests.
+    if let Some(prom_path) = arg_value(&args, "--metrics-out") {
+        let text = qp_telemetry::expose::prometheus_text(&merged_metrics);
+        std::fs::write(&prom_path, text).expect("writing the metrics exposition");
+        println!("wrote {prom_path}: merged server METRICS in Prometheus text form");
+    }
 }

@@ -7,11 +7,16 @@
 //! ```bash
 //! cargo run --release -p qp-server --bin serve -- --addr 127.0.0.1:7979 --shards 2
 //! ```
+//!
+//! Telemetry is always on: clients can pull the live registry with a
+//! `METRICS` frame, and `--metrics-dump` additionally prints the final
+//! registry as Prometheus text on shutdown.
 
 use std::sync::Arc;
 
 use qp_market::{Broker, SupportConfig};
 use qp_server::{QuoteServer, ShardSet};
+use qp_telemetry::TelemetrySink;
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
 use qp_workloads::Scale;
@@ -46,6 +51,7 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
+    let metrics_dump = args.iter().any(|a| a == "--metrics-dump");
     assert!(shards > 0, "--shards must be positive");
 
     let world_cfg = WorldConfig::at_scale(Scale::Test);
@@ -57,6 +63,7 @@ fn main() {
         pool.len()
     );
 
+    let telemetry = TelemetrySink::enabled();
     let brokers: Vec<Arc<Broker>> = (0..shards)
         .map(|_| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -65,18 +72,26 @@ fn main() {
                     .support_config(SupportConfig::with_size(support))
                     .algorithm(&algorithm)
                     .anticipate_all(pool.iter().map(|q| (q.clone(), rng.gen_range(1.0..=50.0))))
+                    .telemetry(telemetry.clone())
                     .build()
                     .unwrap_or_else(|e| panic!("broker build failed: {e}")),
             )
         })
         .collect();
 
-    let mut server = QuoteServer::bind(addr.as_str(), ShardSet::new(brokers))
+    let shard_set = ShardSet::new(brokers).with_telemetry(telemetry.clone());
+    let mut server = QuoteServer::bind(addr.as_str(), shard_set)
         .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
     println!(
         "serving on {} — send a SHUTDOWN frame to stop",
         server.local_addr()
     );
     server.wait();
+    if metrics_dump {
+        print!(
+            "{}",
+            qp_telemetry::expose::prometheus_text(&telemetry.snapshot())
+        );
+    }
     println!("shut down");
 }

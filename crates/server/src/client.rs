@@ -90,6 +90,17 @@ impl QuoteClient {
         }
     }
 
+    /// Fetches the server's telemetry registry: counters, gauges,
+    /// log-bucketed latency histograms, and slow-request exemplars. The
+    /// snapshot is structured — render it with [`qp_telemetry::expose`]
+    /// or read quantiles straight off the histograms.
+    pub fn metrics(&mut self) -> io::Result<qp_telemetry::MetricsSnapshot> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
     /// Asks the server to shut down; returns once the server acknowledges.
     pub fn shutdown_server(&mut self) -> io::Result<()> {
         match self.call(&Request::Shutdown)? {

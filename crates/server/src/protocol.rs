@@ -20,6 +20,7 @@ use std::io::{self, Read, Write};
 use qp_core::ItemSet;
 use qp_pricing::algorithms::PricingPatch;
 use qp_pricing::Pricing;
+use qp_telemetry::{Exemplar, HistogramSnapshot, MetricsSnapshot, SpanRecord, NUM_BUCKETS};
 
 /// Upper bound on a frame payload (16 MiB). A peer announcing more is
 /// answered with [`ErrorCode::Malformed`] and disconnected — it is either
@@ -33,12 +34,14 @@ const OP_PURCHASE: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
 const OP_REPRICE: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_METRICS: u8 = 0x06;
 // Response opcodes (request opcode | 0x80).
 const OP_QUOTED: u8 = 0x81;
 const OP_PURCHASED: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
 const OP_REPRICED: u8 = 0x84;
 const OP_SHUTDOWN_ACK: u8 = 0x85;
+const OP_METRICS_REPLY: u8 = 0x86;
 const OP_ERROR: u8 = 0xFF;
 
 /// Why a peer's bytes could not be decoded.
@@ -123,6 +126,12 @@ pub enum Request {
     Reprice(PricingPatch),
     /// Ask the server to stop accepting connections and wind down.
     Shutdown,
+    /// Fetch the server's telemetry registry as a structured snapshot
+    /// (counters, gauges, log-bucketed histograms, slow-request
+    /// exemplars). The client renders it — Prometheus text, JSON, or
+    /// direct quantile extraction — without the server committing to a
+    /// text format on the wire.
+    Metrics,
 }
 
 /// One shard's serving counters, as reported by `STATS`.
@@ -134,6 +143,9 @@ pub struct ShardStats {
     pub quotes: u64,
     /// Quotes answered from the epoch-validated cache.
     pub cache_hits: u64,
+    /// Cache entries invalidated by repricing epoch bumps — the counter
+    /// that makes a `REPRICE` storm visible in `STATS`.
+    pub invalidations: u64,
     /// Purchases that closed.
     pub sales: u64,
     /// Purchases that were declined.
@@ -178,6 +190,8 @@ pub enum Response {
     },
     /// Answer to `SHUTDOWN`.
     ShutdownAck,
+    /// Answer to `METRICS`: the whole telemetry registry at once.
+    Metrics(MetricsSnapshot),
     /// Any request the server could not honor.
     Error {
         /// The machine-readable reason.
@@ -428,6 +442,113 @@ fn take_patch(c: &mut Cursor<'_>) -> Result<PricingPatch, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics snapshot codec
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn take_str(c: &mut Cursor<'_>) -> Result<String, WireError> {
+    let len = c.checked_count(1)?;
+    Ok(std::str::from_utf8(c.take(len)?)
+        .map_err(|_| WireError::BadUtf8)?
+        .to_string())
+}
+
+fn put_metrics(out: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    put_u32(out, snap.counters.len() as u32);
+    for (name, total) in &snap.counters {
+        put_str(out, name);
+        put_u64(out, *total);
+    }
+    put_u32(out, snap.gauges.len() as u32);
+    for (name, value) in &snap.gauges {
+        put_str(out, name);
+        // Two's complement on the wire; the decode side casts back.
+        put_u64(out, *value as u64);
+    }
+    put_u32(out, snap.histograms.len() as u32);
+    for (name, hist) in &snap.histograms {
+        put_str(out, name);
+        put_u64(out, hist.sum);
+        for &b in hist.buckets.iter() {
+            put_u64(out, b);
+        }
+    }
+    put_u32(out, snap.exemplars.len() as u32);
+    for ex in &snap.exemplars {
+        put_str(out, &ex.root);
+        put_u64(out, ex.total_ns);
+        put_u32(out, ex.events.len() as u32);
+        for ev in &ex.events {
+            put_str(out, &ev.name);
+            put_u32(out, ev.depth);
+            put_u64(out, ev.start_ns);
+            put_u64(out, ev.dur_ns);
+        }
+    }
+}
+
+fn take_metrics(c: &mut Cursor<'_>) -> Result<MetricsSnapshot, WireError> {
+    // Minimum record widths (empty name string counts its 4-byte length
+    // prefix) keep declared counts honest before any allocation.
+    let n_counters = c.checked_count(12)?;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        let name = take_str(c)?;
+        counters.push((name, c.u64()?));
+    }
+    let n_gauges = c.checked_count(12)?;
+    let mut gauges = Vec::with_capacity(n_gauges);
+    for _ in 0..n_gauges {
+        let name = take_str(c)?;
+        gauges.push((name, c.u64()? as i64));
+    }
+    let n_hists = c.checked_count(4 + 8 + 8 * NUM_BUCKETS)?;
+    let mut histograms = Vec::with_capacity(n_hists);
+    for _ in 0..n_hists {
+        let name = take_str(c)?;
+        let sum = c.u64()?;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for b in buckets.iter_mut() {
+            *b = c.u64()?;
+        }
+        histograms.push((name, HistogramSnapshot { sum, buckets }));
+    }
+    let n_exemplars = c.checked_count(16)?;
+    let mut exemplars = Vec::with_capacity(n_exemplars);
+    for _ in 0..n_exemplars {
+        let root = take_str(c)?;
+        let total_ns = c.u64()?;
+        let n_events = c.checked_count(20)?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let name = take_str(c)?;
+            events.push(SpanRecord {
+                name,
+                depth: c.u32()?,
+                start_ns: c.u64()?,
+                dur_ns: c.u64()?,
+            });
+        }
+        exemplars.push(Exemplar {
+            root,
+            total_ns,
+            events,
+        });
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        exemplars,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Request / Response codecs
 // ---------------------------------------------------------------------------
 
@@ -456,6 +577,7 @@ impl Request {
                 put_patch(&mut out, patch);
             }
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::Metrics => out.push(OP_METRICS),
         }
         out
     }
@@ -473,6 +595,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_REPRICE => Request::Reprice(take_patch(&mut c)?),
             OP_SHUTDOWN => Request::Shutdown,
+            OP_METRICS => Request::Metrics,
             other => return Err(WireError::UnknownOpcode(other)),
         };
         c.finish()?;
@@ -505,6 +628,7 @@ impl Response {
                     put_u64(&mut out, s.epoch);
                     put_u64(&mut out, s.quotes);
                     put_u64(&mut out, s.cache_hits);
+                    put_u64(&mut out, s.invalidations);
                     put_u64(&mut out, s.sales);
                     put_u64(&mut out, s.declines);
                     put_f64(&mut out, s.revenue);
@@ -518,6 +642,10 @@ impl Response {
                 }
             }
             Response::ShutdownAck => out.push(OP_SHUTDOWN_ACK),
+            Response::Metrics(snap) => {
+                out.push(OP_METRICS_REPLY);
+                put_metrics(&mut out, snap);
+            }
             Response::Error { code, message } => {
                 out.push(OP_ERROR);
                 out.push(*code as u8);
@@ -545,13 +673,14 @@ impl Response {
                 price: c.f64()?,
             },
             OP_STATS_REPLY => {
-                let n = c.checked_count(48)?;
+                let n = c.checked_count(56)?;
                 let mut shards = Vec::with_capacity(n);
                 for _ in 0..n {
                     shards.push(ShardStats {
                         epoch: c.u64()?,
                         quotes: c.u64()?,
                         cache_hits: c.u64()?,
+                        invalidations: c.u64()?,
                         sales: c.u64()?,
                         declines: c.u64()?,
                         revenue: c.f64()?,
@@ -568,6 +697,7 @@ impl Response {
                 Response::Repriced { epochs }
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_METRICS_REPLY => Response::Metrics(take_metrics(&mut c)?),
             OP_ERROR => {
                 let code = ErrorCode::from_byte(c.u8()?)?;
                 let len = c.checked_count(1)?;
@@ -620,6 +750,7 @@ mod tests {
             weights: vec![],
         })));
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -640,6 +771,7 @@ mod tests {
                 epoch: 1,
                 quotes: 100,
                 cache_hits: 40,
+                invalidations: 12,
                 sales: 30,
                 declines: 25,
                 revenue: 123.456,
@@ -648,6 +780,7 @@ mod tests {
                 epoch: 2,
                 quotes: 0,
                 cache_hits: 0,
+                invalidations: 0,
                 sales: 0,
                 declines: 0,
                 revenue: 0.0,
@@ -661,6 +794,34 @@ mod tests {
             code: ErrorCode::UnknownQuote,
             message: "quote 7 unknown".into(),
         });
+        roundtrip_response(Response::Metrics(MetricsSnapshot::default()));
+        let mut latency = HistogramSnapshot::default();
+        latency.record(900);
+        latency.record(4_200);
+        latency.record(1 << 40);
+        roundtrip_response(Response::Metrics(MetricsSnapshot {
+            counters: vec![("cache.hit".into(), 41), ("cache.miss".into(), 9)],
+            gauges: vec![("inflight".into(), -3)],
+            histograms: vec![("quote.route".into(), latency)],
+            exemplars: vec![Exemplar {
+                root: "req".into(),
+                total_ns: 2_000_000,
+                events: vec![
+                    SpanRecord {
+                        name: "req".into(),
+                        depth: 0,
+                        start_ns: 0,
+                        dur_ns: 2_000_000,
+                    },
+                    SpanRecord {
+                        name: "req.price".into(),
+                        depth: 1,
+                        start_ns: 150,
+                        dur_ns: 1_500_000,
+                    },
+                ],
+            }],
+        }));
     }
 
     #[test]

@@ -123,16 +123,30 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    // Span sites resolved once per connection: the per-frame path below
+    // never touches the registry map.
+    let sink = state.shards.telemetry_sink().clone();
+    let request_span = sink.span_handle("server.request");
+    let decode_span = sink.span_handle("frame.decode");
     loop {
         let payload = match read_frame_idle_aware(&mut stream, &state.stop) {
             Ok(Some(payload)) => payload,
             Ok(None) | Err(_) => return, // peer EOF, stop flag, or broken pipe
         };
-        let (response, shutdown) = match Request::decode(&payload) {
+        // Root span over the whole serve path (decode → dispatch → write);
+        // idle time waiting for the frame is deliberately excluded.
+        let req_guard = request_span.enter();
+        let decoded = {
+            let _guard = decode_span.enter();
+            Request::decode(&payload)
+        };
+        let (response, shutdown) = match decoded {
             Ok(request) => dispatch(&state, request),
             Err(err) => (error_response(&err), false),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let write_failed = write_frame(&mut stream, &response.encode()).is_err();
+        drop(req_guard);
+        if write_failed {
             return;
         }
         if shutdown {
@@ -185,6 +199,10 @@ fn dispatch(state: &ServerState, request: Request) -> (Response, bool) {
             false,
         ),
         Request::Shutdown => (Response::ShutdownAck, true),
+        Request::Metrics => (
+            Response::Metrics(state.shards.telemetry_sink().snapshot()),
+            false,
+        ),
     }
 }
 

@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 use qp_core::ItemSet;
 use qp_market::{Broker, RevenueLedger};
 use qp_pricing::algorithms::PricingPatch;
+use qp_telemetry::{Counter, SpanHandle, TelemetrySink};
 
 use crate::protocol::ShardStats;
 
@@ -65,6 +66,10 @@ struct Shard {
     cache: Mutex<HashMap<ItemSet, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Cache entries dropped because a repricing bumped the shard's epoch
+    /// (each broadcast counts the entries it stranded). A `REPRICE` storm
+    /// is visible here long before hit rates decay.
+    invalidations: AtomicU64,
     /// Server-side sales record. Separate from the broker's own ledger:
     /// wire purchases settle bundles, not queries, so nothing is evaluated
     /// on the database here.
@@ -103,6 +108,48 @@ pub struct ShardSet {
     /// increasing order, which makes "expire the oldest" when
     /// [`MAX_PENDING_QUOTES`] is reached an O(log n) `pop_first`.
     pending: Mutex<BTreeMap<u64, PendingQuote>>,
+    /// Pre-registered observability handles (inert on a disabled sink).
+    telemetry: ShardSetTelemetry,
+}
+
+/// The shard set's pre-registered telemetry: one span handle per stage of
+/// the server-side quote path plus the cache outcome counters. All handles
+/// resolve their registry entries once here, so the quote hot path records
+/// without touching a registration lock; with `TelemetrySink::Disabled`
+/// every operation is a branch on `None`.
+#[derive(Debug, Clone, Default)]
+struct ShardSetTelemetry {
+    sink: TelemetrySink,
+    /// `quote.route` — bundle → shard routing.
+    route: SpanHandle,
+    /// `quote.cache` — epoch-validated cache lookup.
+    cache: SpanHandle,
+    /// `quote.price` — pricing read on a cache miss.
+    price: SpanHandle,
+    /// `settle.ledger` — settling a pending quote into the shard ledger.
+    settle: SpanHandle,
+    /// `reprice.broadcast` — patching every shard replica.
+    broadcast: SpanHandle,
+    /// `cache.hit` / `cache.miss` / `cache.invalidated` totals.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_invalidations: Counter,
+}
+
+impl ShardSetTelemetry {
+    fn new(sink: TelemetrySink) -> ShardSetTelemetry {
+        ShardSetTelemetry {
+            route: sink.span_handle("quote.route"),
+            cache: sink.span_handle("quote.cache"),
+            price: sink.span_handle("quote.price"),
+            settle: sink.span_handle("settle.ledger"),
+            broadcast: sink.span_handle("reprice.broadcast"),
+            cache_hits: sink.counter("cache.hit"),
+            cache_misses: sink.counter("cache.miss"),
+            cache_invalidations: sink.counter("cache.invalidated"),
+            sink,
+        }
+    }
 }
 
 impl ShardSet {
@@ -129,13 +176,32 @@ impl ShardSet {
                     cache: Mutex::new(HashMap::new()),
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
+                    invalidations: AtomicU64::new(0),
                     ledger: Mutex::new(RevenueLedger::default()),
                 })
                 .collect(),
             cache_capacity,
             next_quote_id: AtomicU64::new(0),
             pending: Mutex::new(BTreeMap::new()),
+            telemetry: ShardSetTelemetry::default(),
         }
+    }
+
+    /// Attaches a telemetry sink: the quote path records per-stage spans
+    /// (`quote.route` → `quote.cache` → `quote.price`), cache outcomes
+    /// count into `cache.hit`/`cache.miss`/`cache.invalidated`, and
+    /// repricing broadcasts time into `reprice.broadcast`. Telemetry is
+    /// strictly out-of-band: prices, epochs, and ledgers are identical
+    /// with it on or off.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> ShardSet {
+        self.telemetry = ShardSetTelemetry::new(sink);
+        self
+    }
+
+    /// The telemetry sink this shard set records into (`Disabled` unless
+    /// one was attached). The server's `METRICS` frame snapshots it.
+    pub fn telemetry_sink(&self) -> &TelemetrySink {
+        &self.telemetry.sink
     }
 
     /// Number of shards.
@@ -159,27 +225,36 @@ impl ShardSet {
     /// possible, and registers a one-shot pending quote at the served
     /// price.
     pub fn quote(&self, bundle: &ItemSet) -> ShardQuote {
-        let idx = self.route(bundle);
+        let idx = {
+            let _span = self.telemetry.route.enter();
+            self.route(bundle)
+        };
         let shard = &self.shards[idx];
 
         let current_epoch = shard.broker.pricing_epoch();
-        let cached = shard
-            .cache
-            .lock()
-            .get(bundle)
-            .filter(|e| e.epoch == current_epoch)
-            .map(|e| (e.price, e.epoch));
+        let cached = {
+            let _span = self.telemetry.cache.enter();
+            shard
+                .cache
+                .lock()
+                .get(bundle)
+                .filter(|e| e.epoch == current_epoch)
+                .map(|e| (e.price, e.epoch))
+        };
 
         let (price, epoch, cache_hit) = match cached {
             Some((price, epoch)) => {
                 // ordering: Relaxed — hits is a statistics counter; no
                 // other memory depends on its value.
                 shard.hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.cache_hits.inc();
                 (price, epoch, true)
             }
             None => {
                 // ordering: Relaxed — statistics counter, as above.
                 shard.misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.cache_misses.inc();
+                let _span = self.telemetry.price.enter();
                 // The only way a (price, epoch) pair enters the system:
                 // atomically consistent by the broker's contract.
                 let (price, epoch) = shard.broker.versioned_price(bundle);
@@ -236,6 +311,7 @@ impl ShardSet {
     /// ledger at `tick`. Returns `None` for an id the set does not hold
     /// (never issued, or already settled — ids are one-shot).
     pub fn settle(&self, quote_id: u64, budget: f64, tick: u64) -> Option<(bool, f64)> {
+        let _span = self.telemetry.settle.enter();
         let pending = self.pending.lock().remove(&quote_id)?;
         let shard = &self.shards[pending.shard];
         let sold = pending.price <= budget + BUDGET_EPSILON;
@@ -251,13 +327,33 @@ impl ShardSet {
     /// Broadcasts a pricing patch to every shard and returns the post-patch
     /// epochs in shard order. Each non-`Keep` patch bumps the shard's epoch
     /// under its pricing write lock, instantly invalidating that shard's
-    /// whole cache (entries carry the old epoch).
+    /// whole cache (entries carry the old epoch); the stranded entries are
+    /// counted per shard and dropped eagerly so memory follows the live
+    /// epoch.
     pub fn apply_patch(&self, patch: &PricingPatch) -> Vec<u64> {
+        let _span = self.telemetry.broadcast.enter();
         self.shards
             .iter()
             .map(|s| {
+                let before = s.broker.pricing_epoch();
                 s.broker.apply_delta(patch);
-                s.broker.pricing_epoch()
+                let after = s.broker.pricing_epoch();
+                if after != before {
+                    // Every cached entry carries an epoch < after and can
+                    // never be served again: count and drop them now.
+                    let stranded = {
+                        let mut cache = s.cache.lock();
+                        let n = cache.len();
+                        cache.clear();
+                        n as u64
+                    };
+                    if stranded > 0 {
+                        // ordering: Relaxed — statistics counter.
+                        s.invalidations.fetch_add(stranded, Ordering::Relaxed);
+                        self.telemetry.cache_invalidations.add(stranded);
+                    }
+                }
+                after
             })
             .collect()
     }
@@ -276,10 +372,13 @@ impl ShardSet {
                 let hits = s.hits.load(Ordering::Relaxed);
                 // ordering: Relaxed — as above.
                 let misses = s.misses.load(Ordering::Relaxed);
+                // ordering: Relaxed — as above.
+                let invalidations = s.invalidations.load(Ordering::Relaxed);
                 ShardStats {
                     epoch: s.broker.pricing_epoch(),
                     quotes: hits + misses,
                     cache_hits: hits,
+                    invalidations,
                     sales: ledger.len() as u64,
                     declines: ledger.declined_count() as u64,
                     revenue: ledger.total(),
@@ -436,6 +535,35 @@ mod tests {
             set.settle(last.quote_id, 1e9, 0).is_some(),
             "recent quotes survive"
         );
+    }
+
+    #[test]
+    fn invalidation_counts_surface_in_stats_and_metrics() {
+        let set = shard_set(1).with_telemetry(qp_telemetry::TelemetrySink::enabled());
+        // Warm three distinct entries, then strand them with a repricing.
+        for i in 0..3usize {
+            let bundle: ItemSet = [i, i + 4].as_slice().into();
+            set.quote(&bundle);
+            set.quote(&bundle);
+        }
+        assert_eq!(set.stats()[0].invalidations, 0);
+        let epoch_before = set.stats()[0].epoch;
+        set.apply_patch(&PricingPatch::SetUniformPrice(9.0));
+        let stats = set.stats();
+        assert_eq!(stats[0].invalidations, 3, "three stranded cache entries");
+        assert_eq!(stats[0].epoch, epoch_before + 1);
+        // A Keep patch bumps no epoch and strands nothing.
+        set.apply_patch(&PricingPatch::Keep);
+        assert_eq!(set.stats()[0].invalidations, 3);
+
+        // The telemetry registry counted the same events the STATS path
+        // did, and the quote path fed its hit/miss counters and spans.
+        let snap = set.telemetry_sink().snapshot();
+        assert_eq!(snap.counter("cache.invalidated"), Some(3));
+        assert_eq!(snap.counter("cache.hit"), Some(3));
+        assert_eq!(snap.counter("cache.miss"), Some(3));
+        let routed = snap.histogram("quote.route").expect("span histogram");
+        assert_eq!(routed.count(), 6);
     }
 
     #[test]

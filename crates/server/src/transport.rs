@@ -185,12 +185,15 @@ impl SettleWorker for NetWorker {
     ) -> SettledQuote {
         let client = self.client.as_mut().expect("live until drop");
         let bundle = self.bundles.bundle(phase, buyer).clone();
+        // timing: measures the QUOTE+PURCHASE network round trip for the
+        // latency report; the settled outcome never depends on it.
         let started = Instant::now();
         let quote = client.quote(&bundle).expect("loadgen quote");
         let (sold, price) = client
             .purchase(quote.quote_id, buyer.budget, tick)
             .expect("loadgen purchase");
-        self.samples.push(started.elapsed().as_micros() as u64);
+        let latency_us = started.elapsed().as_micros() as u64;
+        self.samples.push(latency_us);
         debug_assert_eq!(
             price.to_bits(),
             quote.price.to_bits(),
@@ -201,6 +204,7 @@ impl SettleWorker for NetWorker {
             price,
             budget: buyer.budget,
             conflict_set: bundle,
+            latency_us,
         }
     }
 }

@@ -43,6 +43,10 @@ pub struct SettledQuote {
     pub budget: f64,
     /// The conflict set of the buyer's query.
     pub conflict_set: ItemSet,
+    /// Wall-clock quote+settle round trip in microseconds, as measured by
+    /// the worker (in-process broker call or network round trip). Feeds
+    /// the per-tick latency quantiles; never feeds pricing.
+    pub latency_us: u64,
 }
 
 /// Per-thread settle state: quotes one buyer and settles at the quoted
@@ -170,6 +174,9 @@ impl SettleWorker for &Broker {
         tick: u64,
     ) -> SettledQuote {
         let query = population.query(buyer);
+        // timing: measures the quote+settle round trip for the report's
+        // latency quantiles; the outcome never depends on it.
+        let started = std::time::Instant::now();
         let quote = self.quote(query);
         let price = quote.price;
         let sold = matches!(
@@ -181,6 +188,7 @@ impl SettleWorker for &Broker {
             price,
             budget: buyer.budget,
             conflict_set: quote.conflict_set,
+            latency_us: started.elapsed().as_micros() as u64,
         }
     }
 }
@@ -215,6 +223,7 @@ mod tests {
                 price,
                 budget: buyer.budget,
                 conflict_set: [buyer.query].as_slice().into(),
+                latency_us: 0,
             }
         }
     }

@@ -41,6 +41,7 @@ use rand::SeedableRng;
 
 use qp_market::Broker;
 use qp_pricing::algorithms::{self, Repricer};
+use qp_telemetry::{HistogramSnapshot, TelemetrySink};
 use qp_workloads::arrivals::ArrivalProcess;
 
 use crate::demand::DemandWindow;
@@ -82,6 +83,11 @@ pub struct SimConfig {
     pub demand_window: usize,
     /// Incremental delta application vs full rebuild at each repricing.
     pub repricing_mode: RepricingMode,
+    /// Telemetry sink the run reports into (tick latency histograms,
+    /// sold/declined counters, repricing durations). The default
+    /// [`TelemetrySink::Disabled`] costs nothing; enabling it never
+    /// changes sampling, arrival order, or revenue.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for SimConfig {
@@ -93,6 +99,7 @@ impl Default for SimConfig {
             algorithm: "UBP".to_string(),
             demand_window: 2048,
             repricing_mode: RepricingMode::Incremental,
+            telemetry: TelemetrySink::default(),
         }
     }
 }
@@ -172,6 +179,18 @@ pub fn run_with<T: SettleTransport>(
     let mut buyers: Vec<Buyer> = Vec::new();
     let mut slots: Vec<Option<driver::SettledQuote>> = Vec::new();
     let mut ops: Vec<qp_pricing::AppliedOp> = Vec::new();
+    // Run-level latency histograms (always kept — they feed the report's
+    // quantiles) and the optional live telemetry feed. The sink handles
+    // are resolved once; with a disabled sink every call below is a
+    // no-op branch.
+    let mut quote_latency_us = HistogramSnapshot::new();
+    let mut repricing_latency_ns = HistogramSnapshot::new();
+    let sink_quote_hist = cfg.telemetry.histogram("sim.quote.us");
+    let sink_reprice_hist = cfg.telemetry.histogram("sim.reprice.ns");
+    let sink_sold = cfg.telemetry.counter("sim.sold");
+    let sink_declined = cfg.telemetry.counter("sim.declined");
+    let reprice_span = cfg.telemetry.span_handle("sim.reprice");
+    // timing: run wall clock for the report's throughput figure.
     let started = Instant::now();
 
     for tick in 0..cfg.ticks {
@@ -188,22 +207,34 @@ pub fn run_with<T: SettleTransport>(
         let mut stats = TickStats {
             tick,
             arrivals: n,
-            sold: 0,
-            declined: 0,
-            revenue: 0.0,
+            ..TickStats::default()
         };
+        let mut tick_latency = HistogramSnapshot::new();
         for o in slots.drain(..) {
             let o = o.expect("settle workers fill every slot");
             if o.sold {
                 stats.sold += 1;
                 stats.revenue += o.price;
+                sink_sold.inc();
             } else {
                 stats.declined += 1;
+                stats.forgone_revenue += o.budget;
+                sink_declined.inc();
             }
+            tick_latency.record(o.latency_us);
+            sink_quote_hist.record(o.latency_us);
             window.observe(o.conflict_set, o.budget);
         }
+        let (p50, p95, p99) = tick_latency.percentiles();
+        stats.latency_us_p50 = p50;
+        stats.latency_us_p95 = p95;
+        stats.latency_us_p99 = p99;
+        quote_latency_us.merge(&tick_latency);
 
         if policy.should_reprice(&stats) && !window.is_empty() {
+            let _reprice_guard = reprice_span.enter();
+            // timing: repricing duration feeds the report's latency
+            // histogram; it never feeds the repricing decision itself.
             let t0 = Instant::now();
             let observed_edges = window.len();
             match cfg.repricing_mode {
@@ -218,9 +249,12 @@ pub fn run_with<T: SettleTransport>(
                     transport.install_pricing(repricer.run_full(&demand).pricing);
                 }
             }
+            let latency = t0.elapsed();
+            repricing_latency_ns.record(latency.as_nanos() as u64);
+            sink_reprice_hist.record(latency.as_nanos() as u64);
             repricings.push(RepricingEvent {
                 tick,
-                latency: t0.elapsed(),
+                latency,
                 observed_edges,
             });
         }
@@ -236,6 +270,8 @@ pub fn run_with<T: SettleTransport>(
         arrivals_label: arrivals.label(),
         ticks,
         repricings,
+        quote_latency_us,
+        repricing_latency_ns,
         wall: started.elapsed(),
     }
 }

@@ -9,8 +9,10 @@
 
 use std::time::Duration;
 
+use qp_telemetry::HistogramSnapshot;
+
 /// Aggregate statistics for one completed tick.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TickStats {
     /// The tick index.
     pub tick: u64,
@@ -22,6 +24,16 @@ pub struct TickStats {
     pub declined: usize,
     /// Revenue realized this tick (arrival-order sum).
     pub revenue: f64,
+    /// Budgets of this tick's declined buyers, summed in arrival order —
+    /// an upper bound on the revenue the posted prices left on the table.
+    pub forgone_revenue: f64,
+    /// Estimated median quote+settle latency this tick (µs), read off the
+    /// tick's log-bucketed telemetry histogram; 0 with no arrivals.
+    pub latency_us_p50: u64,
+    /// Estimated p95 quote+settle latency this tick (µs).
+    pub latency_us_p95: u64,
+    /// Estimated p99 quote+settle latency this tick (µs).
+    pub latency_us_p99: u64,
 }
 
 impl TickStats {
@@ -67,6 +79,13 @@ pub struct SimReport {
     pub ticks: Vec<TickStats>,
     /// Every live repricing, in tick order.
     pub repricings: Vec<RepricingEvent>,
+    /// Log-bucketed histogram of every quote+settle latency in the run
+    /// (µs) — the merge of the per-tick histograms behind each
+    /// [`TickStats`]'s quantiles.
+    pub quote_latency_us: HistogramSnapshot,
+    /// Log-bucketed histogram of repricing latencies (ns), one sample per
+    /// entry of `repricings`.
+    pub repricing_latency_ns: HistogramSnapshot,
     /// Wall-clock duration of the whole run.
     pub wall: Duration,
 }
@@ -125,6 +144,20 @@ impl SimReport {
             / self.repricings.len() as f64
     }
 
+    /// Estimated p50/p95/p99 repricing latency in milliseconds, read off
+    /// the run's log-bucketed repricing histogram (zeros with no
+    /// repricings).
+    pub fn repricing_ms_percentiles(&self) -> (f64, f64, f64) {
+        let (p50, p95, p99) = self.repricing_latency_ns.percentiles();
+        (p50 as f64 / 1e6, p95 as f64 / 1e6, p99 as f64 / 1e6)
+    }
+
+    /// Total declined-buyer budget, summed in tick (= arrival) order —
+    /// deterministic for a fixed seed, like revenue.
+    pub fn total_forgone_revenue(&self) -> f64 {
+        self.ticks.iter().map(|t| t.forgone_revenue).sum()
+    }
+
     /// Cumulative revenue after each tick.
     pub fn cumulative_revenue(&self) -> Vec<f64> {
         let mut acc = 0.0;
@@ -159,12 +192,16 @@ impl SimReport {
             .iter()
             .map(|t| {
                 format!(
-                    "{{\"tick\": {}, \"arrivals\": {}, \"sold\": {}, \"declined\": {}, \"revenue\": {}}}",
+                    "{{\"tick\": {}, \"arrivals\": {}, \"sold\": {}, \"declined\": {}, \"revenue\": {}, \"forgone_revenue\": {}, \"latency_us_p50\": {}, \"latency_us_p95\": {}, \"latency_us_p99\": {}}}",
                     t.tick,
                     t.arrivals,
                     t.sold,
                     t.declined,
-                    json_f64(t.revenue)
+                    json_f64(t.revenue),
+                    json_f64(t.forgone_revenue),
+                    t.latency_us_p50,
+                    t.latency_us_p95,
+                    t.latency_us_p99
                 )
             })
             .collect();
@@ -180,8 +217,10 @@ impl SimReport {
                 )
             })
             .collect();
+        let (rp50, rp95, rp99) = self.repricing_ms_percentiles();
+        let (qp50, qp95, qp99) = self.quote_latency_us.percentiles();
         format!(
-            "{{\n      \"scenario\": {:?},\n      \"workload\": {:?},\n      \"seed\": {},\n      \"algorithm\": {:?},\n      \"policy\": {:?},\n      \"arrivals\": {:?},\n      \"ticks\": {},\n      \"quotes\": {},\n      \"sales\": {},\n      \"declines\": {},\n      \"total_revenue\": {},\n      \"conversion_rate\": {},\n      \"quotes_per_sec\": {},\n      \"repricing_count\": {},\n      \"mean_repricing_ms\": {},\n      \"wall_ms\": {},\n      \"revenue_by_tick\": [{}],\n      \"repricings\": [{}]\n    }}",
+            "{{\n      \"scenario\": {:?},\n      \"workload\": {:?},\n      \"seed\": {},\n      \"algorithm\": {:?},\n      \"policy\": {:?},\n      \"arrivals\": {:?},\n      \"ticks\": {},\n      \"quotes\": {},\n      \"sales\": {},\n      \"declines\": {},\n      \"total_revenue\": {},\n      \"forgone_revenue\": {},\n      \"conversion_rate\": {},\n      \"quotes_per_sec\": {},\n      \"quote_latency_us_p50\": {},\n      \"quote_latency_us_p95\": {},\n      \"quote_latency_us_p99\": {},\n      \"repricing_count\": {},\n      \"repricing_ms_p50\": {},\n      \"repricing_ms_p95\": {},\n      \"repricing_ms_p99\": {},\n      \"wall_ms\": {},\n      \"revenue_by_tick\": [{}],\n      \"repricings\": [{}]\n    }}",
             self.scenario,
             self.workload,
             self.seed,
@@ -193,10 +232,16 @@ impl SimReport {
             self.sales(),
             self.declines(),
             json_f64(self.total_revenue()),
+            json_f64(self.total_forgone_revenue()),
             json_f64(self.conversion_rate()),
             json_f64(self.quotes_per_sec()),
+            qp50,
+            qp95,
+            qp99,
             self.repricings.len(),
-            json_f64(self.mean_repricing_ms()),
+            json_f64(rp50),
+            json_f64(rp95),
+            json_f64(rp99),
             json_f64(self.wall.as_secs_f64() * 1e3),
             series.join(", "),
             repricings.join(", ")
@@ -221,10 +266,16 @@ fn json_f64(x: f64) -> String {
 }
 
 /// Renders the whole `BENCH_sim.json` artifact from a batch of runs.
+///
+/// Schema 2: per-run repricing latency is reported as histogram-estimated
+/// p50/p95/p99 (`repricing_ms_p50` …) instead of the old single
+/// `mean_repricing_ms`, and runs carry `forgone_revenue` plus
+/// `quote_latency_us_p50/p95/p99`; the per-tick series gained
+/// `forgone_revenue` and `latency_us_p50/p95/p99`.
 pub fn bench_json(seed: u64, threads: usize, runs: &[SimReport]) -> String {
     let body: Vec<String> = runs.iter().map(|r| r.to_json()).collect();
     format!(
-        "{{\n  \"benchmark\": \"sim_scenarios\",\n  \"seed\": {},\n  \"threads\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"sim_scenarios\",\n  \"schema\": 2,\n  \"seed\": {},\n  \"threads\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
         seed,
         threads,
         body.join(",\n    ")
@@ -236,6 +287,12 @@ mod tests {
     use super::*;
 
     fn report() -> SimReport {
+        let mut quote_latency_us = HistogramSnapshot::new();
+        for us in [120, 140, 180, 900] {
+            quote_latency_us.record(us);
+        }
+        let mut repricing_latency_ns = HistogramSnapshot::new();
+        repricing_latency_ns.record(2_000_000);
         SimReport {
             scenario: "steady_state".into(),
             workload: "skewed".into(),
@@ -250,6 +307,10 @@ mod tests {
                     sold: 2,
                     declined: 1,
                     revenue: 10.5,
+                    forgone_revenue: 4.25,
+                    latency_us_p50: 140,
+                    latency_us_p95: 180,
+                    latency_us_p99: 180,
                 },
                 TickStats {
                     tick: 1,
@@ -257,6 +318,10 @@ mod tests {
                     sold: 0,
                     declined: 1,
                     revenue: 0.0,
+                    forgone_revenue: 1.5,
+                    latency_us_p50: 900,
+                    latency_us_p95: 900,
+                    latency_us_p99: 900,
                 },
             ],
             repricings: vec![RepricingEvent {
@@ -264,6 +329,8 @@ mod tests {
                 latency: Duration::from_millis(2),
                 observed_edges: 3,
             }],
+            quote_latency_us,
+            repricing_latency_ns,
             wall: Duration::from_millis(100),
         }
     }
@@ -279,6 +346,13 @@ mod tests {
         assert!((r.quotes_per_sec() - 40.0).abs() < 1e-9);
         assert_eq!(r.cumulative_revenue(), vec![10.5, 10.5]);
         assert!((r.mean_repricing_ms() - 2.0).abs() < 1e-9);
+        assert!((r.total_forgone_revenue() - 5.75).abs() < 1e-12);
+        // Histogram-estimated quantiles land within a bucket width of the
+        // exact 2 ms sample.
+        let (p50, p95, p99) = r.repricing_ms_percentiles();
+        assert!(p50 > 1.0 && p50 < 4.2, "{p50}");
+        assert_eq!(p50.to_bits(), p95.to_bits());
+        assert_eq!(p95.to_bits(), p99.to_bits());
         assert_eq!(r.ticks[0].conversion_rate(), Some(2.0 / 3.0));
     }
 
@@ -289,14 +363,23 @@ mod tests {
             "\"benchmark\": \"sim_scenarios\"",
             "\"scenario\": \"steady_state\"",
             "\"workload\": \"skewed\"",
+            "\"schema\": 2",
             "\"total_revenue\": 10.5",
+            "\"forgone_revenue\": 5.75",
             "\"conversion_rate\": 0.5",
             "\"quotes_per_sec\"",
-            "\"mean_repricing_ms\"",
+            "\"quote_latency_us_p50\"",
+            "\"repricing_ms_p50\"",
+            "\"repricing_ms_p99\"",
+            "\"latency_us_p95\"",
             "\"revenue_by_tick\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert!(
+            !json.contains("mean_repricing_ms"),
+            "schema 2 replaced the single aggregate repricing figure"
+        );
         // Balanced braces/brackets — a cheap structural sanity check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -130,6 +130,7 @@ mod tests {
             sold,
             declined,
             revenue: sold as f64,
+            ..TickStats::default()
         }
     }
 

@@ -1,0 +1,196 @@
+//! Rendering a [`MetricsSnapshot`] for humans and scrapers.
+//!
+//! Two surfaces, both deterministic (the snapshot is name-sorted):
+//!
+//! * [`prometheus_text`] — Prometheus exposition-format text: counters as
+//!   `qp_<name>_total`, gauges as `qp_<name>`, histograms in the standard
+//!   cumulative-`le` bucket form. Dotted metric names map to underscores
+//!   (`cache.hit` → `qp_cache_hit_total`).
+//! * [`json`] — a hand-rolled JSON object (this workspace carries no JSON
+//!   dependency) with quantiles precomputed per histogram, ready to merge
+//!   into the benchmark artifacts.
+
+use crate::registry::MetricsSnapshot;
+
+/// `cache.hit` → `qp_cache_hit`: the exposition name of a metric.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("qp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot in Prometheus exposition format.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let prom = prom_name(name);
+        out.push_str(&format!("# TYPE {prom}_total counter\n"));
+        out.push_str(&format!("{prom}_total {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let prom = prom_name(name);
+        out.push_str(&format!("# TYPE {prom} gauge\n"));
+        out.push_str(&format!("{prom} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let prom = prom_name(name);
+        out.push_str(&format!("# TYPE {prom} histogram\n"));
+        let mut cum = 0u64;
+        let last_live = hist.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        for (i, &count) in hist.buckets.iter().enumerate().take(last_live + 1) {
+            cum = cum.saturating_add(count);
+            let (_, hi) = crate::histogram::bucket_bounds(i);
+            out.push_str(&format!("{prom}_bucket{{le=\"{hi}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
+        out.push_str(&format!("{prom}_sum {}\n", hist.sum));
+        out.push_str(&format!("{prom}_count {}\n", hist.count()));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (names are controlled identifiers, but
+/// exemplar roots travel the wire — escape defensively).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a JSON object: counters and gauges as flat
+/// maps, histograms with count/sum/mean and estimated p50/p95/p99,
+/// exemplars as span-tree arrays.
+pub fn json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+
+    out.push_str("\"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {value}", json_escape(name)));
+    }
+    out.push_str("}, \"gauges\": {");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {value}", json_escape(name)));
+    }
+    out.push_str("}, \"histograms\": {");
+    for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let (p50, p95, p99) = hist.percentiles();
+        out.push_str(&format!(
+            "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}",
+            json_escape(name),
+            hist.count(),
+            hist.sum,
+            hist.mean(),
+        ));
+    }
+    out.push_str("}, \"exemplars\": [");
+    for (i, ex) in snapshot.exemplars.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"root\": \"{}\", \"total_ns\": {}, \"events\": [",
+            json_escape(&ex.root),
+            ex.total_ns
+        ));
+        for (j, e) in ex.events.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                json_escape(&e.name),
+                e.depth,
+                e.start_ns,
+                e.dur_ns
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    fn sample() -> MetricsSnapshot {
+        let sink = TelemetrySink::enabled();
+        sink.counter("cache.hit").add(7);
+        sink.gauge("conn.open").set(-3);
+        let h = sink.histogram("quote.ns");
+        h.record(0);
+        h.record(5);
+        h.record(1000);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_has_the_standard_families() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE qp_cache_hit_total counter"));
+        assert!(text.contains("qp_cache_hit_total 7"));
+        assert!(text.contains("qp_conn_open -3"));
+        assert!(text.contains("# TYPE qp_quote_ns histogram"));
+        assert!(text.contains("qp_quote_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("qp_quote_ns_sum 1005"));
+        assert!(text.contains("qp_quote_ns_count 3"));
+        // Cumulative counts never decrease along the le series.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("qp_quote_ns_bucket")) {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("bucket line ends in a count");
+            assert!(v >= last, "non-cumulative bucket series: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_eyeball() {
+        let j = json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cache.hit\": 7"));
+        assert!(j.contains("\"conn.open\": -3"));
+        assert!(j.contains("\"count\": 3"));
+        assert!(j.contains("\"p99\":"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized_and_strings_escaped() {
+        assert_eq!(prom_name("cache.hit"), "qp_cache_hit");
+        assert_eq!(prom_name("a-b c"), "qp_a_b_c");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,300 @@
+//! Log-bucketed latency histograms: power-of-two buckets, lock-free
+//! recording, exact (bucketwise-additive, hence associative) merging, and
+//! quantile estimation with error bounded by the width of the bucket the
+//! true quantile falls in.
+//!
+//! Bucket layout: bucket 0 holds the value 0; bucket `i >= 1` holds the
+//! values in `[2^(i-1), 2^i - 1]`. With 64-bit values that is
+//! [`NUM_BUCKETS`] = 65 buckets total, so a full histogram is 65 `u64`
+//! cells — small enough to snapshot, ship over the wire, and merge
+//! bucketwise without approximation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: one bucket for zero plus one per bit position of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` range of bucket `i`.
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < NUM_BUCKETS);
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// The midpoint of bucket `i` — the value quantile estimates report.
+#[inline]
+pub fn bucket_midpoint(i: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(i);
+    lo + (hi - lo) / 2
+}
+
+/// A plain (non-atomic) histogram: the snapshot read out of a live
+/// [`Histogram`], the wire representation of the `METRICS` frame, and a
+/// direct accumulator for single-threaded consumers (the simulator folds
+/// per-tick latencies through one of these without touching an atomic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Per-bucket observation counts.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// Bucketwise-additive merge. Exactly associative and commutative:
+    /// merging shard snapshots in any grouping yields identical buckets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), reported as the midpoint
+    /// of the bucket holding the rank-`round(q * (count - 1))` value.
+    ///
+    /// The estimate is off from the exact order statistic by at most the
+    /// width of that bucket — the bound the differential proptest checks.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (count - 1) as f64).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(c);
+            if cum > rank {
+                return bucket_midpoint(i);
+            }
+        }
+        bucket_midpoint(NUM_BUCKETS - 1)
+    }
+
+    /// The (p50, p95, p99) triple every exposition surface reports.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// The live, lock-free histogram core: one atomic cell per bucket plus a
+/// saturation-free running sum. Recording is two relaxed `fetch_add`s;
+/// reading is a bucket-by-bucket load into a [`HistogramSnapshot`].
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, value: u64) {
+        // ordering: Relaxed — monotonic counters with no cross-cell
+        // invariant; snapshots tolerate torn reads across buckets.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // ordering: Relaxed — same monotonic-counter argument.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        // ordering: Relaxed — the snapshot is a statistical read; each
+        // cell is individually consistent and only ever increases.
+        out.sum = self.sum.load(Ordering::Relaxed);
+        for (cell, slot) in self.buckets.iter().zip(out.buckets.iter_mut()) {
+            // ordering: Relaxed — see above.
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Handle to a registered histogram. `Disabled`-sink handles hold no core:
+/// recording through them is a branch on `None` — no clock read, no
+/// atomics, no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A no-op handle (what a `TelemetrySink::Disabled` hands out).
+    pub fn disabled() -> Self {
+        Histogram { core: None }
+    }
+
+    /// True when observations actually land somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Records one observation (no-op when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.record(value);
+        }
+    }
+
+    /// Starts a timer whose drop records the elapsed nanoseconds. On a
+    /// disabled handle the guard is inert and the clock is never read.
+    #[inline]
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            inner: self
+                .core
+                .as_ref()
+                .map(|core| (Arc::clone(core), Instant::now())),
+        }
+    }
+
+    /// Reads the current contents (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.core {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot::new(),
+        }
+    }
+}
+
+/// Drop guard recording elapsed wall time, in nanoseconds, into its
+/// histogram.
+#[derive(Debug)]
+pub struct HistogramTimer {
+    inner: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl HistogramTimer {
+    /// Records now instead of at scope exit.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some((core, start)) = self.inner.take() {
+            core.record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64_without_gaps() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts at the wrong value");
+            assert!(lo <= bucket_midpoint(i) && bucket_midpoint(i) <= hi);
+            if i + 1 < NUM_BUCKETS {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_records_into_its_core() {
+        let core = Arc::new(HistogramCore::new());
+        let h = Histogram {
+            core: Some(Arc::clone(&core)),
+        };
+        h.start_timer().stop();
+        drop(h.start_timer());
+        assert_eq!(core.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = Histogram::disabled();
+        h.record(42);
+        drop(h.start_timer());
+        assert!(h.snapshot().is_empty());
+        assert!(!h.is_enabled());
+    }
+}

@@ -1,0 +1,63 @@
+//! # qp-telemetry — observability substrate for the query-pricing stack
+//!
+//! The serving stack (broker → shards → TCP front-end → simulator) needs
+//! to *see itself* to reprice well: cache hit rates, per-stage quote
+//! latency, repricing stalls, and decline spikes are exactly the signals
+//! the online-pricing literature says a revenue-maximizing seller must
+//! observe. This crate is the measurement substrate, built around three
+//! pieces:
+//!
+//! * **Metrics registry** ([`TelemetrySink`] / [`Registry`]) — sharded
+//!   atomic [`Counter`]s, signed [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s (power-of-two buckets, mergeable, p50/p95/p99
+//!   estimation), registered by static name and read by snapshot-merge.
+//!   Hot paths are lock-free; registration order is deterministic. All
+//!   atomics go through the `parking_lot::atomic` facade so the
+//!   `--cfg qp_verify` build can model them.
+//! * **Tracing spans** ([`Span`], [`SpanEvent`]) — cheap drop guards
+//!   recording stage timings into a bounded per-thread ring-buffer
+//!   journal, with full span trees retained as [`Exemplar`]s for requests
+//!   over a slow threshold.
+//! * **Exposition** ([`expose`]) — deterministic Prometheus-style text
+//!   and hand-rolled JSON renderings of a [`MetricsSnapshot`], the same
+//!   structure the server's `METRICS` protocol frame ships.
+//!
+//! ## Out-of-band by construction
+//!
+//! Telemetry must never change what the system computes. Nothing in this
+//! crate touches an RNG, reorders work, or feeds back into pricing; the
+//! [`TelemetrySink::Disabled`] default hands out handles whose every
+//! operation is a branch on `None` — no clock read, no atomic, no
+//! allocation — so instrumented kernels stay allocation-free and the
+//! bit-identical-revenue assertions hold with telemetry on or off.
+//!
+//! ```
+//! use qp_telemetry::TelemetrySink;
+//!
+//! let sink = TelemetrySink::enabled();
+//! let hits = sink.counter("cache.hit");
+//! let latency = sink.histogram("quote.ns");
+//! {
+//!     let _span = sink.span("quote.route");
+//!     hits.inc();
+//!     latency.record(1_500);
+//! } // span records its duration here
+//! let snap = sink.snapshot();
+//! assert_eq!(snap.counter("cache.hit"), Some(1));
+//! println!("{}", qp_telemetry::expose::prometheus_text(&snap));
+//! ```
+
+pub mod expose;
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{
+    bucket_bounds, bucket_index, bucket_midpoint, Histogram, HistogramSnapshot, HistogramTimer,
+    NUM_BUCKETS,
+};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, TelemetrySink};
+pub use span::{
+    reset_thread_journal, with_thread_journal, Exemplar, Span, SpanEvent, SpanHandle, SpanRecord,
+    JOURNAL_CAPACITY,
+};

@@ -1,0 +1,296 @@
+//! Quote-path tracing spans.
+//!
+//! A [`Span`] is a drop guard: opening one stamps the clock, dropping it
+//! records the stage's duration (a) into the histogram registered under
+//! the span's name and (b) into a bounded per-thread ring-buffer journal
+//! of [`SpanEvent`]s. Nesting is tracked per thread, so the journal reads
+//! as an indented trace of the request path:
+//!
+//! ```text
+//! server.request          depth 0
+//!   quote.decode          depth 1
+//!   quote.route           depth 1
+//!   quote.cache           depth 1
+//!   quote.price           depth 1
+//! ```
+//!
+//! When a **root** span (depth 0) finishes over the registry's slow
+//! threshold, its full span tree is captured as an [`Exemplar`] — a small
+//! bounded store of the slowest recent requests, readable from the
+//! `METRICS` exposition. Capture allocates, but only on the slow path by
+//! definition; the per-span fast path is two clock reads, two relaxed
+//! `fetch_add`s, and a ring-buffer write.
+//!
+//! On a `Disabled` sink, [`Span`] holds `None` and the entire machinery —
+//! clock, thread-local, histogram — is skipped.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qp_core::RingBuffer;
+
+use crate::histogram::HistogramCore;
+use crate::registry::Registry;
+
+/// Per-thread journal capacity: enough for ~100 requests of trace at
+/// typical span fan-out, bounded so an idle reader never sees unbounded
+/// growth.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// Cap on events retained for a single root's tree (exemplar capture);
+/// beyond this the tree is truncated, never reallocated without bound.
+const MAX_TREE_EVENTS: usize = 128;
+
+/// One completed span, as recorded in the per-thread journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (`quote.route`, `reprice.broadcast`, …).
+    pub name: &'static str,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+    /// Start offset in nanoseconds, relative to the enclosing root's start.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One span inside a captured [`Exemplar`] (owned name: exemplars cross
+/// the wire, where `&'static str` cannot follow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = root).
+    pub depth: u32,
+    /// Start offset in nanoseconds from the root's start.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A retained span tree for one slow request: the root's name and total
+/// duration plus every stage recorded under it, in start order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Name of the root span that crossed the slow threshold.
+    pub root: String,
+    /// The root's total duration in nanoseconds.
+    pub total_ns: u64,
+    /// All spans of the tree (including the root), ordered by start time.
+    pub events: Vec<SpanRecord>,
+}
+
+/// Per-thread tracing state: current nesting depth, the running root's
+/// start instant and accumulated tree, and the bounded event journal.
+struct ThreadTrace {
+    depth: u16,
+    root_start: Option<Instant>,
+    tree: Vec<SpanEvent>,
+    journal: RingBuffer<SpanEvent>,
+}
+
+impl ThreadTrace {
+    fn new() -> Self {
+        ThreadTrace {
+            depth: 0,
+            root_start: None,
+            tree: Vec::new(),
+            journal: RingBuffer::new(JOURNAL_CAPACITY),
+        }
+    }
+}
+
+thread_local! {
+    static TRACE: RefCell<ThreadTrace> = RefCell::new(ThreadTrace::new());
+}
+
+/// Reads this thread's journal (oldest → newest). Test/debug hook; the
+/// production read path is exemplar capture through the registry.
+pub fn with_thread_journal<R>(f: impl FnOnce(&[SpanEvent]) -> R) -> R {
+    TRACE.with(|t| {
+        let trace = t.borrow();
+        let events: Vec<SpanEvent> = trace.journal.iter().copied().collect();
+        f(&events)
+    })
+}
+
+/// Clears this thread's journal and any in-flight tree state (tests).
+pub fn reset_thread_journal() {
+    TRACE.with(|t| {
+        let mut trace = t.borrow_mut();
+        trace.journal.clear();
+        trace.tree.clear();
+        trace.depth = 0;
+        trace.root_start = None;
+    });
+}
+
+/// An open tracing span; dropping it records the stage. Obtained from
+/// [`TelemetrySink::span`](crate::TelemetrySink::span) — `None` inside
+/// means the sink was disabled and the guard is inert.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    registry: Arc<Registry>,
+    hist: Arc<HistogramCore>,
+    name: &'static str,
+    start: Instant,
+    /// Offset of this span's start from the root's start.
+    start_ns: u64,
+    /// Depth this span was opened at (0 = it is the root).
+    depth: u16,
+}
+
+impl Span {
+    /// The inert guard a disabled sink hands out.
+    pub(crate) fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    /// Opens a live span against `registry`, resolving the histogram by
+    /// name (one registration-map lock; hot paths pre-resolve through a
+    /// [`SpanHandle`] instead).
+    pub(crate) fn open(registry: Arc<Registry>, name: &'static str) -> Self {
+        let hist = registry.histogram_core(name);
+        Span::open_with(registry, hist, name)
+    }
+
+    /// Opens a live span with a pre-resolved histogram core.
+    pub(crate) fn open_with(
+        registry: Arc<Registry>,
+        hist: Arc<HistogramCore>,
+        name: &'static str,
+    ) -> Self {
+        let start = Instant::now();
+        let (depth, start_ns) = TRACE.with(|t| {
+            let mut trace = t.borrow_mut();
+            let depth = trace.depth;
+            if depth == 0 {
+                trace.root_start = Some(start);
+                trace.tree.clear();
+            }
+            let start_ns = trace
+                .root_start
+                .map(|root| {
+                    start
+                        .duration_since(root)
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64
+                })
+                .unwrap_or(0);
+            trace.depth += 1;
+            (depth, start_ns)
+        });
+        Span {
+            inner: Some(SpanInner {
+                registry,
+                hist,
+                name,
+                start,
+                start_ns,
+                depth,
+            }),
+        }
+    }
+
+    /// True when the guard will record on drop.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+/// A pre-registered span site: resolves its histogram once at setup so
+/// entering the span on the hot path touches no registration lock.
+/// Obtained from [`TelemetrySink::span_handle`](crate::TelemetrySink::span_handle);
+/// a handle from a disabled sink hands out inert guards.
+#[derive(Debug, Clone, Default)]
+pub struct SpanHandle {
+    inner: Option<(Arc<Registry>, Arc<HistogramCore>, &'static str)>,
+}
+
+impl SpanHandle {
+    /// The inert handle a disabled sink hands out.
+    pub fn disabled() -> Self {
+        SpanHandle { inner: None }
+    }
+
+    pub(crate) fn resolved(registry: Arc<Registry>, name: &'static str) -> Self {
+        let hist = registry.histogram_core(name);
+        SpanHandle {
+            inner: Some((registry, hist, name)),
+        }
+    }
+
+    /// True when entering actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens the span; the returned guard records on drop.
+    #[inline]
+    pub fn enter(&self) -> Span {
+        match &self.inner {
+            None => Span::disabled(),
+            Some((registry, hist, name)) => {
+                Span::open_with(Arc::clone(registry), Arc::clone(hist), name)
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = inner.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        inner.hist.record(dur_ns);
+        let event = SpanEvent {
+            name: inner.name,
+            depth: inner.depth,
+            start_ns: inner.start_ns,
+            dur_ns,
+        };
+        let slow_root = TRACE.with(|t| {
+            let mut trace = t.borrow_mut();
+            trace.depth = trace.depth.saturating_sub(1);
+            trace.journal.push(event);
+            if trace.tree.len() < MAX_TREE_EVENTS {
+                trace.tree.push(event);
+            }
+            if inner.depth == 0 {
+                trace.root_start = None;
+                if dur_ns >= inner.registry.slow_threshold_ns() {
+                    // The completed tree, handed out for exemplar capture.
+                    return Some(std::mem::take(&mut trace.tree));
+                }
+                trace.tree.clear();
+            }
+            None
+        });
+        if let Some(mut tree) = slow_root {
+            // Completion order is children-first; start order reads as the
+            // request actually unfolded.
+            tree.sort_by_key(|e| (e.start_ns, e.depth));
+            let exemplar = Exemplar {
+                root: inner.name.to_string(),
+                total_ns: dur_ns,
+                events: tree
+                    .iter()
+                    .map(|e| SpanRecord {
+                        name: e.name.to_string(),
+                        depth: u32::from(e.depth),
+                        start_ns: e.start_ns,
+                        dur_ns: e.dur_ns,
+                    })
+                    .collect(),
+            };
+            inner.registry.capture_exemplar(exemplar);
+        }
+    }
+}

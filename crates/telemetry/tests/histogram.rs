@@ -1,0 +1,149 @@
+//! Histogram correctness: bucket-boundary unit tests, merge-associativity
+//! laws, and a differential proptest pinning the quantile estimator to
+//! exact order statistics within one bucket width.
+
+use proptest::prelude::*;
+use qp_telemetry::{bucket_bounds, bucket_index, bucket_midpoint, HistogramSnapshot, NUM_BUCKETS};
+
+#[test]
+fn every_power_of_two_boundary_lands_in_its_own_bucket() {
+    // The lower bound of bucket i is the first value of that bucket; the
+    // value one below it is the last value of bucket i-1.
+    for i in 1..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        assert_eq!(bucket_index(lo - 1), i - 1, "value below bucket {i}");
+        assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+    }
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+}
+
+#[test]
+fn midpoints_are_inside_their_buckets() {
+    for i in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        let mid = bucket_midpoint(i);
+        assert!(lo <= mid && mid <= hi, "midpoint of bucket {i} escaped");
+    }
+}
+
+#[test]
+fn empty_histogram_is_identity_and_zero_quantile() {
+    let empty = HistogramSnapshot::new();
+    assert!(empty.is_empty());
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.5), 0);
+    // float-eq: mean of an empty histogram is exactly the 0.0 literal.
+    assert_eq!(empty.mean().to_bits(), 0.0f64.to_bits());
+
+    let mut h = HistogramSnapshot::new();
+    h.record(17);
+    let mut merged = h.clone();
+    merged.merge(&empty);
+    assert_eq!(merged, h, "merging the empty histogram must be identity");
+}
+
+#[test]
+fn single_value_quantiles_hit_that_values_bucket() {
+    let mut h = HistogramSnapshot::new();
+    h.record(100);
+    let mid = bucket_midpoint(bucket_index(100));
+    assert_eq!(h.quantile(0.0), mid);
+    assert_eq!(h.quantile(0.5), mid);
+    assert_eq!(h.quantile(1.0), mid);
+}
+
+fn from_values(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact order statistic the estimator targets: the same
+/// `round(q * (n - 1))` rank rule, applied to the sorted raw sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000_000, 0..50),
+        c in proptest::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let (ha, hb, hc) = (from_values(&a), from_values(&b), from_values(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merge equals recording the concatenated sample directly.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &from_values(&all));
+    }
+
+    /// Differential check: estimated p50/p95/p99 vs exact order
+    /// statistics on random samples. The estimate reports the midpoint of
+    /// the bucket the exact value falls in, so the error is bounded by
+    /// that bucket's width.
+    #[test]
+    fn quantile_estimates_stay_within_one_bucket_width(
+        values in proptest::collection::vec(0u64..10_000_000_000, 1..400),
+    ) {
+        let h = from_values(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.50, 0.95, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo;
+            let err = est.abs_diff(exact);
+            prop_assert!(
+                err <= width.max(1),
+                "q={} exact={} est={} err={} > bucket width {}",
+                q, exact, est, err, width
+            );
+        }
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+    }
+
+    /// The estimator is monotone in q: higher quantiles never report
+    /// smaller values.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = from_values(&values);
+        let (p50, p95, p99) = h.percentiles();
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        prop_assert!(h.quantile(0.0) <= p50);
+        prop_assert!(p99 <= h.quantile(1.0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Span tracing behavior: nesting depth, the per-thread ring journal,
+//! histogram feeding, and slow-request exemplar capture.
+
+use std::time::Duration;
+
+use qp_telemetry::{reset_thread_journal, with_thread_journal, TelemetrySink};
+
+#[test]
+fn nested_spans_record_depths_and_feed_histograms() {
+    reset_thread_journal();
+    let sink = TelemetrySink::enabled();
+    {
+        let _root = sink.span("req");
+        {
+            let _child = sink.span("req.decode");
+        }
+        {
+            let _child = sink.span("req.price");
+            let _grandchild = sink.span("req.price.read");
+        }
+    }
+    // Journal order is completion order: decode, price.read, price, req.
+    with_thread_journal(|events| {
+        let seen: Vec<(&str, u16)> = events.iter().map(|e| (e.name, e.depth)).collect();
+        assert_eq!(
+            seen,
+            vec![
+                ("req.decode", 1),
+                ("req.price.read", 2),
+                ("req.price", 1),
+                ("req", 0),
+            ]
+        );
+        // Child windows nest inside the root's duration.
+        let root = events[3];
+        for child in &events[..3] {
+            assert!(child.start_ns <= root.dur_ns);
+            assert!(child.dur_ns <= root.dur_ns);
+        }
+    });
+    // Every span name got a histogram observation.
+    let snap = sink.snapshot();
+    for name in ["req", "req.decode", "req.price", "req.price.read"] {
+        assert_eq!(
+            snap.histogram(name).map(|h| h.count()),
+            Some(1),
+            "missing histogram for {name}"
+        );
+    }
+}
+
+#[test]
+fn journal_is_bounded() {
+    reset_thread_journal();
+    let sink = TelemetrySink::enabled();
+    for _ in 0..qp_telemetry::JOURNAL_CAPACITY + 50 {
+        drop(sink.span("tick"));
+    }
+    with_thread_journal(|events| {
+        assert_eq!(events.len(), qp_telemetry::JOURNAL_CAPACITY);
+    });
+    assert_eq!(
+        sink.snapshot().histogram("tick").map(|h| h.count()),
+        Some((qp_telemetry::JOURNAL_CAPACITY + 50) as u64)
+    );
+}
+
+#[test]
+fn slow_roots_capture_exemplar_trees() {
+    reset_thread_journal();
+    let sink = TelemetrySink::enabled();
+    // Threshold zero: every root is "slow", so capture is deterministic.
+    sink.set_slow_threshold(Duration::from_nanos(0));
+    {
+        let _root = sink.span("slow.request");
+        let _stage = sink.span("slow.stage");
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.exemplars.len(), 1);
+    let ex = &snap.exemplars[0];
+    assert_eq!(ex.root, "slow.request");
+    let names: Vec<&str> = ex.events.iter().map(|e| e.name.as_str()).collect();
+    // Start-ordered: the root opens first.
+    assert_eq!(names, vec!["slow.request", "slow.stage"]);
+    assert_eq!(ex.events[0].depth, 0);
+    assert_eq!(ex.events[1].depth, 1);
+    assert!(ex.total_ns >= ex.events[1].dur_ns);
+}
+
+#[test]
+fn fast_roots_are_not_captured_by_default() {
+    reset_thread_journal();
+    let sink = TelemetrySink::enabled();
+    // Default threshold is effectively infinite: nothing is captured.
+    {
+        let _root = sink.span("fast.request");
+    }
+    assert!(sink.snapshot().exemplars.is_empty());
+}
+
+#[test]
+fn exemplar_store_is_bounded_and_keeps_newest() {
+    reset_thread_journal();
+    let sink = TelemetrySink::enabled();
+    sink.set_slow_threshold(Duration::from_nanos(0));
+    for _ in 0..40 {
+        drop(sink.span("burst"));
+    }
+    let snap = sink.snapshot();
+    assert!(snap.exemplars.len() <= 16, "exemplar store grew unbounded");
+    assert!(!snap.exemplars.is_empty());
+}
