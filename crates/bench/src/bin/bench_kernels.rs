@@ -23,6 +23,12 @@
 //!   each set op). Here `before` is the bare fold and `after` the
 //!   instrumented one, so CI can gate on `after_ns <= 1.02 * before_ns`
 //!   (the ≤ 2 % overhead budget for the disabled sink).
+//! * **wal** — the durability overhead contract: a broker quote+settle
+//!   (`Broker::purchase_at`) bare (`before`) vs identically built but
+//!   `FileStore`-backed with the default group-commit fsync policy
+//!   (`after`) — every settle appends a CRC-framed WAL record before it
+//!   returns. CI bounds the quotient at ≤ 10 % (`after_ns <= 1.10 *
+//!   before_ns`).
 //!
 //! Every measured pair is also *checked* — each timed round asserts the
 //! fast path and the reference produce identical results, so the benchmark
@@ -36,6 +42,7 @@
 //! ```
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -43,7 +50,10 @@ use rand::{Rng, SeedableRng};
 
 use qp_bench::arg_value;
 use qp_core::{reference, ItemSet};
+use qp_market::{Broker, PurchaseOutcome, SupportConfig};
 use qp_pricing::algorithms::{reference as rate_reference, RateTable};
+use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
+use qp_store::{FileStore, SharedStore};
 use qp_telemetry::TelemetrySink;
 
 /// Operand pool sizes: enough pairs to defeat branch-predictor lock-in,
@@ -105,6 +115,37 @@ fn time_ns<F: FnMut() -> u64>(reps: usize, iters: usize, ops_per_iter: usize, mu
     }
     black_box(sink);
     median(&mut samples)
+}
+
+/// Times two workloads A/B-interleaved: each rep measures `before` then
+/// `after` back to back, so slow drift (CPU frequency, page cache state)
+/// lands on both sides of the ratio instead of biasing one. Used by the
+/// wal row, where the gated quantity *is* the after/before quotient.
+fn time_ns_paired<F: FnMut() -> u64, G: FnMut() -> u64>(
+    reps: usize,
+    iters: usize,
+    ops_per_iter: usize,
+    mut before: F,
+    mut after: G,
+) -> (f64, f64) {
+    let mut before_samples = Vec::with_capacity(reps);
+    let mut after_samples = Vec::with_capacity(reps);
+    let mut sink = 0u64;
+    let ops = (iters * ops_per_iter) as f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(before());
+        }
+        before_samples.push(t0.elapsed().as_nanos() as f64 / ops);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(after());
+        }
+        after_samples.push(t1.elapsed().as_nanos() as f64 / ops);
+    }
+    black_box(sink);
+    (median(&mut before_samples), median(&mut after_samples))
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -322,6 +363,90 @@ fn telemetry_overhead_row(pool: &[(ItemSet, ItemSet)], reps: usize, iters: usize
     }
 }
 
+/// Settles per timing iteration on the WAL row — alternating sold/declined
+/// so both ledger paths (and both WAL record kinds) are in the measurement.
+const WAL_OPS: usize = 64;
+
+/// The WAL-append overhead row: `Broker::purchase_at` (quote + settle) on
+/// two identically built brokers, one bare and one backed by a `FileStore`
+/// with the default group-commit fsync policy. The quotient `after/before`
+/// is the durability tax on the quote path that the CI durability job
+/// bounds at 10 %.
+fn wal_append_row(reps: usize, iters: usize) -> Row {
+    fn tiny_broker(store: Option<SharedStore>) -> Broker {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..32 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .expect("schema matches");
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        let mut builder = Broker::builder(db)
+            .support_config(SupportConfig::with_size(40))
+            .algorithm("UBP")
+            .anticipate(Query::scan("T"), 30.0);
+        if let Some(store) = store {
+            builder = builder.store(store);
+        }
+        builder.build().expect("UBP is registered")
+    }
+
+    let q = Query::scan("T");
+    let bare = tiny_broker(None);
+    let dir = std::env::temp_dir().join(format!("qp-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store: SharedStore =
+        Arc::new(FileStore::open(&dir).expect("opening the WAL bench scratch dir"));
+    let durable = tiny_broker(Some(store));
+    assert_eq!(
+        bare.quote(&q).price.to_bits(),
+        durable.quote(&q).price.to_bits(),
+        "wal: the store must not change pricing"
+    );
+
+    let settle_sweep = |broker: &Broker| {
+        let mut acc = 0u64;
+        for i in 0..WAL_OPS as u64 {
+            // Even ops sell, odd ops decline: both WAL record kinds count.
+            let budget = if i % 2 == 0 { 1e9 } else { 0.0 };
+            match broker.purchase_at(black_box(&q), budget, i).expect("eval") {
+                PurchaseOutcome::Sold { price, .. } => acc = acc.wrapping_add(price.to_bits()),
+                PurchaseOutcome::Declined { price } => acc = acc.wrapping_add(!price.to_bits()),
+            }
+        }
+        acc
+    };
+    // Untimed warmup: the durable broker's first sweep pays WAL file
+    // growth and first-touch page faults that a live server amortizes
+    // over its whole run — they are setup, not quote-path cost.
+    black_box(settle_sweep(&bare));
+    black_box(settle_sweep(&durable));
+    // Extra reps: this row gates a ratio of two ~35 µs composites, so its
+    // median needs more samples than the nanosecond kernel rows.
+    let (before_ns, after_ns) = time_ns_paired(
+        reps * 2 - 1,
+        iters,
+        WAL_OPS,
+        || settle_sweep(&bare),
+        || settle_sweep(&durable),
+    );
+    assert_eq!(
+        bare.ledger().total().to_bits(),
+        durable.ledger().total().to_bits(),
+        "wal: both brokers settled identical traffic"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Row {
+        group: "wal",
+        kernel: "quote_settle_append",
+        before_ns,
+        after_ns,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -348,6 +473,8 @@ fn main() {
     let (merge_m, merge_iters) = if smoke { (1000, iters) } else { (10_000, 50) };
     rows.push(uip_merge_row(merge_m, 1, reps, merge_iters, 0x0417E5));
     rows.push(telemetry_overhead_row(&small_pool, reps, iters));
+    // Fewer sweeps: each op is a full quote+settle with query evaluation.
+    rows.push(wal_append_row(reps, if smoke { iters } else { 50 }));
 
     for r in &rows {
         println!(

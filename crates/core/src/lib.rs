@@ -20,9 +20,12 @@
 //! * [`mod@reference`] — the scalar, allocate-per-call kernels kept as the
 //!   differential-test oracle and benchmark baseline;
 //! * [`ring`](RingBuffer) — the bounded overwrite-oldest buffer backing
-//!   per-thread telemetry journals and other fixed-size histories.
+//!   per-thread telemetry journals and other fixed-size histories;
+//! * [`codec`] — CRC-32 and the little-endian byte-cursor primitives the
+//!   `qp-store` WAL/snapshot record formats are framed with.
 
 mod arena;
+pub mod codec;
 pub mod reference;
 mod ring;
 mod set;

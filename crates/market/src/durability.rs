@@ -1,0 +1,206 @@
+//! Glue between the broker's in-memory revenue state and `qp-store`'s
+//! durable formats: ledger ⇄ snapshot conversions, snapshot capture, and
+//! single-broker crash recovery.
+//!
+//! The conversions are deliberately order-preserving — a ledger's `total()`
+//! sums float prices in insertion order, so a round trip through the
+//! snapshot format must keep every sale in its slot for the recovered
+//! total to be bit-identical. The sharded server composes these same
+//! pieces per shard; this module is the one-broker (in-process) path and
+//! the replay oracle the crash harness checks against.
+
+use qp_store::{LedgerSnapshot, ReplayedState, SaleEntry, Snapshot, Store, StoreError};
+
+use crate::broker::{Broker, RevenueLedger, Sale};
+
+/// Converts a live ledger into its durable form, preserving sale order.
+pub fn ledger_to_snapshot(ledger: &RevenueLedger) -> LedgerSnapshot {
+    LedgerSnapshot {
+        sales: ledger
+            .sales()
+            .iter()
+            .map(|s| SaleEntry {
+                bundle_len: s.conflict_set_len as u32,
+                price: s.price,
+                tick: s.tick,
+            })
+            .collect(),
+        declined_count: ledger.declined_count() as u64,
+        declined_total: ledger.declined_total(),
+    }
+}
+
+/// Rebuilds a live ledger from its durable form, preserving sale order.
+pub fn ledger_from_snapshot(snapshot: &LedgerSnapshot) -> RevenueLedger {
+    RevenueLedger::from_parts(
+        snapshot
+            .sales
+            .iter()
+            .map(|s| Sale {
+                conflict_set_len: s.bundle_len as usize,
+                price: s.price,
+                tick: s.tick,
+            })
+            .collect(),
+        snapshot.declined_count as usize,
+        snapshot.declined_total,
+    )
+}
+
+/// Captures a single-broker snapshot keyed at the store's current WAL
+/// sequence. The caller must quiesce settles and repricings around the
+/// call (or hold the external lock that serializes them) — the sharded
+/// server does this under its durability lock.
+pub fn broker_snapshot(broker: &Broker, wal_seq: u64) -> Snapshot {
+    let (pricing, epoch) = broker.pricing_snapshot();
+    Snapshot {
+        epoch,
+        wal_seq,
+        next_quote_id: 0,
+        pricing,
+        shards: vec![ledger_to_snapshot(&broker.ledger())],
+    }
+}
+
+/// Recovers a single broker from its store: loads the newest valid
+/// snapshot, replays the WAL suffix, and installs the resulting pricing,
+/// epoch, and ledger into `broker`.
+///
+/// `broker` must be **freshly rebuilt the same deterministic way** as the
+/// crashed one (same database, support, algorithm, anticipated workload):
+/// its current pricing/epoch seed the replay for the case where no
+/// snapshot and no `Replace` record exist yet. Returns the replayed state
+/// so callers can assert against it (the replay oracle).
+pub fn recover_broker(broker: &Broker, store: &dyn Store) -> Result<ReplayedState, StoreError> {
+    let recovery = store.recover()?;
+    let (seed_pricing, seed_epoch) = broker.pricing_snapshot();
+    let state = recovery.replay(seed_pricing, seed_epoch, 1);
+    broker.restore_pricing(state.pricing.clone(), state.epoch);
+    broker.restore_ledger(ledger_from_snapshot(&state.shards[0]));
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use qp_pricing::algorithms::PricingPatch;
+    use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
+    use qp_store::MemStore;
+
+    use crate::broker::PurchaseOutcome;
+    use crate::support::SupportConfig;
+
+    fn db() -> Database {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..12 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        db
+    }
+
+    fn build_broker(store: Option<Arc<MemStore>>) -> Broker {
+        let mut b = Broker::builder(db())
+            .support_config(SupportConfig::with_size(50))
+            .algorithm("UBP")
+            .anticipate(Query::scan("T"), 40.0);
+        if let Some(store) = store {
+            b = b.store(store);
+        }
+        b.build().expect("UBP is registered")
+    }
+
+    /// Drives an identical settle/reprice history through a broker.
+    fn drive(broker: &Broker) {
+        let q = Query::scan("T");
+        for tick in 0..6u64 {
+            let budget = if tick % 3 == 2 { 0.0 } else { 1e9 };
+            let out = broker.purchase_at(&q, budget, tick).unwrap();
+            match (tick % 3 == 2, out) {
+                (true, PurchaseOutcome::Declined { .. }) => {}
+                (false, PurchaseOutcome::Sold { .. }) => {}
+                (broke, out) => panic!("tick {tick}: budget-broke={broke} got {out:?}"),
+            }
+            if tick == 2 {
+                broker.apply_delta(&PricingPatch::SetUniformPrice(7.25));
+            }
+            if tick == 4 {
+                broker.apply_delta(&PricingPatch::Keep); // must not log or bump
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_broker_matches_the_uncrashed_one_bit_for_bit() {
+        let store = Arc::new(MemStore::new());
+        let live = build_broker(Some(store.clone()));
+        drive(&live);
+        let live_ledger = live.ledger();
+        let (live_pricing, live_epoch) = live.pricing_snapshot();
+        drop(live); // the crash: all in-memory state gone, the store survives
+
+        let recovered = build_broker(None);
+        let state = recover_broker(&recovered, store.as_ref()).unwrap();
+        let (pricing, epoch) = recovered.pricing_snapshot();
+        assert_eq!(pricing, live_pricing);
+        assert_eq!(epoch, live_epoch);
+        let ledger = recovered.ledger();
+        assert_eq!(ledger.len(), live_ledger.len());
+        assert_eq!(ledger.total().to_bits(), live_ledger.total().to_bits());
+        assert_eq!(ledger.declined_count(), live_ledger.declined_count());
+        assert_eq!(
+            ledger.declined_total().to_bits(),
+            live_ledger.declined_total().to_bits()
+        );
+        assert_eq!(state.revenue().to_bits(), live_ledger.total().to_bits());
+    }
+
+    #[test]
+    fn recovery_from_snapshot_plus_suffix_matches_full_replay() {
+        let store = Arc::new(MemStore::new());
+        let live = build_broker(Some(store.clone()));
+        let q = Query::scan("T");
+        for tick in 0..3u64 {
+            live.purchase_at(&q, 1e9, tick).unwrap();
+        }
+        // Snapshot mid-history, then keep trading past it.
+        store
+            .write_snapshot(&broker_snapshot(&live, store.wal_seq()))
+            .unwrap();
+        live.apply_delta(&PricingPatch::SetUniformPrice(3.5));
+        for tick in 3..5u64 {
+            live.purchase_at(&q, 1e9, tick).unwrap();
+        }
+        let live_total = live.ledger().total();
+        let live_epoch = live.pricing_snapshot().1;
+        drop(live);
+
+        let recovered = build_broker(None);
+        let state = recover_broker(&recovered, store.as_ref()).unwrap();
+        assert_eq!(recovered.ledger().total().to_bits(), live_total.to_bits());
+        assert_eq!(state.epoch, live_epoch);
+        // The snapshot really was the starting point: the replayed suffix
+        // is shorter than the full history.
+        let recovery = store.recover().unwrap();
+        assert!(recovery.snapshot.is_some());
+        assert!((recovery.wal.len() as u64) < store.wal_seq());
+    }
+
+    #[test]
+    fn keep_patches_are_not_logged() {
+        let store = Arc::new(MemStore::new());
+        let live = build_broker(Some(store.clone()));
+        let before = store.wal_seq();
+        live.apply_delta(&PricingPatch::Keep);
+        assert_eq!(store.wal_seq(), before, "Keep must not append");
+        live.apply_delta(&PricingPatch::SetUniformPrice(1.0));
+        assert_eq!(store.wal_seq(), before + 1);
+    }
+}

@@ -28,15 +28,22 @@
 //!     --metrics-out METRICS_server.prom
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::atomic::{AtomicBool, Ordering};
 use qp_market::{Broker, SupportConfig};
 use qp_qdb::{Database, Query};
-use qp_server::{BundleTable, NetTransport, QuoteServer, ShardSet};
+use qp_server::{
+    BundleTable, CrashSwitch, Endpoint, NetTransport, QuoteClient, QuoteServer, ShardSet,
+    DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
+};
 use qp_sim::{
     run, run_with, BudgetModel, BuyerSegment, EveryNTicks, Population, RepricingMode, SimConfig,
     SimReport,
 };
+use qp_store::{FileStore, SharedStore, Store};
 use qp_telemetry::{MetricsSnapshot, TelemetrySink};
 use qp_workloads::arrivals::ArrivalProcess;
 use qp_workloads::queries::skewed;
@@ -210,7 +217,7 @@ fn run_one(
 
     let bundles = BundleTable::for_schedule(&reference, &sched);
     let net = NetTransport::connect(server.local_addr(), bundles).expect("connect transport");
-    let mut policy = EveryNTicks { every: 4 };
+    let mut policy = EveryNTicks::new(4);
     let net_cfg = SimConfig {
         telemetry: telemetry.clone(),
         ..cfg.clone()
@@ -272,7 +279,7 @@ fn run_one(
         seed,
         TelemetrySink::default(),
     );
-    let mut baseline_policy = EveryNTicks { every: 4 };
+    let mut baseline_policy = EveryNTicks::new(4);
     let baseline = run(
         &baseline_broker,
         &sched,
@@ -292,6 +299,192 @@ fn run_one(
         final_epochs,
         server_metrics,
     }
+}
+
+/// One crash-recovery run: a durable server is killed mid-run after
+/// `kill_after` dispatched requests, a supervisor thread recovers it from
+/// the data directory onto a fresh port, and the seeded engine (resilient
+/// transport) rides through the outage. Asserts, bit-for-bit:
+///
+/// 1. the crash-run revenue equals an uninterrupted in-process run of the
+///    same seed (recovery lost nothing, replayed nothing twice);
+/// 2. an independent WAL replay (newest snapshot + suffix) reproduces the
+///    recovered server's final per-shard ledgers exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_crash_one(
+    db: &Database,
+    pool: &[Query],
+    sizing: &Sizing,
+    shards: usize,
+    algorithm: &str,
+    seed: u64,
+    arrivals: &ArrivalProcess,
+    cfg: &SimConfig,
+    data_dir: &Path,
+    kill_after: u64,
+    snapshot_every: u64,
+) -> (SimReport, SimReport) {
+    let dir = data_dir.join(format!("s{shards}-k{kill_after}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sched = schedule(pool, sizing.ticks);
+    let telemetry = TelemetrySink::enabled();
+
+    let brokers: Vec<Arc<Broker>> = (0..shards)
+        .map(|_| {
+            Arc::new(build_broker(
+                db,
+                pool,
+                sizing.support,
+                algorithm,
+                seed,
+                telemetry.clone(),
+            ))
+        })
+        .collect();
+    let reference = Arc::clone(&brokers[0]);
+    let store: SharedStore = Arc::new(FileStore::open(&dir).expect("open data dir"));
+    let shard_set = ShardSet::new(brokers)
+        .with_store(store, snapshot_every)
+        .with_telemetry(telemetry.clone());
+    let crash = CrashSwitch::after(kill_after);
+    let server = QuoteServer::bind_with_crash_switch("127.0.0.1:0", shard_set, crash.clone())
+        .expect("bind loopback");
+    let endpoint = Endpoint::new(server.local_addr());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // The supervisor: the "operator" that notices the dead process,
+    // recovers from the data directory, and republishes the endpoint.
+    let supervisor = {
+        let crash = crash.clone();
+        let endpoint = Arc::clone(&endpoint);
+        let done = Arc::clone(&done);
+        let db = db.clone();
+        let pool = pool.to_vec();
+        let algorithm = algorithm.to_string();
+        let telemetry = telemetry.clone();
+        let dir = dir.clone();
+        let support = sizing.support;
+        std::thread::spawn(move || {
+            let mut server = server;
+            let mut recoveries = 0u32;
+            loop {
+                if crash.crashed() && recoveries == 0 {
+                    // Drain in-flight dispatches before touching the dir:
+                    // after quiesce the dead server can never append again.
+                    server.quiesce();
+                    let brokers: Vec<Arc<Broker>> = (0..shards)
+                        .map(|_| {
+                            Arc::new(build_broker(
+                                &db,
+                                &pool,
+                                support,
+                                &algorithm,
+                                seed,
+                                telemetry.clone(),
+                            ))
+                        })
+                        .collect();
+                    let store: SharedStore =
+                        Arc::new(FileStore::open(&dir).expect("reopen data dir"));
+                    let (set, _state) =
+                        ShardSet::restore(brokers, DEFAULT_CACHE_CAPACITY, store, snapshot_every)
+                            .expect("crash recovery");
+                    let set = set.with_telemetry(telemetry.clone());
+                    server = QuoteServer::bind("127.0.0.1:0", set).expect("rebind after crash");
+                    endpoint.update(server.local_addr());
+                    recoveries += 1;
+                }
+                // ordering: Acquire pairs with the main thread's Release
+                // store after the run completes.
+                if done.load(Ordering::Acquire) {
+                    server.shutdown();
+                    return recoveries;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let bundles = BundleTable::for_schedule(&reference, &sched);
+    let net = NetTransport::connect_endpoint(Arc::clone(&endpoint), bundles).expect("connect");
+    let mut policy = EveryNTicks::new(4);
+    let net_cfg = SimConfig {
+        telemetry: telemetry.clone(),
+        ..cfg.clone()
+    };
+    let report = run_with(&net, &sched, arrivals, &mut policy, &net_cfg);
+    drop(net);
+
+    assert!(
+        crash.crashed(),
+        "the kill offset ({kill_after} requests) never fired — this workload makes more \
+         requests than that; pick a smaller --kill-after"
+    );
+
+    // Final per-shard stats from the *recovered* server, over a fresh
+    // connection (the endpoint may point at the post-crash port).
+    let stats = {
+        let mut tries = 0u32;
+        loop {
+            let (addr, _) = endpoint.current();
+            match QuoteClient::connect(addr).and_then(|mut c| c.stats()) {
+                Ok(s) => break s,
+                Err(e) => {
+                    tries += 1;
+                    assert!(tries < 1000, "final STATS unreachable: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    };
+    // ordering: Release pairs with the supervisor's Acquire poll of `done`.
+    done.store(true, Ordering::Release);
+    let recoveries = supervisor.join().expect("supervisor thread");
+    assert_eq!(recoveries, 1, "exactly one crash, exactly one recovery");
+
+    // Oracle 1: the ledgers the engine saw are the ledgers the server kept.
+    let server_sales: u64 = stats.iter().map(|s| s.sales).sum();
+    let server_declines: u64 = stats.iter().map(|s| s.declines).sum();
+    assert_eq!(
+        server_sales as usize,
+        report.sales(),
+        "ledger sales drifted"
+    );
+    assert_eq!(
+        server_declines as usize,
+        report.declines(),
+        "ledger declines drifted"
+    );
+
+    // Oracle 2: an independent replay of the data directory — newest valid
+    // snapshot plus WAL suffix — reproduces every shard ledger bit-exactly.
+    let oracle_broker = build_broker(
+        db,
+        pool,
+        sizing.support,
+        algorithm,
+        seed,
+        TelemetrySink::default(),
+    );
+    let replay_store = FileStore::open(&dir).expect("reopen for replay");
+    let recovery = replay_store.recover().expect("recover for replay");
+    let (seed_pricing, seed_epoch) = oracle_broker.pricing_snapshot();
+    let state = recovery.replay(seed_pricing, seed_epoch, shards);
+    assert_eq!(state.shards.len(), stats.len(), "replay shard count");
+    for (i, (ledger, s)) in state.shards.iter().zip(&stats).enumerate() {
+        assert_eq!(
+            ledger.total().to_bits(),
+            s.revenue.to_bits(),
+            "WAL replay revenue diverged from the live ledger on shard {i}"
+        );
+        assert_eq!(ledger.sales.len() as u64, s.sales, "shard {i} sales");
+        assert_eq!(ledger.declined_count, s.declines, "shard {i} declines");
+    }
+
+    // Oracle 3: the uninterrupted same-seed in-process run.
+    let mut baseline_policy = EveryNTicks::new(4);
+    let baseline = run(&oracle_broker, &sched, arrivals, &mut baseline_policy, cfg);
+    (report, baseline)
 }
 
 fn main() {
@@ -361,6 +554,78 @@ fn main() {
         repricing_mode: RepricingMode::Incremental,
         telemetry: TelemetrySink::default(),
     };
+
+    // Crash-recovery harness: `--kill-after N[,N2,...]` kills the durable
+    // server after N dispatched requests (per offset, per shard count),
+    // recovers it from `--data-dir`, and demands bit-identical revenue
+    // against the uninterrupted in-process run. No benchmark artifact —
+    // this mode is a correctness gate.
+    if let Some(kill_list) = arg_value(&args, "--kill-after") {
+        let offsets: Vec<u64> = kill_list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        assert!(!offsets.is_empty(), "--kill-after parsed to nothing");
+        let data_dir = arg_value(&args, "--data-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("qp-crash-{}", std::process::id()))
+            });
+        let snapshot_every: u64 = arg_value(&args, "--snapshot-every")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SNAPSHOT_EVERY);
+        println!(
+            "crash harness: kill offsets {:?}, data dir {}, snapshot every {snapshot_every}",
+            offsets,
+            data_dir.display()
+        );
+        let mut runs = 0usize;
+        for &shards in &sizing.shard_counts {
+            for &kill in &offsets {
+                let (report, baseline) = run_crash_one(
+                    &db,
+                    &pool,
+                    &sizing,
+                    shards,
+                    &algorithm,
+                    seed,
+                    &arrivals,
+                    &cfg,
+                    &data_dir,
+                    kill,
+                    snapshot_every,
+                );
+                let revenue = report.total_revenue();
+                let baseline_revenue = baseline.total_revenue();
+                let identical = revenue.to_bits() == baseline_revenue.to_bits()
+                    && report.sales() == baseline.sales()
+                    && report.declines() == baseline.declines();
+                println!(
+                    "  shards {:>2}  kill@{:>4}: revenue {:.2} ({} sales) vs uninterrupted \
+                     {:.2} ({} sales) — {}",
+                    shards,
+                    kill,
+                    revenue,
+                    report.sales(),
+                    baseline_revenue,
+                    baseline.sales(),
+                    if identical {
+                        "BIT-IDENTICAL"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+                assert!(
+                    identical,
+                    "crash recovery diverged at {shards} shards, kill@{kill}: \
+                     {revenue:.17} vs {baseline_revenue:.17}"
+                );
+                runs += 1;
+            }
+        }
+        println!("crash harness: {runs} kill/recover runs, every one bit-identical");
+        return;
+    }
 
     let mut rows: Vec<String> = Vec::new();
     let mut merged_metrics = MetricsSnapshot::default();

@@ -8,6 +8,15 @@
 //! cargo run --release -p qp-server --bin serve -- --addr 127.0.0.1:7979 --shards 2
 //! ```
 //!
+//! With `--data-dir DIR` the server is **durable**: every settle and
+//! repricing is WAL-logged to `DIR` before it is acknowledged, snapshots
+//! are written every `--snapshot-every` repricings (default 8), and on
+//! startup any existing state in `DIR` is recovered — newest valid
+//! snapshot plus WAL suffix — before the listener binds. `--fsync`
+//! selects the flush policy (`always`, `never`, `group:<N>`; default
+//! `group:32`). Kill the process mid-run and restart with the same
+//! `--data-dir` and flags: every acknowledged sale survives.
+//!
 //! Telemetry is always on: clients can pull the live registry with a
 //! `METRICS` frame, and `--metrics-dump` additionally prints the final
 //! registry as Prometheus text on shutdown.
@@ -15,7 +24,8 @@
 use std::sync::Arc;
 
 use qp_market::{Broker, SupportConfig};
-use qp_server::{QuoteServer, ShardSet};
+use qp_server::{QuoteServer, ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY};
+use qp_store::{FileStore, FsyncPolicy, SharedStore};
 use qp_telemetry::TelemetrySink;
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
@@ -52,6 +62,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
     let metrics_dump = args.iter().any(|a| a == "--metrics-dump");
+    let data_dir = arg_value(&args, "--data-dir");
+    let fsync = arg_value(&args, "--fsync")
+        .map(|s| {
+            FsyncPolicy::parse(&s)
+                .unwrap_or_else(|| panic!("bad --fsync {s:?} (always | never | group:<N>)"))
+        })
+        .unwrap_or_default();
+    let snapshot_every: u64 = arg_value(&args, "--snapshot-every")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SNAPSHOT_EVERY);
     assert!(shards > 0, "--shards must be positive");
 
     let world_cfg = WorldConfig::at_scale(Scale::Test);
@@ -79,7 +99,30 @@ fn main() {
         })
         .collect();
 
-    let shard_set = ShardSet::new(brokers).with_telemetry(telemetry.clone());
+    let shard_set = if let Some(dir) = &data_dir {
+        // Durable mode: recovery first (a fresh directory recovers to the
+        // brokers' own initial state), then keep logging into the same
+        // store. Recovery must finish before the listener binds so no
+        // client ever sees pre-recovery state.
+        let store: SharedStore = Arc::new(
+            FileStore::open_with(dir, fsync, &telemetry)
+                .unwrap_or_else(|e| panic!("opening data dir {dir}: {e}")),
+        );
+        let (set, state) =
+            ShardSet::restore(brokers, DEFAULT_CACHE_CAPACITY, store, snapshot_every)
+                .unwrap_or_else(|e| panic!("recovering {dir}: {e}"));
+        // `+ 0.0` only normalizes an empty ledger's -0.0 for display.
+        println!(
+            "recovered {dir}: epoch {}, {} sales / {} declines, revenue {:.2}",
+            state.epoch,
+            state.sales(),
+            state.declines(),
+            state.revenue() + 0.0
+        );
+        set.with_telemetry(telemetry.clone())
+    } else {
+        ShardSet::new(brokers).with_telemetry(telemetry.clone())
+    };
     let mut server = QuoteServer::bind(addr.as_str(), shard_set)
         .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
     println!(
@@ -87,6 +130,9 @@ fn main() {
         server.local_addr()
     );
     server.wait();
+    // Parting snapshot (no-op without a store): the next recovery replays
+    // an empty WAL suffix instead of everything since the last cadence.
+    server.shards().snapshot_now();
     if metrics_dump {
         print!(
             "{}",

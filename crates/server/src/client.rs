@@ -13,7 +13,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use qp_core::ItemSet;
 use qp_pricing::algorithms::PricingPatch;
 
-use crate::protocol::{read_frame, write_frame, QuoteReply, Request, Response, ShardStats};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, QuoteReply, Request, Response, ShardStats,
+};
+use crate::shard::SettleOutcome;
 
 /// One client connection to a [`crate::QuoteServer`].
 pub struct QuoteClient {
@@ -29,13 +32,18 @@ impl QuoteClient {
         Ok(QuoteClient { stream })
     }
 
-    fn call(&mut self, request: &Request) -> io::Result<Response> {
+    /// One request/reply exchange, typed errors included in the result.
+    fn call_raw(&mut self, request: &Request) -> io::Result<Response> {
         write_frame(&mut self.stream, &request.encode())?;
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
-        let response = Response::decode(&payload)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let response = self.call_raw(request)?;
         if let Response::Error { code, message } = &response {
             return Err(io::Error::other(format!(
                 "server error {code:?}: {message}"
@@ -68,6 +76,38 @@ impl QuoteClient {
             tick,
         })? {
             Response::Purchased { sold, price } => Ok((sold, price)),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Settles a quote with eviction surfaced as a typed outcome instead
+    /// of an opaque error: `Expired` means the quote was evicted under
+    /// pending-table pressure and the right response is to **re-quote**,
+    /// while `Unknown` means the id was never issued or already settled.
+    /// Transport failures and other server errors still return `Err`.
+    pub fn try_purchase(
+        &mut self,
+        quote_id: u64,
+        budget: f64,
+        tick: u64,
+    ) -> io::Result<SettleOutcome> {
+        match self.call_raw(&Request::Purchase {
+            quote_id,
+            budget,
+            tick,
+        })? {
+            Response::Purchased { sold, price } => Ok(SettleOutcome::Settled { sold, price }),
+            Response::Error {
+                code: ErrorCode::QuoteExpired,
+                ..
+            } => Ok(SettleOutcome::Expired),
+            Response::Error {
+                code: ErrorCode::UnknownQuote,
+                ..
+            } => Ok(SettleOutcome::Unknown),
+            Response::Error { code, message } => Err(io::Error::other(format!(
+                "server error {code:?}: {message}"
+            ))),
             other => Self::protocol_violation(&other),
         }
     }

@@ -42,6 +42,9 @@ pub mod transport;
 
 pub use client::QuoteClient;
 pub use protocol::{ErrorCode, QuoteReply, Request, Response, ShardStats, WireError};
-pub use server::QuoteServer;
-pub use shard::{ShardQuote, ShardSet, DEFAULT_CACHE_CAPACITY};
-pub use transport::{BundleTable, NetTransport, NetWorker};
+pub use server::{CrashSwitch, QuoteServer};
+pub use shard::{
+    SettleOutcome, ShardQuote, ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
+    MAX_PENDING_QUOTES,
+};
+pub use transport::{BundleTable, Endpoint, NetTransport, NetWorker};

@@ -87,6 +87,13 @@ pub enum ErrorCode {
     /// `PURCHASE` named a quote id the server does not hold (never issued,
     /// or already settled — quotes are one-shot).
     UnknownQuote = 3,
+    /// `PURCHASE` named a quote that was evicted under pending-table
+    /// pressure before it was settled. Distinct from [`UnknownQuote`][u]
+    /// so clients know the quote *was* real and the right response is to
+    /// re-quote, not to treat the id as a bug.
+    ///
+    /// [u]: ErrorCode::UnknownQuote
+    QuoteExpired = 4,
 }
 
 impl ErrorCode {
@@ -95,6 +102,7 @@ impl ErrorCode {
             1 => Ok(ErrorCode::UnknownOpcode),
             2 => Ok(ErrorCode::Malformed),
             3 => Ok(ErrorCode::UnknownQuote),
+            4 => Ok(ErrorCode::QuoteExpired),
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -146,6 +154,9 @@ pub struct ShardStats {
     /// Cache entries invalidated by repricing epoch bumps — the counter
     /// that makes a `REPRICE` storm visible in `STATS`.
     pub invalidations: u64,
+    /// Pending quotes this shard served that were expired under
+    /// pending-table pressure (each is also counted in `declines`).
+    pub evictions: u64,
     /// Purchases that closed.
     pub sales: u64,
     /// Purchases that were declined.
@@ -629,6 +640,7 @@ impl Response {
                     put_u64(&mut out, s.quotes);
                     put_u64(&mut out, s.cache_hits);
                     put_u64(&mut out, s.invalidations);
+                    put_u64(&mut out, s.evictions);
                     put_u64(&mut out, s.sales);
                     put_u64(&mut out, s.declines);
                     put_f64(&mut out, s.revenue);
@@ -673,7 +685,7 @@ impl Response {
                 price: c.f64()?,
             },
             OP_STATS_REPLY => {
-                let n = c.checked_count(56)?;
+                let n = c.checked_count(64)?;
                 let mut shards = Vec::with_capacity(n);
                 for _ in 0..n {
                     shards.push(ShardStats {
@@ -681,6 +693,7 @@ impl Response {
                         quotes: c.u64()?,
                         cache_hits: c.u64()?,
                         invalidations: c.u64()?,
+                        evictions: c.u64()?,
                         sales: c.u64()?,
                         declines: c.u64()?,
                         revenue: c.f64()?,
@@ -772,6 +785,7 @@ mod tests {
                 quotes: 100,
                 cache_hits: 40,
                 invalidations: 12,
+                evictions: 7,
                 sales: 30,
                 declines: 25,
                 revenue: 123.456,
@@ -781,6 +795,7 @@ mod tests {
                 quotes: 0,
                 cache_hits: 0,
                 invalidations: 0,
+                evictions: 0,
                 sales: 0,
                 declines: 0,
                 revenue: 0.0,
@@ -793,6 +808,10 @@ mod tests {
         roundtrip_response(Response::Error {
             code: ErrorCode::UnknownQuote,
             message: "quote 7 unknown".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::QuoteExpired,
+            message: "quote 3 expired under pressure; re-quote".into(),
         });
         roundtrip_response(Response::Metrics(MetricsSnapshot::default()));
         let mut latency = HistogramSnapshot::default();

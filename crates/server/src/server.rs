@@ -21,14 +21,75 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{write_frame, ErrorCode, QuoteReply, Request, Response, MAX_FRAME};
-use crate::shard::ShardSet;
+use crate::shard::{SettleOutcome, ShardSet};
 
 /// How often an idle handler thread re-checks the stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
+/// Crash injection for durability testing: arms a budget of `n` dispatched
+/// requests, after which the server "crashes" — it stops serving instantly
+/// and drops every connection without a reply, exactly as if the process
+/// died between requests.
+///
+/// The check runs at **dispatch entry**, so a request is either never
+/// dispatched (the client sees a dead connection and must retry against
+/// the recovered server) or fully dispatched with its reply written. There
+/// is no settled-but-unacked window, which is what lets the crash harness
+/// demand *bit-identical* revenue against an uninterrupted run: combined
+/// with the store's append-before-ack ordering, every settle is either
+/// durable or observably never happened.
+#[derive(Clone)]
+pub struct CrashSwitch {
+    /// Remaining dispatches before the crash fires.
+    budget: Arc<parking_lot::atomic::AtomicU64>,
+    crashed: Arc<AtomicBool>,
+}
+
+impl CrashSwitch {
+    /// Crash after `n` dispatched requests (the `n+1`-th is refused).
+    pub fn after(n: u64) -> CrashSwitch {
+        CrashSwitch {
+            budget: Arc::new(parking_lot::atomic::AtomicU64::new(n)),
+            crashed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether the crash has fired (the supervisor's cue to recover).
+    pub fn crashed(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in
+        // `should_crash`; the supervisor that observes the crash also sees
+        // every WAL append the server performed before it.
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn should_crash(&self) -> bool {
+        // ordering: Acquire — see `crashed`.
+        if self.crashed.load(Ordering::Acquire) {
+            return true;
+        }
+        // ordering: SeqCst — the budget handoff decides *which* request
+        // crashes; keep the strongest ordering so the count is exact
+        // across handler threads.
+        let exhausted = self
+            .budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_err();
+        if exhausted {
+            // ordering: Release — pairs with the Acquire loads above.
+            self.crashed.store(true, Ordering::Release);
+        }
+        exhausted
+    }
+}
+
 struct ServerState {
     shards: ShardSet,
     stop: AtomicBool,
+    crash: Option<CrashSwitch>,
+    /// Requests past the crash check but before their reply write. A crash
+    /// supervisor must not reopen the data directory until this drains —
+    /// an in-flight dispatch may still be appending to the WAL.
+    in_flight: parking_lot::atomic::AtomicU64,
 }
 
 /// A running quote server: the accept loop runs on its own thread from
@@ -45,11 +106,32 @@ impl QuoteServer {
     /// Bind to port 0 to let the OS pick a free port; the actual address is
     /// available from [`QuoteServer::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, shards: ShardSet) -> io::Result<QuoteServer> {
+        QuoteServer::bind_inner(addr, shards, None)
+    }
+
+    /// [`QuoteServer::bind`] with crash injection armed: once `crash`'s
+    /// dispatch budget is exhausted the server stops serving instantly,
+    /// simulating a process kill (durability test harnesses only).
+    pub fn bind_with_crash_switch(
+        addr: impl ToSocketAddrs,
+        shards: ShardSet,
+        crash: CrashSwitch,
+    ) -> io::Result<QuoteServer> {
+        QuoteServer::bind_inner(addr, shards, Some(crash))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        shards: ShardSet,
+        crash: Option<CrashSwitch>,
+    ) -> io::Result<QuoteServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             shards,
             stop: AtomicBool::new(false),
+            crash,
+            in_flight: parking_lot::atomic::AtomicU64::new(0),
         });
         let accept_state = Arc::clone(&state);
         let accept_handle = std::thread::Builder::new()
@@ -95,6 +177,24 @@ impl QuoteServer {
             let _ = handle.join();
         }
     }
+
+    /// Crash-harness quiesce: stops accepting and blocks until no request
+    /// is between its crash check and its reply write. After this returns,
+    /// the old server will never append to the store again, so a
+    /// supervisor may safely reopen the data directory and recover.
+    pub fn quiesce(&mut self) {
+        self.shutdown();
+        // ordering: SeqCst — the handler's increment precedes its budget
+        // RMW (program order), budget RMWs are totally ordered, and the
+        // crashing RMW precedes the Release store that made `crashed()`
+        // true for the supervisor; so after observing the crash, every
+        // dispatching handler's increment is visible here, and seeing the
+        // matching decrement means its dispatch (and WAL append) completed.
+        while self.state.in_flight.load(Ordering::SeqCst) != 0 {
+            // timing: quiesce poll only; never affects a settled outcome.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 }
 
 impl Drop for QuoteServer {
@@ -133,6 +233,25 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
             Ok(Some(payload)) => payload,
             Ok(None) | Err(_) => return, // peer EOF, stop flag, or broken pipe
         };
+        // Crash injection point: the "process" dies between requests —
+        // this frame is never dispatched and never answered. In-flight
+        // requests on other threads complete and write their replies.
+        // The in-flight count brackets the check itself (see `quiesce`):
+        // incrementing *before* the check is what makes "crashed and
+        // in_flight == 0" mean no dispatch can ever touch the WAL again.
+        // ordering: SeqCst — see `QuoteServer::quiesce`.
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        if let Some(crash) = &state.crash {
+            if crash.should_crash() {
+                // ordering: Release — as in shutdown(): the WAL appends of
+                // every dispatched request happen-before the flag.
+                state.stop.store(true, Ordering::Release);
+                // ordering: SeqCst — see `QuoteServer::quiesce`.
+                state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                let _ = stream.local_addr().map(TcpStream::connect);
+                return;
+            }
+        }
         // Root span over the whole serve path (decode → dispatch → write);
         // idle time waiting for the frame is deliberately excluded.
         let req_guard = request_span.enter();
@@ -146,6 +265,10 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
         };
         let write_failed = write_frame(&mut stream, &response.encode()).is_err();
         drop(req_guard);
+        // ordering: SeqCst — see `QuoteServer::quiesce`; the decrement
+        // comes after the reply write, so quiesce implies every dispatched
+        // request was also acked.
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
         if write_failed {
             return;
         }
@@ -182,8 +305,17 @@ fn dispatch(state: &ServerState, request: Request) -> (Response, bool) {
             budget,
             tick,
         } => match state.shards.settle(quote_id, budget, tick) {
-            Some((sold, price)) => (Response::Purchased { sold, price }, false),
-            None => (
+            SettleOutcome::Settled { sold, price } => (Response::Purchased { sold, price }, false),
+            SettleOutcome::Expired => (
+                Response::Error {
+                    code: ErrorCode::QuoteExpired,
+                    message: format!(
+                        "quote {quote_id} expired under pending-table pressure; re-quote"
+                    ),
+                },
+                false,
+            ),
+            SettleOutcome::Unknown => (
                 Response::Error {
                     code: ErrorCode::UnknownQuote,
                     message: format!("quote {quote_id} was never issued or is already settled"),

@@ -24,6 +24,21 @@
 //! quoted price under a fresh id, and [`ShardSet::settle`] consumes the id
 //! and settles at that price — honored even if the epoch has moved on,
 //! matching `Broker::settle`'s guarantee (and its budget tolerance).
+//!
+//! # Durability
+//!
+//! With a store attached ([`ShardSet::with_store`]), every settle — sales,
+//! declines, and pressure evictions alike — appends a WAL record *before*
+//! the call returns (append-before-ack), and every repricing broadcast
+//! appends its patch; on a cadence of broadcasts the full state is written
+//! as an epoch-stamped snapshot. All WAL appends and ledger mutations
+//! happen under one durability lock, so a snapshot captured under that
+//! lock is exactly consistent with its `wal_seq` — the invariant
+//! [`ShardSet::restore`] relies on to rebuild revenue **bit-identically**
+//! (per-shard sale order is preserved, so order-sensitive float summation
+//! reproduces). Lock order: `pending` → `durability` → shard `ledger`;
+//! the brokers handed to a stored shard set must not carry stores of
+//! their own, or repricing broadcasts would be logged twice.
 
 use parking_lot::atomic::{AtomicU64, Ordering};
 use std::collections::hash_map::Entry;
@@ -33,8 +48,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use qp_core::ItemSet;
-use qp_market::{Broker, RevenueLedger};
+use qp_market::{ledger_from_snapshot, ledger_to_snapshot, Broker, RevenueLedger};
 use qp_pricing::algorithms::PricingPatch;
+use qp_store::{ReplayedState, SharedStore, Snapshot, StoreError, WalRecord};
 use qp_telemetry::{Counter, SpanHandle, TelemetrySink};
 
 use crate::protocol::ShardStats;
@@ -53,8 +69,17 @@ const BUDGET_EPSILON: f64 = 1e-9;
 /// is expired to make room — a peer that quotes without ever purchasing
 /// (a crashed client, or a hostile one) cannot grow server memory without
 /// bound, the same posture `protocol::MAX_FRAME` takes against oversized
-/// frames. Settling an expired id reports `UnknownQuote`.
+/// frames. An eviction is **accounted**, not silently dropped: the serving
+/// shard records it as a declined quote (and logs it when a store is
+/// attached), and settling the expired id reports
+/// [`SettleOutcome::Expired`] so clients know to re-quote.
 pub const MAX_PENDING_QUOTES: usize = 1 << 16;
+
+/// Default snapshot cadence: a full state snapshot is written every this
+/// many non-`Keep` repricing broadcasts. Repricings are the natural beat —
+/// they bound how many `Reprice` records a recovery replays, and settle
+/// records between snapshots replay cheaply.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 8;
 
 struct CacheEntry {
     epoch: u64,
@@ -70,6 +95,10 @@ struct Shard {
     /// (each broadcast counts the entries it stranded). A `REPRICE` storm
     /// is visible here long before hit rates decay.
     invalidations: AtomicU64,
+    /// Pending quotes this shard served that were expired under table
+    /// pressure before the client settled them (each is also recorded as a
+    /// decline in the ledger).
+    evictions: AtomicU64,
     /// Server-side sales record. Separate from the broker's own ledger:
     /// wire purchases settle bundles, not queries, so nothing is evaluated
     /// on the database here.
@@ -97,17 +126,79 @@ struct PendingQuote {
     bundle_len: usize,
 }
 
+/// What [`ShardSet::settle`] found for a quote id. `Expired` and `Unknown`
+/// are deliberately distinct: an expired quote was real and was evicted
+/// under pending-table pressure (the client should re-quote), while an
+/// unknown id was never issued or has already been settled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SettleOutcome {
+    /// The quote was pending and settled at its quoted price.
+    Settled {
+        /// Whether the budget covered the price (sale vs. decline).
+        sold: bool,
+        /// The honored quote price.
+        price: f64,
+    },
+    /// The quote was evicted under pending-table pressure before the
+    /// client settled it; it was already recorded as a decline.
+    Expired,
+    /// The id was never issued, or the quote was already settled.
+    Unknown,
+}
+
+/// The store hookup plus the snapshot cadence state. One mutex serializes
+/// every WAL append *and* every ledger mutation (see the module docs), so
+/// a snapshot taken while holding it captures ledgers exactly consistent
+/// with the store's `wal_seq`.
+struct Durability {
+    store: Option<SharedStore>,
+    /// Snapshot every this many non-`Keep` repricing broadcasts.
+    snapshot_every: u64,
+    reprices_since_snapshot: u64,
+}
+
+impl Durability {
+    fn detached() -> Durability {
+        Durability {
+            store: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            reprices_since_snapshot: 0,
+        }
+    }
+
+    /// Appends a record, or panics: once a settle has mutated in-memory
+    /// state we must not ack it to the client unlogged, and the append
+    /// happens *before* the mutation precisely so a failure aborts the
+    /// whole operation.
+    fn log(&self, record: &WalRecord) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.append(record) {
+                panic!("WAL append failed, refusing to ack an unlogged settle: {e}");
+            }
+        }
+    }
+}
+
 /// `k` broker replicas, a router, per-shard epoch-validated caches, and
 /// the outstanding-quote table. The transport-independent core of the
 /// server: the TCP layer only decodes frames into these calls.
 pub struct ShardSet {
     shards: Vec<Shard>,
     cache_capacity: usize,
+    pending_cap: usize,
     next_quote_id: AtomicU64,
+    /// Highest quote id ever evicted under pending-table pressure (0 =
+    /// none). Evictions pop the *smallest* pending id and ids are issued
+    /// in increasing order, so "id ≤ watermark" exactly identifies quotes
+    /// that either expired or settled before the watermark passed them —
+    /// enough to tell [`SettleOutcome::Expired`] from `Unknown`.
+    evicted_watermark: AtomicU64,
     /// Outstanding quotes by id. A `BTreeMap` because ids are issued in
     /// increasing order, which makes "expire the oldest" when
     /// [`MAX_PENDING_QUOTES`] is reached an O(log n) `pop_first`.
     pending: Mutex<BTreeMap<u64, PendingQuote>>,
+    /// WAL/snapshot hookup; also the lock every ledger mutation runs under.
+    durability: Mutex<Durability>,
     /// Pre-registered observability handles (inert on a disabled sink).
     telemetry: ShardSetTelemetry,
 }
@@ -134,6 +225,8 @@ struct ShardSetTelemetry {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_invalidations: Counter,
+    /// `quote.evicted` — pending quotes expired under table pressure.
+    evicted: Counter,
 }
 
 impl ShardSetTelemetry {
@@ -147,6 +240,7 @@ impl ShardSetTelemetry {
             cache_hits: sink.counter("cache.hit"),
             cache_misses: sink.counter("cache.miss"),
             cache_invalidations: sink.counter("cache.invalidated"),
+            evicted: sink.counter("quote.evicted"),
             sink,
         }
     }
@@ -177,14 +271,103 @@ impl ShardSet {
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     invalidations: AtomicU64::new(0),
+                    evictions: AtomicU64::new(0),
                     ledger: Mutex::new(RevenueLedger::default()),
                 })
                 .collect(),
             cache_capacity,
+            pending_cap: MAX_PENDING_QUOTES,
             next_quote_id: AtomicU64::new(0),
+            evicted_watermark: AtomicU64::new(0),
             pending: Mutex::new(BTreeMap::new()),
+            durability: Mutex::new(Durability::detached()),
             telemetry: ShardSetTelemetry::default(),
         }
+    }
+
+    /// Overrides the pending-quote cap (default [`MAX_PENDING_QUOTES`]).
+    /// Tests use small caps to exercise eviction pressure without issuing
+    /// 2^16 quotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cap of 0 — the table must hold at least the quote
+    /// being registered.
+    pub fn with_pending_cap(mut self, cap: usize) -> ShardSet {
+        assert!(cap > 0, "pending-quote cap must be at least 1");
+        self.pending_cap = cap;
+        self
+    }
+
+    /// Attaches a durable store: every settle and eviction appends a WAL
+    /// record before returning, every non-`Keep` repricing broadcast
+    /// appends its patch, and a full snapshot is written every
+    /// `snapshot_every` non-`Keep` broadcasts (see the module docs).
+    ///
+    /// The brokers must not carry stores of their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot_every` is 0.
+    pub fn with_store(mut self, store: SharedStore, snapshot_every: u64) -> ShardSet {
+        assert!(snapshot_every > 0, "snapshot cadence must be at least 1");
+        self.durability = Mutex::new(Durability {
+            store: Some(store),
+            snapshot_every,
+            reprices_since_snapshot: 0,
+        });
+        self
+    }
+
+    /// Rebuilds a shard set from a store after a crash: loads the newest
+    /// valid snapshot, replays the WAL suffix, and installs the recovered
+    /// pricing, epoch, per-shard ledgers, quote-id counter, and eviction
+    /// watermark. The store stays attached, so the recovered set resumes
+    /// logging where the crashed one stopped.
+    ///
+    /// `brokers` must be **freshly rebuilt the same deterministic way** as
+    /// the crashed set's (same database, support, algorithm, anticipated
+    /// workload, shard count): the first broker's pricing/epoch seed the
+    /// replay for the no-snapshot, no-`Replace`-record case. Returns the
+    /// replayed state alongside the set so callers can use it as the
+    /// recovery oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recovered state's shard count differs from
+    /// `brokers.len()` — revenue recorded by a shard that no longer
+    /// exists cannot be restored, so a changed topology must be rejected
+    /// loudly rather than silently dropping ledgers.
+    pub fn restore(
+        brokers: Vec<Arc<Broker>>,
+        cache_capacity: usize,
+        store: SharedStore,
+        snapshot_every: u64,
+    ) -> Result<(ShardSet, ReplayedState), StoreError> {
+        assert!(!brokers.is_empty(), "a shard set needs at least one broker");
+        let recovery = store.recover()?;
+        let (seed_pricing, seed_epoch) = brokers[0].pricing_snapshot();
+        let state = recovery.replay(seed_pricing, seed_epoch, brokers.len());
+        assert_eq!(
+            state.shards.len(),
+            brokers.len(),
+            "recovered state has a different shard count than the rebuilt set"
+        );
+        for broker in &brokers {
+            broker.restore_pricing(state.pricing.clone(), state.epoch);
+        }
+        let set = ShardSet::with_cache_capacity(brokers, cache_capacity)
+            .with_store(store, snapshot_every);
+        for (shard, ledger_snap) in set.shards.iter().zip(&state.shards) {
+            *shard.ledger.lock() = ledger_from_snapshot(ledger_snap);
+        }
+        // The counter holds the count of ids issued so far; replayed
+        // `next_quote_id` is the next id to hand out, i.e. counter + 1.
+        set.next_quote_id
+            .store(state.next_quote_id.saturating_sub(1), Ordering::SeqCst);
+        set.evicted_watermark
+            .store(state.evicted_watermark, Ordering::SeqCst);
+        Ok((set, state))
     }
 
     /// Attaches a telemetry sink: the quote path records per-stage spans
@@ -285,8 +468,32 @@ impl ShardSet {
         let quote_id = self.next_quote_id.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut pending = self.pending.lock();
-            while pending.len() >= MAX_PENDING_QUOTES {
-                pending.pop_first(); // expire the oldest unsettled quote
+            while pending.len() >= self.pending_cap {
+                let Some((evicted_id, evicted)) = pending.pop_first() else {
+                    break;
+                };
+                // Expiring the oldest unsettled quote is a business event,
+                // not a silent drop: the quoted price is forgone revenue,
+                // so it lands in the serving shard's ledger as a decline
+                // (and in the WAL, so recovery reproduces it). Evictions
+                // pop the smallest id, so the watermark stays the exact
+                // boundary below which `settle` reports `Expired`.
+                self.evicted_watermark
+                    .fetch_max(evicted_id, Ordering::SeqCst);
+                let shard = &self.shards[evicted.shard];
+                // ordering: Relaxed — statistics counter.
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.evicted.inc();
+                let dur = self.durability.lock();
+                let mut ledger = shard.ledger.lock();
+                dur.log(&WalRecord::Decline {
+                    quote_id: evicted_id,
+                    shard: evicted.shard as u32,
+                    price: evicted.price,
+                    tick: 0,
+                    evicted: true,
+                });
+                ledger.record_decline(evicted.price);
             }
             pending.insert(
                 quote_id,
@@ -308,20 +515,57 @@ impl ShardSet {
 
     /// Settles a pending quote at its quoted price: sold if the budget
     /// covers it, declined otherwise, recorded in the serving shard's
-    /// ledger at `tick`. Returns `None` for an id the set does not hold
-    /// (never issued, or already settled — ids are one-shot).
-    pub fn settle(&self, quote_id: u64, budget: f64, tick: u64) -> Option<(bool, f64)> {
+    /// ledger at `tick`. An id the set does not hold is classified as
+    /// [`SettleOutcome::Expired`] (evicted under table pressure — the
+    /// client should re-quote) or [`SettleOutcome::Unknown`] (never
+    /// issued, or already settled — ids are one-shot).
+    pub fn settle(&self, quote_id: u64, budget: f64, tick: u64) -> SettleOutcome {
         let _span = self.telemetry.settle.enter();
-        let pending = self.pending.lock().remove(&quote_id)?;
+        let pending = match self.pending.lock().remove(&quote_id) {
+            Some(p) => p,
+            None => {
+                let watermark = self.evicted_watermark.load(Ordering::SeqCst);
+                // Below the watermark the quote existed and was evicted
+                // (or settled before the watermark reached it — either
+                // way "re-quote" is the right client response). Above it,
+                // the id was never issued or was settled normally.
+                return if quote_id != 0 && quote_id <= watermark {
+                    SettleOutcome::Expired
+                } else {
+                    SettleOutcome::Unknown
+                };
+            }
+        };
         let shard = &self.shards[pending.shard];
         let sold = pending.price <= budget + BUDGET_EPSILON;
+        // WAL append strictly before the ledger write and the return: if
+        // the append panics, no in-memory state has changed and nothing
+        // unlogged is ever acked.
+        let dur = self.durability.lock();
         let mut ledger = shard.ledger.lock();
         if sold {
+            dur.log(&WalRecord::Sale {
+                quote_id,
+                shard: pending.shard as u32,
+                bundle_len: pending.bundle_len as u32,
+                price: pending.price,
+                tick,
+            });
             ledger.record_at(pending.bundle_len, pending.price, tick);
         } else {
+            dur.log(&WalRecord::Decline {
+                quote_id,
+                shard: pending.shard as u32,
+                price: pending.price,
+                tick,
+                evicted: false,
+            });
             ledger.record_decline(pending.price);
         }
-        Some((sold, pending.price))
+        SettleOutcome::Settled {
+            sold,
+            price: pending.price,
+        }
     }
 
     /// Broadcasts a pricing patch to every shard and returns the post-patch
@@ -332,7 +576,19 @@ impl ShardSet {
     /// epoch.
     pub fn apply_patch(&self, patch: &PricingPatch) -> Vec<u64> {
         let _span = self.telemetry.broadcast.enter();
-        self.shards
+        // The durability lock is held across the whole broadcast: the WAL
+        // patch record, the per-shard installs, and (on cadence) the
+        // snapshot form one atomic unit relative to settles, so recovery
+        // never sees a half-broadcast pricing.
+        let mut dur = self.durability.lock();
+        let is_keep = matches!(patch, PricingPatch::Keep);
+        if !is_keep {
+            dur.log(&WalRecord::Reprice {
+                patch: patch.clone(),
+            });
+        }
+        let epochs: Vec<u64> = self
+            .shards
             .iter()
             .map(|s| {
                 let before = s.broker.pricing_epoch();
@@ -355,7 +611,50 @@ impl ShardSet {
                 }
                 after
             })
-            .collect()
+            .collect();
+        if !is_keep && dur.store.is_some() {
+            dur.reprices_since_snapshot += 1;
+            if dur.reprices_since_snapshot >= dur.snapshot_every {
+                dur.reprices_since_snapshot = 0;
+                self.write_snapshot_locked(&dur);
+            }
+        }
+        epochs
+    }
+
+    /// Writes a full-state snapshot. The caller holds the durability lock,
+    /// which keeps settles out: the ledgers cloned here are exactly the
+    /// state produced by WAL records `1..=wal_seq`.
+    fn write_snapshot_locked(&self, dur: &Durability) {
+        let Some(store) = &dur.store else { return };
+        let (pricing, epoch) = self.shards[0].broker.pricing_snapshot();
+        let snapshot = Snapshot {
+            epoch,
+            wal_seq: store.wal_seq(),
+            // The counter holds the count of ids issued; the next id to
+            // hand out is one past it. Ids issued after the snapshot's
+            // wal_seq only ever push this forward during replay.
+            next_quote_id: self.next_quote_id.load(Ordering::SeqCst) + 1,
+            pricing,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ledger_to_snapshot(&s.ledger.lock()))
+                .collect(),
+        };
+        if let Err(e) = store.write_snapshot(&snapshot) {
+            // Snapshot failure is not data loss (the WAL still has every
+            // record), but limping on silently would hide a dying disk.
+            panic!("snapshot write failed: {e}");
+        }
+    }
+
+    /// Forces a snapshot now, regardless of the repricing cadence (shutdown
+    /// paths and tests). A no-op without a store.
+    pub fn snapshot_now(&self) {
+        let mut dur = self.durability.lock();
+        dur.reprices_since_snapshot = 0;
+        self.write_snapshot_locked(&dur);
     }
 
     /// Per-shard serving statistics, in shard order.
@@ -374,11 +673,14 @@ impl ShardSet {
                 let misses = s.misses.load(Ordering::Relaxed);
                 // ordering: Relaxed — as above.
                 let invalidations = s.invalidations.load(Ordering::Relaxed);
+                // ordering: Relaxed — as above.
+                let evictions = s.evictions.load(Ordering::Relaxed);
                 ShardStats {
                     epoch: s.broker.pricing_epoch(),
                     quotes: hits + misses,
                     cache_hits: hits,
                     invalidations,
+                    evictions,
                     sales: ledger.len() as u64,
                     declines: ledger.declined_count() as u64,
                     revenue: ledger.total(),
@@ -469,18 +771,31 @@ mod tests {
 
         // Reprice between quote and purchase: the quote is honored.
         set.apply_patch(&PricingPatch::SetUniformPrice(99.0));
-        let (sold, price) = set.settle(q.quote_id, 10.0, 5).expect("pending");
-        assert!(sold, "budget exactly covers the quoted price");
-        assert_eq!(price, 10.0);
+        assert_eq!(
+            set.settle(q.quote_id, 10.0, 5),
+            SettleOutcome::Settled {
+                sold: true,
+                price: 10.0
+            },
+            "budget exactly covers the quoted price"
+        );
         assert_eq!(set.pending_quotes(), 0);
-        // The id is consumed.
-        assert_eq!(set.settle(q.quote_id, 100.0, 5), None);
+        // The id is consumed — and nothing was evicted, so it reports
+        // Unknown rather than Expired.
+        assert_eq!(set.settle(q.quote_id, 100.0, 5), SettleOutcome::Unknown);
+        // Never-issued ids (including 0) are Unknown too.
+        assert_eq!(set.settle(0, 100.0, 5), SettleOutcome::Unknown);
+        assert_eq!(set.settle(u64::MAX, 100.0, 5), SettleOutcome::Unknown);
 
         // A decline records forgone revenue, not a sale.
         let q2 = set.quote(&bundle);
-        let (sold2, price2) = set.settle(q2.quote_id, 1.0, 6).expect("pending");
-        assert!(!sold2);
-        assert_eq!(price2, 99.0);
+        assert_eq!(
+            set.settle(q2.quote_id, 1.0, 6),
+            SettleOutcome::Settled {
+                sold: false,
+                price: 99.0
+            }
+        );
 
         let stats = set.stats();
         assert_eq!(stats.len(), 1);
@@ -517,24 +832,161 @@ mod tests {
 
     #[test]
     fn pending_quotes_are_bounded_by_expiring_the_oldest() {
-        let set = shard_set(1);
+        let set = shard_set(1)
+            .with_pending_cap(8)
+            .with_telemetry(qp_telemetry::TelemetrySink::enabled());
         let bundle: ItemSet = [0usize, 2].as_slice().into();
         let first = set.quote(&bundle);
         // Fill the table past the cap: the earliest quote is expired.
         let mut last = first;
-        for _ in 0..MAX_PENDING_QUOTES {
+        for _ in 0..8 {
             last = set.quote(&bundle);
         }
-        assert_eq!(set.pending_quotes(), MAX_PENDING_QUOTES);
+        assert_eq!(set.pending_quotes(), 8);
         assert_eq!(
             set.settle(first.quote_id, 1e9, 0),
-            None,
-            "the oldest quote must have been expired"
+            SettleOutcome::Expired,
+            "the oldest quote must have been expired, distinguishably"
         );
         assert!(
-            set.settle(last.quote_id, 1e9, 0).is_some(),
+            matches!(
+                set.settle(last.quote_id, 1e9, 0),
+                SettleOutcome::Settled { sold: true, .. }
+            ),
             "recent quotes survive"
         );
+
+        // The eviction was accounted, not dropped: one decline at the
+        // evicted quote's price, one eviction in stats and telemetry.
+        let stats = set.stats();
+        assert_eq!(stats[0].evictions, 1);
+        assert_eq!(stats[0].declines, 1);
+        assert_eq!(
+            set.telemetry_sink().snapshot().counter("quote.evicted"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn eviction_pressure_matches_a_no_eviction_oracle() {
+        // Same quote/settle sequence against a pressured set (cap 4) and
+        // an unpressured oracle (default cap). Quotes the pressured set
+        // evicts must surface as declines at the quoted price, so
+        // sales + declines and total quoted value reconcile exactly.
+        let pressured = shard_set(2).with_pending_cap(4);
+        let oracle = shard_set(2);
+        let n = 64usize;
+        let mut quotes = Vec::new();
+        for i in 0..n {
+            let bundle: ItemSet = [i % 8, (i / 8) % 8].as_slice().into();
+            let p = pressured.quote(&bundle);
+            let o = oracle.quote(&bundle);
+            assert_eq!(p.price.to_bits(), o.price.to_bits());
+            assert_eq!(p.quote_id, o.quote_id);
+            quotes.push((p.quote_id, p.price));
+        }
+        // Settle everything; evicted ids report Expired on the pressured
+        // set and settle normally on the oracle.
+        let mut expired = 0usize;
+        let mut forgone_expected = 0.0f64;
+        for &(id, price) in &quotes {
+            match pressured.settle(id, 1e9, 1) {
+                SettleOutcome::Settled { sold, .. } => assert!(sold),
+                SettleOutcome::Expired => {
+                    expired += 1;
+                    forgone_expected += price;
+                }
+                SettleOutcome::Unknown => panic!("issued id must not be Unknown"),
+            }
+            assert!(matches!(
+                oracle.settle(id, 1e9, 1),
+                SettleOutcome::Settled { sold: true, .. }
+            ));
+        }
+        assert_eq!(expired, n - 4, "all but the last cap-full were evicted");
+
+        let p_stats = pressured.stats();
+        let o_stats = oracle.stats();
+        let (mut p_sales, mut p_declines, mut p_evictions) = (0u64, 0u64, 0u64);
+        let (mut p_total, mut o_total) = (0.0f64, 0.0f64);
+        for (p, o) in p_stats.iter().zip(&o_stats) {
+            p_sales += p.sales;
+            p_declines += p.declines;
+            p_evictions += p.evictions;
+            p_total += p.revenue;
+            o_total += o.revenue;
+            // Forgone revenue is per-shard attributable: every decline on
+            // a shard came from one of its own evicted quotes.
+            assert_eq!(p.declines, p.evictions);
+        }
+        assert_eq!(p_sales, 4);
+        assert_eq!(p_declines as usize, expired);
+        assert_eq!(p_evictions as usize, expired);
+        assert_eq!(
+            o_stats.iter().map(|s| s.sales).sum::<u64>(),
+            n as u64,
+            "the oracle sold everything"
+        );
+        // Ledger reconciliation: every quote the oracle sold shows up on
+        // the pressured side as either realized revenue or an evicted
+        // decline at the same quoted price — nothing vanished.
+        // float-eq: partitioned sums differ only by association order.
+        assert!((o_total - (p_total + forgone_expected)).abs() < 1e-9 * o_total.abs().max(1.0));
+    }
+
+    #[test]
+    fn stored_set_recovers_bit_identically_after_a_crash() {
+        use qp_store::MemStore;
+        let store = Arc::new(MemStore::new());
+        let live =
+            ShardSet::new((0..2).map(|_| tiny_broker()).collect()).with_store(store.clone(), 2);
+        // Interleave sales, declines, evictions, and repricings.
+        live.apply_patch(&PricingPatch::SetUniformPrice(10.0));
+        let mut ids = Vec::new();
+        for i in 0..12usize {
+            let bundle: ItemSet = [i % 5, i % 3 + 5].as_slice().into();
+            ids.push(live.quote(&bundle).quote_id);
+            if i == 5 {
+                live.apply_patch(&PricingPatch::SetUniformPrice(12.5));
+            }
+            if i == 9 {
+                live.apply_patch(&PricingPatch::Keep); // must not log
+            }
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let budget = if i % 4 == 3 { 0.0 } else { 1e9 };
+            assert!(matches!(
+                live.settle(id, budget, i as u64),
+                SettleOutcome::Settled { .. }
+            ));
+        }
+        let live_stats = live.stats();
+        drop(live); // the crash
+
+        let (recovered, state) = ShardSet::restore(
+            (0..2).map(|_| tiny_broker()).collect(),
+            DEFAULT_CACHE_CAPACITY,
+            store,
+            2,
+        )
+        .expect("recovery succeeds");
+        let rec_stats = recovered.stats();
+        assert_eq!(rec_stats.len(), live_stats.len());
+        for (r, l) in rec_stats.iter().zip(&live_stats) {
+            assert_eq!(r.epoch, l.epoch);
+            assert_eq!(r.sales, l.sales);
+            assert_eq!(r.declines, l.declines);
+            assert_eq!(r.revenue.to_bits(), l.revenue.to_bits(), "bit-identical");
+        }
+        let rec_total: f64 = rec_stats.iter().map(|s| s.revenue).sum();
+        let live_total: f64 = live_stats.iter().map(|s| s.revenue).sum();
+        assert_eq!(rec_total.to_bits(), live_total.to_bits());
+        assert_eq!(state.revenue().to_bits(), live_total.to_bits());
+
+        // Fresh quote ids continue past the crashed run's — no id reuse.
+        let bundle: ItemSet = [1usize].as_slice().into();
+        let q = recovered.quote(&bundle);
+        assert!(q.quote_id > *ids.last().unwrap());
     }
 
     #[test]

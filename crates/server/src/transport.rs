@@ -16,13 +16,20 @@
 //! against an identically built broker — the determinism self-check the
 //! `loadgen` binary performs on every invocation.
 //!
-//! Workers panic on I/O errors: this transport exists for load generation
-//! and self-checks, where a lost connection invalidates the run.
+//! By default workers panic on I/O errors: this transport exists for load
+//! generation and self-checks, where a lost connection invalidates the
+//! run. The crash-recovery harness instead connects through a shared
+//! [`Endpoint`] (see [`NetTransport::connect_endpoint`]): when the server
+//! is killed and recovered on a new port, the supervisor updates the
+//! endpoint and workers **reconnect and re-quote** — a retried buyer
+//! settles exactly once, at the same price the recovered pricing assigns,
+//! which is what lets the harness demand bit-identical revenue.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use parking_lot::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use qp_core::ItemSet;
@@ -33,6 +40,49 @@ use qp_sim::driver::{SettleTransport, SettleWorker, SettledQuote};
 use qp_sim::{Buyer, Population};
 
 use crate::client::QuoteClient;
+use crate::shard::SettleOutcome;
+
+/// How long a resilient worker keeps retrying a dead server before
+/// declaring the run lost. Recovery (rebuild brokers + WAL replay) takes
+/// well under this; only a wedged supervisor hits it.
+const RECONNECT_DEADLINE: Duration = Duration::from_secs(30);
+const RECONNECT_PAUSE: Duration = Duration::from_millis(20);
+
+/// A movable server address: the supervisor of a crash-recovery run
+/// republishes the recovered server's (new) address here, and every
+/// client-side component reconnects to the current generation.
+pub struct Endpoint {
+    addr: Mutex<SocketAddr>,
+    generation: AtomicU64,
+}
+
+impl Endpoint {
+    /// An endpoint at its first address (generation 0).
+    pub fn new(addr: SocketAddr) -> Arc<Endpoint> {
+        Arc::new(Endpoint {
+            addr: Mutex::new(addr),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// Publishes the recovered server's address and bumps the generation,
+    /// which tells workers their pooled connections are stale.
+    pub fn update(&self, addr: SocketAddr) {
+        let mut slot = self.addr.lock();
+        *slot = addr;
+        // ordering: Release — the address write above must be visible to
+        // any thread that Acquire-loads this generation (current() takes
+        // the lock anyway; the ordering documents the handoff).
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current address and its generation.
+    pub fn current(&self) -> (SocketAddr, u64) {
+        let addr = *self.addr.lock();
+        // ordering: Acquire — pairs with the Release bump in update().
+        (addr, self.generation.load(Ordering::Acquire))
+    }
+}
 
 /// Conflict-set bundles for every query a schedule can sample, indexed
 /// `[phase][segment][query]` — the shape of [`Buyer`]'s indices.
@@ -89,23 +139,52 @@ impl BundleTable {
 /// quoting rather than TCP handshakes. A worker that panics mid-request
 /// drops its connection instead (the stream may carry a half-read reply).
 pub struct NetTransport {
-    addr: SocketAddr,
+    endpoint: Arc<Endpoint>,
+    /// Whether workers survive a server kill by reconnecting through the
+    /// endpoint and re-quoting (crash-recovery harness) instead of
+    /// panicking (plain load generation).
+    resilient: bool,
     bundles: Arc<BundleTable>,
     admin: Mutex<QuoteClient>,
-    /// Checked-in idle connections, reused across ticks.
-    idle: Arc<Mutex<Vec<QuoteClient>>>,
+    /// Checked-in idle connections tagged with the endpoint generation
+    /// they were made at, reused across ticks while that generation lives.
+    idle: Arc<Mutex<Vec<(u64, QuoteClient)>>>,
     /// Round-trip latency samples (µs), one per settled quote (QUOTE +
     /// PURCHASE), flushed in by workers as they drop.
     latencies_us: Arc<Mutex<Vec<u64>>>,
 }
 
 impl NetTransport {
-    /// Connects the admin channel to a running server.
+    /// Connects the admin channel to a running server. Workers panic on
+    /// I/O errors — a lost connection invalidates a plain loadgen run.
     pub fn connect(addr: SocketAddr, bundles: BundleTable) -> std::io::Result<NetTransport> {
+        NetTransport::connect_inner(Endpoint::new(addr), bundles, false)
+    }
+
+    /// Connects through a shared movable [`Endpoint`]: when the server is
+    /// killed and recovered elsewhere, the supervisor calls
+    /// [`Endpoint::update`] and workers reconnect and **re-quote** their
+    /// in-flight buyer instead of panicking. Exactly-once settlement is
+    /// preserved because the server's crash point is between requests (see
+    /// [`crate::CrashSwitch`]) — a lost request observably never happened.
+    pub fn connect_endpoint(
+        endpoint: Arc<Endpoint>,
+        bundles: BundleTable,
+    ) -> std::io::Result<NetTransport> {
+        NetTransport::connect_inner(endpoint, bundles, true)
+    }
+
+    fn connect_inner(
+        endpoint: Arc<Endpoint>,
+        bundles: BundleTable,
+        resilient: bool,
+    ) -> std::io::Result<NetTransport> {
+        let admin = QuoteClient::connect(endpoint.current().0)?;
         Ok(NetTransport {
-            addr,
+            endpoint,
+            resilient,
             bundles: Arc::new(bundles),
-            admin: Mutex::new(QuoteClient::connect(addr)?),
+            admin: Mutex::new(admin),
             idle: Arc::new(Mutex::new(Vec::new())),
             latencies_us: Arc::new(Mutex::new(Vec::new())),
         })
@@ -128,19 +207,24 @@ impl SettleTransport for NetTransport {
     type Worker = NetWorker;
 
     fn worker(&self) -> NetWorker {
-        let client = self
-            .idle
-            .lock()
-            .pop()
-            .map(Ok)
-            .unwrap_or_else(|| QuoteClient::connect(self.addr))
-            .expect("loadgen worker connect");
-        NetWorker {
-            client: Some(client),
-            pool: Arc::clone(&self.idle),
-            bundles: Arc::clone(&self.bundles),
-            samples: Vec::new(),
-            sink: Arc::clone(&self.latencies_us),
+        let (addr, generation) = self.endpoint.current();
+        // Reuse a pooled connection only if it belongs to the live server
+        // generation; stale ones point at a crashed listener.
+        {
+            let mut idle = self.idle.lock();
+            while let Some((gen, client)) = idle.pop() {
+                if gen == generation {
+                    return self.make_worker(Some(client), generation);
+                }
+                drop(client);
+            }
+        }
+        match QuoteClient::connect(addr) {
+            Ok(client) => self.make_worker(Some(client), generation),
+            // Mid-crash: hand out a disconnected worker; its first
+            // quote_and_settle reconnects once the endpoint moves.
+            Err(_) if self.resilient => self.make_worker(None, generation),
+            Err(e) => panic!("loadgen worker connect: {e}"),
         }
     }
 
@@ -151,10 +235,34 @@ impl SettleTransport for NetTransport {
     fn apply_patch(&self, patch: &PricingPatch) {
         // The reply is awaited, so the patch is live on every shard before
         // the engine issues the next tick's quotes.
-        self.admin
-            .lock()
-            .reprice(patch)
-            .expect("loadgen repricing frame");
+        let mut admin = self.admin.lock();
+        if admin.reprice(patch).is_ok() {
+            return;
+        }
+        if !self.resilient {
+            panic!("loadgen repricing frame failed");
+        }
+        // The server died under the patch. The crash point is between
+        // requests, so the patch was either fully applied (reply lost is
+        // impossible — in-flight requests complete) or never dispatched;
+        // resending to the recovered server is therefore safe, and the
+        // recovered pricing already reflects every patch that was acked.
+        // timing: reconnect deadline only — bounds a wedged supervisor.
+        let deadline = Instant::now() + RECONNECT_DEADLINE;
+        loop {
+            let (addr, _) = self.endpoint.current();
+            if let Ok(mut fresh) = QuoteClient::connect(addr) {
+                if fresh.reprice(patch).is_ok() {
+                    *admin = fresh;
+                    return;
+                }
+            }
+            // timing: see above.
+            if Instant::now() >= deadline {
+                panic!("loadgen repricing frame: server unreachable after {RECONNECT_DEADLINE:?}");
+            }
+            std::thread::sleep(RECONNECT_PAUSE);
+        }
     }
 
     fn num_items(&self) -> usize {
@@ -162,17 +270,102 @@ impl SettleTransport for NetTransport {
     }
 }
 
+impl NetTransport {
+    fn make_worker(&self, client: Option<QuoteClient>, generation: u64) -> NetWorker {
+        NetWorker {
+            client,
+            generation,
+            endpoint: Arc::clone(&self.endpoint),
+            resilient: self.resilient,
+            pool: Arc::clone(&self.idle),
+            bundles: Arc::clone(&self.bundles),
+            samples: Vec::new(),
+            sink: Arc::clone(&self.latencies_us),
+        }
+    }
+}
+
 /// One worker thread's connection (checked out of the transport's pool):
 /// quotes the buyer's precomputed bundle and settles at the quoted price,
 /// timing the round trip.
 pub struct NetWorker {
-    /// `Some` until drop; taken there so the connection can be returned to
-    /// the pool (or discarded on panic).
+    /// `Some` until drop (or between a connection loss and the reconnect
+    /// in resilient mode); taken at drop so the connection can be returned
+    /// to the pool (or discarded on panic).
     client: Option<QuoteClient>,
-    pool: Arc<Mutex<Vec<QuoteClient>>>,
+    /// Endpoint generation `client` was connected at.
+    generation: u64,
+    endpoint: Arc<Endpoint>,
+    resilient: bool,
+    pool: Arc<Mutex<Vec<(u64, QuoteClient)>>>,
     bundles: Arc<BundleTable>,
     samples: Vec<u64>,
     sink: Arc<Mutex<Vec<u64>>>,
+}
+
+impl NetWorker {
+    /// Re-establishes a connection to the endpoint's current address,
+    /// retrying until the supervisor publishes a live server.
+    fn reconnect(&mut self, deadline: Instant) {
+        loop {
+            let (addr, generation) = self.endpoint.current();
+            match QuoteClient::connect(addr) {
+                Ok(client) => {
+                    self.generation = generation;
+                    self.client = Some(client);
+                    return;
+                }
+                Err(e) => {
+                    // timing: deadline only bounds a wedged supervisor;
+                    // it never affects a settled outcome.
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "loadgen worker: server unreachable after {RECONNECT_DEADLINE:?}: {e}"
+                        );
+                    }
+                    std::thread::sleep(RECONNECT_PAUSE);
+                }
+            }
+        }
+    }
+
+    /// One buyer, settled exactly once, surviving server kills: any I/O
+    /// failure means the request was never dispatched (the crash point is
+    /// between requests), so reconnecting and **re-quoting** repeats no
+    /// settle; a quote that died with the server is re-quoted at the same
+    /// price because recovery restores the pricing bit-exactly.
+    fn settle_resilient(&mut self, bundle: &ItemSet, budget: f64, tick: u64) -> (bool, f64) {
+        // timing: see reconnect().
+        let deadline = Instant::now() + RECONNECT_DEADLINE;
+        loop {
+            if self.client.is_none() {
+                self.reconnect(deadline);
+            }
+            let client = self.client.as_mut().expect("reconnect just set it");
+            let attempt = client.quote(bundle).and_then(|q| {
+                client
+                    .try_purchase(q.quote_id, budget, tick)
+                    .map(|o| (q, o))
+            });
+            match attempt {
+                Ok((quote, SettleOutcome::Settled { sold, price })) => {
+                    debug_assert_eq!(
+                        price.to_bits(),
+                        quote.price.to_bits(),
+                        "the server must honor the quoted price"
+                    );
+                    return (sold, price);
+                }
+                // The quote evaporated (evicted, or issued by a server
+                // that died before the purchase): re-quote on the live
+                // connection.
+                Ok((_, _)) => continue,
+                // Dead connection: the request never dispatched. Drop the
+                // stream and retry against the (possibly moved) endpoint.
+                Err(_) => self.client = None,
+            }
+        }
+    }
 }
 
 impl SettleWorker for NetWorker {
@@ -183,22 +376,27 @@ impl SettleWorker for NetWorker {
         buyer: &Buyer,
         tick: u64,
     ) -> SettledQuote {
-        let client = self.client.as_mut().expect("live until drop");
         let bundle = self.bundles.bundle(phase, buyer).clone();
         // timing: measures the QUOTE+PURCHASE network round trip for the
         // latency report; the settled outcome never depends on it.
         let started = Instant::now();
-        let quote = client.quote(&bundle).expect("loadgen quote");
-        let (sold, price) = client
-            .purchase(quote.quote_id, buyer.budget, tick)
-            .expect("loadgen purchase");
+        let (sold, price) = if self.resilient {
+            self.settle_resilient(&bundle, buyer.budget, tick)
+        } else {
+            let client = self.client.as_mut().expect("live until drop");
+            let quote = client.quote(&bundle).expect("loadgen quote");
+            let (sold, price) = client
+                .purchase(quote.quote_id, buyer.budget, tick)
+                .expect("loadgen purchase");
+            debug_assert_eq!(
+                price.to_bits(),
+                quote.price.to_bits(),
+                "the server must honor the quoted price"
+            );
+            (sold, price)
+        };
         let latency_us = started.elapsed().as_micros() as u64;
         self.samples.push(latency_us);
-        debug_assert_eq!(
-            price.to_bits(),
-            quote.price.to_bits(),
-            "the server must honor the quoted price"
-        );
         SettledQuote {
             sold,
             price,
@@ -219,7 +417,7 @@ impl Drop for NetWorker {
         // hold a half-finished exchange and must not be reused.
         if !std::thread::panicking() {
             if let Some(client) = self.client.take() {
-                self.pool.lock().push(client);
+                self.pool.lock().push((self.generation, client));
             }
         }
     }

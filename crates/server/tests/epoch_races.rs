@@ -26,7 +26,7 @@ use qp_core::ItemSet;
 use qp_market::{Broker, SupportConfig};
 use qp_pricing::algorithms::PricingPatch;
 use qp_qdb::{ColumnType, Database, Query, Relation, Schema, Value};
-use qp_server::{QuoteClient, QuoteServer, ShardSet};
+use qp_server::{QuoteClient, QuoteServer, SettleOutcome, ShardSet};
 
 const BASE: f64 = 10_000.0;
 const REPRICINGS: u64 = 300;
@@ -100,8 +100,11 @@ fn concurrent_quoters_never_see_a_stale_price_in_process() {
                         assert_consistent(q.price, q.epoch, epoch0, "in-process quoter");
                         // The settlement must honor the quoted price even
                         // though the repricer keeps moving the pricing.
-                        let (sold, price) =
-                            set.settle(q.quote_id, q.price, 0).expect("pending quote");
+                        let SettleOutcome::Settled { sold, price } =
+                            set.settle(q.quote_id, q.price, 0)
+                        else {
+                            panic!("pending quote must settle");
+                        };
                         assert!(sold, "budget == quoted price always sells");
                         assert_eq!(price.to_bits(), q.price.to_bits());
                         quotes += 1;

@@ -358,7 +358,7 @@ mod tests {
             &broker,
             &[(0, population())],
             &ArrivalProcess::Poisson { rate: 4.0 },
-            &mut EveryNTicks { every: 3 },
+            &mut EveryNTicks::new(3),
             &SimConfig {
                 ticks: 9,
                 seed: 2,
@@ -414,7 +414,7 @@ mod tests {
                 &broker,
                 &[(0, population())],
                 &ArrivalProcess::Poisson { rate: 5.0 },
-                &mut EveryNTicks { every: 2 },
+                &mut EveryNTicks::new(2),
                 &SimConfig {
                     ticks: 12,
                     seed: 11,

@@ -37,8 +37,30 @@ impl RepricingPolicy for Never {
 /// Reprices on a fixed cadence: after ticks `every-1, 2·every-1, …`.
 #[derive(Debug, Clone)]
 pub struct EveryNTicks {
-    /// The cadence in ticks (must be positive).
-    pub every: u64,
+    /// The cadence in ticks. Private and validated at construction, so the
+    /// per-tick hot path needs no re-validation.
+    every: u64,
+}
+
+impl EveryNTicks {
+    /// A fixed-cadence policy firing after every `every` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0 — a zero cadence has no "every 0th tick" to
+    /// fire on, and rejecting it here keeps [`should_reprice`] free of the
+    /// check (it would otherwise sit on every tick of every run).
+    ///
+    /// [`should_reprice`]: RepricingPolicy::should_reprice
+    pub fn new(every: u64) -> EveryNTicks {
+        assert!(every > 0, "EveryNTicks needs a positive cadence");
+        EveryNTicks { every }
+    }
+
+    /// The cadence in ticks (always positive).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
 }
 
 impl RepricingPolicy for EveryNTicks {
@@ -47,7 +69,6 @@ impl RepricingPolicy for EveryNTicks {
     }
 
     fn should_reprice(&mut self, stats: &TickStats) -> bool {
-        assert!(self.every > 0, "EveryNTicks needs a positive cadence");
         (stats.tick + 1).is_multiple_of(self.every)
     }
 }
@@ -142,7 +163,7 @@ mod tests {
 
     #[test]
     fn every_n_ticks_fires_on_the_cadence() {
-        let mut p = EveryNTicks { every: 5 };
+        let mut p = EveryNTicks::new(5);
         let fired: Vec<u64> = (0..20)
             .filter(|&t| p.should_reprice(&stats(t, 1, 0)))
             .collect();
@@ -173,7 +194,13 @@ mod tests {
     #[test]
     fn labels_name_the_policy() {
         assert_eq!(Never.label(), "never");
-        assert!(EveryNTicks { every: 3 }.label().contains('3'));
+        assert!(EveryNTicks::new(3).label().contains('3'));
         assert!(OnConversionDrift::new(0.6, 0.1, 5).label().contains("0.6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive cadence")]
+    fn a_zero_cadence_is_rejected_at_construction() {
+        let _ = EveryNTicks::new(0);
     }
 }

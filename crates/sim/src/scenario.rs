@@ -49,7 +49,7 @@ impl PolicyKind {
     pub fn build(&self) -> Box<dyn RepricingPolicy> {
         match self {
             PolicyKind::Never => Box::new(Never),
-            PolicyKind::EveryNTicks { every } => Box::new(EveryNTicks { every: *every }),
+            PolicyKind::EveryNTicks { every } => Box::new(EveryNTicks::new(*every)),
             PolicyKind::OnConversionDrift {
                 target,
                 tolerance,

@@ -137,7 +137,7 @@ fn repricing_under_concurrent_quotes_has_no_torn_reads() {
     let (report, observed) = std::thread::scope(|scope| {
         let sim = scope.spawn(|| {
             // Repricing after *every* tick maximizes swap/quote overlap.
-            let mut policy = EveryNTicks { every: 1 };
+            let mut policy = EveryNTicks::new(1);
             let report = qp_sim::run(
                 &broker,
                 &[(0, population)],

@@ -327,6 +327,36 @@ macro_rules! checked_atomic {
                 self.inner.fetch_add(value, order)
             }
 
+            /// Subtracts `value`, returning the previous value; one yield
+            /// point.
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.touch();
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Raises the value to at least `value`, returning the
+            /// previous value; one yield point.
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                self.touch();
+                self.inner.fetch_max(value, order)
+            }
+
+            /// CAS-loop update; one yield point — the retries of the
+            /// underlying loop are invisible to other threads except
+            /// through the final successful exchange.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$ty, $ty>
+            where
+                F: FnMut($ty) -> Option<$ty>,
+            {
+                self.touch();
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
             /// Consumes the atomic, returning the inner value.
             pub fn into_inner(self) -> $ty {
                 self.inner.into_inner()
@@ -381,6 +411,13 @@ impl AtomicBool {
     pub fn store(&self, value: bool, order: Ordering) {
         self.touch();
         self.inner.store(value, order);
+    }
+
+    /// Swaps in `value`, returning the previous value; one yield point
+    /// (the swap itself stays indivisible, matching hardware atomicity).
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.touch();
+        self.inner.swap(value, order)
     }
 
     /// Consumes the atomic, returning the inner value.
