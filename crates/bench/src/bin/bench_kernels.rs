@@ -23,6 +23,11 @@
 //!   each set op). Here `before` is the bare fold and `after` the
 //!   instrumented one, so CI can gate on `after_ns <= 1.02 * before_ns`
 //!   (the ≤ 2 % overhead budget for the disabled sink).
+//! * **tracing** — the live-tracing overhead contract: a broker
+//!   quote+settle on the default `Disabled` sink (`before`) vs the same
+//!   broker on an `Enabled` sink with a trace id stamped per settle, the
+//!   way a `TRACED` frame dispatches (`after`). CI bounds the quotient at
+//!   ≤ 3 % (`after_ns <= 1.03 * before_ns`).
 //! * **wal** — the durability overhead contract: a broker quote+settle
 //!   (`Broker::purchase_at`) bare (`before`) vs identically built but
 //!   `FileStore`-backed with the default group-commit fsync policy
@@ -363,6 +368,84 @@ fn telemetry_overhead_row(pool: &[(ItemSet, ItemSet)], reps: usize, iters: usize
     }
 }
 
+/// The tracing-enabled overhead row: `Broker::purchase_at` on two
+/// identically built brokers, one on the default `Disabled` sink
+/// (`before`) and one on an `Enabled` sink with a fresh trace id stamped
+/// into the thread-local context before every settle — exactly what a
+/// `TRACED` envelope does on dispatch (`after`). The quotient
+/// `after/before` is the cost of *live* tracing on the quote path; the
+/// CI tracing job bounds it at 3 %.
+fn tracing_overhead_row(reps: usize, iters: usize) -> Row {
+    fn tiny_broker(sink: TelemetrySink) -> Broker {
+        let mut rel = Relation::new(Schema::new(vec![
+            ("name", ColumnType::Str),
+            ("size", ColumnType::Int),
+        ]));
+        for i in 0..32 {
+            rel.push(vec![format!("row{i}").into(), Value::Int(i)])
+                .expect("schema matches");
+        }
+        let mut db = Database::new();
+        db.add_table("T", rel);
+        Broker::builder(db)
+            .support_config(SupportConfig::with_size(40))
+            .algorithm("UBP")
+            .anticipate(Query::scan("T"), 30.0)
+            .telemetry(sink)
+            .build()
+            .expect("UBP is registered")
+    }
+
+    let q = Query::scan("T");
+    let bare = tiny_broker(TelemetrySink::default());
+    let traced = tiny_broker(TelemetrySink::enabled());
+    assert_eq!(
+        bare.quote(&q).price.to_bits(),
+        traced.quote(&q).price.to_bits(),
+        "tracing: the sink must not change pricing"
+    );
+
+    let settle_sweep = |broker: &Broker, stamp_trace: bool| {
+        let mut acc = 0u64;
+        for i in 0..WAL_OPS as u64 {
+            if stamp_trace {
+                // Deterministic worker-style ids, like NetTransport mints.
+                qp_telemetry::set_current_trace_id((1u64 << 32) | (i + 1));
+            }
+            let budget = if i % 2 == 0 { 1e9 } else { 0.0 };
+            match broker.purchase_at(black_box(&q), budget, i).expect("eval") {
+                PurchaseOutcome::Sold { price, .. } => acc = acc.wrapping_add(price.to_bits()),
+                PurchaseOutcome::Declined { price } => acc = acc.wrapping_add(!price.to_bits()),
+            }
+        }
+        acc
+    };
+    // Untimed warmup on both sides: first-touch journal/registry growth is
+    // setup cost a live server amortizes, not per-quote tracing cost.
+    black_box(settle_sweep(&bare, false));
+    black_box(settle_sweep(&traced, true));
+    // Like the wal row, this gates a ratio of two µs-scale composites:
+    // paired interleaving + extra reps keep the median honest.
+    let (before_ns, after_ns) = time_ns_paired(
+        reps * 2 - 1,
+        iters,
+        WAL_OPS,
+        || settle_sweep(&bare, false),
+        || settle_sweep(&traced, true),
+    );
+    assert_eq!(
+        bare.ledger().total().to_bits(),
+        traced.ledger().total().to_bits(),
+        "tracing: both brokers settled identical traffic"
+    );
+    Row {
+        group: "tracing",
+        kernel: "traced_quote_settle",
+        before_ns,
+        after_ns,
+    }
+}
+
 /// Settles per timing iteration on the WAL row — alternating sold/declined
 /// so both ledger paths (and both WAL record kinds) are in the measurement.
 const WAL_OPS: usize = 64;
@@ -474,6 +557,7 @@ fn main() {
     rows.push(uip_merge_row(merge_m, 1, reps, merge_iters, 0x0417E5));
     rows.push(telemetry_overhead_row(&small_pool, reps, iters));
     // Fewer sweeps: each op is a full quote+settle with query evaluation.
+    rows.push(tracing_overhead_row(reps, if smoke { iters } else { 50 }));
     rows.push(wal_append_row(reps, if smoke { iters } else { 50 }));
 
     for r in &rows {

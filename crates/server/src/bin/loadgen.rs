@@ -36,8 +36,8 @@ use parking_lot::atomic::{AtomicBool, Ordering};
 use qp_market::{Broker, SupportConfig};
 use qp_qdb::{Database, Query};
 use qp_server::{
-    BundleTable, CrashSwitch, Endpoint, NetTransport, QuoteClient, QuoteServer, ShardSet,
-    DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
+    BundleTable, CrashSwitch, Endpoint, FlightRecorder, NetTransport, QuoteClient, QuoteServer,
+    ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
 };
 use qp_sim::{
     run, run_with, BudgetModel, BuyerSegment, EveryNTicks, Population, RepricingMode, SimConfig,
@@ -191,12 +191,18 @@ fn run_one(
     seed: u64,
     arrivals: &ArrivalProcess,
     cfg: &SimConfig,
+    trace: bool,
 ) -> RunResult {
     let sched = schedule(pool, sizing.ticks);
 
     // The whole serving side runs with telemetry ENABLED — the determinism
     // assertion below is also the proof that measurement is out-of-band.
     let telemetry = TelemetrySink::enabled();
+    if trace {
+        // Capture every root span as an exemplar: the stitching assertion
+        // below needs both halves of each trace, not just the slow ones.
+        telemetry.set_slow_threshold(Duration::ZERO);
+    }
 
     // The shard replicas, plus one reference Arc kept for the bundle table.
     let brokers: Vec<Arc<Broker>> = (0..shards)
@@ -216,7 +222,18 @@ fn run_one(
     let mut server = QuoteServer::bind("127.0.0.1:0", shard_set).expect("bind loopback");
 
     let bundles = BundleTable::for_schedule(&reference, &sched);
-    let net = NetTransport::connect(server.local_addr(), bundles).expect("connect transport");
+    let mut net = NetTransport::connect(server.local_addr(), bundles).expect("connect transport");
+    // Distributed tracing: a separate client-side registry (threshold 0)
+    // receives the `client.settle` root spans; the transport mints trace
+    // ids and sends every request in a `TRACED` envelope.
+    let client_sink = if trace {
+        let sink = TelemetrySink::enabled();
+        sink.set_slow_threshold(Duration::ZERO);
+        net.enable_tracing(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
     let mut policy = EveryNTicks::new(4);
     let net_cfg = SimConfig {
         telemetry: telemetry.clone(),
@@ -264,6 +281,53 @@ fn run_one(
         report.declines(),
         "ledger declines drifted"
     );
+
+    // Tracing mode: prove the span trees stitch across the wire. The
+    // client half (`client.settle` roots) and the server half
+    // (`server.request` roots) must share trace ids, and the `TRACE`
+    // lookup frame must return the server half for a stitched id.
+    if let Some(client_sink) = &client_sink {
+        let client_snap = client_sink.snapshot();
+        let client_ids: std::collections::HashSet<u64> = client_snap
+            .exemplars
+            .iter()
+            .filter(|e| e.root == "client.settle" && e.trace_id != 0)
+            .map(|e| e.trace_id)
+            .collect();
+        // Newest-last on the server side; pick the freshest stitched id so
+        // the follow-up TRACE lookup finds it still in the exemplar ring.
+        let stitched: Vec<u64> = server_metrics
+            .exemplars
+            .iter()
+            .filter(|e| e.root == "server.request" && client_ids.contains(&e.trace_id))
+            .map(|e| e.trace_id)
+            .collect();
+        assert!(
+            !stitched.is_empty(),
+            "no cross-process stitched exemplar: {} client roots vs {} server roots \
+             shared no trace id",
+            client_ids.len(),
+            server_metrics.exemplars.len()
+        );
+        assert!(
+            server_metrics
+                .exemplars
+                .iter()
+                .filter(|e| stitched.contains(&e.trace_id))
+                .any(|e| e.events.iter().any(|ev| ev.shard != qp_telemetry::NO_SHARD)),
+            "stitched server exemplars carry no shard tag"
+        );
+        let freshest = *stitched.last().expect("non-empty");
+        let looked_up = net.admin().trace(freshest).expect("TRACE lookup frame");
+        assert!(
+            looked_up.iter().any(|e| e.root == "server.request"),
+            "TRACE frame for {freshest:#x} returned no server.request exemplar"
+        );
+        println!(
+            "  tracing: {} stitched cross-process exemplars, TRACE lookup OK",
+            stitched.len()
+        );
+    }
 
     drop(net);
     server.shutdown();
@@ -343,14 +407,26 @@ fn run_crash_one(
         .collect();
     let reference = Arc::clone(&brokers[0]);
     let store: SharedStore = Arc::new(FileStore::open(&dir).expect("open data dir"));
+    // The flight recorder rides along: the crash-switch fire freezes the
+    // registry, the recent root spans, the last protocol events, and the
+    // store's WAL sequence into `flight.dump` inside the data directory.
+    let recorder = FlightRecorder::new(&dir, telemetry.clone(), Some(Arc::clone(&store)));
     let shard_set = ShardSet::new(brokers)
         .with_store(store, snapshot_every)
         .with_telemetry(telemetry.clone());
     let crash = CrashSwitch::after(kill_after);
-    let server = QuoteServer::bind_with_crash_switch("127.0.0.1:0", shard_set, crash.clone())
-        .expect("bind loopback");
+    let server = QuoteServer::bind_with_options(
+        "127.0.0.1:0",
+        shard_set,
+        Some(crash.clone()),
+        Some(Arc::clone(&recorder)),
+    )
+    .expect("bind loopback");
     let endpoint = Endpoint::new(server.local_addr());
     let done = Arc::new(AtomicBool::new(false));
+    // The WAL sequence the supervisor's recovery scan finds — the value
+    // the flight dump's own wal_seq must match exactly.
+    let recovered_seq = Arc::new(parking_lot::atomic::AtomicU64::new(u64::MAX));
 
     // The supervisor: the "operator" that notices the dead process,
     // recovers from the data directory, and republishes the endpoint.
@@ -364,6 +440,7 @@ fn run_crash_one(
         let telemetry = telemetry.clone();
         let dir = dir.clone();
         let support = sizing.support;
+        let recovered_seq = Arc::clone(&recovered_seq);
         std::thread::spawn(move || {
             let mut server = server;
             let mut recoveries = 0u32;
@@ -386,6 +463,9 @@ fn run_crash_one(
                         .collect();
                     let store: SharedStore =
                         Arc::new(FileStore::open(&dir).expect("reopen data dir"));
+                    // ordering: SeqCst — published for the post-run flight
+                    // dump assertion; exactness over speed off the hot path.
+                    recovered_seq.store(store.wal_seq(), Ordering::SeqCst);
                     let (set, _state) =
                         ShardSet::restore(brokers, DEFAULT_CACHE_CAPACITY, store, snapshot_every)
                             .expect("crash recovery");
@@ -442,6 +522,34 @@ fn run_crash_one(
     let recoveries = supervisor.join().expect("supervisor thread");
     assert_eq!(recoveries, 1, "exactly one crash, exactly one recovery");
 
+    // The crash must have left a parseable flight dump whose frozen WAL
+    // sequence is exactly what the supervisor's recovery scan found — the
+    // dump and the recovered store describe the same instant of death.
+    let dump = qp_telemetry::FlightDump::read_from(&dir)
+        .expect("read flight dump")
+        .expect("the crash fire site writes flight.dump");
+    assert_eq!(dump.reason, "crash-switch kill", "dump reason");
+    assert!(!dump.truncated, "flight dump tail torn on a clean kill");
+    assert_eq!(
+        dump.wal_seq,
+        recovered_seq.load(Ordering::SeqCst),
+        "flight dump wal_seq diverged from the recovered WAL sequence"
+    );
+    assert!(
+        !dump.protocol_events.is_empty(),
+        "flight dump carries no protocol events despite {kill_after} dispatches"
+    );
+    assert!(
+        !dump.roots.is_empty(),
+        "flight dump carries no root spans despite telemetry enabled"
+    );
+    println!(
+        "  flight dump: {} proto events, {} root spans, wal_seq {} == recovered",
+        dump.protocol_events.len(),
+        dump.roots.len(),
+        dump.wal_seq
+    );
+
     // Oracle 1: the ledgers the engine saw are the ledgers the server kept.
     let server_sales: u64 = stats.iter().map(|s| s.sales).sum();
     let server_declines: u64 = stats.iter().map(|s| s.declines).sum();
@@ -490,6 +598,7 @@ fn run_crash_one(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let trace = args.iter().any(|a| a == "--trace");
     let seed: u64 = arg_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
@@ -533,11 +642,12 @@ fn main() {
     }
 
     println!(
-        "loadgen: workload skewed, seed {seed}, {} ticks, shard counts {:?}, {} workers{}",
+        "loadgen: workload skewed, seed {seed}, {} ticks, shard counts {:?}, {} workers{}{}",
         sizing.ticks,
         sizing.shard_counts,
         sizing.workers,
-        if smoke { " (smoke)" } else { "" }
+        if smoke { " (smoke)" } else { "" },
+        if trace { " (traced)" } else { "" }
     );
 
     let world_cfg = WorldConfig::at_scale(Scale::Test);
@@ -631,7 +741,7 @@ fn main() {
     let mut merged_metrics = MetricsSnapshot::default();
     for &shards in &sizing.shard_counts {
         let r = run_one(
-            &db, &pool, &sizing, shards, &algorithm, seed, &arrivals, &cfg,
+            &db, &pool, &sizing, shards, &algorithm, seed, &arrivals, &cfg, trace,
         );
         let revenue = r.report.total_revenue();
         let baseline_revenue = r.baseline.total_revenue();

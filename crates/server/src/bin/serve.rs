@@ -24,9 +24,11 @@
 use std::sync::Arc;
 
 use qp_market::{Broker, SupportConfig};
-use qp_server::{QuoteServer, ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY};
+use qp_server::{
+    FlightRecorder, QuoteServer, ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
+};
 use qp_store::{FileStore, FsyncPolicy, SharedStore};
-use qp_telemetry::TelemetrySink;
+use qp_telemetry::{FlightDump, TelemetrySink};
 use qp_workloads::queries::skewed;
 use qp_workloads::world::{self, WorldConfig};
 use qp_workloads::Scale;
@@ -99,7 +101,22 @@ fn main() {
         })
         .collect();
 
-    let shard_set = if let Some(dir) = &data_dir {
+    let (shard_set, recorder) = if let Some(dir) = &data_dir {
+        // A previous crash leaves `flight.dump` in the data directory:
+        // report its black-box summary (the dump stays on disk for
+        // `qp_top --postmortem` until the next crash overwrites it).
+        match FlightDump::read_from(dir.as_ref()) {
+            Ok(Some(dump)) => println!(
+                "previous crash: {} (wal_seq {}, {} proto events, {} root spans{})",
+                dump.reason,
+                dump.wal_seq,
+                dump.protocol_events.len(),
+                dump.roots.len(),
+                if dump.truncated { ", tail torn" } else { "" }
+            ),
+            Ok(None) => {}
+            Err(e) => println!("unreadable flight dump in {dir}: {e}"),
+        }
         // Durable mode: recovery first (a fresh directory recovers to the
         // brokers' own initial state), then keep logging into the same
         // store. Recovery must finish before the listener binds so no
@@ -108,6 +125,10 @@ fn main() {
             FileStore::open_with(dir, fsync, &telemetry)
                 .unwrap_or_else(|e| panic!("opening data dir {dir}: {e}")),
         );
+        let recorder =
+            FlightRecorder::new(dir.clone(), telemetry.clone(), Some(Arc::clone(&store)));
+        // Any panic from here on writes the flight dump before unwinding.
+        FlightRecorder::install_panic_hook(&recorder);
         let (set, state) =
             ShardSet::restore(brokers, DEFAULT_CACHE_CAPACITY, store, snapshot_every)
                 .unwrap_or_else(|e| panic!("recovering {dir}: {e}"));
@@ -119,11 +140,14 @@ fn main() {
             state.declines(),
             state.revenue() + 0.0
         );
-        set.with_telemetry(telemetry.clone())
+        (set.with_telemetry(telemetry.clone()), Some(recorder))
     } else {
-        ShardSet::new(brokers).with_telemetry(telemetry.clone())
+        (
+            ShardSet::new(brokers).with_telemetry(telemetry.clone()),
+            None,
+        )
     };
-    let mut server = QuoteServer::bind(addr.as_str(), shard_set)
+    let mut server = QuoteServer::bind_with_options(addr.as_str(), shard_set, None, recorder)
         .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
     println!(
         "serving on {} — send a SHUTDOWN frame to stop",

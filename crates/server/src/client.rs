@@ -21,6 +21,9 @@ use crate::shard::SettleOutcome;
 /// One client connection to a [`crate::QuoteServer`].
 pub struct QuoteClient {
     stream: TcpStream,
+    /// Trace id stamped onto outgoing requests via the `TRACED` envelope;
+    /// 0 means untraced and frames go out in their pre-trace byte layout.
+    trace_id: u64,
 }
 
 impl QuoteClient {
@@ -29,11 +32,30 @@ impl QuoteClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<QuoteClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(QuoteClient { stream })
+        Ok(QuoteClient {
+            stream,
+            trace_id: 0,
+        })
+    }
+
+    /// Sets the trace id wrapped around subsequent requests (`0` turns
+    /// tracing back off). The id travels in a `TRACED` envelope, so the
+    /// server's span tree for each request carries it — join it against
+    /// the client-side spans to stitch a cross-process trace.
+    pub fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
     }
 
     /// One request/reply exchange, typed errors included in the result.
-    fn call_raw(&mut self, request: &Request) -> io::Result<Response> {
+    fn call_raw(&mut self, request: Request) -> io::Result<Response> {
+        let request = if self.trace_id == 0 {
+            request
+        } else {
+            Request::Traced {
+                trace_id: self.trace_id,
+                request: Box::new(request),
+            }
+        };
         write_frame(&mut self.stream, &request.encode())?;
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
@@ -42,7 +64,7 @@ impl QuoteClient {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
-    fn call(&mut self, request: &Request) -> io::Result<Response> {
+    fn call(&mut self, request: Request) -> io::Result<Response> {
         let response = self.call_raw(request)?;
         if let Response::Error { code, message } = &response {
             return Err(io::Error::other(format!(
@@ -61,7 +83,7 @@ impl QuoteClient {
 
     /// Quotes a bundle.
     pub fn quote(&mut self, bundle: &ItemSet) -> io::Result<QuoteReply> {
-        match self.call(&Request::Quote(bundle.clone()))? {
+        match self.call(Request::Quote(bundle.clone()))? {
             Response::Quoted(reply) => Ok(reply),
             other => Self::protocol_violation(&other),
         }
@@ -70,7 +92,7 @@ impl QuoteClient {
     /// Settles a quote; returns `(sold, price)` with the price honored as
     /// quoted.
     pub fn purchase(&mut self, quote_id: u64, budget: f64, tick: u64) -> io::Result<(bool, f64)> {
-        match self.call(&Request::Purchase {
+        match self.call(Request::Purchase {
             quote_id,
             budget,
             tick,
@@ -91,7 +113,7 @@ impl QuoteClient {
         budget: f64,
         tick: u64,
     ) -> io::Result<SettleOutcome> {
-        match self.call_raw(&Request::Purchase {
+        match self.call_raw(Request::Purchase {
             quote_id,
             budget,
             tick,
@@ -114,7 +136,7 @@ impl QuoteClient {
 
     /// Fetches per-shard serving statistics.
     pub fn stats(&mut self) -> io::Result<Vec<ShardStats>> {
-        match self.call(&Request::Stats)? {
+        match self.call(Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Self::protocol_violation(&other),
         }
@@ -124,7 +146,7 @@ impl QuoteClient {
     /// epochs in shard order. When this returns, the new pricing is live:
     /// quotes issued afterwards are priced (and epoch-tagged) against it.
     pub fn reprice(&mut self, patch: &PricingPatch) -> io::Result<Vec<u64>> {
-        match self.call(&Request::Reprice(patch.clone()))? {
+        match self.call(Request::Reprice(patch.clone()))? {
             Response::Repriced { epochs } => Ok(epochs),
             other => Self::protocol_violation(&other),
         }
@@ -135,15 +157,25 @@ impl QuoteClient {
     /// snapshot is structured — render it with [`qp_telemetry::expose`]
     /// or read quantiles straight off the histograms.
     pub fn metrics(&mut self) -> io::Result<qp_telemetry::MetricsSnapshot> {
-        match self.call(&Request::Metrics)? {
+        match self.call(Request::Metrics)? {
             Response::Metrics(snapshot) => Ok(snapshot),
+            other => Self::protocol_violation(&other),
+        }
+    }
+
+    /// Looks up the server's recent exemplars for one trace id (`TRACE`
+    /// frame): the server-side halves of a distributed trace, ready to
+    /// stitch against the client-side span trees sharing the id.
+    pub fn trace(&mut self, trace_id: u64) -> io::Result<Vec<qp_telemetry::Exemplar>> {
+        match self.call(Request::Trace { trace_id })? {
+            Response::Trace(exemplars) => Ok(exemplars),
             other => Self::protocol_violation(&other),
         }
     }
 
     /// Asks the server to shut down; returns once the server acknowledges.
     pub fn shutdown_server(&mut self) -> io::Result<()> {
-        match self.call(&Request::Shutdown)? {
+        match self.call(Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Self::protocol_violation(&other),
         }

@@ -38,11 +38,12 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod top;
 pub mod transport;
 
 pub use client::QuoteClient;
 pub use protocol::{ErrorCode, QuoteReply, Request, Response, ShardStats, WireError};
-pub use server::{CrashSwitch, QuoteServer};
+pub use server::{CrashSwitch, FlightRecorder, QuoteServer};
 pub use shard::{
     SettleOutcome, ShardQuote, ShardSet, DEFAULT_CACHE_CAPACITY, DEFAULT_SNAPSHOT_EVERY,
     MAX_PENDING_QUOTES,

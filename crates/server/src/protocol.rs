@@ -35,6 +35,13 @@ const OP_STATS: u8 = 0x03;
 const OP_REPRICE: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_METRICS: u8 = 0x06;
+const OP_TRACE: u8 = 0x07;
+/// Trace-context envelope: `[0x10][u64 trace id][inner request frame]`.
+/// A new opcode rather than trailing bytes on existing bodies, so every
+/// pre-trace frame still parses byte-identically and an old server
+/// rejects the envelope with a clean `UNKNOWN_OPCODE` instead of
+/// misreading it.
+const OP_TRACED: u8 = 0x10;
 // Response opcodes (request opcode | 0x80).
 const OP_QUOTED: u8 = 0x81;
 const OP_PURCHASED: u8 = 0x82;
@@ -42,6 +49,7 @@ const OP_STATS_REPLY: u8 = 0x83;
 const OP_REPRICED: u8 = 0x84;
 const OP_SHUTDOWN_ACK: u8 = 0x85;
 const OP_METRICS_REPLY: u8 = 0x86;
+const OP_TRACE_REPLY: u8 = 0x87;
 const OP_ERROR: u8 = 0xFF;
 
 /// Why a peer's bytes could not be decoded.
@@ -140,6 +148,24 @@ pub enum Request {
     /// direct quantile extraction — without the server committing to a
     /// text format on the wire.
     Metrics,
+    /// Fetch the retained exemplars stamped with `trace_id` — the lookup
+    /// half of distributed tracing: a client that minted a trace id asks
+    /// the server for the span trees its request produced there.
+    Trace {
+        /// The wire-level trace id to look up.
+        trace_id: u64,
+    },
+    /// Trace-context envelope: any other request wrapped with the 64-bit
+    /// trace id the client minted for it. The server serves `request`
+    /// exactly as if it had arrived bare, but stamps `trace_id` into the
+    /// spans/exemplars the request produces, so client- and server-side
+    /// span trees stitch. Envelopes do not nest.
+    Traced {
+        /// Client-minted trace id (0 is reserved for "untraced").
+        trace_id: u64,
+        /// The request being carried.
+        request: Box<Request>,
+    },
 }
 
 /// One shard's serving counters, as reported by `STATS`.
@@ -203,6 +229,10 @@ pub enum Response {
     ShutdownAck,
     /// Answer to `METRICS`: the whole telemetry registry at once.
     Metrics(MetricsSnapshot),
+    /// Answer to `TRACE`: every retained exemplar stamped with the
+    /// requested trace id (possibly empty — exemplar retention is
+    /// bounded and threshold-gated).
+    Trace(Vec<Exemplar>),
     /// Any request the server could not honor.
     Error {
         /// The machine-readable reason.
@@ -323,6 +353,14 @@ impl<'a> Cursor<'a> {
             return Err(WireError::Oversized(n));
         }
         Ok(n)
+    }
+
+    /// Consumes and returns every remaining byte (the `TRACED` envelope's
+    /// inner frame, decoded recursively).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
     }
 
     fn finish(self) -> Result<(), WireError> {
@@ -469,6 +507,44 @@ fn take_str(c: &mut Cursor<'_>) -> Result<String, WireError> {
         .to_string())
 }
 
+fn put_exemplar(out: &mut Vec<u8>, ex: &Exemplar) {
+    put_u64(out, ex.trace_id);
+    put_str(out, &ex.root);
+    put_u64(out, ex.total_ns);
+    put_u32(out, ex.events.len() as u32);
+    for ev in &ex.events {
+        put_str(out, &ev.name);
+        put_u32(out, ev.depth);
+        put_u32(out, ev.shard);
+        put_u64(out, ev.start_ns);
+        put_u64(out, ev.dur_ns);
+    }
+}
+
+fn take_exemplar(c: &mut Cursor<'_>) -> Result<Exemplar, WireError> {
+    let trace_id = c.u64()?;
+    let root = take_str(c)?;
+    let total_ns = c.u64()?;
+    let n_events = c.checked_count(24)?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let name = take_str(c)?;
+        events.push(SpanRecord {
+            name,
+            depth: c.u32()?,
+            shard: c.u32()?,
+            start_ns: c.u64()?,
+            dur_ns: c.u64()?,
+        });
+    }
+    Ok(Exemplar {
+        trace_id,
+        root,
+        total_ns,
+        events,
+    })
+}
+
 fn put_metrics(out: &mut Vec<u8>, snap: &MetricsSnapshot) {
     put_u32(out, snap.counters.len() as u32);
     for (name, total) in &snap.counters {
@@ -491,15 +567,7 @@ fn put_metrics(out: &mut Vec<u8>, snap: &MetricsSnapshot) {
     }
     put_u32(out, snap.exemplars.len() as u32);
     for ex in &snap.exemplars {
-        put_str(out, &ex.root);
-        put_u64(out, ex.total_ns);
-        put_u32(out, ex.events.len() as u32);
-        for ev in &ex.events {
-            put_str(out, &ev.name);
-            put_u32(out, ev.depth);
-            put_u64(out, ev.start_ns);
-            put_u64(out, ev.dur_ns);
-        }
+        put_exemplar(out, ex);
     }
 }
 
@@ -529,27 +597,10 @@ fn take_metrics(c: &mut Cursor<'_>) -> Result<MetricsSnapshot, WireError> {
         }
         histograms.push((name, HistogramSnapshot { sum, buckets }));
     }
-    let n_exemplars = c.checked_count(16)?;
+    let n_exemplars = c.checked_count(24)?;
     let mut exemplars = Vec::with_capacity(n_exemplars);
     for _ in 0..n_exemplars {
-        let root = take_str(c)?;
-        let total_ns = c.u64()?;
-        let n_events = c.checked_count(20)?;
-        let mut events = Vec::with_capacity(n_events);
-        for _ in 0..n_events {
-            let name = take_str(c)?;
-            events.push(SpanRecord {
-                name,
-                depth: c.u32()?,
-                start_ns: c.u64()?,
-                dur_ns: c.u64()?,
-            });
-        }
-        exemplars.push(Exemplar {
-            root,
-            total_ns,
-            events,
-        });
+        exemplars.push(take_exemplar(c)?);
     }
     Ok(MetricsSnapshot {
         counters,
@@ -589,12 +640,40 @@ impl Request {
             }
             Request::Shutdown => out.push(OP_SHUTDOWN),
             Request::Metrics => out.push(OP_METRICS),
+            Request::Trace { trace_id } => {
+                out.push(OP_TRACE);
+                put_u64(&mut out, *trace_id);
+            }
+            Request::Traced { trace_id, request } => {
+                out.push(OP_TRACED);
+                put_u64(&mut out, *trace_id);
+                out.extend_from_slice(&request.encode());
+            }
         }
         out
     }
 
+    /// The opcode byte this request encodes with ([`Request::Traced`]
+    /// reports the envelope opcode; the flight recorder unwraps it).
+    pub fn wire_opcode(&self) -> u8 {
+        match self {
+            Request::Quote(_) => OP_QUOTE,
+            Request::Purchase { .. } => OP_PURCHASE,
+            Request::Stats => OP_STATS,
+            Request::Reprice(_) => OP_REPRICE,
+            Request::Shutdown => OP_SHUTDOWN,
+            Request::Metrics => OP_METRICS,
+            Request::Trace { .. } => OP_TRACE,
+            Request::Traced { .. } => OP_TRACED,
+        }
+    }
+
     /// Parses a frame payload.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        Request::decode_inner(payload, true)
+    }
+
+    fn decode_inner(payload: &[u8], allow_envelope: bool) -> Result<Request, WireError> {
         let mut c = Cursor::new(payload);
         let req = match c.u8()? {
             OP_QUOTE => Request::Quote(take_bundle(&mut c)?),
@@ -607,6 +686,14 @@ impl Request {
             OP_REPRICE => Request::Reprice(take_patch(&mut c)?),
             OP_SHUTDOWN => Request::Shutdown,
             OP_METRICS => Request::Metrics,
+            OP_TRACE => Request::Trace { trace_id: c.u64()? },
+            // Envelopes carry exactly one level: a Traced inside a Traced
+            // is rejected as an unknown opcode at the inner position.
+            OP_TRACED if allow_envelope => {
+                let trace_id = c.u64()?;
+                let request = Box::new(Request::decode_inner(c.rest(), false)?);
+                Request::Traced { trace_id, request }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
         c.finish()?;
@@ -657,6 +744,13 @@ impl Response {
             Response::Metrics(snap) => {
                 out.push(OP_METRICS_REPLY);
                 put_metrics(&mut out, snap);
+            }
+            Response::Trace(exemplars) => {
+                out.push(OP_TRACE_REPLY);
+                put_u32(&mut out, exemplars.len() as u32);
+                for ex in exemplars {
+                    put_exemplar(&mut out, ex);
+                }
             }
             Response::Error { code, message } => {
                 out.push(OP_ERROR);
@@ -711,6 +805,14 @@ impl Response {
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
             OP_METRICS_REPLY => Response::Metrics(take_metrics(&mut c)?),
+            OP_TRACE_REPLY => {
+                let n = c.checked_count(24)?;
+                let mut exemplars = Vec::with_capacity(n);
+                for _ in 0..n {
+                    exemplars.push(take_exemplar(&mut c)?);
+                }
+                Response::Trace(exemplars)
+            }
             OP_ERROR => {
                 let code = ErrorCode::from_byte(c.u8()?)?;
                 let len = c.checked_count(1)?;
@@ -823,24 +925,106 @@ mod tests {
             gauges: vec![("inflight".into(), -3)],
             histograms: vec![("quote.route".into(), latency)],
             exemplars: vec![Exemplar {
+                trace_id: 0xFEED_BEEF_u64,
                 root: "req".into(),
                 total_ns: 2_000_000,
                 events: vec![
                     SpanRecord {
                         name: "req".into(),
                         depth: 0,
+                        shard: 1,
                         start_ns: 0,
                         dur_ns: 2_000_000,
                     },
                     SpanRecord {
                         name: "req.price".into(),
                         depth: 1,
+                        shard: qp_telemetry::NO_SHARD,
                         start_ns: 150,
                         dur_ns: 1_500_000,
                     },
                 ],
             }],
         }));
+        roundtrip_response(Response::Trace(vec![Exemplar {
+            trace_id: 7,
+            root: "server.request".into(),
+            total_ns: 900,
+            events: vec![SpanRecord {
+                name: "server.request".into(),
+                depth: 0,
+                shard: 0,
+                start_ns: 0,
+                dur_ns: 900,
+            }],
+        }]));
+        roundtrip_response(Response::Trace(Vec::new()));
+    }
+
+    #[test]
+    fn traced_envelopes_roundtrip_and_reject_nesting() {
+        for inner in [
+            Request::Quote([3usize, 99].into_iter().collect()),
+            Request::Purchase {
+                quote_id: 12,
+                budget: 7.5,
+                tick: 3,
+            },
+            Request::Reprice(PricingPatch::SetUniformPrice(2.0)),
+            Request::Metrics,
+        ] {
+            roundtrip_request(Request::Traced {
+                trace_id: 0xDEAD_BEEF_CAFE_0001,
+                request: Box::new(inner),
+            });
+        }
+        roundtrip_request(Request::Trace { trace_id: u64::MAX });
+
+        // An envelope inside an envelope is not a legal frame.
+        let nested = Request::Traced {
+            trace_id: 1,
+            request: Box::new(Request::Traced {
+                trace_id: 2,
+                request: Box::new(Request::Stats),
+            }),
+        };
+        assert_eq!(
+            Request::decode(&nested.encode()),
+            Err(WireError::UnknownOpcode(0x10))
+        );
+        // A truncated envelope (id but no inner frame) fails cleanly.
+        let mut bare = vec![0x10u8];
+        bare.extend_from_slice(&9u64.to_be_bytes());
+        assert_eq!(Request::decode(&bare), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn pre_trace_frames_are_byte_identical() {
+        // The envelope is purely additive: wrapping never rewrites the
+        // inner encoding, and no bare request ever begins with 0x10.
+        let requests = [
+            Request::Quote([0usize, 7].into_iter().collect()),
+            Request::Purchase {
+                quote_id: 3,
+                budget: 1.5,
+                tick: 9,
+            },
+            Request::Stats,
+            Request::Reprice(PricingPatch::Keep),
+            Request::Shutdown,
+            Request::Metrics,
+        ];
+        for req in requests {
+            let bare = req.encode();
+            assert_ne!(bare[0], 0x10, "bare frame collides with TRACED");
+            let wrapped = Request::Traced {
+                trace_id: 42,
+                request: Box::new(req.clone()),
+            }
+            .encode();
+            assert_eq!(&wrapped[9..], &bare[..], "envelope rewrote the inner frame");
+            assert_eq!(Request::decode(&bare).expect("old frame decodes"), req);
+        }
     }
 
     #[test]

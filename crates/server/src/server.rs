@@ -14,17 +14,115 @@
 //! down; in-flight requests always complete.
 
 use parking_lot::atomic::{AtomicBool, Ordering};
+use parking_lot::Mutex;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use qp_core::RingBuffer;
+use qp_store::SharedStore;
+use qp_telemetry::{FlightDump, ProtocolEvent, TelemetrySink};
 
 use crate::protocol::{write_frame, ErrorCode, QuoteReply, Request, Response, MAX_FRAME};
 use crate::shard::{SettleOutcome, ShardSet};
 
 /// How often an idle handler thread re-checks the stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How many protocol events the flight recorder retains (newest win).
+const PROTO_EVENT_CAPACITY: usize = 256;
+
+/// The crash flight recorder: a bounded, preallocated ring of the last-N
+/// protocol events plus handles to everything else a post-mortem wants
+/// (the registry, the flight span journal, the store's WAL sequence), and
+/// a single-shot `dump()` that freezes it all into `flight.dump` in the
+/// data directory — CRC-framed, torn-tail tolerant (see
+/// [`qp_telemetry::flight`]).
+///
+/// `dump()` is called from crash paths — the `CrashSwitch` fire site and
+/// the panic hook — so it never panics and never blocks unboundedly.
+pub struct FlightRecorder {
+    dir: PathBuf,
+    sink: TelemetrySink,
+    store: Option<SharedStore>,
+    events: Mutex<RingBuffer<ProtocolEvent>>,
+    dumped: AtomicBool,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping into `dir` (normally the server's `--data-dir`),
+    /// reading the registry behind `sink` and, when `store` is present,
+    /// stamping the dump with its WAL sequence number.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        sink: TelemetrySink,
+        store: Option<SharedStore>,
+    ) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            dir: dir.into(),
+            sink,
+            store,
+            events: Mutex::new(RingBuffer::new(PROTO_EVENT_CAPACITY)),
+            dumped: AtomicBool::new(false),
+        })
+    }
+
+    /// Records one protocol event (called per dispatched frame).
+    pub fn record_event(&self, opcode: u8, trace_id: u64, frame_len: u32) {
+        self.events.lock().push(ProtocolEvent {
+            opcode,
+            trace_id,
+            frame_len,
+        });
+    }
+
+    /// Writes the dump, once: later calls (a panic racing the crash
+    /// switch, say) are no-ops. Returns the path on the first successful
+    /// write. I/O failures are swallowed — a crash path has nobody to
+    /// report to, and the WAL's own durability never depends on the dump.
+    pub fn dump(&self, reason: &str) -> Option<PathBuf> {
+        // ordering: SeqCst — single-shot latch; exactness beats speed on a
+        // path that runs at most once.
+        if self.dumped.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        let wal_seq = self.store.as_ref().map_or(0, |s| s.wal_seq());
+        let dump = FlightDump::capture(
+            reason,
+            wal_seq,
+            self.sink.snapshot(),
+            self.sink.flight_roots(),
+            self.events.lock().to_vec(),
+        );
+        dump.write_to(&self.dir).ok()
+    }
+
+    /// Whether the dump has already been written (or is being written).
+    pub fn already_dumped(&self) -> bool {
+        // ordering: SeqCst — pairs with the swap in `dump`.
+        self.dumped.load(Ordering::SeqCst)
+    }
+
+    /// Installs a process-wide panic hook that writes the dump (chained:
+    /// the previous hook still runs, so backtraces keep printing).
+    pub fn install_panic_hook(recorder: &Arc<Self>) {
+        let recorder = Arc::clone(recorder);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            recorder.dump(&format!("panic: {info}"));
+            previous(info);
+        }));
+    }
+
+    /// Reads a previously written dump back from `dir` (recovery /
+    /// post-mortem side). `Ok(None)` when no dump was ever written.
+    pub fn read_dump(dir: &Path) -> io::Result<Option<FlightDump>> {
+        FlightDump::read_from(dir)
+    }
+}
 
 /// Crash injection for durability testing: arms a budget of `n` dispatched
 /// requests, after which the server "crashes" — it stops serving instantly
@@ -86,6 +184,7 @@ struct ServerState {
     shards: ShardSet,
     stop: AtomicBool,
     crash: Option<CrashSwitch>,
+    flight: Option<Arc<FlightRecorder>>,
     /// Requests past the crash check but before their reply write. A crash
     /// supervisor must not reopen the data directory until this drains —
     /// an in-flight dispatch may still be appending to the WAL.
@@ -106,7 +205,7 @@ impl QuoteServer {
     /// Bind to port 0 to let the OS pick a free port; the actual address is
     /// available from [`QuoteServer::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, shards: ShardSet) -> io::Result<QuoteServer> {
-        QuoteServer::bind_inner(addr, shards, None)
+        QuoteServer::bind_inner(addr, shards, None, None)
     }
 
     /// [`QuoteServer::bind`] with crash injection armed: once `crash`'s
@@ -117,13 +216,27 @@ impl QuoteServer {
         shards: ShardSet,
         crash: CrashSwitch,
     ) -> io::Result<QuoteServer> {
-        QuoteServer::bind_inner(addr, shards, Some(crash))
+        QuoteServer::bind_inner(addr, shards, Some(crash), None)
+    }
+
+    /// The fully-armed bind: optional crash injection *and* an optional
+    /// [`FlightRecorder`]. With a recorder attached, every dispatched
+    /// frame is logged to its protocol-event ring and a crash-switch fire
+    /// writes the flight dump before the server goes dark.
+    pub fn bind_with_options(
+        addr: impl ToSocketAddrs,
+        shards: ShardSet,
+        crash: Option<CrashSwitch>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> io::Result<QuoteServer> {
+        QuoteServer::bind_inner(addr, shards, crash, flight)
     }
 
     fn bind_inner(
         addr: impl ToSocketAddrs,
         shards: ShardSet,
         crash: Option<CrashSwitch>,
+        flight: Option<Arc<FlightRecorder>>,
     ) -> io::Result<QuoteServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -131,6 +244,7 @@ impl QuoteServer {
             shards,
             stop: AtomicBool::new(false),
             crash,
+            flight,
             in_flight: parking_lot::atomic::AtomicU64::new(0),
         });
         let accept_state = Arc::clone(&state);
@@ -248,6 +362,24 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
                 state.stop.store(true, Ordering::Release);
                 // ordering: SeqCst — see `QuoteServer::quiesce`.
                 state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                // Black-box moment: freeze the flight recorder at the
+                // instant of death. In-flight dispatches on other threads
+                // are waited out first (bounded — they always complete),
+                // so the dump's WAL sequence number is exactly the
+                // sequence recovery will replay to.
+                if let Some(recorder) = &state.flight {
+                    if !recorder.already_dumped() {
+                        for _ in 0..1000 {
+                            // ordering: SeqCst — see `QuoteServer::quiesce`.
+                            if state.in_flight.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            // timing: crash-dump drain poll only.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        recorder.dump("crash-switch kill");
+                    }
+                }
                 let _ = stream.local_addr().map(TcpStream::connect);
                 return;
             }
@@ -260,7 +392,18 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
             Request::decode(&payload)
         };
         let (response, shutdown) = match decoded {
-            Ok(request) => dispatch(&state, request),
+            Ok(request) => {
+                if let Some(recorder) = &state.flight {
+                    // Log the *inner* opcode for envelopes so a post-mortem
+                    // reads real traffic, with the trace id alongside.
+                    let (op, tid) = match &request {
+                        Request::Traced { trace_id, request } => (request.wire_opcode(), *trace_id),
+                        other => (other.wire_opcode(), 0),
+                    };
+                    recorder.record_event(op, tid, payload.len() as u32);
+                }
+                dispatch(&state, request)
+            }
             Err(err) => (error_response(&err), false),
         };
         let write_failed = write_frame(&mut stream, &response.encode()).is_err();
@@ -335,6 +478,21 @@ fn dispatch(state: &ServerState, request: Request) -> (Response, bool) {
             Response::Metrics(state.shards.telemetry_sink().snapshot()),
             false,
         ),
+        Request::Trace { trace_id } => (
+            Response::Trace(state.shards.telemetry_sink().exemplars_for_trace(trace_id)),
+            false,
+        ),
+        Request::Traced { trace_id, request } => {
+            // Install the wire trace id as this thread's ambient trace
+            // context. The `server.request` root span is already open in
+            // `handle_connection`; at its drop the id is stamped into the
+            // exemplar, which is what stitches the server span tree to the
+            // client's under one trace id.
+            if state.shards.telemetry_sink().is_enabled() {
+                qp_telemetry::set_current_trace_id(trace_id);
+            }
+            dispatch(state, *request)
+        }
     }
 }
 

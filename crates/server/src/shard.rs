@@ -412,6 +412,12 @@ impl ShardSet {
             let _span = self.telemetry.route.enter();
             self.route(bundle)
         };
+        // Tag the thread's ambient trace context with the serving shard:
+        // every span event recorded below (cache, price, the open server
+        // root) carries it, making exemplar JSON joinable by shard.
+        if self.telemetry.sink.is_enabled() {
+            qp_telemetry::set_current_shard(idx as u32);
+        }
         let shard = &self.shards[idx];
 
         let current_epoch = shard.broker.pricing_epoch();
@@ -536,6 +542,10 @@ impl ShardSet {
                 };
             }
         };
+        // See `quote`: shard-tag the ambient trace context for exemplars.
+        if self.telemetry.sink.is_enabled() {
+            qp_telemetry::set_current_shard(pending.shard as u32);
+        }
         let shard = &self.shards[pending.shard];
         let sold = pending.price <= budget + BUDGET_EPSILON;
         // WAL append strictly before the ledger write and the return: if

@@ -1,0 +1,235 @@
+//! Rendering for the `qp-top` live dashboard and `--postmortem` viewer.
+//!
+//! `qp-top` (see `src/bin/qp_top.rs`) polls the server's `METRICS` and
+//! `STATS` frames on an interval, feeds each cumulative snapshot into a
+//! [`RollingWindows`](qp_telemetry::RollingWindows), and renders the
+//! **per-window deltas** — rates and
+//! quantiles over the last few seconds, not since server start. All the
+//! formatting lives here, pure string-in/string-out, so the dashboard's
+//! layout is pinned by unit tests without a TTY.
+
+use qp_telemetry::{FlightDump, MetricsSnapshot};
+
+use crate::protocol::ShardStats;
+
+/// One dashboard frame: header, throughput/latency block, cache and WAL
+/// blocks, and the per-shard table — rendered from the latest window delta
+/// (`window`, covering `interval_secs`) plus cumulative shard stats.
+pub fn render_dashboard(
+    window: &MetricsSnapshot,
+    stats: &[ShardStats],
+    interval_secs: f64,
+) -> String {
+    let secs = if interval_secs > 0.0 {
+        interval_secs
+    } else {
+        1.0
+    };
+    let mut out = String::new();
+    out.push_str("qp-top — query-pricing server (window deltas)\n");
+    out.push_str(&"─".repeat(64));
+    out.push('\n');
+
+    // Throughput + request latency from the server.request span histogram.
+    let requests = window.histogram("server.request").map_or(0, |h| h.count());
+    out.push_str(&format!(
+        "throughput   {:>10.1} req/s\n",
+        requests as f64 / secs
+    ));
+    for (label, name) in [
+        ("request", "server.request"),
+        ("quote.price", "quote.price"),
+        ("settle", "settle.ledger"),
+    ] {
+        if let Some(h) = window.histogram(name) {
+            if h.count() > 0 {
+                let (p50, p95, p99) = h.percentiles();
+                out.push_str(&format!(
+                    "{label:<12} p50 {:>9} ns   p95 {:>9} ns   p99 {:>9} ns\n",
+                    p50, p95, p99
+                ));
+            }
+        }
+    }
+
+    // Cache behaviour over the window.
+    let hits = window.counter("cache.hit").unwrap_or(0);
+    let misses = window.counter("cache.miss").unwrap_or(0);
+    let invalidations = window.counter("cache.invalidated").unwrap_or(0);
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0 {
+        100.0 * hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "cache        {hit_rate:>9.1} % hit   {:>8.1} inval/s\n",
+        invalidations as f64 / secs
+    ));
+
+    // WAL: append rate, flush-queue depth (instantaneous gauge), fsync
+    // latency quantiles over the window.
+    let wal_records = window.counter("wal.records").unwrap_or(0);
+    let queue_depth = window.gauge("wal.flush_queue_depth").unwrap_or(0);
+    out.push_str(&format!(
+        "wal          {:>9.1} rec/s   flush-queue {queue_depth}\n",
+        wal_records as f64 / secs
+    ));
+    if let Some(h) = window.histogram("wal.fsync") {
+        if h.count() > 0 {
+            let (p50, _, p99) = h.percentiles();
+            out.push_str(&format!(
+                "fsync        p50 {:>9} ns   p99 {:>9} ns   ({:.1}/s)\n",
+                p50,
+                p99,
+                h.count() as f64 / secs
+            ));
+        }
+    }
+
+    // Per-shard breakdown (cumulative — STATS has no windowed form).
+    if !stats.is_empty() {
+        out.push('\n');
+        out.push_str("shard   epoch     quotes    hit%     sales  declines     revenue\n");
+        for (i, s) in stats.iter().enumerate() {
+            let hit_pct = if s.quotes > 0 {
+                100.0 * s.cache_hits as f64 / s.quotes as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{i:>5} {:>7} {:>10} {:>6.1}% {:>9} {:>9} {:>11.2}\n",
+                s.epoch, s.quotes, hit_pct, s.sales, s.declines, s.revenue
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a crash flight dump for `qp-top --postmortem`: the death
+/// metadata, the metric headlines at the instant of death, the last
+/// protocol events, and the recent root span trees.
+pub fn render_postmortem(dump: &FlightDump) -> String {
+    let mut out = String::new();
+    out.push_str("qp-top — post-mortem flight dump\n");
+    out.push_str(&"─".repeat(64));
+    out.push('\n');
+    out.push_str(&format!("reason      {}\n", dump.reason));
+    out.push_str(&format!("wal_seq     {}\n", dump.wal_seq));
+    if dump.truncated {
+        out.push_str("NOTE        dump tail torn — sections after the tear dropped\n");
+    }
+
+    out.push_str(&format!(
+        "metrics     {} counters, {} gauges, {} histograms\n",
+        dump.snapshot.counters.len(),
+        dump.snapshot.gauges.len(),
+        dump.snapshot.histograms.len()
+    ));
+    for name in ["wal.records", "cache.hit", "cache.miss"] {
+        if let Some(v) = dump.snapshot.counter(name) {
+            out.push_str(&format!("  {name:<24} {v}\n"));
+        }
+    }
+
+    out.push_str(&format!(
+        "\nlast {} protocol events (newest last):\n",
+        dump.protocol_events.len()
+    ));
+    for e in &dump.protocol_events {
+        out.push_str(&format!(
+            "  op 0x{:02x}  trace {:#018x}  {} bytes\n",
+            e.opcode, e.trace_id, e.frame_len
+        ));
+    }
+
+    out.push_str(&format!("\n{} recent root spans:\n", dump.roots.len()));
+    for root in &dump.roots {
+        out.push_str(&format!(
+            "  {} [{} ns] trace {:#018x}\n",
+            root.root, root.total_ns, root.trace_id
+        ));
+        for e in &root.events {
+            out.push_str(&format!(
+                "    {}{} [{} ns]\n",
+                "  ".repeat(e.depth as usize),
+                e.name,
+                e.dur_ns
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_telemetry::TelemetrySink;
+
+    fn sample_window() -> MetricsSnapshot {
+        let sink = TelemetrySink::enabled();
+        sink.counter("cache.hit").add(90);
+        sink.counter("cache.miss").add(10);
+        sink.counter("cache.invalidated").add(4);
+        sink.counter("wal.records").add(50);
+        sink.gauge("wal.flush_queue_depth").set(7);
+        let h = sink.histogram("server.request");
+        for _ in 0..20 {
+            h.record(10_000);
+        }
+        sink.histogram("wal.fsync").record(80_000);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn dashboard_shows_rates_and_the_shard_table() {
+        let stats = vec![ShardStats {
+            epoch: 3,
+            quotes: 100,
+            cache_hits: 90,
+            invalidations: 4,
+            evictions: 0,
+            sales: 60,
+            declines: 40,
+            revenue: 123.5,
+        }];
+        let text = render_dashboard(&sample_window(), &stats, 2.0);
+        // 20 requests over a 2 s window.
+        assert!(text.contains("10.0 req/s"), "{text}");
+        assert!(text.contains("90.0 % hit"), "{text}");
+        assert!(text.contains("flush-queue 7"), "{text}");
+        assert!(text.contains("fsync"), "{text}");
+        assert!(text.contains("shard   epoch"), "{text}");
+        assert!(text.contains("123.50"), "{text}");
+    }
+
+    #[test]
+    fn dashboard_survives_an_empty_window() {
+        let empty = MetricsSnapshot::default();
+        let text = render_dashboard(&empty, &[], 1.0);
+        assert!(text.contains("0.0 req/s"), "{text}");
+        assert!(!text.contains("shard   epoch"), "{text}");
+    }
+
+    #[test]
+    fn postmortem_renders_every_section() {
+        let sink = TelemetrySink::enabled();
+        sink.counter("wal.records").add(41);
+        let dump = FlightDump::capture(
+            "crash-switch kill",
+            41,
+            sink.snapshot(),
+            Vec::new(),
+            vec![qp_telemetry::ProtocolEvent {
+                opcode: 0x02,
+                trace_id: 0xAB,
+                frame_len: 25,
+            }],
+        );
+        let text = render_postmortem(&dump);
+        assert!(text.contains("crash-switch kill"), "{text}");
+        assert!(text.contains("wal_seq     41"), "{text}");
+        assert!(text.contains("op 0x02"), "{text}");
+        assert!(text.contains("wal.records"), "{text}");
+    }
+}

@@ -38,6 +38,7 @@ use qp_pricing::algorithms::PricingPatch;
 use qp_pricing::Pricing;
 use qp_sim::driver::{SettleTransport, SettleWorker, SettledQuote};
 use qp_sim::{Buyer, Population};
+use qp_telemetry::{SpanHandle, TelemetrySink};
 
 use crate::client::QuoteClient;
 use crate::shard::SettleOutcome;
@@ -152,6 +153,13 @@ pub struct NetTransport {
     /// Round-trip latency samples (µs), one per settled quote (QUOTE +
     /// PURCHASE), flushed in by workers as they drop.
     latencies_us: Arc<Mutex<Vec<u64>>>,
+    /// Client-side telemetry for distributed tracing (`None` = untraced:
+    /// requests go out in their pre-trace byte layout). See
+    /// [`NetTransport::enable_tracing`].
+    tracing: Option<TelemetrySink>,
+    /// Worker-id well for trace-id minting; each checked-out worker takes
+    /// the next id, so `(worker_id << 32) | seq` never collides.
+    next_worker_id: AtomicU64,
 }
 
 impl NetTransport {
@@ -187,7 +195,19 @@ impl NetTransport {
             admin: Mutex::new(admin),
             idle: Arc::new(Mutex::new(Vec::new())),
             latencies_us: Arc::new(Mutex::new(Vec::new())),
+            tracing: None,
+            next_worker_id: AtomicU64::new(0),
         })
+    }
+
+    /// Turns on distributed tracing: every settle gets a trace id minted
+    /// from deterministic per-worker counters (never a clock or RNG — the
+    /// revenue stream must stay bit-identical to an untraced run), a
+    /// client-side `client.settle` root span recorded into `sink`, and a
+    /// `TRACED` envelope carrying the id to the server so both halves of
+    /// the trace stitch. Call before handing the transport to the engine.
+    pub fn enable_tracing(&mut self, sink: TelemetrySink) {
+        self.tracing = Some(sink);
     }
 
     /// Drains the collected per-request latency samples (µs). Workers
@@ -272,6 +292,14 @@ impl SettleTransport for NetTransport {
 
 impl NetTransport {
     fn make_worker(&self, client: Option<QuoteClient>, generation: u64) -> NetWorker {
+        let trace = self.tracing.as_ref().map(|sink| WorkerTrace {
+            settle_span: sink.span_handle("client.settle"),
+            // ordering: Relaxed — the id only needs uniqueness; nothing
+            // else is published through it.
+            worker_id: self.next_worker_id.fetch_add(1, Ordering::Relaxed),
+            seq: 0,
+            current: 0,
+        });
         NetWorker {
             client,
             generation,
@@ -281,7 +309,28 @@ impl NetTransport {
             bundles: Arc::clone(&self.bundles),
             samples: Vec::new(),
             sink: Arc::clone(&self.latencies_us),
+            trace,
         }
+    }
+}
+
+/// A worker's tracing state: the pre-resolved root span handle and the
+/// deterministic trace-id counter (`(worker_id << 32) | seq`, seq starting
+/// at 1 so id 0 stays reserved for "untraced").
+struct WorkerTrace {
+    settle_span: SpanHandle,
+    worker_id: u64,
+    seq: u64,
+    /// The id of the settle in progress, reapplied to fresh connections
+    /// after a resilient reconnect.
+    current: u64,
+}
+
+impl WorkerTrace {
+    fn mint(&mut self) -> u64 {
+        self.seq += 1;
+        self.current = (self.worker_id << 32) | (self.seq & 0xFFFF_FFFF);
+        self.current
     }
 }
 
@@ -301,6 +350,8 @@ pub struct NetWorker {
     bundles: Arc<BundleTable>,
     samples: Vec<u64>,
     sink: Arc<Mutex<Vec<u64>>>,
+    /// `Some` when the transport has tracing enabled.
+    trace: Option<WorkerTrace>,
 }
 
 impl NetWorker {
@@ -342,6 +393,11 @@ impl NetWorker {
                 self.reconnect(deadline);
             }
             let client = self.client.as_mut().expect("reconnect just set it");
+            // A reconnect hands back a fresh (untraced) connection:
+            // restamp the in-progress settle's trace id.
+            if let Some(trace) = &self.trace {
+                client.set_trace_id(trace.current);
+            }
             let attempt = client.quote(bundle).and_then(|q| {
                 client
                     .try_purchase(q.quote_id, budget, tick)
@@ -377,6 +433,19 @@ impl SettleWorker for NetWorker {
         tick: u64,
     ) -> SettledQuote {
         let bundle = self.bundles.bundle(phase, buyer).clone();
+        // Tracing: mint the id and install it as both the wire context
+        // (the client's TRACED envelope) and the thread's ambient context,
+        // then open the client-side root span — its drop at the end of
+        // this settle stamps the id into the client exemplar, the half
+        // that stitches against the server's `server.request` tree.
+        let _root = self.trace.as_mut().map(|trace| {
+            let trace_id = trace.mint();
+            qp_telemetry::set_current_trace_id(trace_id);
+            if let Some(client) = self.client.as_mut() {
+                client.set_trace_id(trace_id);
+            }
+            trace.settle_span.enter()
+        });
         // timing: measures the QUOTE+PURCHASE network round trip for the
         // latency report; the settled outcome never depends on it.
         let started = Instant::now();

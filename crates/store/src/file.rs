@@ -30,7 +30,7 @@ use std::time::Duration;
 use parking_lot::atomic::{AtomicBool, Ordering};
 use parking_lot::Mutex;
 use qp_core::codec::{crc32, put_u32};
-use qp_telemetry::{Counter, TelemetrySink};
+use qp_telemetry::{Counter, Gauge, TelemetrySink};
 
 use crate::{Recovery, Snapshot, Store, StoreError, WalRecord};
 
@@ -66,7 +66,7 @@ pub enum FsyncPolicy {
     /// a background flusher thread over its own descriptor, so the settle
     /// path pays one `write` syscall per append and never blocks on
     /// stable storage; under a hot append rate the flusher coalesces
-    /// group boundaries to at most one fsync per [`FLUSH_COALESCE`],
+    /// group boundaries to at most one fsync per `FLUSH_COALESCE` (5 ms),
     /// bounding its duty cycle. Explicit
     /// [`Store::sync`](crate::Store::sync) stays synchronous and covers
     /// any group the flusher has not reached yet.
@@ -187,6 +187,13 @@ struct StoreTelemetry {
     bytes: Counter,
     fsyncs: Counter,
     snapshots: Counter,
+    /// `wal.flush_queue_depth` — records appended but not yet covered by
+    /// an fsync (under group commit: accumulated toward the next group).
+    flush_queue: Gauge,
+    /// `recovery.*` — what the last `recover()` / open scan found.
+    recovery_records: Counter,
+    recovery_truncated: Counter,
+    recovery_snapshots_skipped: Counter,
 }
 
 impl StoreTelemetry {
@@ -198,6 +205,10 @@ impl StoreTelemetry {
             bytes: sink.counter("wal.bytes"),
             fsyncs: sink.counter("wal.fsyncs"),
             snapshots: sink.counter("store.snapshots"),
+            flush_queue: sink.gauge("wal.flush_queue_depth"),
+            recovery_records: sink.counter("recovery.records_replayed"),
+            recovery_truncated: sink.counter("recovery.truncated_frames"),
+            recovery_snapshots_skipped: sink.counter("recovery.snapshots_skipped"),
         }
     }
 }
@@ -295,6 +306,7 @@ impl FileStore {
         inner.wal.sync_data()?;
         inner.unsynced = 0;
         self.telemetry.fsyncs.inc();
+        self.telemetry.flush_queue.set(0);
         Ok(())
     }
 
@@ -327,11 +339,13 @@ impl Store for FileStore {
         inner.seq += 1;
         inner.unsynced += 1;
         let seq = inner.seq;
+        self.telemetry.flush_queue.set(i64::from(inner.unsynced));
         match self.policy {
             FsyncPolicy::Always => self.fsync_locked(&mut inner)?,
             FsyncPolicy::GroupCommit { every } => {
                 if inner.unsynced >= every {
                     inner.unsynced = 0;
+                    self.telemetry.flush_queue.set(0);
                     // ordering: Release publishes the group boundary to the
                     // flusher's AcqRel swap; the frame bytes are already in
                     // the kernel via the `write_all` above.
@@ -418,6 +432,15 @@ impl Store for FileStore {
         } else {
             records[skip..].to_vec()
         };
+        self.telemetry.recovery_records.add(wal.len() as u64);
+        if truncated_bytes > 0 {
+            // The scan stops at the first bad frame; everything after the
+            // tear is one untrusted region, counted as one truncated frame.
+            self.telemetry.recovery_truncated.inc();
+        }
+        self.telemetry
+            .recovery_snapshots_skipped
+            .add(snapshots_skipped as u64);
         Ok(Recovery {
             snapshot,
             wal,

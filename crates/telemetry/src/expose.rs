@@ -52,6 +52,13 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", hist.count()));
         out.push_str(&format!("{prom}_sum {}\n", hist.sum));
         out.push_str(&format!("{prom}_count {}\n", hist.count()));
+        // Precomputed quantile estimates alongside the raw buckets, so a
+        // scrape (or a human with grep) reads `wal.fsync` latency
+        // quantiles without re-deriving them from the `le` series.
+        let (p50, p95, p99) = hist.percentiles();
+        out.push_str(&format!("# TYPE {prom}_p50 gauge\n{prom}_p50 {p50}\n"));
+        out.push_str(&format!("# TYPE {prom}_p95 gauge\n{prom}_p95 {p95}\n"));
+        out.push_str(&format!("# TYPE {prom}_p99 gauge\n{prom}_p99 {p99}\n"));
     }
     out
 }
@@ -111,7 +118,8 @@ pub fn json(snapshot: &MetricsSnapshot) -> String {
             out.push_str(", ");
         }
         out.push_str(&format!(
-            "{{\"root\": \"{}\", \"total_ns\": {}, \"events\": [",
+            "{{\"trace_id\": {}, \"root\": \"{}\", \"total_ns\": {}, \"events\": [",
+            ex.trace_id,
             json_escape(&ex.root),
             ex.total_ns
         ));
@@ -119,8 +127,15 @@ pub fn json(snapshot: &MetricsSnapshot) -> String {
             if j > 0 {
                 out.push_str(", ");
             }
+            // NO_SHARD renders as -1 so joins against client logs can
+            // filter on `shard >= 0`.
+            let shard: i64 = if e.shard == crate::span::NO_SHARD {
+                -1
+            } else {
+                i64::from(e.shard)
+            };
             out.push_str(&format!(
-                "{{\"name\": \"{}\", \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                "{{\"name\": \"{}\", \"depth\": {}, \"shard\": {shard}, \"start_ns\": {}, \"dur_ns\": {}}}",
                 json_escape(&e.name),
                 e.depth,
                 e.start_ns,

@@ -101,6 +101,25 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Bucketwise difference `self - earlier`: the observations recorded
+    /// between the two snapshots of one cumulative histogram. Because
+    /// every cell of a live histogram is monotone, the delta of a
+    /// later-vs-earlier snapshot pair is itself a valid histogram, and
+    /// deltas over adjacent snapshots merge back to the cumulative total —
+    /// the identity the windowed-registry differential test checks.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        for (slot, (now, then)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *slot = now.saturating_sub(*then);
+        }
+        out
+    }
+
     /// Mean of the recorded values (0 when empty).
     pub fn mean(&self) -> f64 {
         let count = self.count();

@@ -21,6 +21,16 @@
 //! * **Exposition** ([`expose`]) — deterministic Prometheus-style text
 //!   and hand-rolled JSON renderings of a [`MetricsSnapshot`], the same
 //!   structure the server's `METRICS` protocol frame ships.
+//! * **Distributed trace context** ([`set_current_trace_id`],
+//!   [`set_current_shard`]) — a per-thread ambient trace/shard id the
+//!   server installs from the wire-level `TRACED` envelope; root spans
+//!   stamp it into [`Exemplar`]s so client and server span trees sharing
+//!   a trace id stitch into one cross-process trace.
+//! * **Windows and the flight recorder** ([`window`], [`flight`]) —
+//!   rolling per-window snapshot deltas (rates and p99-over-last-10s for
+//!   the `qp-top` dashboard) and a CRC-framed crash dump of the registry,
+//!   the recent-root-span flight journal, and the server's last protocol
+//!   events, written on kill/panic and read back post-mortem.
 //!
 //! ## Out-of-band by construction
 //!
@@ -48,16 +58,23 @@
 //! ```
 
 pub mod expose;
+pub mod flight;
 mod histogram;
 mod registry;
 mod span;
+pub mod window;
 
+pub use flight::{FlightDump, ProtocolEvent, FLIGHT_FILE_NAME, FLIGHT_MAGIC};
 pub use histogram::{
     bucket_bounds, bucket_index, bucket_midpoint, Histogram, HistogramSnapshot, HistogramTimer,
     NUM_BUCKETS,
 };
-pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, TelemetrySink};
-pub use span::{
-    reset_thread_journal, with_thread_journal, Exemplar, Span, SpanEvent, SpanHandle, SpanRecord,
-    JOURNAL_CAPACITY,
+pub use registry::{
+    Counter, Gauge, MetricsSnapshot, Registry, TelemetrySink, FLIGHT_JOURNAL_CAPACITY,
 };
+pub use span::{
+    current_trace_id, reset_thread_journal, set_current_shard, set_current_trace_id,
+    with_thread_journal, Exemplar, FlightRoot, Span, SpanEvent, SpanHandle, SpanRecord,
+    JOURNAL_CAPACITY, NO_SHARD,
+};
+pub use window::{snapshot_delta, RollingWindows};

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use qp_core::RingBuffer;
 
 use crate::histogram::{Histogram, HistogramCore, HistogramSnapshot};
-use crate::span::{Exemplar, Span};
+use crate::span::{Exemplar, FlightRoot, Span};
 
 /// Counter shard count. Eight padded slots cover the worker counts this
 /// stack runs (≤ 8 shard threads) without false sharing; `get` sums them.
@@ -30,6 +30,11 @@ const COUNTER_SHARDS: usize = 8;
 
 /// How many slow-request exemplars the registry retains (newest win).
 const EXEMPLAR_CAPACITY: usize = 16;
+
+/// How many completed root span trees the flight journal retains for the
+/// crash recorder (newest win). Bounded: a dump is at most this many
+/// trees of at most `MAX_TREE_EVENTS` spans each.
+pub const FLIGHT_JOURNAL_CAPACITY: usize = 64;
 
 /// Monotonic thread tag source for counter-shard selection.
 static NEXT_THREAD_TAG: AtomicUsize = AtomicUsize::new(0);
@@ -187,6 +192,7 @@ pub struct Registry {
     gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCore>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCore>>>,
     exemplars: Mutex<RingBuffer<Exemplar>>,
+    flight: Mutex<RingBuffer<FlightRoot>>,
     slow_threshold_ns: AtomicU64,
 }
 
@@ -204,6 +210,7 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             exemplars: Mutex::new(RingBuffer::new(EXEMPLAR_CAPACITY)),
+            flight: Mutex::new(RingBuffer::new(FLIGHT_JOURNAL_CAPACITY)),
             slow_threshold_ns: AtomicU64::new(u64::MAX),
         }
     }
@@ -249,6 +256,28 @@ impl Registry {
 
     pub(crate) fn capture_exemplar(&self, exemplar: Exemplar) {
         self.exemplars.lock().push(exemplar);
+    }
+
+    pub(crate) fn record_flight_root(&self, root: FlightRoot) {
+        self.flight.lock().push(root);
+    }
+
+    /// The flight journal: the last [`FLIGHT_JOURNAL_CAPACITY`] completed
+    /// root span trees across every thread, oldest first. This is what the
+    /// crash flight recorder dumps.
+    pub fn flight_roots(&self) -> Vec<FlightRoot> {
+        self.flight.lock().to_vec()
+    }
+
+    /// Retained exemplars whose trace id matches (the `TRACE` frame's
+    /// lookup path).
+    pub fn exemplars_for_trace(&self, trace_id: u64) -> Vec<Exemplar> {
+        self.exemplars
+            .lock()
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .cloned()
+            .collect()
     }
 
     /// Reads every metric into a mergeable, wire-shippable snapshot, in
@@ -434,6 +463,22 @@ impl TelemetrySink {
         match self {
             TelemetrySink::Disabled => MetricsSnapshot::default(),
             TelemetrySink::Enabled(reg) => reg.snapshot(),
+        }
+    }
+
+    /// Reads the flight journal (empty when disabled).
+    pub fn flight_roots(&self) -> Vec<FlightRoot> {
+        match self {
+            TelemetrySink::Disabled => Vec::new(),
+            TelemetrySink::Enabled(reg) => reg.flight_roots(),
+        }
+    }
+
+    /// Retained exemplars stamped with `trace_id` (empty when disabled).
+    pub fn exemplars_for_trace(&self, trace_id: u64) -> Vec<Exemplar> {
+        match self {
+            TelemetrySink::Disabled => Vec::new(),
+            TelemetrySink::Enabled(reg) => reg.exemplars_for_trace(trace_id),
         }
     }
 }

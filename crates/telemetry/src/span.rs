@@ -42,6 +42,9 @@ pub const JOURNAL_CAPACITY: usize = 1024;
 /// beyond this the tree is truncated, never reallocated without bound.
 const MAX_TREE_EVENTS: usize = 128;
 
+/// Sentinel shard id for spans recorded outside any shard's scope.
+pub const NO_SHARD: u32 = u32::MAX;
+
 /// One completed span, as recorded in the per-thread journal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -49,6 +52,8 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Nesting depth at open time (0 = root).
     pub depth: u16,
+    /// Shard the span ran against ([`NO_SHARD`] when none was set).
+    pub shard: u32,
     /// Start offset in nanoseconds, relative to the enclosing root's start.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -63,6 +68,8 @@ pub struct SpanRecord {
     pub name: String,
     /// Nesting depth (0 = root).
     pub depth: u32,
+    /// Shard the span ran against ([`NO_SHARD`] when none was set).
+    pub shard: u32,
     /// Start offset in nanoseconds from the root's start.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -73,6 +80,8 @@ pub struct SpanRecord {
 /// duration plus every stage recorded under it, in start order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Exemplar {
+    /// Wire-level trace id the request carried (0 = untraced).
+    pub trace_id: u64,
     /// Name of the root span that crossed the slow threshold.
     pub root: String,
     /// The root's total duration in nanoseconds.
@@ -81,11 +90,30 @@ pub struct Exemplar {
     pub events: Vec<SpanRecord>,
 }
 
+/// One completed root span tree as retained in the registry's flight
+/// journal (the crash recorder's view of recent requests). Names stay
+/// `&'static str` — the journal never crosses a process boundary until
+/// the flight recorder encodes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRoot {
+    /// Wire-level trace id the request carried (0 = untraced).
+    pub trace_id: u64,
+    /// Name of the root span.
+    pub root: &'static str,
+    /// The root's total duration in nanoseconds.
+    pub total_ns: u64,
+    /// The tree's spans, ordered by start time.
+    pub events: Vec<SpanEvent>,
+}
+
 /// Per-thread tracing state: current nesting depth, the running root's
-/// start instant and accumulated tree, and the bounded event journal.
+/// start instant and accumulated tree, the ambient trace/shard context,
+/// and the bounded event journal.
 struct ThreadTrace {
     depth: u16,
     root_start: Option<Instant>,
+    trace_id: u64,
+    shard: u32,
     tree: Vec<SpanEvent>,
     journal: RingBuffer<SpanEvent>,
 }
@@ -95,6 +123,8 @@ impl ThreadTrace {
         ThreadTrace {
             depth: 0,
             root_start: None,
+            trace_id: 0,
+            shard: NO_SHARD,
             tree: Vec::new(),
             journal: RingBuffer::new(JOURNAL_CAPACITY),
         }
@@ -123,7 +153,28 @@ pub fn reset_thread_journal() {
         trace.tree.clear();
         trace.depth = 0;
         trace.root_start = None;
+        trace.trace_id = 0;
+        trace.shard = NO_SHARD;
     });
+}
+
+/// Installs the wire-level trace id for the request this thread is
+/// currently serving. Spans closing while it is set stamp it into their
+/// exemplar/flight captures; the context resets to 0 (untraced) when the
+/// enclosing root span closes.
+pub fn set_current_trace_id(trace_id: u64) {
+    TRACE.with(|t| t.borrow_mut().trace_id = trace_id);
+}
+
+/// The trace id currently installed on this thread (0 = untraced).
+pub fn current_trace_id() -> u64 {
+    TRACE.with(|t| t.borrow().trace_id)
+}
+
+/// Installs the shard id spans on this thread are attributed to until the
+/// enclosing root span closes (or [`NO_SHARD`] is set explicitly).
+pub fn set_current_shard(shard: u32) {
+    TRACE.with(|t| t.borrow_mut().shard = shard);
 }
 
 /// An open tracing span; dropping it records the stage. Obtained from
@@ -250,47 +301,60 @@ impl Drop for Span {
         };
         let dur_ns = inner.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         inner.hist.record(dur_ns);
-        let event = SpanEvent {
-            name: inner.name,
-            depth: inner.depth,
-            start_ns: inner.start_ns,
-            dur_ns,
-        };
-        let slow_root = TRACE.with(|t| {
+        let finished_root = TRACE.with(|t| {
             let mut trace = t.borrow_mut();
+            let event = SpanEvent {
+                name: inner.name,
+                depth: inner.depth,
+                shard: trace.shard,
+                start_ns: inner.start_ns,
+                dur_ns,
+            };
             trace.depth = trace.depth.saturating_sub(1);
             trace.journal.push(event);
             if trace.tree.len() < MAX_TREE_EVENTS {
                 trace.tree.push(event);
             }
             if inner.depth == 0 {
+                // The root closed: hand the completed tree out (flight
+                // journal always, exemplar capture when slow) and reset
+                // the ambient trace/shard context for the next request.
                 trace.root_start = None;
-                if dur_ns >= inner.registry.slow_threshold_ns() {
-                    // The completed tree, handed out for exemplar capture.
-                    return Some(std::mem::take(&mut trace.tree));
-                }
-                trace.tree.clear();
+                let trace_id = trace.trace_id;
+                trace.trace_id = 0;
+                trace.shard = NO_SHARD;
+                return Some((std::mem::take(&mut trace.tree), trace_id));
             }
             None
         });
-        if let Some(mut tree) = slow_root {
+        if let Some((mut tree, trace_id)) = finished_root {
             // Completion order is children-first; start order reads as the
             // request actually unfolded.
             tree.sort_by_key(|e| (e.start_ns, e.depth));
-            let exemplar = Exemplar {
-                root: inner.name.to_string(),
+            if dur_ns >= inner.registry.slow_threshold_ns() {
+                let exemplar = Exemplar {
+                    trace_id,
+                    root: inner.name.to_string(),
+                    total_ns: dur_ns,
+                    events: tree
+                        .iter()
+                        .map(|e| SpanRecord {
+                            name: e.name.to_string(),
+                            depth: u32::from(e.depth),
+                            shard: e.shard,
+                            start_ns: e.start_ns,
+                            dur_ns: e.dur_ns,
+                        })
+                        .collect(),
+                };
+                inner.registry.capture_exemplar(exemplar);
+            }
+            inner.registry.record_flight_root(FlightRoot {
+                trace_id,
+                root: inner.name,
                 total_ns: dur_ns,
-                events: tree
-                    .iter()
-                    .map(|e| SpanRecord {
-                        name: e.name.to_string(),
-                        depth: u32::from(e.depth),
-                        start_ns: e.start_ns,
-                        dur_ns: e.dur_ns,
-                    })
-                    .collect(),
-            };
-            inner.registry.capture_exemplar(exemplar);
+                events: tree,
+            });
         }
     }
 }

@@ -1,0 +1,196 @@
+//! Rolling time-window aggregation over [`MetricsSnapshot`]s.
+//!
+//! The registry's counters and histograms are cumulative — great for
+//! correctness (merges are exact, nothing is ever lost), useless for a
+//! live dashboard, which wants *rates* and *p99 over the last ten
+//! seconds*. This module derives windows from cumulative snapshots
+//! instead of adding a second recording path: every cell of a live
+//! registry is monotone, so the bucketwise/counter-wise difference of two
+//! snapshots is exactly the set of observations recorded between them.
+//!
+//! [`snapshot_delta`] computes one such window; [`RollingWindows`] retains
+//! the last `K` of them so `merged()` answers "what happened over the
+//! last K polls" (e.g. 10 × 1s polls → p99-over-last-10s). The identity
+//! `fold(merge, deltas) == cumulative` is tested differentially against
+//! the live registry.
+//!
+//! Gauges are instantaneous, not cumulative: a window carries the
+//! *current* gauge value, and merging windows keeps the newest.
+//! Exemplars never enter windows.
+
+use std::collections::VecDeque;
+
+use crate::registry::MetricsSnapshot;
+
+/// The observations recorded between `earlier` and `current` snapshots of
+/// the *same* registry: counters subtract (saturating — a metric born
+/// after `earlier` contributes its full total), histograms subtract
+/// bucketwise, gauges carry `current`'s value, exemplars are dropped.
+pub fn snapshot_delta(current: &MetricsSnapshot, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: current
+            .counters
+            .iter()
+            .map(|(name, now)| {
+                let then = earlier.counter(name).unwrap_or(0);
+                (name.clone(), now.saturating_sub(then))
+            })
+            .collect(),
+        gauges: current.gauges.clone(),
+        histograms: current
+            .histograms
+            .iter()
+            .map(|(name, now)| {
+                let delta = match earlier.histogram(name) {
+                    Some(then) => now.delta_since(then),
+                    None => now.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect(),
+        exemplars: Vec::new(),
+    }
+}
+
+/// A bounded deque of the most recent window deltas plus the snapshot
+/// they are relative to. Feed it cumulative snapshots at a fixed poll
+/// cadence; read back the latest window or the merge of all retained
+/// windows.
+#[derive(Debug, Clone)]
+pub struct RollingWindows {
+    /// Snapshot the next delta will be computed against.
+    baseline: MetricsSnapshot,
+    /// Retained windows, oldest first.
+    windows: VecDeque<MetricsSnapshot>,
+    /// How many windows to retain.
+    capacity: usize,
+}
+
+impl RollingWindows {
+    /// A tracker retaining the last `capacity` windows (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RollingWindows {
+            baseline: MetricsSnapshot::default(),
+            windows: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Ingests the next cumulative snapshot, appending (and returning a
+    /// reference to) the window delta since the previous observation. The
+    /// first observation's window is the whole cumulative history.
+    pub fn observe(&mut self, current: MetricsSnapshot) -> &MetricsSnapshot {
+        let delta = snapshot_delta(&current, &self.baseline);
+        self.baseline = current;
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(delta);
+        self.windows.back().expect("just pushed")
+    }
+
+    /// The most recent window, if any observation has been made.
+    pub fn latest(&self) -> Option<&MetricsSnapshot> {
+        self.windows.back()
+    }
+
+    /// Number of windows currently retained.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Merge of every retained window — counters/histograms over the last
+    /// `len()` polls (gauges keep the newest window's value, since a
+    /// gauge window carries an instantaneous reading, not an increment).
+    pub fn merged(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for window in &self.windows {
+            out.merge(window);
+        }
+        // `merge` adds gauges; overwrite with the newest instantaneous
+        // values instead.
+        if let Some(latest) = self.windows.back() {
+            out.gauges = latest.gauges.clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    #[test]
+    fn delta_isolates_one_windows_traffic() {
+        let sink = TelemetrySink::enabled();
+        let c = sink.counter("w.req");
+        let h = sink.histogram("w.lat");
+        c.add(5);
+        h.record(100);
+        let first = sink.snapshot();
+        c.add(3);
+        h.record(7);
+        h.record(9);
+        let second = sink.snapshot();
+
+        let delta = snapshot_delta(&second, &first);
+        assert_eq!(delta.counter("w.req"), Some(3));
+        let lat = delta.histogram("w.lat").expect("windowed histogram");
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.sum, 16);
+        assert!(delta.exemplars.is_empty());
+    }
+
+    #[test]
+    fn windows_merge_back_to_the_cumulative_registry() {
+        let sink = TelemetrySink::enabled();
+        let c = sink.counter("w.req");
+        let h = sink.histogram("w.lat");
+        let mut rolling = RollingWindows::new(16);
+        for round in 0..5u64 {
+            c.add(round + 1);
+            h.record(1 << round);
+            rolling.observe(sink.snapshot());
+        }
+        let merged = rolling.merged();
+        let cumulative = sink.snapshot();
+        assert_eq!(merged.counter("w.req"), cumulative.counter("w.req"));
+        assert_eq!(
+            merged.histogram("w.lat").map(|h| h.buckets),
+            cumulative.histogram("w.lat").map(|h| h.buckets)
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_windows() {
+        let sink = TelemetrySink::enabled();
+        let c = sink.counter("w.req");
+        let mut rolling = RollingWindows::new(2);
+        for _ in 0..4 {
+            c.add(10);
+            rolling.observe(sink.snapshot());
+        }
+        assert_eq!(rolling.len(), 2);
+        // Only the last two windows (10 each) remain.
+        assert_eq!(rolling.merged().counter("w.req"), Some(20));
+        assert_eq!(rolling.latest().and_then(|w| w.counter("w.req")), Some(10));
+    }
+
+    #[test]
+    fn gauges_stay_instantaneous_through_merge() {
+        let sink = TelemetrySink::enabled();
+        let g = sink.gauge("w.depth");
+        let mut rolling = RollingWindows::new(4);
+        g.set(7);
+        rolling.observe(sink.snapshot());
+        g.set(3);
+        rolling.observe(sink.snapshot());
+        assert_eq!(rolling.merged().gauge("w.depth"), Some(3));
+    }
+}
